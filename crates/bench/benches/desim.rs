@@ -1,0 +1,76 @@
+//! Simulator throughput: events per second of the discrete-event engine
+//! on the paper's model — the budget ceiling for the Fig 3.6/4.8/5.2
+//! experiments (each full figure is ~25 M events).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gtlb_core::model::Cluster;
+use gtlb_core::schemes::{Coop, SingleClassScheme};
+use gtlb_desim::farm::{run, FarmSpec, RunConfig};
+
+fn bench_single_queue(c: &mut Criterion) {
+    let spec = FarmSpec::single_class_mm1(&[1.0], &[0.7], 0.7);
+    let jobs = 50_000u64;
+    let mut group = c.benchmark_group("desim");
+    group.sample_size(20);
+    // Each completed job is 2 events (arrival + departure).
+    group.throughput(Throughput::Elements(jobs * 2));
+    group.bench_function("mm1_single_queue_50k_jobs", |b| {
+        b.iter(|| {
+            run(
+                black_box(&spec),
+                &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_paper_farm(c: &mut Criterion) {
+    let cluster = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.6);
+    let loads = Coop.allocate(&cluster, phi).unwrap();
+    let spec = FarmSpec::single_class_mm1(cluster.rates(), loads.loads(), phi);
+    let jobs = 50_000u64;
+    let mut group = c.benchmark_group("desim");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(jobs * 2));
+    group.bench_function("table31_farm_50k_jobs", |b| {
+        b.iter(|| {
+            run(
+                black_box(&spec),
+                &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_queue, bench_paper_farm, bench_dynamic_policy);
+criterion_main!(benches);
+
+fn bench_dynamic_policy(c: &mut Criterion) {
+    use gtlb_dynamic::{run_dynamic, DynamicConfig, DynamicSpec, Policy};
+    let jobs = 50_000u64;
+    let mut group = c.benchmark_group("desim");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(jobs * 2));
+    for policy in [
+        Policy::NoBalancing,
+        Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+        Policy::Symmetric { threshold: 2, probe_limit: 3 },
+        Policy::CentralJsq,
+    ] {
+        let spec = DynamicSpec::homogeneous(8, 1.0, 0.8, 0.01, policy);
+        group.bench_function(format!("dynamic_{}_50k_jobs", policy.name()), |b| {
+            b.iter(|| {
+                run_dynamic(
+                    black_box(&spec),
+                    &DynamicConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs },
+                )
+            })
+        });
+    }
+    group.finish();
+}

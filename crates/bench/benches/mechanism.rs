@@ -1,0 +1,46 @@
+//! Cost of the Chapter 5 payment machinery (the quadrature over the work
+//! curve dominates) and of a Chapter 6 verification round.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtlb_mechanism::payment::TruthfulMechanism;
+use gtlb_mechanism::verification::{table61_mechanism, table62_behaviors, Table62};
+
+fn table51_bids() -> Vec<f64> {
+    [
+        0.13, 0.13, 0.065, 0.065, 0.065, 0.026, 0.026, 0.026, 0.026, 0.026, 0.013, 0.013, 0.013,
+        0.013, 0.013, 0.013,
+    ]
+    .iter()
+    .map(|&r| 1.0 / r)
+    .collect()
+}
+
+fn bench_payment(c: &mut Criterion) {
+    let mech = TruthfulMechanism::new(0.5 * 0.663);
+    let bids = table51_bids();
+    c.bench_function("payment/allocation_only", |b| {
+        b.iter(|| mech.allocate(black_box(&bids)).unwrap())
+    });
+    c.bench_function("payment/one_agent", |b| {
+        b.iter(|| mech.payment(0, black_box(&bids)).unwrap())
+    });
+    let mut group = c.benchmark_group("payment/all_16_agents");
+    group.sample_size(20);
+    group.bench_function("payments", |b| {
+        b.iter(|| mech.payments(black_box(&bids)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mech = table61_mechanism();
+    let behaviors = table62_behaviors(&mech, Table62::True1);
+    c.bench_function("verification/one_round_16_agents", |b| {
+        b.iter(|| mech.run(black_box(&behaviors)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_payment, bench_verification);
+criterion_main!(benches);

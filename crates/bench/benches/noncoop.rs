@@ -1,0 +1,64 @@
+//! §4.4.2's runtime remark, reproduced: "The execution time of the NASH
+//! algorithm … is about 12.5 msec per iteration" (on a 440 MHz SUN). We
+//! measure one best reply, one full round, and the complete convergence
+//! for growing user counts.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtlb_core::model::Cluster;
+use gtlb_core::noncoop::best_reply::best_reply_in_profile;
+use gtlb_core::noncoop::{nash, NashInit, NashOptions, StrategyProfile, UserSystem};
+
+fn system(m: usize) -> UserSystem {
+    let cluster = Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.6);
+    UserSystem::new(cluster, vec![phi / m as f64; m]).unwrap()
+}
+
+fn bench_best_reply(c: &mut Criterion) {
+    let sys = system(10);
+    let profile = StrategyProfile::proportional(&sys);
+    c.bench_function("best_reply/16computers_10users", |b| {
+        b.iter(|| best_reply_in_profile(black_box(&sys), black_box(&profile), 0).unwrap())
+    });
+}
+
+fn bench_nash_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nash_one_round");
+    for &m in &[4usize, 10, 32] {
+        let sys = system(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                // One full round = m best replies against a fresh
+                // proportional profile.
+                let mut p = StrategyProfile::proportional(&sys);
+                for j in 0..m {
+                    let row = best_reply_in_profile(&sys, &p, j).unwrap();
+                    p.set_row(j, row);
+                }
+                p
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nash_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nash_converge_1e-4");
+    group.sample_size(20);
+    for &m in &[4usize, 10, 16] {
+        let sys = system(m);
+        let opts = NashOptions { tolerance: 1e-4, max_rounds: 100_000 };
+        group.bench_with_input(BenchmarkId::new("NASH_P", m), &m, |b, _| {
+            b.iter(|| nash::solve(black_box(&sys), &NashInit::Proportional, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("NASH_0", m), &m, |b, _| {
+            b.iter(|| nash::solve(black_box(&sys), &NashInit::Zero, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_best_reply, bench_nash_round, bench_nash_full);
+criterion_main!(benches);

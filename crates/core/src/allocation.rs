@@ -1,0 +1,264 @@
+//! Load allocations and the metrics the paper evaluates them by.
+
+use gtlb_numerics::sum::neumaier_sum;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::model::Cluster;
+
+/// Loads below this fraction of a computer's rate are treated as "the
+/// computer is unused" when computing used-set metrics such as the
+/// fairness index.
+const USED_EPS: f64 = 1e-12;
+
+/// A vector of per-computer job arrival rates `λ_i` produced by a
+/// load-balancing scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    loads: Vec<f64>,
+}
+
+impl Allocation {
+    /// Wraps raw loads. Use [`Allocation::verify`] to check feasibility.
+    #[must_use]
+    pub fn new(loads: Vec<f64>) -> Self {
+        Self { loads }
+    }
+
+    /// Per-computer loads `λ_i`.
+    #[must_use]
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Consumes the allocation, returning the load vector.
+    #[must_use]
+    pub fn into_loads(self) -> Vec<f64> {
+        self.loads
+    }
+
+    /// Total allocated rate `Σ λ_i` (compensated sum).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        neumaier_sum(self.loads.iter().copied())
+    }
+
+    /// Verifies the paper's feasibility conditions (eqs. 3.13–3.15):
+    /// positivity `λ_i ≥ 0`, stability `λ_i < μ_i`, and conservation
+    /// `Σλ_i = Φ` (within `tol`).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] describing the first violated condition.
+    pub fn verify(&self, cluster: &Cluster, phi: f64, tol: f64) -> Result<(), CoreError> {
+        if self.loads.len() != cluster.n() {
+            return Err(CoreError::BadInput(format!(
+                "allocation has {} entries for a cluster of {} computers",
+                self.loads.len(),
+                cluster.n()
+            )));
+        }
+        for (i, (&l, &mu)) in self.loads.iter().zip(cluster.rates()).enumerate() {
+            if !(l.is_finite() && l >= -tol) {
+                return Err(CoreError::BadInput(format!(
+                    "positivity violated at computer {i}: λ = {l}"
+                )));
+            }
+            if l >= mu {
+                return Err(CoreError::BadInput(format!(
+                    "stability violated at computer {i}: λ = {l} >= μ = {mu}"
+                )));
+            }
+        }
+        let total = self.total();
+        if (total - phi).abs() > tol * (1.0 + phi.abs()) {
+            return Err(CoreError::BadInput(format!(
+                "conservation violated: Σλ = {total}, Φ = {phi}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expected response time at each computer, `1/(μ_i − λ_i)`; `None`
+    /// for unused computers (no jobs ⇒ no job ever observes that time).
+    #[must_use]
+    pub fn response_times(&self, cluster: &Cluster) -> Vec<Option<f64>> {
+        self.loads
+            .iter()
+            .zip(cluster.rates())
+            .map(|(&l, &mu)| {
+                if l <= USED_EPS * mu {
+                    None
+                } else if l < mu {
+                    Some(1.0 / (mu - l))
+                } else {
+                    Some(f64::INFINITY)
+                }
+            })
+            .collect()
+    }
+
+    /// Overall expected response time `T = Σ (λ_i/Φ) · 1/(μ_i − λ_i)` —
+    /// the quantity on the y-axis of Figures 3.1–3.6. Returns `+∞` if any
+    /// loaded computer is overloaded; `NaN` when `Φ = 0`.
+    #[must_use]
+    pub fn mean_response_time(&self, cluster: &Cluster) -> f64 {
+        let phi = self.total();
+        if phi <= 0.0 {
+            return f64::NAN;
+        }
+        self.total_delay(cluster) / phi
+    }
+
+    /// The paper's unnormalized objective `D(λ) = Σ λ_i/(μ_i − λ_i)`
+    /// (expected number of jobs in the system, by Little's law). `+∞` if
+    /// any loaded computer is overloaded.
+    #[must_use]
+    pub fn total_delay(&self, cluster: &Cluster) -> f64 {
+        let mut acc = 0.0f64;
+        for (&l, &mu) in self.loads.iter().zip(cluster.rates()) {
+            if l <= 0.0 {
+                continue;
+            }
+            if l >= mu {
+                return f64::INFINITY;
+            }
+            acc += l / (mu - l);
+        }
+        acc
+    }
+
+    /// The Nash product in log form, `Σ_{used} ln(μ_i − λ_i)`, i.e. the
+    /// objective of Theorem 3.5 that the NBS maximizes (over the
+    /// computers kept in the game).
+    #[must_use]
+    pub fn log_nash_product(&self, cluster: &Cluster) -> f64 {
+        neumaier_sum(
+            self.loads
+                .iter()
+                .zip(cluster.rates())
+                .map(|(&l, &mu)| (mu - l.max(0.0)).ln()),
+        )
+    }
+
+    /// Jain's fairness index over the *used* computers,
+    /// `I(x) = (Σx_i)² / (k Σx_i²)` with `x_i = 1/(μ_i − λ_i)`
+    /// (eq. 3.25, "defined from the jobs' perspective"). `I = 1` iff all
+    /// used computers offer identical expected response times —
+    /// Theorem 3.8 proves COOP always achieves this.
+    ///
+    /// Returns `NaN` for the empty allocation.
+    #[must_use]
+    pub fn fairness_index(&self, cluster: &Cluster) -> f64 {
+        let xs: Vec<f64> = self
+            .response_times(cluster)
+            .into_iter()
+            .flatten()
+            .collect();
+        jain_index(&xs)
+    }
+}
+
+/// Jain's fairness index of an arbitrary nonnegative vector:
+/// `(Σx)²/(n Σx²)`; 1 when all entries are equal, `→ 1/n` when one entry
+/// dominates. `NaN` on empty input.
+#[must_use]
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let s = neumaier_sum(xs.iter().copied());
+    let s2 = neumaier_sum(xs.iter().map(|&x| x * x));
+    if s2 == 0.0 {
+        return 1.0; // all-zero vector: perfectly equal
+    }
+    s * s / (xs.len() as f64 * s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![4.0, 2.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn verify_accepts_feasible() {
+        let a = Allocation::new(vec![2.0, 1.0, 0.0]);
+        a.verify(&cluster(), 3.0, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_violations() {
+        let c = cluster();
+        assert!(Allocation::new(vec![2.0, 1.0]).verify(&c, 3.0, 1e-9).is_err());
+        assert!(Allocation::new(vec![-0.5, 2.0, 1.5]).verify(&c, 3.0, 1e-9).is_err());
+        assert!(Allocation::new(vec![4.0, 0.0, 0.0]).verify(&c, 4.0, 1e-9).is_err()); // λ=μ
+        assert!(Allocation::new(vec![1.0, 1.0, 0.0]).verify(&c, 3.0, 1e-9).is_err()); // conservation
+    }
+
+    #[test]
+    fn response_times_distinguish_unused() {
+        let a = Allocation::new(vec![2.0, 0.0, 0.5]);
+        let t = a.response_times(&cluster());
+        assert_eq!(t[0], Some(0.5));
+        assert_eq!(t[1], None);
+        assert_eq!(t[2], Some(2.0));
+    }
+
+    #[test]
+    fn mean_response_time_is_load_weighted() {
+        // λ = (2, 1): T = (2/3)·(1/2) + (1/3)·(1/1) = 2/3.
+        let c = Cluster::new(vec![4.0, 2.0]).unwrap();
+        let a = Allocation::new(vec![2.0, 1.0]);
+        assert!((a.mean_response_time(&c) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.total_delay(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_reports_infinity() {
+        let c = Cluster::new(vec![1.0, 1.0]).unwrap();
+        let a = Allocation::new(vec![1.5, 0.0]);
+        assert_eq!(a.mean_response_time(&c), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_allocation_metrics() {
+        let a = Allocation::new(vec![0.0, 0.0, 0.0]);
+        assert!(a.mean_response_time(&cluster()).is_nan());
+        assert!(a.fairness_index(&cluster()).is_nan());
+        assert_eq!(a.total_delay(&cluster()), 0.0);
+    }
+
+    #[test]
+    fn fairness_one_when_times_equal() {
+        // Equal response times 1/(4-2)=1/(2-... pick λ so μ-λ = 2 on both.
+        let c = Cluster::new(vec![4.0, 3.0]).unwrap();
+        let a = Allocation::new(vec![2.0, 1.0]);
+        assert!((a.fairness_index(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_ignores_unused_computers() {
+        let c = Cluster::new(vec![4.0, 3.0, 0.001]).unwrap();
+        let a = Allocation::new(vec![2.0, 1.0, 0.0]);
+        assert!((a.fairness_index(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One dominant entry drives the index toward 1/n.
+        let idx = jain_index(&[100.0, 0.0, 0.0]);
+        assert!((idx - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_index(&[]).is_nan());
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn log_nash_product() {
+        let c = Cluster::new(vec![4.0, 2.0]).unwrap();
+        let a = Allocation::new(vec![2.0, 0.0]);
+        assert!((a.log_nash_product(&c) - (2.0f64.ln() + 2.0f64.ln())).abs() < 1e-12);
+    }
+}

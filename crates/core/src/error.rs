@@ -1,0 +1,57 @@
+//! Error types shared by the allocation schemes.
+
+/// Errors produced while building models or computing allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The total arrival rate meets or exceeds the aggregate processing
+    /// rate — no stable allocation exists (violates eq. 3.13's strict
+    /// stability).
+    Overloaded {
+        /// Requested total arrival rate `Φ`.
+        arrival_rate: f64,
+        /// Aggregate capacity `Σ μ_i`.
+        capacity: f64,
+    },
+    /// A structural parameter was invalid (empty cluster, nonpositive
+    /// rate, negative arrival rate, NaN, …).
+    BadInput(String),
+    /// An iterative solver failed to converge within its budget.
+    NoConvergence {
+        /// Which solver gave up.
+        solver: &'static str,
+        /// Iterations spent.
+        iterations: u32,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { arrival_rate, capacity } => write!(
+                f,
+                "system overloaded: arrival rate {arrival_rate} >= aggregate capacity {capacity}"
+            ),
+            Self::BadInput(msg) => write!(f, "invalid input: {msg}"),
+            Self::NoConvergence { solver, iterations } => {
+                write!(f, "{solver} failed to converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::Overloaded { arrival_rate: 2.0, capacity: 1.0 };
+        assert!(e.to_string().contains("overloaded"));
+        let e = CoreError::BadInput("rate must be positive".into());
+        assert!(e.to_string().contains("rate must be positive"));
+        let e = CoreError::NoConvergence { solver: "wardrop", iterations: 10 };
+        assert!(e.to_string().contains("wardrop"));
+    }
+}

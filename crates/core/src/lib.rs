@@ -1,0 +1,57 @@
+//! `gtlb-core` — game-theoretic static load balancing.
+//!
+//! This crate implements the primary contribution of
+//! *"Load Balancing in Distributed Systems: An Approach Using Cooperative
+//! Games"* (Grosu, Chronopoulos, Leung, IPPS 2002): the load-balancing
+//! problem for a single-class-job distributed system formulated as a
+//! **cooperative game among computers**, solved by the **Nash Bargaining
+//! Solution** via the `O(n log n)` COOP algorithm — plus every baseline
+//! the paper compares against, and the dissertation's noncooperative
+//! multi-user extension (Chapter 4).
+//!
+//! # Model
+//!
+//! `n` heterogeneous computers, computer `i` an M/M/1 queue with service
+//! rate `μ_i`; jobs arrive at total rate `Φ < Σμ_i`; a static scheme picks
+//! loads `λ_i ≥ 0` with `Σλ_i = Φ` and `λ_i < μ_i`. The expected response
+//! time at computer `i` is `1/(μ_i − λ_i)`.
+//!
+//! # Schemes
+//!
+//! | scheme | optimizes | fairness index | complexity |
+//! |--------|-----------|----------------|------------|
+//! | [`schemes::Coop`] | Nash Bargaining Solution: `max Σ ln(μ_i − λ_i)` | exactly 1 (Thm 3.8) | `O(n log n)` |
+//! | [`schemes::Optim`] | overall delay `min Σ λ_i/(μ_i − λ_i)` | < 1 at load | `O(n log n)` |
+//! | [`schemes::Prop`] | nothing (rate-proportional split) | < 1 | `O(n)` |
+//! | [`schemes::Wardrop`] | individual optimum (equal response times) | 1 | iterative |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gtlb_core::model::Cluster;
+//! use gtlb_core::schemes::{Coop, SingleClassScheme};
+//!
+//! // Three computers; 6 jobs/s arrive in total.
+//! let cluster = Cluster::new(vec![10.0, 5.0, 1.0]).unwrap();
+//! let alloc = Coop.allocate(&cluster, 6.0).unwrap();
+//!
+//! // The NBS equalizes response times on the computers it uses …
+//! let times = alloc.response_times(&cluster);
+//! assert!((times[0].unwrap() - times[1].unwrap()).abs() < 1e-9);
+//! // … so the allocation is perfectly fair to jobs:
+//! assert!((alloc.fairness_index(&cluster) - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod error;
+pub mod model;
+pub mod network;
+pub mod noncoop;
+pub mod schemes;
+
+pub use allocation::Allocation;
+pub use error::CoreError;
+pub use model::Cluster;

@@ -1,0 +1,183 @@
+//! The distributed-system model: a cluster of heterogeneous M/M/1
+//! computers.
+
+use gtlb_numerics::sum::neumaier_sum;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// A cluster of `n` heterogeneous computers, each modeled as an M/M/1
+/// queue with average processing rate `μ_i` (jobs per second).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    rates: Vec<f64>,
+}
+
+impl Cluster {
+    /// Builds a cluster from per-computer processing rates.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] when the list is empty or any rate is
+    /// nonpositive or non-finite.
+    pub fn new(rates: Vec<f64>) -> Result<Self, CoreError> {
+        if rates.is_empty() {
+            return Err(CoreError::BadInput("cluster must contain at least one computer".into()));
+        }
+        if let Some((i, &r)) = rates.iter().enumerate().find(|&(_, &r)| !(r.is_finite() && r > 0.0))
+        {
+            return Err(CoreError::BadInput(format!(
+                "processing rate of computer {i} must be positive and finite, got {r}"
+            )));
+        }
+        Ok(Self { rates })
+    }
+
+    /// Builds the paper's "groups of identical computers" configuration:
+    /// `groups` is a list of `(count, rate)` pairs laid out fastest-first
+    /// (the convention of Tables 3.1 / 4.1 / 5.1).
+    ///
+    /// # Errors
+    /// As [`Cluster::new`]; also rejects zero counts.
+    pub fn from_groups(groups: &[(usize, f64)]) -> Result<Self, CoreError> {
+        let mut rates = Vec::new();
+        for &(count, rate) in groups {
+            if count == 0 {
+                return Err(CoreError::BadInput("group count must be positive".into()));
+            }
+            rates.extend(std::iter::repeat_n(rate, count));
+        }
+        Self::new(rates)
+    }
+
+    /// Number of computers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Processing rates `μ_i` in computer order.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Aggregate processing rate `Σ μ_i`.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        neumaier_sum(self.rates.iter().copied())
+    }
+
+    /// The arrival rate `Φ` that loads the system to utilization
+    /// `ρ = Φ / Σμ` — the x-axis of Figures 3.1, 3.6, 4.4, 4.8, 5.2.
+    ///
+    /// # Panics
+    /// If `rho ∉ [0, 1)`.
+    #[must_use]
+    pub fn arrival_rate_for_utilization(&self, rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "utilization must lie in [0,1)");
+        rho * self.total_rate()
+    }
+
+    /// System utilization produced by total arrival rate `phi`.
+    #[must_use]
+    pub fn utilization(&self, phi: f64) -> f64 {
+        phi / self.total_rate()
+    }
+
+    /// Speed skewness: max rate over min rate (the paper's heterogeneity
+    /// measure, Figures 3.4 / 4.6).
+    #[must_use]
+    pub fn speed_skewness(&self) -> f64 {
+        let max = self.rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.rates.iter().copied().fold(f64::INFINITY, f64::min);
+        max / min
+    }
+
+    /// Checks that arrival rate `phi` admits a stable allocation
+    /// (`0 ≤ Φ < Σμ`).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] for negative/non-finite `phi`,
+    /// [`CoreError::Overloaded`] when `Φ ≥ Σμ`.
+    pub fn check_arrival_rate(&self, phi: f64) -> Result<(), CoreError> {
+        if !phi.is_finite() || phi < 0.0 {
+            return Err(CoreError::BadInput(format!(
+                "total arrival rate must be nonnegative and finite, got {phi}"
+            )));
+        }
+        let cap = self.total_rate();
+        if phi >= cap {
+            return Err(CoreError::Overloaded { arrival_rate: phi, capacity: cap });
+        }
+        Ok(())
+    }
+
+    /// Indices of the computers sorted by **decreasing** processing rate
+    /// (ties keep original order). Both COOP and OPTIM start here
+    /// ("Sort the computers in decreasing order of their average
+    /// processing rate", step 1 of both algorithms).
+    #[must_use]
+    pub fn order_by_rate_desc(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.rates.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.rates[b].partial_cmp(&self.rates[a]).expect("rates are finite")
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 3.1 configuration.
+    fn table31() -> Cluster {
+        Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap()
+    }
+
+    #[test]
+    fn construction_guards() {
+        assert!(Cluster::new(vec![]).is_err());
+        assert!(Cluster::new(vec![1.0, 0.0]).is_err());
+        assert!(Cluster::new(vec![1.0, -2.0]).is_err());
+        assert!(Cluster::new(vec![f64::NAN]).is_err());
+        assert!(Cluster::new(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn table31_totals() {
+        let c = table31();
+        assert_eq!(c.n(), 16);
+        // 2*0.13 + 3*0.065 + 5*0.026 + 6*0.013 = 0.663
+        assert!((c.total_rate() - 0.663).abs() < 1e-12);
+        assert!((c.speed_skewness() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_round_trip() {
+        let c = table31();
+        let phi = c.arrival_rate_for_utilization(0.5);
+        assert!((c.utilization(phi) - 0.5).abs() < 1e-12);
+        assert!((phi - 0.3315).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_rate_checks() {
+        let c = Cluster::new(vec![1.0, 1.0]).unwrap();
+        assert!(c.check_arrival_rate(1.9).is_ok());
+        assert!(matches!(c.check_arrival_rate(2.0), Err(CoreError::Overloaded { .. })));
+        assert!(matches!(c.check_arrival_rate(-0.1), Err(CoreError::BadInput(_))));
+        assert!(c.check_arrival_rate(0.0).is_ok());
+    }
+
+    #[test]
+    fn ordering_is_stable_descending() {
+        let c = Cluster::new(vec![1.0, 3.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.order_by_rate_desc(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn from_groups_rejects_zero_count() {
+        assert!(Cluster::from_groups(&[(0, 1.0)]).is_err());
+    }
+}

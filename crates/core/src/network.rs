@@ -1,0 +1,328 @@
+//! Load exchange over a communication network (the survey's model I.A).
+//!
+//! The paper's Chapter 3 model assumes a free central dispatcher. The
+//! classical single-channel model of Tantawi & Towsley \[128\] (surveyed in
+//! §2.2.1) is richer: jobs arrive *at* computer `i` with fixed local rate
+//! `φ_i`; the scheme chooses post-exchange loads `β_i` (`Σβ = Σφ`), and
+//! every migrated job crosses a shared channel modeled as an M/M/1 queue
+//! with capacity `C`. With network traffic `τ(β) = Σ_i max(0, φ_i − β_i)`
+//! (jobs leaving their origin; conservation makes this equal the jobs
+//! arriving elsewhere), the system-wide expected delay is
+//!
+//! ```text
+//! D(β) = Σ_i β_i/(μ_i − β_i)  +  τ(β)/(C − τ(β))
+//! ```
+//!
+//! — convex in `β` (each term is a convex increasing function of a convex
+//! function of `β`), minimized here by projected subgradient over the
+//! capped simplex with an ε-smoothed traffic term. The solution
+//! interpolates between the paper's world and no balancing at all:
+//!
+//! * `C → ∞`: the channel is free, the optimum is exactly OPTIM;
+//! * `C → τ_opt⁺`: migration becomes precious, the optimum approaches
+//!   "serve everything where it lands".
+
+use gtlb_numerics::optimize::{projected_gradient, CappedSimplex, PgOptions};
+use gtlb_numerics::sum::neumaier_sum;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::Allocation;
+use crate::error::CoreError;
+use crate::model::Cluster;
+
+/// A cluster whose jobs arrive at individual computers and may be
+/// exchanged over a shared channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkedSystem {
+    /// The computers.
+    pub cluster: Cluster,
+    /// Local arrival rate `φ_i` at each computer.
+    pub local_arrivals: Vec<f64>,
+    /// Channel capacity `C` (migrated jobs per second); the channel is an
+    /// M/M/1 queue, so the exchange traffic must stay below `C`.
+    pub channel_capacity: f64,
+}
+
+/// The optimized exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    /// Post-exchange loads `β_i`.
+    pub loads: Allocation,
+    /// Network traffic `τ(β)` the plan generates.
+    pub traffic: f64,
+    /// Expected per-job communication delay `1/(C − τ)` paid by each
+    /// migrated job.
+    pub channel_delay: f64,
+    /// The objective value `D(β)` (expected number in system, computers
+    /// plus channel).
+    pub total_delay: f64,
+}
+
+impl NetworkedSystem {
+    /// Builds the system.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on negative arrivals, length mismatch, or
+    /// nonpositive capacity; [`CoreError::Overloaded`] when `Σφ ≥ Σμ`.
+    pub fn new(
+        cluster: Cluster,
+        local_arrivals: Vec<f64>,
+        channel_capacity: f64,
+    ) -> Result<Self, CoreError> {
+        if local_arrivals.len() != cluster.n() {
+            return Err(CoreError::BadInput(format!(
+                "{} local arrival rates for {} computers",
+                local_arrivals.len(),
+                cluster.n()
+            )));
+        }
+        if let Some((i, &a)) =
+            local_arrivals.iter().enumerate().find(|&(_, &a)| !(a.is_finite() && a >= 0.0))
+        {
+            return Err(CoreError::BadInput(format!(
+                "local arrival rate {i} must be nonnegative, got {a}"
+            )));
+        }
+        if !(channel_capacity.is_finite() && channel_capacity > 0.0) {
+            return Err(CoreError::BadInput("channel capacity must be positive".into()));
+        }
+        let phi = neumaier_sum(local_arrivals.iter().copied());
+        cluster.check_arrival_rate(phi)?;
+        Ok(Self { cluster, local_arrivals, channel_capacity })
+    }
+
+    /// Total external arrival rate `Σφ_i`.
+    #[must_use]
+    pub fn total_arrival_rate(&self) -> f64 {
+        neumaier_sum(self.local_arrivals.iter().copied())
+    }
+
+    /// Network traffic of a candidate load vector:
+    /// `τ(β) = Σ max(0, φ_i − β_i)`.
+    #[must_use]
+    pub fn traffic(&self, loads: &[f64]) -> f64 {
+        neumaier_sum(
+            self.local_arrivals
+                .iter()
+                .zip(loads)
+                .map(|(&phi, &b)| (phi - b).max(0.0)),
+        )
+    }
+
+    /// The objective `D(β)` (smoothing `eps = 0` gives the exact value);
+    /// `+∞` when a computer or the channel is overloaded.
+    #[must_use]
+    pub fn delay(&self, loads: &[f64], eps: f64) -> f64 {
+        let mut acc = 0.0;
+        for (&b, &mu) in loads.iter().zip(self.cluster.rates()) {
+            if b >= mu {
+                return f64::INFINITY;
+            }
+            acc += b / (mu - b);
+        }
+        let tau = if eps > 0.0 {
+            neumaier_sum(self.local_arrivals.iter().zip(loads).map(|(&phi, &b)| {
+                let d = phi - b;
+                0.5 * (d + (d * d + eps * eps).sqrt())
+            }))
+        } else {
+            self.traffic(loads)
+        };
+        if tau >= self.channel_capacity {
+            return f64::INFINITY;
+        }
+        acc + tau / (self.channel_capacity - tau)
+    }
+
+    /// Minimizes `D(β)` with projected (sub)gradient descent over the
+    /// capped simplex, starting from the no-exchange point `β = φ`.
+    ///
+    /// # Errors
+    /// [`CoreError::Overloaded`] / [`CoreError::BadInput`] on infeasible
+    /// systems; [`CoreError::NoConvergence`] if the solver cannot find a
+    /// point with finite objective (e.g. no exchange pattern fits the
+    /// channel).
+    pub fn optimize(&self) -> Result<ExchangePlan, CoreError> {
+        let n = self.cluster.n();
+        let phi = self.total_arrival_rate();
+        if phi == 0.0 {
+            return Ok(ExchangePlan {
+                loads: Allocation::new(vec![0.0; n]),
+                traffic: 0.0,
+                channel_delay: 1.0 / self.channel_capacity,
+                total_delay: 0.0,
+            });
+        }
+        // Feasibility: computers whose local arrivals exceed their
+        // capacity MUST export the difference; if even that minimum
+        // migration saturates the channel, no feasible exchange exists.
+        let min_traffic: f64 = neumaier_sum(
+            self.local_arrivals
+                .iter()
+                .zip(self.cluster.rates())
+                .map(|(&p, &m)| (p - m).max(0.0)),
+        );
+        if min_traffic >= self.channel_capacity {
+            return Err(CoreError::Overloaded {
+                arrival_rate: min_traffic,
+                capacity: self.channel_capacity,
+            });
+        }
+        // Stability margin keeps the smooth objective finite near caps.
+        let caps: Vec<f64> =
+            self.cluster.rates().iter().map(|&m| m * (1.0 - 1e-7)).collect();
+        let set = CappedSimplex::new(phi, caps);
+        // Start from the free-channel optimum (the closed-form OPTIM
+        // point): feasible, interior, and the true optimum lies on the
+        // path from it toward the no-exchange point as the channel
+        // tightens — far better conditioned than starting at the caps.
+        use crate::schemes::SingleClassScheme as _;
+        let mut start = crate::schemes::Optim.allocate(&self.cluster, phi)?.into_loads();
+        set.project(&mut start);
+        let eps = 1e-6 * phi.max(1.0);
+        let rates = self.cluster.rates().to_vec();
+        let arrivals = self.local_arrivals.clone();
+        let cap = self.channel_capacity;
+        let me = self.clone();
+        let objective = move |x: &[f64]| me.delay(x, eps);
+        let grad = move |x: &[f64], g: &mut [f64]| {
+            // d/dβ_i [β/(μ−β)] = μ/(μ−β)²; smoothed traffic derivative
+            // dτ/dβ_i = −σ(φ_i − β_i) with σ the smoothed step function.
+            let tau = neumaier_sum(arrivals.iter().zip(x).map(|(&p, &b)| {
+                let d = p - b;
+                0.5 * (d + (d * d + eps * eps).sqrt())
+            }));
+            let channel_term = if tau < cap {
+                cap / ((cap - tau) * (cap - tau))
+            } else {
+                1e12 // push hard away from channel saturation
+            };
+            for i in 0..x.len() {
+                let mu = rates[i];
+                let node = if x[i] < mu { mu / ((mu - x[i]) * (mu - x[i])) } else { 1e12 };
+                let d = arrivals[i] - x[i];
+                let sigma = 0.5 * (1.0 + d / (d * d + eps * eps).sqrt());
+                g[i] = node - channel_term * sigma;
+            }
+        };
+        let solution = projected_gradient(
+            objective,
+            grad,
+            &set,
+            start,
+            PgOptions { max_iter: 50_000, step0: 0.25, x_tol: 1e-12 },
+        );
+        let total = self.delay(&solution, 0.0);
+        if !total.is_finite() {
+            return Err(CoreError::NoConvergence { solver: "network-exchange", iterations: 50_000 });
+        }
+        let traffic = self.traffic(&solution);
+        Ok(ExchangePlan {
+            loads: Allocation::new(solution),
+            traffic,
+            channel_delay: 1.0 / (self.channel_capacity - traffic),
+            total_delay: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{Optim, SingleClassScheme};
+
+    fn unbalanced() -> (Cluster, Vec<f64>) {
+        // Fast computer starved, slow computer swamped.
+        let cluster = Cluster::new(vec![4.0, 2.0, 1.0]).unwrap();
+        let arrivals = vec![0.5, 0.5, 0.9];
+        (cluster, arrivals)
+    }
+
+    #[test]
+    fn free_channel_recovers_optim() {
+        let (cluster, arrivals) = unbalanced();
+        let phi: f64 = arrivals.iter().sum();
+        let sys = NetworkedSystem::new(cluster.clone(), arrivals, 1e9).unwrap();
+        let plan = sys.optimize().unwrap();
+        let optim = Optim.allocate(&cluster, phi).unwrap();
+        for i in 0..3 {
+            assert!(
+                (plan.loads.loads()[i] - optim.loads()[i]).abs() < 1e-3,
+                "free channel: {:?} vs OPTIM {:?}",
+                plan.loads.loads(),
+                optim.loads()
+            );
+        }
+    }
+
+    #[test]
+    fn scarce_channel_reduces_traffic() {
+        let (cluster, arrivals) = unbalanced();
+        let rich = NetworkedSystem::new(cluster.clone(), arrivals.clone(), 100.0)
+            .unwrap()
+            .optimize()
+            .unwrap();
+        let poor = NetworkedSystem::new(cluster, arrivals, rich.traffic * 1.2)
+            .unwrap()
+            .optimize()
+            .unwrap();
+        assert!(
+            poor.traffic < rich.traffic,
+            "scarce channel should migrate less: {} vs {}",
+            poor.traffic,
+            rich.traffic
+        );
+        assert!(poor.total_delay >= rich.total_delay - 1e-9);
+    }
+
+    #[test]
+    fn plan_is_feasible_and_beats_no_exchange() {
+        let (cluster, arrivals) = unbalanced();
+        let phi: f64 = arrivals.iter().sum();
+        let sys = NetworkedSystem::new(cluster.clone(), arrivals.clone(), 5.0).unwrap();
+        let plan = sys.optimize().unwrap();
+        plan.loads.verify(&cluster, phi, 1e-6).unwrap();
+        let no_exchange = sys.delay(&arrivals, 0.0);
+        assert!(
+            plan.total_delay <= no_exchange + 1e-9,
+            "plan {} vs no exchange {no_exchange}",
+            plan.total_delay
+        );
+        assert!(plan.traffic < 5.0);
+        assert!(plan.channel_delay > 0.0);
+    }
+
+    #[test]
+    fn balanced_arrivals_need_no_exchange() {
+        // Arrivals already at the OPTIM point: traffic ~ 0.
+        let cluster = Cluster::new(vec![4.0, 1.0]).unwrap();
+        let optim = Optim.allocate(&cluster, 2.0).unwrap();
+        let sys = NetworkedSystem::new(cluster, optim.loads().to_vec(), 1.0).unwrap();
+        let plan = sys.optimize().unwrap();
+        assert!(plan.traffic < 1e-3, "traffic {}", plan.traffic);
+    }
+
+    #[test]
+    fn validation() {
+        let cluster = Cluster::new(vec![1.0, 1.0]).unwrap();
+        assert!(NetworkedSystem::new(cluster.clone(), vec![0.5], 1.0).is_err());
+        assert!(NetworkedSystem::new(cluster.clone(), vec![-0.1, 0.5], 1.0).is_err());
+        assert!(NetworkedSystem::new(cluster.clone(), vec![0.5, 0.5], 0.0).is_err());
+        assert!(NetworkedSystem::new(cluster.clone(), vec![1.5, 0.6], 1.0).is_err()); // overload
+        // Zero arrivals are fine.
+        let sys = NetworkedSystem::new(cluster, vec![0.0, 0.0], 1.0).unwrap();
+        let plan = sys.optimize().unwrap();
+        assert_eq!(plan.loads.loads(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn traffic_definition() {
+        let (cluster, arrivals) = unbalanced();
+        let sys = NetworkedSystem::new(cluster, arrivals, 10.0).unwrap();
+        // Moving 0.3 from computer 2 to computer 0: traffic = 0.3.
+        let tau = sys.traffic(&[0.8, 0.5, 0.6]);
+        assert!((tau - 0.3).abs() < 1e-12);
+        // No movement: zero traffic.
+        assert_eq!(sys.traffic(&[0.5, 0.5, 0.9]), 0.0);
+    }
+}

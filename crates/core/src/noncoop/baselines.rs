@@ -1,0 +1,235 @@
+//! The multi-user comparison schemes of §4.4: PS, GOS, IOS.
+
+use crate::error::CoreError;
+use crate::noncoop::system::{StrategyProfile, UserSystem};
+use crate::schemes::{Optim, SingleClassScheme, Wardrop};
+
+/// A static multi-user scheme: produces a full strategy profile for the
+/// system.
+pub trait MultiUserScheme {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the profile.
+    ///
+    /// # Errors
+    /// Scheme-specific; all reject infeasible systems.
+    fn profile(&self, system: &UserSystem) -> Result<StrategyProfile, CoreError>;
+}
+
+/// PS — every user splits its jobs in proportion to the processing rates
+/// (\[24\]). Fairness index is identically 1 (all users see the same
+/// times), but the overall response time suffers because slow computers
+/// stay proportionally loaded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProportionalScheme;
+
+impl MultiUserScheme for ProportionalScheme {
+    fn name(&self) -> &'static str {
+        "PS"
+    }
+
+    fn profile(&self, system: &UserSystem) -> Result<StrategyProfile, CoreError> {
+        Ok(StrategyProfile::proportional(system))
+    }
+}
+
+/// GOS — the global optimal scheme of Kim & Kameda \[71\]: minimizes the
+/// *overall* expected response time with no regard for per-user fairness.
+///
+/// Since all jobs are statistically identical, the overall optimum pins
+/// down only the aggregate computer loads (the single-class OPTIM
+/// solution); any split of those loads among users is overall-optimal.
+/// \[71\]'s algorithm returns one particular split; we materialize the
+/// optimum with a deterministic greedy fill — users in index order claim
+/// capacity on the fastest computers first — which reproduces the paper's
+/// qualitative finding (Figure 4.5): GOS achieves the best overall time
+/// while spreading wildly unequal times across users.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalOptimalScheme;
+
+impl MultiUserScheme for GlobalOptimalScheme {
+    fn name(&self) -> &'static str {
+        "GOS"
+    }
+
+    fn profile(&self, system: &UserSystem) -> Result<StrategyProfile, CoreError> {
+        let phi = system.total_arrival_rate();
+        let loads = Optim.allocate(system.cluster(), phi)?;
+        greedy_fill(system, loads.loads())
+    }
+}
+
+/// IOS — the individual optimal scheme of Kameda et al. \[67\]: the Wardrop
+/// equilibrium in which each of infinitely many jobs optimizes for
+/// itself. All jobs (hence all users) see the same expected response
+/// time, so the scheme is perfectly fair but not overall-optimal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndividualOptimalScheme {
+    /// Level-solver tolerance (see [`Wardrop`]).
+    pub tolerance: f64,
+}
+
+impl IndividualOptimalScheme {
+    /// IOS with the default tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { tolerance: 1e-10 }
+    }
+}
+
+impl Default for IndividualOptimalScheme {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiUserScheme for IndividualOptimalScheme {
+    fn name(&self) -> &'static str {
+        "IOS"
+    }
+
+    fn profile(&self, system: &UserSystem) -> Result<StrategyProfile, CoreError> {
+        let phi = system.total_arrival_rate();
+        let loads = Wardrop::with_tolerance(self.tolerance).allocate(system.cluster(), phi)?;
+        // Every user routes with the same computer distribution λ_i/Φ, so
+        // every user's expected time equals the system's.
+        let row: Vec<f64> = loads.loads().iter().map(|&l| l / phi).collect();
+        Ok(StrategyProfile::from_rows(vec![row; system.m()]))
+    }
+}
+
+/// Splits target aggregate loads among users by a greedy fill: users in
+/// index order, computers fastest-first.
+fn greedy_fill(system: &UserSystem, target_loads: &[f64]) -> Result<StrategyProfile, CoreError> {
+    let order = system.cluster().order_by_rate_desc();
+    let mut remaining: Vec<f64> = target_loads.to_vec();
+    let mut rows = Vec::with_capacity(system.m());
+    for (j, &phi_j) in system.user_rates().iter().enumerate() {
+        let mut row = vec![0.0; system.n()];
+        let mut need = phi_j;
+        for &i in &order {
+            if need <= 0.0 {
+                break;
+            }
+            let take = remaining[i].min(need);
+            if take > 0.0 {
+                row[i] = take / phi_j;
+                remaining[i] -= take;
+                need -= take;
+            }
+        }
+        if need > 1e-9 * phi_j {
+            return Err(CoreError::BadInput(format!(
+                "greedy fill could not place user {j}'s demand (residual {need})"
+            )));
+        }
+        // Absorb rounding drift into the largest entry so Σ row = 1.
+        let total: f64 = row.iter().sum();
+        if let Some(max) = row
+            .iter_mut()
+            .max_by(|a, b| a.partial_cmp(b).expect("fractions are finite"))
+        {
+            *max += 1.0 - total;
+        }
+        rows.push(row);
+    }
+    Ok(StrategyProfile::from_rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::jain_index;
+    use crate::model::Cluster;
+    use crate::noncoop::nash::{solve, NashInit, NashOptions};
+
+    fn sys() -> UserSystem {
+        let cluster =
+            Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(0.6);
+        let shares = [0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04];
+        UserSystem::with_shares(cluster, phi, &shares).unwrap()
+    }
+
+    #[test]
+    fn ps_and_ios_are_perfectly_fair() {
+        let s = sys();
+        for scheme in [&ProportionalScheme as &dyn MultiUserScheme, &IndividualOptimalScheme::new()]
+        {
+            let p = scheme.profile(&s).unwrap();
+            p.verify(&s, 1e-7).unwrap();
+            assert!(
+                (p.fairness_index(&s) - 1.0).abs() < 1e-9,
+                "{} fairness {}",
+                scheme.name(),
+                p.fairness_index(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn gos_minimizes_overall_time() {
+        let s = sys();
+        let gos = GlobalOptimalScheme.profile(&s).unwrap();
+        gos.verify(&s, 1e-7).unwrap();
+        let t_gos = gos.overall_response_time(&s);
+        for scheme in [
+            &ProportionalScheme as &dyn MultiUserScheme,
+            &IndividualOptimalScheme::new(),
+        ] {
+            let t = scheme.profile(&s).unwrap().overall_response_time(&s);
+            assert!(t_gos <= t + 1e-9, "GOS {t_gos} vs {} {t}", scheme.name());
+        }
+        let nash = solve(&s, &NashInit::Proportional, &NashOptions::default()).unwrap();
+        assert!(t_gos <= nash.profile.overall_response_time(&s) + 1e-9);
+    }
+
+    #[test]
+    fn gos_is_unfair_across_users() {
+        // Figure 4.5's message: large differences in users' times.
+        let s = sys();
+        let p = GlobalOptimalScheme.profile(&s).unwrap();
+        let times = p.user_times(&s);
+        let fairness = jain_index(&times);
+        assert!(fairness < 0.999, "GOS should not be perfectly fair: {fairness}");
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > 1.5 * min, "user times {times:?}");
+    }
+
+    #[test]
+    fn gos_aggregate_matches_single_class_optim() {
+        use crate::schemes::{Optim, SingleClassScheme};
+        let s = sys();
+        let p = GlobalOptimalScheme.profile(&s).unwrap();
+        let agg = p.computer_loads(&s);
+        let phi = s.total_arrival_rate();
+        let optim = Optim.allocate(s.cluster(), phi).unwrap();
+        for (i, (&a, &o)) in agg.iter().zip(optim.loads()).enumerate() {
+            assert!((a - o).abs() < 1e-6 * phi, "computer {i}");
+        }
+    }
+
+    #[test]
+    fn nash_sits_between_gos_and_ps() {
+        // Figure 4.4's ordering at medium load:
+        // GOS <= NASH <= IOS/PS overall.
+        let s = sys();
+        let t_gos = GlobalOptimalScheme.profile(&s).unwrap().overall_response_time(&s);
+        let t_ps = ProportionalScheme.profile(&s).unwrap().overall_response_time(&s);
+        let nash = solve(&s, &NashInit::Proportional, &NashOptions::default()).unwrap();
+        let t_nash = nash.profile.overall_response_time(&s);
+        assert!(t_gos <= t_nash + 1e-9 && t_nash <= t_ps + 1e-9, "{t_gos} {t_nash} {t_ps}");
+    }
+
+    #[test]
+    fn greedy_fill_conserves_everything() {
+        let s = sys();
+        let p = GlobalOptimalScheme.profile(&s).unwrap();
+        for j in 0..s.m() {
+            let total: f64 = p.row(j).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "row {j} sums to {total}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Theorem 4.1: user `j`'s closed-form best reply.
+//!
+//! Fixing everyone else's strategies, computer `i` offers user `j` the
+//! *available* processing rate `μ̂_ij = μ_i − Σ_{k≠j} s_ki φ_k`. User `j`
+//! then faces exactly the single-user overall-optimal problem on rates
+//! `μ̂`, whose solution is the square-root rule with the drop-slowest loop
+//! (the `BEST-REPLY` algorithm of §4.2):
+//!
+//! ```text
+//! s_ij φ_j = μ̂_ij − t √μ̂_ij,   t = (Σ_act μ̂ − φ_j) / Σ_act √μ̂
+//! ```
+
+use crate::error::CoreError;
+use crate::noncoop::system::{StrategyProfile, UserSystem};
+
+/// Available processing rates seen by user `j` under `profile`:
+/// `μ̂_ij = μ_i − Σ_{k≠j} s_ki φ_k`. Tiny negative values caused by
+/// floating-point drift are clamped to zero.
+#[must_use]
+pub fn available_rates(system: &UserSystem, profile: &StrategyProfile, j: usize) -> Vec<f64> {
+    let mut avail = system.cluster().rates().to_vec();
+    for k in 0..system.m() {
+        if k == j {
+            continue;
+        }
+        let phi_k = system.user_rates()[k];
+        for (a, &s) in avail.iter_mut().zip(profile.row(k)) {
+            *a -= s * phi_k;
+        }
+    }
+    for a in &mut avail {
+        if *a < 0.0 {
+            *a = 0.0;
+        }
+    }
+    avail
+}
+
+/// The `BEST-REPLY` algorithm: optimal fractions for a user with arrival
+/// rate `phi_j` facing available rates `avail`. Returns the strategy row
+/// `s_j` (fractions summing to 1).
+///
+/// # Errors
+/// [`CoreError::Overloaded`] when `φ_j ≥ Σ μ̂` (the rest of the system
+/// leaves no room), [`CoreError::BadInput`] on nonpositive `φ_j`.
+pub fn best_reply(avail: &[f64], phi_j: f64) -> Result<Vec<f64>, CoreError> {
+    if !(phi_j.is_finite() && phi_j > 0.0) {
+        return Err(CoreError::BadInput(format!("user arrival rate must be positive, got {phi_j}")));
+    }
+    let capacity: f64 = avail.iter().sum();
+    if phi_j >= capacity {
+        return Err(CoreError::Overloaded { arrival_rate: phi_j, capacity });
+    }
+    let n = avail.len();
+    // Sort usable computers by decreasing available rate.
+    let mut order: Vec<usize> = (0..n).filter(|&i| avail[i] > 0.0).collect();
+    order.sort_by(|&a, &b| avail[b].partial_cmp(&avail[a]).expect("rates are finite"));
+
+    let mut sum_mu: f64 = order.iter().map(|&i| avail[i]).sum();
+    let mut sum_sqrt: f64 = order.iter().map(|&i| avail[i].sqrt()).sum();
+    let mut k = order.len();
+    let mut t = (sum_mu - phi_j) / sum_sqrt;
+    while k > 1 && t >= avail[order[k - 1]].sqrt() {
+        k -= 1;
+        sum_mu -= avail[order[k]];
+        sum_sqrt -= avail[order[k]].sqrt();
+        t = (sum_mu - phi_j) / sum_sqrt;
+    }
+    let mut row = vec![0.0; n];
+    for &i in order.iter().take(k) {
+        let load = avail[i] - t * avail[i].sqrt();
+        row[i] = gtlb_numerics::snap_nonnegative(load, 1e-12) / phi_j;
+    }
+    Ok(row)
+}
+
+/// Best reply of user `j` inside a profile (convenience wrapper).
+///
+/// # Errors
+/// As [`best_reply`].
+pub fn best_reply_in_profile(
+    system: &UserSystem,
+    profile: &StrategyProfile,
+    j: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let avail = available_rates(system, profile, j);
+    best_reply(&avail, system.user_rates()[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cluster;
+
+    #[test]
+    fn single_user_reduces_to_optim() {
+        use crate::schemes::{Optim, SingleClassScheme};
+        let mu = vec![9.0, 4.0, 1.0];
+        let phi = 8.0;
+        let row = best_reply(&mu, phi).unwrap();
+        let cluster = Cluster::new(mu.clone()).unwrap();
+        let optim = Optim.allocate(&cluster, phi).unwrap();
+        for i in 0..3 {
+            assert!(
+                (row[i] * phi - optim.loads()[i]).abs() < 1e-9,
+                "row {row:?} vs optim {:?}",
+                optim.loads()
+            );
+        }
+        let total: f64 = row.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reply_is_actually_optimal_no_profitable_deviation() {
+        // Compare the closed-form reply's response time against a grid of
+        // feasible alternatives.
+        let sys = UserSystem::new(
+            Cluster::new(vec![4.0, 2.0]).unwrap(),
+            vec![1.0, 1.5],
+        )
+        .unwrap();
+        let mut profile = StrategyProfile::proportional(&sys);
+        let reply = best_reply_in_profile(&sys, &profile, 0).unwrap();
+        profile.set_row(0, reply);
+        let best = profile.user_response_time(&sys, 0);
+        for step in 0..=100 {
+            let s1 = f64::from(step) / 100.0;
+            let mut alt = profile.clone();
+            alt.set_row(0, vec![s1, 1.0 - s1]);
+            if alt.verify(&sys, 1e-9).is_ok() {
+                let d = alt.user_response_time(&sys, 0);
+                assert!(best <= d + 1e-9, "deviation s1={s1} beats the reply: {d} < {best}");
+            }
+        }
+    }
+
+    #[test]
+    fn skips_saturated_computers() {
+        // Computer 1 fully consumed by the other user.
+        let avail = vec![0.0, 2.0];
+        let row = best_reply(&avail, 1.0).unwrap();
+        assert_eq!(row[0], 0.0);
+        assert!((row[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_infeasible_demand() {
+        assert!(matches!(
+            best_reply(&[1.0, 1.0], 2.5),
+            Err(CoreError::Overloaded { .. })
+        ));
+        assert!(best_reply(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn available_rates_subtract_other_users_only() {
+        let sys = UserSystem::new(Cluster::new(vec![4.0, 2.0]).unwrap(), vec![1.0, 2.0]).unwrap();
+        let p = StrategyProfile::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        // For user 0: subtract user 1's load (0.5·2, 0.5·2) = (1, 1).
+        let a0 = available_rates(&sys, &p, 0);
+        assert!((a0[0] - 3.0).abs() < 1e-12);
+        assert!((a0[1] - 1.0).abs() < 1e-12);
+        // For user 1: subtract user 0's load (1·1, 0).
+        let a1 = available_rates(&sys, &p, 1);
+        assert!((a1[0] - 3.0).abs() < 1e-12);
+        assert!((a1[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dissertation_example_5_1_structure() {
+        // Example 5.1 (Ch. 4): three computers, one user; the slowest is
+        // dropped and the two fast ones share the load. Encoded with
+        // clean numbers: μ̂ = (9, 4, 0.04), φ = 8: with all three,
+        // t = (13.04-8)/(3+2+0.2) = 0.969 < √0.04 = 0.2? No — 0.969 ≥ 0.2
+        // so the slowest is dropped; then t = (13-8)/5 = 1 -> loads (6,2,0).
+        let row = best_reply(&[9.0, 4.0, 0.04], 8.0).unwrap();
+        assert!((row[0] * 8.0 - 6.0).abs() < 1e-9);
+        assert!((row[1] * 8.0 - 2.0).abs() < 1e-9);
+        assert_eq!(row[2], 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! The noncooperative load-balancing game among users (Chapter 4).
+//!
+//! `m` selfish users share the `n`-computer cluster. User `j` generates
+//! jobs at rate `φ_j` and picks a strategy `s_j = (s_j1 … s_jn)` — the
+//! fractions of its jobs sent to each computer — to minimize the expected
+//! response time of *its own* jobs, given everyone else's strategies. The
+//! solution concept is the Nash equilibrium: a profile from which no user
+//! can improve by deviating unilaterally.
+//!
+//! * [`system::UserSystem`] / [`system::StrategyProfile`] — the model;
+//! * [`best_reply`] — Theorem 4.1's closed-form best reply (the
+//!   `BEST-REPLY` algorithm): user `j` solves a single-user OPTIM problem
+//!   over the *available* rates `μ̂_ij = μ_i − Σ_{k≠j} s_ki φ_k`;
+//! * [`nash`] — the distributed round-robin best-reply iteration
+//!   (`NASH_0` / `NASH_P` initializations, Figure 4.2/4.3);
+//! * [`baselines`] — the comparison schemes GOS, IOS, PS of §4.4.
+
+pub mod baselines;
+pub mod best_reply;
+pub mod nash;
+pub mod system;
+
+pub use baselines::{GlobalOptimalScheme, IndividualOptimalScheme, MultiUserScheme, ProportionalScheme};
+pub use nash::{NashInit, NashOptions, NashOutcome, NashScheme};
+pub use system::{StrategyProfile, UserSystem};

@@ -1,0 +1,265 @@
+//! The distributed NASH algorithm (§4.3): round-robin greedy best replies.
+//!
+//! Each user, in turn, replaces its strategy with the best reply against
+//! the current strategies of everyone else; the iteration stops when the
+//! norm — the `L1` change of the strategy profile over one full round —
+//! drops below the tolerance. The paper studies two initializations:
+//!
+//! * `NASH_0`: start from the all-zero profile ("an obvious choice but it
+//!   may not lead to a fast convergence");
+//! * `NASH_P`: start from the proportional allocation, which "is close to
+//!   the equilibrium point", cutting the iteration count by more than
+//!   half (Figures 4.2, 4.3).
+//!
+//! Convergence of best-reply dynamics for more than two users with M/M/1
+//! costs is an open problem in the paper; as there, it "converges in all
+//! experiments", and [`verify_equilibrium`] certifies each returned
+//! profile a-posteriori.
+
+use gtlb_numerics::sum::l1_distance;
+
+use crate::error::CoreError;
+use crate::noncoop::baselines::MultiUserScheme;
+use crate::noncoop::best_reply::best_reply_in_profile;
+use crate::noncoop::system::{StrategyProfile, UserSystem};
+
+/// Initialization of the best-reply iteration.
+#[derive(Debug, Clone, Default)]
+pub enum NashInit {
+    /// `NASH_0`: the all-zero profile.
+    Zero,
+    /// `NASH_P`: the proportional profile (default; converges ~2× faster).
+    #[default]
+    Proportional,
+    /// Warm start from an arbitrary profile (used by the sweep ablation:
+    /// re-solve at utilization `ρ + Δ` starting from the equilibrium at
+    /// `ρ`).
+    Warm(StrategyProfile),
+}
+
+impl NashInit {
+    fn profile(&self, system: &UserSystem) -> StrategyProfile {
+        match self {
+            NashInit::Zero => StrategyProfile::zeros(system.m(), system.n()),
+            NashInit::Proportional => StrategyProfile::proportional(system),
+            NashInit::Warm(p) => p.clone(),
+        }
+    }
+
+    /// Display label ("NASH_0" / "NASH_P" / "NASH_W").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            NashInit::Zero => "NASH_0",
+            NashInit::Proportional => "NASH_P",
+            NashInit::Warm(_) => "NASH_W",
+        }
+    }
+}
+
+/// Stopping parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NashOptions {
+    /// Stop when the per-round profile norm falls below this (the paper's
+    /// acceptance tolerance ε; Figure 4.3 uses `1e-4`).
+    pub tolerance: f64,
+    /// Round budget.
+    pub max_rounds: u32,
+}
+
+impl Default for NashOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-9, max_rounds: 10_000 }
+    }
+}
+
+/// Converged outcome with convergence diagnostics.
+#[derive(Debug, Clone)]
+pub struct NashOutcome {
+    /// The (approximate) Nash-equilibrium strategy profile.
+    pub profile: StrategyProfile,
+    /// Full rounds of best replies executed.
+    pub rounds: u32,
+    /// Per-user best-reply computations executed (`rounds × m`) — the
+    /// "number of iterations" axis of Figures 4.2/4.3.
+    pub user_updates: u32,
+    /// Profile norm after each round (the y-axis of Figure 4.2).
+    pub norm_trace: Vec<f64>,
+}
+
+/// Runs the round-robin best-reply iteration.
+///
+/// # Errors
+/// [`CoreError::NoConvergence`] when the round budget is exhausted;
+/// propagates best-reply errors (which cannot occur from a feasible
+/// system).
+pub fn solve(
+    system: &UserSystem,
+    init: &NashInit,
+    opts: &NashOptions,
+) -> Result<NashOutcome, CoreError> {
+    let m = system.m();
+    let mut profile = init.profile(system);
+    let mut norm_trace = Vec::new();
+    let mut prev_flat = flatten(&profile);
+    for round in 1..=opts.max_rounds {
+        for j in 0..m {
+            let reply = best_reply_in_profile(system, &profile, j)?;
+            profile.set_row(j, reply);
+        }
+        let flat = flatten(&profile);
+        let norm = l1_distance(&flat, &prev_flat);
+        norm_trace.push(norm);
+        prev_flat = flat;
+        if norm <= opts.tolerance {
+            return Ok(NashOutcome {
+                profile,
+                rounds: round,
+                user_updates: round * m as u32,
+                norm_trace,
+            });
+        }
+    }
+    Err(CoreError::NoConvergence { solver: "nash-best-reply", iterations: opts.max_rounds })
+}
+
+fn flatten(p: &StrategyProfile) -> Vec<f64> {
+    p.rows().iter().flatten().copied().collect()
+}
+
+/// Certifies that `profile` is an ε-Nash equilibrium: for every user, the
+/// closed-form best reply improves that user's expected response time by
+/// at most `tol` (relative).
+///
+/// # Errors
+/// [`CoreError::BadInput`] naming the user with a profitable deviation.
+pub fn verify_equilibrium(
+    system: &UserSystem,
+    profile: &StrategyProfile,
+    tol: f64,
+) -> Result<(), CoreError> {
+    for j in 0..system.m() {
+        let current = profile.user_response_time(system, j);
+        let mut improved = profile.clone();
+        improved.set_row(j, best_reply_in_profile(system, profile, j)?);
+        let best = improved.user_response_time(system, j);
+        if current > best * (1.0 + tol) + tol {
+            return Err(CoreError::BadInput(format!(
+                "user {j} can deviate profitably: {current} -> {best}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The NASH scheme packaged as a [`MultiUserScheme`] for the experiment
+/// harness.
+#[derive(Debug, Clone, Default)]
+pub struct NashScheme {
+    /// Initialization variant.
+    pub init: NashInit,
+    /// Stopping parameters.
+    pub opts: NashOptions,
+}
+
+impl MultiUserScheme for NashScheme {
+    fn name(&self) -> &'static str {
+        "NASH"
+    }
+
+    fn profile(&self, system: &UserSystem) -> Result<StrategyProfile, CoreError> {
+        Ok(solve(system, &self.init, &self.opts)?.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cluster;
+
+    fn paper_system(m: usize) -> UserSystem {
+        // Table 4.1's cluster at 60% utilization, m equal users.
+        let cluster =
+            Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(0.6);
+        let rates = vec![phi / m as f64; m];
+        UserSystem::new(cluster, rates).unwrap()
+    }
+
+    #[test]
+    fn converges_and_certifies_ten_users() {
+        let sys = paper_system(10);
+        let out = solve(&sys, &NashInit::Proportional, &NashOptions::default()).unwrap();
+        out.profile.verify(&sys, 1e-6).unwrap();
+        verify_equilibrium(&sys, &out.profile, 1e-6).unwrap();
+        assert!(out.rounds > 1);
+        // Norm trace decreases overall.
+        let first = out.norm_trace[0];
+        let last = *out.norm_trace.last().unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn nash_p_converges_faster_than_nash_0() {
+        // The headline of Figure 4.2/4.3.
+        let sys = paper_system(10);
+        let opts = NashOptions { tolerance: 1e-6, max_rounds: 10_000 };
+        let z = solve(&sys, &NashInit::Zero, &opts).unwrap();
+        let p = solve(&sys, &NashInit::Proportional, &opts).unwrap();
+        assert!(
+            p.user_updates < z.user_updates,
+            "NASH_P {} should beat NASH_0 {}",
+            p.user_updates,
+            z.user_updates
+        );
+    }
+
+    #[test]
+    fn both_inits_reach_the_same_equilibrium() {
+        let sys = paper_system(4);
+        let opts = NashOptions { tolerance: 1e-12, max_rounds: 20_000 };
+        let z = solve(&sys, &NashInit::Zero, &opts).unwrap();
+        let p = solve(&sys, &NashInit::Proportional, &opts).unwrap();
+        for j in 0..sys.m() {
+            for i in 0..sys.n() {
+                assert!(
+                    (z.profile.row(j)[i] - p.profile.row(j)[i]).abs() < 1e-6,
+                    "profiles diverge at [{j}][{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_user_equilibrium_is_overall_optimum() {
+        // Remark in §2.2.1: with one class, the Nash equilibrium reduces
+        // to the overall optimum.
+        use crate::schemes::{Optim, SingleClassScheme};
+        let cluster = Cluster::new(vec![9.0, 4.0]).unwrap();
+        let sys = UserSystem::new(cluster.clone(), vec![8.0]).unwrap();
+        let out = solve(&sys, &NashInit::Proportional, &NashOptions::default()).unwrap();
+        let loads = out.profile.computer_loads(&sys);
+        let optim = Optim.allocate(&cluster, 8.0).unwrap();
+        for (&l, &o) in loads.iter().zip(optim.loads()) {
+            assert!((l - o).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_immediately_at_equilibrium() {
+        let sys = paper_system(5);
+        let opts = NashOptions { tolerance: 1e-8, max_rounds: 10_000 };
+        let cold = solve(&sys, &NashInit::Proportional, &opts).unwrap();
+        let warm = solve(&sys, &NashInit::Warm(cold.profile.clone()), &opts).unwrap();
+        assert_eq!(warm.rounds, 1);
+    }
+
+    #[test]
+    fn equilibrium_verifier_rejects_non_equilibria() {
+        let sys = paper_system(3);
+        let p = StrategyProfile::proportional(&sys);
+        // The proportional profile is not an equilibrium on a
+        // heterogeneous cluster.
+        assert!(verify_equilibrium(&sys, &p, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! The multi-user system model and strategy profiles.
+
+use gtlb_numerics::sum::neumaier_sum;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::{jain_index, Allocation};
+use crate::error::CoreError;
+use crate::model::Cluster;
+
+/// A cluster shared by `m` users, user `j` generating jobs at average
+/// rate `φ_j` (Figure 4.1's model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSystem {
+    cluster: Cluster,
+    user_rates: Vec<f64>,
+}
+
+impl UserSystem {
+    /// Builds the system, checking `Φ = Σφ_j < Σμ_i`.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] for empty/negative user rates,
+    /// [`CoreError::Overloaded`] when the aggregate demand meets capacity.
+    pub fn new(cluster: Cluster, user_rates: Vec<f64>) -> Result<Self, CoreError> {
+        if user_rates.is_empty() {
+            return Err(CoreError::BadInput("need at least one user".into()));
+        }
+        if let Some((j, &r)) =
+            user_rates.iter().enumerate().find(|&(_, &r)| !(r.is_finite() && r > 0.0))
+        {
+            return Err(CoreError::BadInput(format!(
+                "user {j} arrival rate must be positive and finite, got {r}"
+            )));
+        }
+        let phi = neumaier_sum(user_rates.iter().copied());
+        cluster.check_arrival_rate(phi)?;
+        Ok(Self { cluster, user_rates })
+    }
+
+    /// Splits a total arrival rate `phi` across users according to the
+    /// fractional shares `q` (which must sum to 1).
+    ///
+    /// # Errors
+    /// As [`UserSystem::new`]; also rejects share vectors not summing to 1.
+    pub fn with_shares(cluster: Cluster, phi: f64, q: &[f64]) -> Result<Self, CoreError> {
+        let total: f64 = q.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(CoreError::BadInput(format!("user shares sum to {total}, expected 1")));
+        }
+        Self::new(cluster, q.iter().map(|&s| s * phi).collect())
+    }
+
+    /// Number of users `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.user_rates.len()
+    }
+
+    /// Number of computers `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cluster.n()
+    }
+
+    /// The shared cluster.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Per-user arrival rates `φ_j`.
+    #[must_use]
+    pub fn user_rates(&self) -> &[f64] {
+        &self.user_rates
+    }
+
+    /// Aggregate arrival rate `Φ`.
+    #[must_use]
+    pub fn total_arrival_rate(&self) -> f64 {
+        neumaier_sum(self.user_rates.iter().copied())
+    }
+}
+
+/// A strategy profile: row `j` holds user `j`'s fractions `s_ji` over the
+/// computers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyProfile {
+    fractions: Vec<Vec<f64>>,
+}
+
+impl StrategyProfile {
+    /// All-zero profile (`NASH_0`'s starting point — not itself feasible
+    /// as a final answer since rows must sum to 1).
+    #[must_use]
+    pub fn zeros(m: usize, n: usize) -> Self {
+        Self { fractions: vec![vec![0.0; n]; m] }
+    }
+
+    /// Proportional profile: every user splits in proportion to the
+    /// processing rates (`NASH_P`'s starting point, and the PS scheme).
+    #[must_use]
+    pub fn proportional(system: &UserSystem) -> Self {
+        let total = system.cluster().total_rate();
+        let row: Vec<f64> = system.cluster().rates().iter().map(|&mu| mu / total).collect();
+        Self { fractions: vec![row; system.m()] }
+    }
+
+    /// Wraps explicit rows.
+    ///
+    /// # Panics
+    /// If the rows are ragged.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = rows.first() {
+            let n = first.len();
+            assert!(rows.iter().all(|r| r.len() == n), "StrategyProfile: ragged rows");
+        }
+        Self { fractions: rows }
+    }
+
+    /// User `j`'s strategy row.
+    #[must_use]
+    pub fn row(&self, j: usize) -> &[f64] {
+        &self.fractions[j]
+    }
+
+    /// All strategy rows (user-major).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.fractions
+    }
+
+    /// Replaces user `j`'s strategy row.
+    ///
+    /// # Panics
+    /// If the row length differs from the profile width.
+    pub fn set_row(&mut self, j: usize, row: Vec<f64>) {
+        assert_eq!(row.len(), self.fractions[j].len(), "set_row: width mismatch");
+        self.fractions[j] = row;
+    }
+
+    /// Aggregate load at each computer, `λ_i = Σ_j s_ji φ_j`.
+    #[must_use]
+    pub fn computer_loads(&self, system: &UserSystem) -> Vec<f64> {
+        let n = system.n();
+        let mut loads = vec![0.0; n];
+        for (row, &phi_j) in self.fractions.iter().zip(system.user_rates()) {
+            for (l, &s) in loads.iter_mut().zip(row) {
+                *l += s * phi_j;
+            }
+        }
+        loads
+    }
+
+    /// The aggregate loads as a single-class [`Allocation`].
+    #[must_use]
+    pub fn to_allocation(&self, system: &UserSystem) -> Allocation {
+        Allocation::new(self.computer_loads(system))
+    }
+
+    /// User `j`'s expected response time (eq. 4.2):
+    /// `D_j = Σ_i s_ji / (μ_i − λ_i)` where `λ_i` is the aggregate load.
+    /// `+∞` if the user routes to an overloaded computer.
+    #[must_use]
+    pub fn user_response_time(&self, system: &UserSystem, j: usize) -> f64 {
+        let loads = self.computer_loads(system);
+        self.user_response_time_with_loads(system, j, &loads)
+    }
+
+    /// As [`Self::user_response_time`] but with the aggregate loads
+    /// precomputed (avoids the `O(mn)` recomputation in hot loops).
+    #[must_use]
+    pub fn user_response_time_with_loads(
+        &self,
+        system: &UserSystem,
+        j: usize,
+        loads: &[f64],
+    ) -> f64 {
+        let mut acc = 0.0;
+        for ((&s, &mu), &l) in self.fractions[j].iter().zip(system.cluster().rates()).zip(loads) {
+            if s <= 0.0 {
+                continue;
+            }
+            if l >= mu {
+                return f64::INFINITY;
+            }
+            acc += s / (mu - l);
+        }
+        acc
+    }
+
+    /// All users' expected response times.
+    #[must_use]
+    pub fn user_times(&self, system: &UserSystem) -> Vec<f64> {
+        let loads = self.computer_loads(system);
+        (0..system.m())
+            .map(|j| self.user_response_time_with_loads(system, j, &loads))
+            .collect()
+    }
+
+    /// Overall expected response time `T = Σ_j (φ_j/Φ) D_j` — the y-axis
+    /// of Figures 4.4 / 4.6–4.8.
+    #[must_use]
+    pub fn overall_response_time(&self, system: &UserSystem) -> f64 {
+        let phi = system.total_arrival_rate();
+        let times = self.user_times(system);
+        neumaier_sum(
+            times
+                .iter()
+                .zip(system.user_rates())
+                .map(|(&d, &p)| d * p / phi),
+        )
+    }
+
+    /// Jain's fairness index over the users' expected response times
+    /// (eq. 4.10, "defined from the users' perspective").
+    #[must_use]
+    pub fn fairness_index(&self, system: &UserSystem) -> f64 {
+        jain_index(&self.user_times(system))
+    }
+
+    /// Verifies positivity, per-user conservation (`Σ_i s_ji = 1`), and
+    /// aggregate stability (`λ_i < μ_i`).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] naming the first violated condition.
+    pub fn verify(&self, system: &UserSystem, tol: f64) -> Result<(), CoreError> {
+        if self.fractions.len() != system.m() {
+            return Err(CoreError::BadInput(format!(
+                "profile has {} rows for {} users",
+                self.fractions.len(),
+                system.m()
+            )));
+        }
+        for (j, row) in self.fractions.iter().enumerate() {
+            if row.len() != system.n() {
+                return Err(CoreError::BadInput(format!("row {j} has wrong width")));
+            }
+            if let Some((i, &s)) = row.iter().enumerate().find(|&(_, &s)| s < -tol || !s.is_finite())
+            {
+                return Err(CoreError::BadInput(format!(
+                    "positivity violated: s[{j}][{i}] = {s}"
+                )));
+            }
+            let total: f64 = neumaier_sum(row.iter().copied());
+            if (total - 1.0).abs() > tol {
+                return Err(CoreError::BadInput(format!(
+                    "conservation violated for user {j}: Σ s = {total}"
+                )));
+            }
+        }
+        let loads = self.computer_loads(system);
+        for (i, (&l, &mu)) in loads.iter().zip(system.cluster().rates()).enumerate() {
+            if l >= mu {
+                return Err(CoreError::BadInput(format!(
+                    "stability violated at computer {i}: λ = {l} >= μ = {mu}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two() -> UserSystem {
+        UserSystem::new(Cluster::new(vec![4.0, 2.0]).unwrap(), vec![1.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_guards() {
+        let c = Cluster::new(vec![1.0]).unwrap();
+        assert!(UserSystem::new(c.clone(), vec![]).is_err());
+        assert!(UserSystem::new(c.clone(), vec![0.0]).is_err());
+        assert!(UserSystem::new(c.clone(), vec![0.5, 0.6]).is_err()); // overload
+        assert!(UserSystem::new(c, vec![0.9]).is_ok());
+    }
+
+    #[test]
+    fn with_shares_splits_phi() {
+        let c = Cluster::new(vec![10.0]).unwrap();
+        let s = UserSystem::with_shares(c, 5.0, &[0.6, 0.4]).unwrap();
+        assert_eq!(s.user_rates(), &[3.0, 2.0]);
+        assert!((s.total_arrival_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_aggregate_rows() {
+        let sys = two_by_two();
+        let p = StrategyProfile::from_rows(vec![vec![1.0, 0.0], vec![0.25, 0.75]]);
+        let loads = p.computer_loads(&sys);
+        // λ1 = 1·1 + 0.25·2 = 1.5, λ2 = 0 + 0.75·2 = 1.5.
+        assert!((loads[0] - 1.5).abs() < 1e-12);
+        assert!((loads[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_times_and_overall() {
+        let sys = two_by_two();
+        let p = StrategyProfile::from_rows(vec![vec![1.0, 0.0], vec![0.25, 0.75]]);
+        // μ−λ = (2.5, 0.5). D_1 = 1/2.5 = 0.4. D_2 = 0.25/2.5 + 0.75/0.5 = 1.6.
+        let times = p.user_times(&sys);
+        assert!((times[0] - 0.4).abs() < 1e-12);
+        assert!((times[1] - 1.6).abs() < 1e-12);
+        // T = (1/3)·0.4 + (2/3)·1.6 = 1.2.
+        assert!((p.overall_response_time(&sys) - 1.2).abs() < 1e-12);
+        assert!(p.fairness_index(&sys) < 1.0);
+    }
+
+    #[test]
+    fn proportional_profile_is_feasible_and_fair() {
+        let sys = two_by_two();
+        let p = StrategyProfile::proportional(&sys);
+        p.verify(&sys, 1e-9).unwrap();
+        // Same row for every user => identical user times => fairness 1.
+        assert!((p.fairness_index(&sys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_catches_violations() {
+        let sys = two_by_two();
+        // Row does not sum to 1.
+        let p = StrategyProfile::from_rows(vec![vec![0.5, 0.0], vec![0.5, 0.5]]);
+        assert!(p.verify(&sys, 1e-9).is_err());
+        // Negative fraction.
+        let p = StrategyProfile::from_rows(vec![vec![1.5, -0.5], vec![0.5, 0.5]]);
+        assert!(p.verify(&sys, 1e-9).is_err());
+        // Overloads computer 2 (μ=2): both users send everything there.
+        let p = StrategyProfile::from_rows(vec![vec![0.0, 1.0], vec![0.0, 1.0]]);
+        assert!(p.verify(&sys, 1e-9).is_err());
+    }
+
+    #[test]
+    fn overloaded_route_is_infinite() {
+        let sys = two_by_two();
+        let p = StrategyProfile::from_rows(vec![vec![0.0, 1.0], vec![0.0, 1.0]]);
+        assert_eq!(p.user_response_time(&sys, 0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = StrategyProfile::from_rows(vec![vec![1.0], vec![0.5, 0.5]]);
+    }
+}

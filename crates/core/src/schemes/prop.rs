@@ -1,0 +1,89 @@
+//! PROP — the rate-proportional baseline of Chow & Kohler \[24\], §3.4.2.
+//!
+//! `λ_i = Φ · μ_i / Σμ`: every computer runs at the same utilization
+//! `ρ = Φ/Σμ`, which "seems to be a natural choice but may not minimize
+//! the average response time of the system and is unfair" — slow
+//! computers are proportionally loaded yet respond far slower
+//! (`T_i = 1/(μ_i(1 − ρ))`), which is exactly why PROP underperforms in
+//! every figure of the evaluation.
+
+use crate::allocation::Allocation;
+use crate::error::CoreError;
+use crate::model::Cluster;
+use crate::schemes::SingleClassScheme;
+
+/// The PROP algorithm: `O(n)` proportional split.
+///
+/// ```
+/// use gtlb_core::model::Cluster;
+/// use gtlb_core::schemes::{Prop, SingleClassScheme};
+///
+/// let c = Cluster::new(vec![3.0, 1.0]).unwrap();
+/// let a = Prop.allocate(&c, 2.0).unwrap();
+/// assert_eq!(a.loads(), &[1.5, 0.5]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prop;
+
+impl SingleClassScheme for Prop {
+    fn name(&self) -> &'static str {
+        "PROP"
+    }
+
+    fn allocate(&self, cluster: &Cluster, phi: f64) -> Result<Allocation, CoreError> {
+        cluster.check_arrival_rate(phi)?;
+        let total = cluster.total_rate();
+        Ok(Allocation::new(cluster.rates().iter().map(|&mu| phi * mu / total).collect()))
+    }
+}
+
+impl Prop {
+    /// PROP's fairness index is a load-independent constant determined by
+    /// the rate vector alone: with `x_i = 1/(μ_i(1 − ρ))`, the `(1 − ρ)`
+    /// factors cancel in Jain's index, leaving
+    /// `I = (Σ 1/μ)² / (n Σ 1/μ²)`.
+    ///
+    /// The paper states this constant is 0.731 for Table 3.1's cluster.
+    #[must_use]
+    pub fn fairness_constant(cluster: &Cluster) -> f64 {
+        let inv: Vec<f64> = cluster.rates().iter().map(|&m| 1.0 / m).collect();
+        crate::allocation::jain_index(&inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_utilization_everywhere() {
+        let c = Cluster::new(vec![4.0, 2.0, 1.0]).unwrap();
+        let phi = 3.5;
+        let a = Prop.allocate(&c, phi).unwrap();
+        let rho = phi / 7.0;
+        for (&l, &mu) in a.loads().iter().zip(c.rates()) {
+            assert!((l / mu - rho).abs() < 1e-12);
+        }
+        a.verify(&c, phi, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn fairness_constant_is_load_independent() {
+        let c = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
+        let k = Prop::fairness_constant(&c);
+        for rho in [0.1, 0.5, 0.9] {
+            let phi = c.arrival_rate_for_utilization(rho);
+            let a = Prop.allocate(&c, phi).unwrap();
+            assert!((a.fairness_index(&c) - k).abs() < 1e-9, "rho {rho}");
+        }
+        // §3.4.2: "PROP has a fairness index of 0.731" for this cluster.
+        assert!((k - 0.731).abs() < 0.002, "constant {k}");
+    }
+
+    #[test]
+    fn never_drops_a_computer() {
+        let c = Cluster::new(vec![100.0, 0.001]).unwrap();
+        let a = Prop.allocate(&c, 50.0).unwrap();
+        assert!(a.loads().iter().all(|&l| l > 0.0));
+    }
+}

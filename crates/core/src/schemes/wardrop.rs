@@ -1,0 +1,244 @@
+//! WARDROP — the individual-optimum baseline of Kameda et al. \[67\],
+//! §3.4.2.
+//!
+//! Infinitely many jobs each minimize their own response time; at the
+//! Wardrop equilibrium no job can improve by switching computers, so every
+//! *used* computer offers the same response time `t` and every unused
+//! computer would be slower (`1/μ_i ≥ t`). In the parallel-M/M/1 model
+//! this pins the loads to `λ_i = max(0, μ_i − 1/t)` with the level `t`
+//! solving `Σ_i max(0, μ_i − 1/t) = Φ`.
+//!
+//! The paper's point is methodological: WARDROP must be computed by an
+//! iterative procedure (complexity `O(n log n · log(1/ε) )` with large
+//! hidden constants — "70 msec vs 0.1 msec for COOP" on their hardware)
+//! while COOP reaches the *same* allocation in closed form. We therefore
+//! deliberately implement WARDROP as the iterative level search and expose
+//! its iteration count, so the benchmark suite can reproduce the paper's
+//! runtime comparison, and a property test can confirm the equilibrium
+//! coincides with the NBS (the reason Figures 3.1–3.6 show identical COOP
+//! and WARDROP curves).
+
+use gtlb_numerics::roots::expand_bracket;
+use gtlb_numerics::sum::neumaier_sum;
+
+use crate::allocation::Allocation;
+use crate::error::CoreError;
+use crate::model::Cluster;
+use crate::schemes::SingleClassScheme;
+
+/// The WARDROP scheme: iterative bisection on the common response-time
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wardrop {
+    /// Acceptance tolerance `ε` on the conservation residual
+    /// `|Σλ_i(t) − Φ|` (the paper's tolerance parameter; they report
+    /// runtimes for `ε = 10⁻²…10⁻⁴`... smaller `ε` costs more
+    /// iterations).
+    pub tolerance: f64,
+    /// Iteration budget for the bisection.
+    pub max_iterations: u32,
+}
+
+impl Default for Wardrop {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 200 }
+    }
+}
+
+impl Wardrop {
+    /// Wardrop solver with a custom tolerance.
+    #[must_use]
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        Self { tolerance, ..Self::default() }
+    }
+
+    /// Computes the equilibrium and reports solver diagnostics alongside
+    /// the allocation (used by the ablation experiment on the tolerance).
+    ///
+    /// # Errors
+    /// As [`SingleClassScheme::allocate`].
+    pub fn solve(&self, cluster: &Cluster, phi: f64) -> Result<WardropReport, CoreError> {
+        cluster.check_arrival_rate(phi)?;
+        let n = cluster.n();
+        if phi == 0.0 {
+            return Ok(WardropReport {
+                allocation: Allocation::new(vec![0.0; n]),
+                level: f64::INFINITY,
+                iterations: 0,
+            });
+        }
+        let rates = cluster.rates();
+        let excess = |t: f64| -> f64 {
+            neumaier_sum(rates.iter().map(|&mu| (mu - 1.0 / t).max(0.0))) - phi
+        };
+        // Level bracket: at t = 1/μ_max nothing is loaded (excess = −Φ);
+        // expand upward until the level absorbs Φ.
+        let mu_max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = 1.0 / mu_max;
+        let (lo, hi) = expand_bracket(excess, lo, 2.0 * lo, 256)
+            .map_err(|_| CoreError::NoConvergence { solver: "wardrop-bracket", iterations: 256 })?;
+        // Bisect on the residual (stop when |excess| <= ε, like the
+        // paper's iterative procedure), with an x-tolerance backstop.
+        let mut iterations = 0;
+        let mut lo = lo;
+        let mut hi = hi;
+        let level;
+        loop {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                return Err(CoreError::NoConvergence {
+                    solver: "wardrop",
+                    iterations: self.max_iterations,
+                });
+            }
+            let mid = 0.5 * (lo + hi);
+            let e = excess(mid);
+            if e.abs() <= self.tolerance * phi.max(1.0) {
+                level = mid;
+                break;
+            }
+            if e < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) < f64::EPSILON * hi {
+                level = mid;
+                break;
+            }
+        }
+        let mut loads: Vec<f64> =
+            rates.iter().map(|&mu| (mu - 1.0 / level).max(0.0)).collect();
+        // Re-distribute the residual over the used computers so the
+        // conservation law holds exactly (the level search stops at ε).
+        let total = neumaier_sum(loads.iter().copied());
+        let used: Vec<usize> =
+            (0..n).filter(|&i| loads[i] > 0.0).collect();
+        if !used.is_empty() && total > 0.0 {
+            let residual = phi - total;
+            let share = residual / used.len() as f64;
+            for &i in &used {
+                loads[i] = (loads[i] + share).max(0.0);
+            }
+        }
+        Ok(WardropReport { allocation: Allocation::new(loads), level, iterations })
+    }
+}
+
+/// Diagnostics-bearing result of the Wardrop solver.
+#[derive(Debug, Clone)]
+pub struct WardropReport {
+    /// The equilibrium allocation.
+    pub allocation: Allocation,
+    /// The common response-time level `t` at equilibrium.
+    pub level: f64,
+    /// Bisection iterations spent.
+    pub iterations: u32,
+}
+
+impl SingleClassScheme for Wardrop {
+    fn name(&self) -> &'static str {
+        "WARDROP"
+    }
+
+    fn allocate(&self, cluster: &Cluster, phi: f64) -> Result<Allocation, CoreError> {
+        Ok(self.solve(cluster, phi)?.allocation)
+    }
+}
+
+/// Verifies the Wardrop equilibrium conditions directly: all used
+/// computers share one response time (within `tol`), and no unused
+/// computer would be faster than that common time. Returns the common
+/// level on success. Exposed for tests and the experiment harness.
+///
+/// # Errors
+/// [`CoreError::BadInput`] describing the violated equilibrium condition.
+pub fn verify_wardrop_equilibrium(
+    cluster: &Cluster,
+    allocation: &Allocation,
+    tol: f64,
+) -> Result<f64, CoreError> {
+    let times = allocation.response_times(cluster);
+    let used: Vec<f64> = times.iter().copied().flatten().collect();
+    if used.is_empty() {
+        return Err(CoreError::BadInput("no computer is used".into()));
+    }
+    let t0 = used[0];
+    for (i, &t) in used.iter().enumerate() {
+        if (t - t0).abs() > tol * t0 {
+            return Err(CoreError::BadInput(format!(
+                "used computers disagree on response time: {t0} vs {t} (index {i})"
+            )));
+        }
+    }
+    for (i, (t, &mu)) in times.iter().zip(cluster.rates()).enumerate() {
+        if t.is_none() && 1.0 / mu < t0 * (1.0 - tol) {
+            return Err(CoreError::BadInput(format!(
+                "unused computer {i} would beat the common level ({} < {t0})",
+                1.0 / mu
+            )));
+        }
+    }
+    Ok(t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Coop;
+
+    #[test]
+    fn equilibrium_conditions_hold() {
+        let c = Cluster::new(vec![4.0, 2.0, 1.0, 0.1]).unwrap();
+        let phi = 3.0;
+        let rep = Wardrop::default().solve(&c, phi).unwrap();
+        rep.allocation.verify(&c, phi, 1e-8).unwrap();
+        let level = verify_wardrop_equilibrium(&c, &rep.allocation, 1e-6).unwrap();
+        assert!((level - rep.level).abs() < 1e-6 * level);
+    }
+
+    #[test]
+    fn coincides_with_coop() {
+        // The crux of Figure 3.1's overlapping curves: in this model the
+        // Wardrop equilibrium and the NBS are the same point.
+        let c = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
+        for rho in [0.1, 0.4, 0.6, 0.9] {
+            let phi = c.arrival_rate_for_utilization(rho);
+            let w = Wardrop::default().allocate(&c, phi).unwrap();
+            let n = Coop.allocate(&c, phi).unwrap();
+            for (i, (&a, &b)) in w.loads().iter().zip(n.loads()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6 * phi.max(1.0),
+                    "rho {rho} computer {i}: wardrop {a} vs coop {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn looser_tolerance_costs_fewer_iterations() {
+        let c = Cluster::new(vec![5.3, 3.1, 2.7, 1.2]).unwrap();
+        let tight = Wardrop::with_tolerance(1e-12).solve(&c, 6.1).unwrap();
+        let loose = Wardrop::with_tolerance(1e-3).solve(&c, 6.1).unwrap();
+        assert!(loose.iterations < tight.iterations);
+    }
+
+    #[test]
+    fn zero_load() {
+        let c = Cluster::new(vec![1.0]).unwrap();
+        let rep = Wardrop::default().solve(&c, 0.0).unwrap();
+        assert_eq!(rep.allocation.loads(), &[0.0]);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn verifier_rejects_non_equilibrium() {
+        let c = Cluster::new(vec![4.0, 2.0]).unwrap();
+        // Unequal times: λ = (1, 1) gives T = (1/3, 1).
+        let bad = Allocation::new(vec![1.0, 1.0]);
+        assert!(verify_wardrop_equilibrium(&c, &bad, 1e-6).is_err());
+        // Unused fast computer: everything on the slow one.
+        let bad = Allocation::new(vec![0.0, 1.0]);
+        assert!(verify_wardrop_equilibrium(&c, &bad, 1e-6).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! The Nash Bargaining Solution's fairness axioms (Definition 3.4),
+//! checked directly on the COOP algorithm's output.
+//!
+//! The NBS is characterized by Pareto optimality plus three axioms —
+//! linearity (covariance under affine rescaling), independence of
+//! irrelevant alternatives, and symmetry. Each has a concrete, testable
+//! footprint on this game:
+//!
+//! * **symmetry** — computers with equal rates receive equal loads, and
+//!   permuting the cluster permutes the allocation;
+//! * **linearity/scale covariance** — scaling every rate and the arrival
+//!   rate by `c` scales every load by `c` (the game is positively
+//!   homogeneous);
+//! * **irrelevant alternatives** — deleting a computer the NBS does not
+//!   use leaves everyone else's allocation unchanged;
+//! * **Pareto optimality** — no feasible reallocation improves one
+//!   computer's objective without hurting another (for this game: the
+//!   allocation lies on the conservation hyperplane with no strictly
+//!   dominating feasible point).
+
+use gtlb_core::model::Cluster;
+use gtlb_core::schemes::{Coop, SingleClassScheme};
+use proptest::prelude::*;
+
+fn arb_rates() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..10.0, 2..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn symmetry_equal_rates_equal_loads(
+        rates in arb_rates(),
+        rho in 0.1f64..0.9,
+        dup in 0usize..4,
+    ) {
+        // Duplicate one computer: the twins must receive identical loads.
+        let mut rates = rates;
+        let idx = dup % rates.len();
+        let twin = rates[idx];
+        rates.push(twin);
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let last = rates.len() - 1;
+        prop_assert!(
+            (alloc.loads()[idx] - alloc.loads()[last]).abs() < 1e-9 * phi.max(1.0),
+            "twins got {} and {}",
+            alloc.loads()[idx],
+            alloc.loads()[last]
+        );
+    }
+
+    #[test]
+    fn symmetry_permutation_covariance(
+        rates in arb_rates(),
+        rho in 0.1f64..0.9,
+    ) {
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        // Reverse the computer order.
+        let reversed: Vec<f64> = rates.iter().rev().copied().collect();
+        let rcluster = Cluster::new(reversed).unwrap();
+        let ralloc = Coop.allocate(&rcluster, phi).unwrap();
+        for (i, &l) in alloc.loads().iter().enumerate() {
+            let j = rates.len() - 1 - i;
+            prop_assert!(
+                (l - ralloc.loads()[j]).abs() < 1e-9 * phi.max(1.0),
+                "permutation changed computer {i}'s load: {l} vs {}",
+                ralloc.loads()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn scale_covariance(
+        rates in arb_rates(),
+        rho in 0.1f64..0.9,
+        scale in 0.1f64..50.0,
+    ) {
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let scaled = Cluster::new(rates.iter().map(|&r| r * scale).collect()).unwrap();
+        let salloc = Coop.allocate(&scaled, phi * scale).unwrap();
+        for (i, (&a, &b)) in alloc.loads().iter().zip(salloc.loads()).enumerate() {
+            prop_assert!(
+                (a * scale - b).abs() < 1e-7 * (phi * scale).max(1.0),
+                "computer {i}: {a}*{scale} != {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn irrelevant_alternatives(
+        rates in arb_rates(),
+        rho in 0.1f64..0.9,
+    ) {
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        // Remove every unused computer; the rest must be unchanged.
+        let kept: Vec<usize> =
+            (0..rates.len()).filter(|&i| alloc.loads()[i] > 0.0).collect();
+        prop_assume!(kept.len() < rates.len()); // only interesting when something was dropped
+        let sub_rates: Vec<f64> = kept.iter().map(|&i| rates[i]).collect();
+        let sub_cluster = Cluster::new(sub_rates).unwrap();
+        let sub_alloc = Coop.allocate(&sub_cluster, phi).unwrap();
+        for (k, &i) in kept.iter().enumerate() {
+            prop_assert!(
+                (alloc.loads()[i] - sub_alloc.loads()[k]).abs() < 1e-9 * phi.max(1.0),
+                "removing idle computers changed computer {i}'s load"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_optimality_on_the_used_set(
+        rates in arb_rates(),
+        rho in 0.1f64..0.9,
+        from in 0usize..10,
+        to in 0usize..10,
+        eps_frac in 0.01f64..0.5,
+    ) {
+        // Moving ε of load from computer `from` to computer `to` improves
+        // `to`'s objective (more residual capacity is *worse* for the
+        // receiving computer's players? No — each computer's objective is
+        // its execution time). Concretely: any feasible ε-shift helps one
+        // computer's response time and hurts the other's, never a strict
+        // Pareto improvement.
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let n = rates.len();
+        let from = from % n;
+        let to = to % n;
+        prop_assume!(from != to);
+        prop_assume!(alloc.loads()[from] > 0.0);
+        let eps = eps_frac * alloc.loads()[from].min(
+            (rates[to] - alloc.loads()[to]) * 0.5,
+        );
+        prop_assume!(eps > 0.0);
+        let mut shifted = alloc.loads().to_vec();
+        shifted[from] -= eps;
+        shifted[to] += eps;
+        // Response times of the two touched computers before/after.
+        let t_before = |i: usize, loads: &[f64]| 1.0 / (rates[i] - loads[i]);
+        let from_improved = t_before(from, &shifted) < t_before(from, alloc.loads()) - 1e-12;
+        let to_improved = t_before(to, &shifted) < t_before(to, alloc.loads()) - 1e-12;
+        prop_assert!(
+            !(from_improved && to_improved),
+            "ε-shift Pareto-improved both computers"
+        );
+    }
+}

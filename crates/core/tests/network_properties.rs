@@ -1,0 +1,61 @@
+//! Property tests for the networked load-exchange model.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::network::NetworkedSystem;
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    // rates, arrival fractions (scaled to 70% utilization), capacity
+    (prop::collection::vec(0.2f64..5.0, 2..7), 0.3f64..0.8, 0.05f64..100.0).prop_map(
+        |(rates, rho, cap)| {
+            let total: f64 = rates.iter().sum();
+            let phi = rho * total;
+            // Arrivals proportional to index weight (deliberately
+            // mismatched with the rates).
+            let weights: Vec<f64> = (0..rates.len()).map(|i| 1.0 + i as f64).collect();
+            let wsum: f64 = weights.iter().sum();
+            let arrivals: Vec<f64> = weights.iter().map(|w| phi * w / wsum).collect();
+            (rates, arrivals, cap)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_feasible_and_no_worse_than_endpoints((rates, arrivals, cap) in arb_system()) {
+        let cluster = Cluster::new(rates).unwrap();
+        let phi: f64 = arrivals.iter().sum();
+        let sys = NetworkedSystem::new(cluster.clone(), arrivals.clone(), cap).unwrap();
+        let Ok(plan) = sys.optimize() else {
+            // Infeasible channels are allowed to error.
+            return Ok(());
+        };
+        plan.loads.verify(&cluster, phi, 1e-5).unwrap();
+        prop_assert!(plan.traffic < cap, "traffic {} vs cap {cap}", plan.traffic);
+        // No worse than staying put (when staying put is feasible) and
+        // consistent with its own objective definition.
+        let stay = sys.delay(&arrivals, 0.0);
+        prop_assert!(plan.total_delay <= stay * (1.0 + 1e-6) + 1e-9,
+            "plan {} vs stay {stay}", plan.total_delay);
+        let recomputed = sys.delay(plan.loads.loads(), 0.0);
+        prop_assert!((plan.total_delay - recomputed).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    #[test]
+    fn richer_channels_never_hurt((rates, arrivals, cap) in arb_system()) {
+        let cluster = Cluster::new(rates).unwrap();
+        let poor = NetworkedSystem::new(cluster.clone(), arrivals.clone(), cap).unwrap();
+        let rich = NetworkedSystem::new(cluster, arrivals, cap * 8.0).unwrap();
+        let (Ok(p), Ok(r)) = (poor.optimize(), rich.optimize()) else {
+            return Ok(());
+        };
+        prop_assert!(
+            r.total_delay <= p.total_delay * (1.0 + 1e-4) + 1e-6,
+            "more capacity made things worse: {} vs {}",
+            r.total_delay,
+            p.total_delay
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The future-event list (FEL).
+//!
+//! A time-ordered priority queue of scheduled events. Ties in simulated
+//! time are broken by insertion order (FIFO), which makes event execution
+//! order — and therefore every simulation result — a pure function of the
+//! seed. `f64` times are accepted as long as they are finite and
+//! non-decreasing relative to the current clock; the engine enforces the
+//! clock monotonicity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event tagged with its activation time and a tie-breaking sequence
+/// number.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest
+        // first; among equal times, lowest sequence number first.
+        match other.time.partial_cmp(&self.time) {
+            Some(Ordering::Equal) | None => other.seq.cmp(&self.seq),
+            Some(ord) => ord,
+        }
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Future-event list with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    /// If `time` is NaN or infinite.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "Calendar: event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Activation time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events (keeps the sequence counter so later
+    /// ties still order after earlier ones).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(3.0, "c");
+        cal.schedule(1.0, "a");
+        cal.schedule(2.0, "b");
+        assert_eq!(cal.pop(), Some((1.0, "a")));
+        assert_eq!(cal.pop(), Some((2.0, "b")));
+        assert_eq!(cal.pop(), Some((3.0, "c")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..10 {
+            cal.schedule(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(cal.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(1.0, 1);
+        cal.schedule(4.0, 4);
+        assert_eq!(cal.pop(), Some((1.0, 1)));
+        cal.schedule(2.0, 2);
+        cal.schedule(3.0, 3);
+        assert_eq!(cal.pop(), Some((2.0, 2)));
+        assert_eq!(cal.pop(), Some((3.0, 3)));
+        assert_eq!(cal.pop(), Some((4.0, 4)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.peek_time(), None);
+        cal.schedule(2.5, ());
+        cal.schedule(1.5, ());
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.peek_time(), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cal = Calendar::new();
+        cal.schedule(1.0, ());
+        cal.clear();
+        assert!(cal.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The event loop.
+//!
+//! [`Engine`] is a thin deterministic wrapper around the
+//! [`crate::calendar::Calendar`]: it owns the simulation clock,
+//! enforces causality (no scheduling in the past), and exposes a pull-style
+//! API — the model pops the next event, advances its own state, and
+//! schedules consequences. Keeping the engine model-agnostic lets the same
+//! loop drive the paper's dispatcher/farm model, the unit-test toy models,
+//! and any future topology.
+
+use crate::calendar::Calendar;
+
+/// Deterministic single-threaded event loop generic over the model's
+/// event type.
+#[derive(Debug, Clone)]
+pub struct Engine<E> {
+    calendar: Calendar<E>,
+    now: f64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// New engine with the clock at `0.0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { calendar: Calendar::new(), now: 0.0, processed: 0 }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` after a nonnegative `delay` from the current
+    /// time.
+    ///
+    /// # Panics
+    /// If `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0 && delay.is_finite(), "Engine: delay must be finite and >= 0");
+        self.calendar.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute time `time ≥ now`.
+    ///
+    /// # Panics
+    /// If `time` precedes the current clock.
+    pub fn schedule_at(&mut self, time: f64, event: E) {
+        assert!(time >= self.now, "Engine: cannot schedule into the past");
+        self.calendar.schedule(time, event);
+    }
+
+    /// Pops the next event, advancing the clock to its activation time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let (t, e) = self.calendar.pop()?;
+        debug_assert!(t >= self.now, "event calendar returned a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Activation time of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.calendar.peek_time()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Drains all events strictly before `horizon`, invoking `handler`
+    /// for each; events the handler schedules are processed too if they
+    /// fall before the horizon. Returns the number of events handled.
+    pub fn run_until<F: FnMut(&mut Self, f64, E)>(&mut self, horizon: f64, mut handler: F) -> u64 {
+        let start = self.processed;
+        while let Some(t) = self.calendar.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (time, event) = self.pop().expect("peeked event vanished");
+            handler(self, time, event);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_in(1.0, 1);
+        eng.schedule_in(0.5, 0);
+        assert_eq!(eng.now(), 0.0);
+        assert_eq!(eng.pop(), Some((0.5, 0)));
+        assert_eq!(eng.now(), 0.5);
+        assert_eq!(eng.pop(), Some((1.0, 1)));
+        assert_eq!(eng.now(), 1.0);
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn cannot_schedule_into_the_past() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_in(1.0, ());
+        let _ = eng.pop();
+        eng.schedule_at(0.5, ());
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_cascades() {
+        // A self-perpetuating event chain: each event schedules the next
+        // one 1.0 later; horizon 5.0 should process events at 0,1,2,3,4.
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(0.0, 0);
+        let mut seen = Vec::new();
+        let n = eng.run_until(5.0, |eng, t, k| {
+            seen.push((t, k));
+            eng.schedule_in(1.0, k + 1);
+        });
+        assert_eq!(n, 5);
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen.last(), Some(&(4.0, 4)));
+        assert_eq!(eng.now(), 5.0);
+        assert_eq!(eng.pending(), 1); // the event at t=5 remains
+    }
+
+    #[test]
+    fn run_until_on_empty_calendar_advances_clock() {
+        let mut eng: Engine<()> = Engine::new();
+        let n = eng.run_until(10.0, |_, _, _| {});
+        assert_eq!(n, 0);
+        assert_eq!(eng.now(), 10.0);
+    }
+}

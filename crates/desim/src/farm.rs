@@ -1,0 +1,436 @@
+//! The paper's simulation model: multi-user sources, a probabilistic
+//! central dispatcher, and a farm of FCFS single-server queues.
+//!
+//! > "The simulation model consists of a collection of computers connected
+//! > by a communication network. Jobs arriving at the system are
+//! > distributed by a central dispatcher to the computers according to the
+//! > specified load balancing scheme. Jobs which have been dispatched to a
+//! > particular computer are run-to-completion (i.e. no preemption) in
+//! > FCFS order." — §3.4.1
+//!
+//! Each *user* (a single anonymous population in Chapter 3, `m` selfish
+//! users in Chapter 4) is a renewal source with an arbitrary interarrival
+//! law; static schemes are realized as probabilistic routing: a job from
+//! user `j` goes to computer `i` with probability `s_ij` (for the
+//! single-class chapters `m = 1` and `s_i = λ_i/Φ`). Poisson splitting
+//! makes this exactly the paper's model: thinning a rate-`Φ` Poisson
+//! stream with probabilities `λ_i/Φ` yields independent Poisson streams of
+//! rate `λ_i` at each M/M/1 computer.
+
+use std::collections::VecDeque;
+
+use gtlb_queueing::dist::{Draw, Law};
+use gtlb_queueing::UniformSource;
+
+use crate::engine::Engine;
+use crate::rng::Xoshiro256PlusPlus;
+use crate::stats::{TimeWeighted, Welford};
+
+/// One job-generating user/class.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Interarrival-time law (exponential for Poisson arrivals; the
+    /// paper's Figure 3.6/4.8 uses a two-stage hyper-exponential with
+    /// CV = 1.6).
+    pub interarrival: Law,
+    /// Routing probabilities `s_ij` over the computers; must be
+    /// nonnegative and sum to 1 (within tolerance — the vector is
+    /// renormalized defensively).
+    pub routing: Vec<f64>,
+}
+
+/// Full model specification.
+#[derive(Debug, Clone)]
+pub struct FarmSpec {
+    /// Service-time law of each computer (exponential with rate `μ_i` for
+    /// the paper's M/M/1 computers).
+    pub services: Vec<Law>,
+    /// The job sources (one per user).
+    pub sources: Vec<SourceSpec>,
+}
+
+impl FarmSpec {
+    /// Convenience constructor for the paper's standard model: M/M/1
+    /// computers with rates `mu`, a single Poisson source of total rate
+    /// `phi`, split according to `loads` (`λ_i`, summing to `phi`).
+    ///
+    /// # Panics
+    /// If lengths mismatch or `loads` contains negatives.
+    #[must_use]
+    pub fn single_class_mm1(mu: &[f64], loads: &[f64], phi: f64) -> Self {
+        assert_eq!(mu.len(), loads.len(), "single_class_mm1: length mismatch");
+        assert!(phi > 0.0, "single_class_mm1: total rate must be positive");
+        let routing: Vec<f64> = loads.iter().map(|&l| l / phi).collect();
+        Self {
+            services: mu.iter().map(|&m| Law::exponential(m)).collect(),
+            sources: vec![SourceSpec { interarrival: Law::exponential(phi), routing }],
+        }
+    }
+}
+
+/// Run-length and warm-up control.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Base PRNG seed; all streams are derived from it.
+    pub seed: u64,
+    /// Completions to *discard* before measuring (warm-up deletion).
+    pub warmup_jobs: u64,
+    /// Completions to *measure* after the warm-up.
+    pub measured_jobs: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { seed: 0x5EED, warmup_jobs: 10_000, measured_jobs: 200_000 }
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone)]
+pub struct FarmResult {
+    /// Response-time statistics over all measured jobs.
+    pub overall: Welford,
+    /// Response-time statistics per user (source index).
+    pub per_user: Vec<Welford>,
+    /// Response-time statistics per computer.
+    pub per_computer: Vec<Welford>,
+    /// Time-averaged number of jobs present at each computer during the
+    /// measurement window.
+    pub mean_in_system: Vec<f64>,
+    /// Fraction of the measurement window each computer was busy.
+    pub utilization: Vec<f64>,
+    /// Simulated time at the end of the run.
+    pub end_time: f64,
+    /// Length of the measurement window (simulated time after warm-up).
+    pub measured_window: f64,
+    /// Total events executed.
+    pub events: u64,
+}
+
+impl FarmResult {
+    /// Overall mean response time.
+    #[must_use]
+    pub fn mean_response_time(&self) -> f64 {
+        self.overall.mean()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    user: u32,
+    arrival: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Next arrival from source `user`.
+    Arrival { user: u32 },
+    /// Service completion at computer `computer`.
+    Departure { computer: u32 },
+}
+
+struct Server {
+    queue: VecDeque<Job>,
+    service: Law,
+    rng: Xoshiro256PlusPlus,
+    in_system: TimeWeighted,
+    busy_since: Option<f64>,
+    busy_time: f64,
+}
+
+/// Runs the model to completion and returns the measurements.
+///
+/// # Panics
+/// If the spec is structurally invalid (no sources, empty/negative routing
+/// rows, length mismatches).
+#[must_use]
+pub fn run(spec: &FarmSpec, cfg: &RunConfig) -> FarmResult {
+    let n = spec.services.len();
+    let m = spec.sources.len();
+    assert!(n > 0, "farm: need at least one computer");
+    assert!(m > 0, "farm: need at least one source");
+
+    // Normalized cumulative routing rows for O(n) inverse-CDF routing.
+    let mut cum_routing: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for (j, src) in spec.sources.iter().enumerate() {
+        assert_eq!(src.routing.len(), n, "farm: routing row {j} has wrong length");
+        assert!(
+            src.routing.iter().all(|&p| p >= 0.0),
+            "farm: routing row {j} contains a negative probability"
+        );
+        let total: f64 = src.routing.iter().sum();
+        assert!(total > 0.0, "farm: routing row {j} is all zero");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &p in &src.routing {
+            acc += p / total;
+            cum.push(acc);
+        }
+        // Guarantee the last entry covers u -> 1.
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        cum_routing.push(cum);
+    }
+
+    // Independent streams: arrivals (one per user), routing (one per
+    // user), services (one per computer).
+    let mut arrival_rngs: Vec<Xoshiro256PlusPlus> =
+        (0..m).map(|j| Xoshiro256PlusPlus::stream(cfg.seed, 0x0100 + j as u64)).collect();
+    let mut routing_rngs: Vec<Xoshiro256PlusPlus> =
+        (0..m).map(|j| Xoshiro256PlusPlus::stream(cfg.seed, 0x0200 + j as u64)).collect();
+
+    let mut servers: Vec<Server> = spec
+        .services
+        .iter()
+        .enumerate()
+        .map(|(i, &law)| Server {
+            queue: VecDeque::new(),
+            service: law,
+            rng: Xoshiro256PlusPlus::stream(cfg.seed, 0x0300 + i as u64),
+            in_system: TimeWeighted::new(),
+            busy_since: None,
+            busy_time: 0.0,
+        })
+        .collect();
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for (j, src) in spec.sources.iter().enumerate() {
+        let dt = src.interarrival.sample(&mut arrival_rngs[j]);
+        eng.schedule_in(dt, Ev::Arrival { user: j as u32 });
+    }
+    for s in &mut servers {
+        s.in_system.update(0.0, 0.0);
+    }
+
+    let mut overall = Welford::new();
+    let mut per_user = vec![Welford::new(); m];
+    let mut per_computer = vec![Welford::new(); n];
+    let mut completed: u64 = 0;
+    let target = cfg.warmup_jobs + cfg.measured_jobs;
+    let mut measure_start_time = 0.0;
+    let mut measuring = cfg.warmup_jobs == 0;
+
+    while completed < target {
+        let Some((now, ev)) = eng.pop() else {
+            break; // exhausted calendar (cannot happen: sources self-renew)
+        };
+        match ev {
+            Ev::Arrival { user } => {
+                let j = user as usize;
+                // Route the job.
+                let u = routing_rngs[j].next_f64();
+                let cum = &cum_routing[j];
+                let computer = match cum.iter().position(|&c| u <= c) {
+                    Some(i) => i,
+                    None => n - 1,
+                };
+                let srv = &mut servers[computer];
+                srv.queue.push_back(Job { user, arrival: now });
+                srv.in_system.update(now, srv.queue.len() as f64);
+                if srv.queue.len() == 1 {
+                    srv.busy_since = Some(now);
+                    let st = srv.service.sample(&mut srv.rng);
+                    eng.schedule_in(st, Ev::Departure { computer: computer as u32 });
+                }
+                // Next arrival from this source.
+                let dt = spec.sources[j].interarrival.sample(&mut arrival_rngs[j]);
+                eng.schedule_in(dt, Ev::Arrival { user });
+            }
+            Ev::Departure { computer } => {
+                let i = computer as usize;
+                let srv = &mut servers[i];
+                let job = srv.queue.pop_front().expect("departure from an empty server");
+                srv.in_system.update(now, srv.queue.len() as f64);
+                completed += 1;
+                if measuring {
+                    let resp = now - job.arrival;
+                    overall.add(resp);
+                    per_user[job.user as usize].add(resp);
+                    per_computer[i].add(resp);
+                }
+                if srv.queue.is_empty() {
+                    if let Some(since) = srv.busy_since.take() {
+                        srv.busy_time += now - since;
+                    }
+                } else {
+                    let st = srv.service.sample(&mut srv.rng);
+                    eng.schedule_in(st, Ev::Departure { computer });
+                }
+                if !measuring && completed >= cfg.warmup_jobs {
+                    measuring = true;
+                    measure_start_time = now;
+                    for s in &mut servers {
+                        s.in_system.restart_at(now);
+                        s.busy_time = 0.0;
+                        if !s.queue.is_empty() {
+                            s.busy_since = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let end = eng.now();
+    let window = (end - measure_start_time).max(f64::MIN_POSITIVE);
+    let mean_in_system = servers.iter().map(|s| s.in_system.average_until(end)).collect();
+    let utilization = servers
+        .iter()
+        .map(|s| {
+            let open = s.busy_since.map_or(0.0, |since| end - since);
+            ((s.busy_time + open) / window).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    FarmResult {
+        overall,
+        per_user,
+        per_computer,
+        mean_in_system,
+        utilization,
+        end_time: end,
+        measured_window: window,
+        events: eng.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtlb_queueing::Mm1;
+
+    fn mm1_spec(lambda: f64, mu: f64) -> FarmSpec {
+        FarmSpec::single_class_mm1(&[mu], &[lambda], lambda)
+    }
+
+    #[test]
+    fn single_mm1_matches_theory() {
+        let lambda = 0.6;
+        let mu = 1.0;
+        let spec = mm1_spec(lambda, mu);
+        let cfg = RunConfig { seed: 7, warmup_jobs: 20_000, measured_jobs: 400_000 };
+        let res = run(&spec, &cfg);
+        let theory = Mm1::new(lambda, mu).unwrap();
+        let t = res.mean_response_time();
+        assert!(
+            (t - theory.mean_response_time()).abs() / theory.mean_response_time() < 0.03,
+            "simulated {t}, theory {}",
+            theory.mean_response_time()
+        );
+        // Utilization ~ 0.6, number in system ~ 1.5.
+        assert!((res.utilization[0] - 0.6).abs() < 0.02, "util {}", res.utilization[0]);
+        assert!(
+            (res.mean_in_system[0] - theory.mean_number_in_system()).abs() < 0.1,
+            "L {}",
+            res.mean_in_system[0]
+        );
+    }
+
+    #[test]
+    fn poisson_splitting_gives_independent_mm1s() {
+        // Two computers, loads by the OPTIM square-root rule; each queue
+        // must behave like an independent M/M/1 at its own λ_i.
+        let mu = [2.0, 1.0];
+        let loads = [1.0, 0.35];
+        let phi = 1.35;
+        let spec = FarmSpec::single_class_mm1(&mu, &loads, phi);
+        let cfg = RunConfig { seed: 11, warmup_jobs: 20_000, measured_jobs: 400_000 };
+        let res = run(&spec, &cfg);
+        for i in 0..2 {
+            let theory = Mm1::new(loads[i], mu[i]).unwrap().mean_response_time();
+            let got = res.per_computer[i].mean();
+            assert!(
+                (got - theory).abs() / theory < 0.05,
+                "computer {i}: simulated {got}, theory {theory}"
+            );
+        }
+        // Mixture identity: overall = Σ (λ_i/Φ) T_i.
+        let mix = loads
+            .iter()
+            .zip(&mu)
+            .map(|(&l, &m)| (l / phi) / (m - l))
+            .sum::<f64>();
+        assert!((res.mean_response_time() - mix).abs() / mix < 0.05);
+    }
+
+    #[test]
+    fn per_user_stats_are_tracked() {
+        // Two users with different routing must see different means.
+        let spec = FarmSpec {
+            services: vec![Law::exponential(2.0), Law::exponential(10.0)],
+            sources: vec![
+                SourceSpec { interarrival: Law::exponential(0.5), routing: vec![1.0, 0.0] },
+                SourceSpec { interarrival: Law::exponential(0.5), routing: vec![0.0, 1.0] },
+            ],
+        };
+        let cfg = RunConfig { seed: 3, warmup_jobs: 5_000, measured_jobs: 100_000 };
+        let res = run(&spec, &cfg);
+        // User 0 on the slow computer (T = 1/(2-0.5) = 0.667), user 1 on
+        // the fast one (T = 1/(10-0.5) = 0.105).
+        assert!((res.per_user[0].mean() - 1.0 / 1.5).abs() < 0.05);
+        assert!((res.per_user[1].mean() - 1.0 / 9.5).abs() < 0.01);
+        assert!(res.per_user[0].mean() > res.per_user[1].mean() * 4.0);
+    }
+
+    #[test]
+    fn hyperexponential_arrivals_increase_waiting() {
+        // H2/M/1 with CV 1.6 waits longer than M/M/1 at the same rates.
+        let lambda = 0.7;
+        let mu = 1.0;
+        let mut spec = mm1_spec(lambda, mu);
+        let cfg = RunConfig { seed: 5, warmup_jobs: 20_000, measured_jobs: 300_000 };
+        let poisson = run(&spec, &cfg).mean_response_time();
+        spec.sources[0].interarrival = Law::hyperexp(1.0 / lambda, 1.6);
+        let bursty = run(&spec, &cfg).mean_response_time();
+        assert!(
+            bursty > poisson * 1.1,
+            "H2 arrivals should inflate response: {bursty} vs {poisson}"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let spec = mm1_spec(0.5, 1.0);
+        let cfg = RunConfig { seed: 99, warmup_jobs: 100, measured_jobs: 5_000 };
+        let a = run(&spec, &cfg);
+        let b = run(&spec, &cfg);
+        assert_eq!(a.mean_response_time(), b.mean_response_time());
+        assert_eq!(a.events, b.events);
+        let c = run(&spec, &RunConfig { seed: 100, ..cfg });
+        assert_ne!(a.mean_response_time(), c.mean_response_time());
+    }
+
+    #[test]
+    fn zero_probability_computers_get_no_jobs() {
+        let mu = [1.0, 1.0, 1.0];
+        let loads = [0.5, 0.5, 0.0];
+        let spec = FarmSpec::single_class_mm1(&mu, &loads, 1.0);
+        let cfg = RunConfig { seed: 21, warmup_jobs: 100, measured_jobs: 20_000 };
+        let res = run(&spec, &cfg);
+        assert_eq!(res.per_computer[2].count(), 0);
+        assert_eq!(res.utilization[2], 0.0);
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_counts() {
+        let spec = mm1_spec(0.5, 1.0);
+        let cfg = RunConfig { seed: 1, warmup_jobs: 1_000, measured_jobs: 2_000 };
+        let res = run(&spec, &cfg);
+        // Exactly `measured_jobs` completions are recorded.
+        assert_eq!(res.overall.count(), 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "routing row 0 has wrong length")]
+    fn bad_routing_length_panics() {
+        let spec = FarmSpec {
+            services: vec![Law::exponential(1.0)],
+            sources: vec![SourceSpec {
+                interarrival: Law::exponential(0.5),
+                routing: vec![0.5, 0.5],
+            }],
+        };
+        let _ = run(&spec, &RunConfig::default());
+    }
+}

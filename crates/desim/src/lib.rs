@@ -1,0 +1,42 @@
+//! `gtlb-desim` — a discrete-event simulation engine replacing Sim++.
+//!
+//! The paper's experiments (§3.4.1, §4.4.1) were produced with Sim++, an
+//! event-scheduling C++ simulation library: jobs arrive at a central
+//! dispatcher, are routed to one of `n` computers according to the load
+//! allocation under test, and are served run-to-completion in FCFS order;
+//! each run generates 1–2 million jobs and is replicated five times with
+//! different random streams, reporting means whose standard error is below
+//! 5 % at 95 % confidence.
+//!
+//! This crate rebuilds that machinery:
+//!
+//! * [`rng`] — deterministic xoshiro256++ PRNG with SplitMix64 seeding and
+//!   independent sub-streams (one per source/replication);
+//! * [`calendar`] — the future-event list: a time-ordered priority queue
+//!   with FIFO tie-breaking for reproducibility;
+//! * [`engine`] — a minimal generic event loop (`schedule` / `pop`);
+//! * [`stats`] — Welford mean/variance, time-weighted averages, and
+//!   Student-t confidence intervals for replication summaries;
+//! * [`farm`] — the paper's actual model: multi-user renewal sources, a
+//!   probabilistic dispatcher, and a farm of FCFS single-server queues,
+//!   with per-user and per-computer response-time accumulators and warm-up
+//!   deletion;
+//! * [`replication`] — the "replicate with independent streams and
+//!   aggregate" driver.
+//!
+//! The engine is deliberately single-threaded: determinism per seed is a
+//! hard requirement. Parallelism across *replications* and parameter
+//! sweeps lives one layer up (`gtlb-sim`), where runs are independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod engine;
+pub mod farm;
+pub mod replication;
+pub mod rng;
+pub mod stats;
+
+pub use engine::Engine;
+pub use rng::Xoshiro256PlusPlus;

@@ -1,0 +1,381 @@
+//! Simulation output statistics.
+//!
+//! The paper reports means ("expected response time") whose standard error
+//! is below 5 % at the 95 % confidence level, averaged over five
+//! replications. This module supplies the accumulators: numerically stable
+//! streaming mean/variance (Welford), time-weighted averages for
+//! state variables such as queue length, and Student-t confidence
+//! intervals for across-replication summaries.
+
+/// Streaming mean and variance (Welford's algorithm). Numerically stable
+/// for millions of observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Merges another accumulator (parallel-combine form of Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant state variable (queue
+/// length, number in system). `update(t, v)` declares that the variable
+/// takes value `v` from time `t` onward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    last_time: f64,
+    last_value: f64,
+    weighted_sum: f64,
+    start_time: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { last_time: 0.0, last_value: 0.0, weighted_sum: 0.0, start_time: 0.0, started: false }
+    }
+
+    /// Declares the variable's value `v` starting at time `t`.
+    ///
+    /// # Panics
+    /// If `t` moves backwards.
+    pub fn update(&mut self, t: f64, v: f64) {
+        if !self.started {
+            self.started = true;
+            self.start_time = t;
+        } else {
+            assert!(t >= self.last_time, "TimeWeighted: time must be nondecreasing");
+            self.weighted_sum += self.last_value * (t - self.last_time);
+        }
+        self.last_time = t;
+        self.last_value = v;
+    }
+
+    /// Time average over `[start, horizon]`, closing the last segment at
+    /// `horizon`.
+    #[must_use]
+    pub fn average_until(&self, horizon: f64) -> f64 {
+        if !self.started || horizon <= self.start_time {
+            return f64::NAN;
+        }
+        let tail = self.last_value * (horizon - self.last_time).max(0.0);
+        (self.weighted_sum + tail) / (horizon - self.start_time)
+    }
+
+    /// Resets the accumulator but keeps the current value as the new
+    /// starting state (used for warm-up deletion).
+    pub fn restart_at(&mut self, t: f64) {
+        self.weighted_sum = 0.0;
+        self.start_time = t;
+        self.last_time = t;
+        self.started = true;
+    }
+}
+
+/// Batch-means estimator: a single-run alternative to independent
+/// replications. Observations are grouped into fixed-size batches; batch
+/// means of a weakly dependent stationary sequence are approximately
+/// i.i.d., so a Student-t interval over them is valid — the standard
+/// steady-state output-analysis technique complementing the paper's
+/// replication protocol.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Estimator with the given batch size (observations per batch).
+    ///
+    /// # Panics
+    /// If `batch_size == 0`.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "BatchMeans: batch size must be positive");
+        Self { batch_size, current: Welford::new(), batch_means: Vec::new() }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.current.add(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Completed batches so far.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (`NaN` if none).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.batch_means.is_empty() {
+            return f64::NAN;
+        }
+        self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64
+    }
+
+    /// 95 % confidence interval over the batch means. The trailing
+    /// partial batch is discarded (standard practice).
+    ///
+    /// # Panics
+    /// If no batch has completed.
+    #[must_use]
+    pub fn confidence_interval(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_estimates(&self.batch_means)
+    }
+}
+
+/// Two-sided Student-t critical value at 95 % confidence for `df` degrees
+/// of freedom (exact table for small `df`, normal approximation beyond).
+#[must_use]
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.02,
+        61..=120 => 2.00,
+        _ => 1.96,
+    }
+}
+
+/// Mean with a 95 % confidence half-width, summarizing one estimate per
+/// replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Across-replication mean.
+    pub mean: f64,
+    /// 95 % half-width (`t · s/√R`).
+    pub half_width: f64,
+    /// Number of replications summarized.
+    pub replications: u64,
+}
+
+impl ConfidenceInterval {
+    /// Builds the interval from per-replication estimates.
+    ///
+    /// # Panics
+    /// If `estimates` is empty.
+    #[must_use]
+    pub fn from_estimates(estimates: &[f64]) -> Self {
+        assert!(!estimates.is_empty(), "ConfidenceInterval: no estimates");
+        let mut w = Welford::new();
+        for &e in estimates {
+            w.add(e);
+        }
+        let hw = if w.count() >= 2 {
+            t_critical_95(w.count() - 1) * w.std_error()
+        } else {
+            f64::INFINITY
+        };
+        Self { mean: w.mean(), half_width: hw, replications: w.count() }
+    }
+
+    /// Relative half-width `half_width / |mean|` (the paper's "< 5 %
+    /// standard error" check).
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        self.half_width / self.mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: Σ(x-5)² = 32, /7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        let mut w = Welford::new();
+        w.add(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert!(w.variance().is_nan());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn time_weighted_rectangles() {
+        let mut tw = TimeWeighted::new();
+        tw.update(0.0, 1.0); // value 1 on [0,2)
+        tw.update(2.0, 3.0); // value 3 on [2,4)
+        assert!((tw.average_until(4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_warmup_restart() {
+        let mut tw = TimeWeighted::new();
+        tw.update(0.0, 100.0); // garbage warm-up
+        tw.update(5.0, 2.0);
+        tw.restart_at(10.0); // delete everything before t=10; value stays 2
+        assert!((tw.average_until(20.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical_95(4) - 2.776).abs() < 1e-9); // 5 replications
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert_eq!(t_critical_95(1000), 1.96);
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_means_groups_correctly() {
+        let mut bm = BatchMeans::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            bm.add(x);
+        }
+        // Batches: (1,2,3) -> 2, (4,5,6) -> 5; the 7 is a partial batch.
+        assert_eq!(bm.batches(), 2);
+        assert!((bm.mean() - 3.5).abs() < 1e-12);
+        let ci = bm.confidence_interval();
+        assert_eq!(ci.replications, 2);
+        assert!((ci.mean - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_empty_is_nan() {
+        let bm = BatchMeans::new(10);
+        assert!(bm.mean().is_nan());
+        assert_eq!(bm.batches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn batch_means_rejects_zero() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn confidence_interval_five_replications() {
+        let est = [10.0, 11.0, 9.0, 10.5, 9.5];
+        let ci = ConfidenceInterval::from_estimates(&est);
+        assert_eq!(ci.replications, 5);
+        assert!((ci.mean - 10.0).abs() < 1e-12);
+        // s = sqrt(0.625), hw = 2.776*s/sqrt(5).
+        let s = (0.625f64).sqrt();
+        assert!((ci.half_width - 2.776 * s / 5f64.sqrt()).abs() < 1e-9);
+        assert!(ci.relative_half_width() < 0.15);
+    }
+}

@@ -1,0 +1,94 @@
+//! Model-based test of the future-event list: random interleavings of
+//! schedule/pop must match a straightforward reference implementation
+//! (a stable-sorted vector), including FIFO tie-breaking.
+
+use gtlb_desim::calendar::Calendar;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(f64),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Coarse times force plenty of exact ties.
+            (0u32..20).prop_map(|t| Op::Schedule(f64::from(t) * 0.5)),
+            Just(Op::Pop),
+        ],
+        1..200,
+    )
+}
+
+/// Reference: a vector of (time, seq) kept in insertion order; pop takes
+/// the earliest time, breaking ties by lowest sequence number.
+#[derive(Default)]
+struct Reference {
+    items: Vec<(f64, u64)>,
+    next_seq: u64,
+}
+
+impl Reference {
+    fn schedule(&mut self, t: f64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.push((t, seq));
+        seq
+    }
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))?
+            .0;
+        Some(self.items.remove(best))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn calendar_matches_reference(ops in arb_ops()) {
+        let mut cal: Calendar<u64> = Calendar::new();
+        let mut reference = Reference::default();
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    let seq = reference.schedule(t);
+                    cal.schedule(t, seq);
+                }
+                Op::Pop => {
+                    let expected = reference.pop();
+                    let got = cal.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some((t, seq)), Some((gt, gseq))) => {
+                            prop_assert_eq!(t, gt);
+                            prop_assert_eq!(seq, gseq);
+                        }
+                        (e, g) => prop_assert!(false, "mismatch: expected {e:?}, got {g:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), reference.items.len());
+            prop_assert_eq!(cal.is_empty(), reference.items.is_empty());
+        }
+        // Drain both and compare the full remaining order.
+        loop {
+            let expected = reference.pop();
+            let got = cal.pop();
+            match (expected, got) {
+                (None, None) => break,
+                (Some((t, seq)), Some((gt, gseq))) => {
+                    prop_assert_eq!(t, gt);
+                    prop_assert_eq!(seq, gseq);
+                }
+                (e, g) => prop_assert!(false, "drain mismatch: expected {e:?}, got {g:?}"),
+            }
+        }
+    }
+}

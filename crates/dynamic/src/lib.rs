@@ -1,0 +1,38 @@
+//! `gtlb-dynamic` — dynamic load-balancing policies.
+//!
+//! The paper's Chapter 2 surveys the classical *dynamic* schemes that the
+//! static game-theoretic schemes are positioned against. This crate
+//! implements that substrate so the comparison can actually be run:
+//!
+//! * **sender-initiated** policies (Eager, Lazowska & Zahorjan \[38\]):
+//!   an overloaded computer pushes a newly arrived job elsewhere, with
+//!   the three location policies *Random*, *Threshold*, and *Shortest*;
+//! * **receiver-initiated** (Eager et al. \[37\]): an idle-ish computer
+//!   pulls work from a random busy peer at service-completion time;
+//! * **symmetrically-initiated** (\[79\]): both, switching on the local
+//!   queue length;
+//! * **central join-shortest-queue** (JSQ): the centralized dynamic
+//!   reference with global instantaneous queue information;
+//! * **no balancing / static probabilistic routing**: the baselines —
+//!   the latter is how the Chapter 3 schemes (COOP/OPTIM/…) enter a
+//!   dynamic simulation.
+//!
+//! The model follows the survey's classical setting: jobs arrive *at*
+//! individual computers (heterogeneous local streams), transfers cost a
+//! configurable in-flight delay, probes are instantaneous but counted,
+//! and transferred jobs are never re-transferred (no job thrashing).
+//!
+//! The headline facts the survey cites — and our tests reproduce — are:
+//! sender-initiated beats no-balancing at low to moderate load but
+//! destabilizes under high load, where receiver-initiated is preferable;
+//! the symmetric policy tracks the better of the two; more detailed state
+//! (Shortest vs Threshold) buys surprisingly little.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod policy;
+
+pub use model::{run_dynamic, DynamicConfig, DynamicResult, DynamicSpec};
+pub use policy::Policy;

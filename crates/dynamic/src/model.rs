@@ -1,0 +1,632 @@
+//! The dynamic-policy simulation model.
+//!
+//! The survey's classical setting: every computer has its *own* local
+//! arrival stream (heterogeneous rates allowed), serves FCFS
+//! run-to-completion, and the policy moves jobs between computers at
+//! arrival instants (sender-initiated), departure instants
+//! (receiver-initiated), or both. A moved job spends a configurable
+//! in-flight delay on the wire; probes are instantaneous but counted, so
+//! the overhead claims of §2.2.2 can be quantified. Transferred jobs are
+//! never transferred again.
+
+use std::collections::VecDeque;
+
+use gtlb_desim::engine::Engine;
+use gtlb_desim::farm::RunConfig;
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+use gtlb_desim::stats::Welford;
+use gtlb_queueing::dist::{Draw, Law};
+use gtlb_queueing::UniformSource;
+
+use crate::policy::Policy;
+
+/// Model specification.
+#[derive(Debug, Clone)]
+pub struct DynamicSpec {
+    /// Service law per computer (exponential for the survey's M/M/1
+    /// nodes).
+    pub services: Vec<Law>,
+    /// Local interarrival law per computer. Use `Law::exponential(λ_i)`
+    /// for the classical Poisson local streams.
+    pub arrivals: Vec<Law>,
+    /// In-flight delay applied to every transferred job.
+    pub transfer_delay: Law,
+    /// The policy under test.
+    pub policy: Policy,
+    /// Routing probabilities for [`Policy::StaticRouting`] (ignored
+    /// otherwise). Must sum to 1 over the computers.
+    pub routing: Option<Vec<f64>>,
+}
+
+impl DynamicSpec {
+    /// Homogeneous helper: `n` computers at service rate `mu`, each with
+    /// local Poisson arrivals at rate `lambda`, deterministic transfer
+    /// delay `d`.
+    ///
+    /// # Panics
+    /// On nonpositive parameters.
+    #[must_use]
+    pub fn homogeneous(n: usize, mu: f64, lambda: f64, d: f64, policy: Policy) -> Self {
+        assert!(n >= 1 && mu > 0.0 && lambda > 0.0 && d >= 0.0);
+        Self {
+            services: vec![Law::exponential(mu); n],
+            arrivals: vec![Law::exponential(lambda); n],
+            transfer_delay: Law::Det(gtlb_queueing::dist::Deterministic::new(d)),
+            policy,
+            routing: None,
+        }
+    }
+}
+
+/// Run-length control — reuses the farm's warm-up/measurement protocol.
+pub type DynamicConfig = RunConfig;
+
+/// Measurements of one dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicResult {
+    /// Response times (arrival at the *system* to service completion,
+    /// including any in-flight delay) over the measured jobs.
+    pub response: Welford,
+    /// Response times of the subset of jobs that were transferred.
+    pub transferred_response: Welford,
+    /// Jobs completed per computer in the measurement window.
+    pub completions: Vec<u64>,
+    /// Transfers initiated during the measurement window.
+    pub transfers: u64,
+    /// Probes sent during the measurement window.
+    pub probes: u64,
+    /// Total jobs measured.
+    pub measured: u64,
+    /// Simulated end time.
+    pub end_time: f64,
+}
+
+impl DynamicResult {
+    /// Mean response time over all measured jobs.
+    #[must_use]
+    pub fn mean_response_time(&self) -> f64 {
+        self.response.mean()
+    }
+
+    /// Fraction of measured jobs that were transferred.
+    #[must_use]
+    pub fn transfer_fraction(&self) -> f64 {
+        self.transferred_response.count() as f64 / self.measured.max(1) as f64
+    }
+
+    /// Probes per completed job.
+    #[must_use]
+    pub fn probes_per_job(&self) -> f64 {
+        self.probes as f64 / self.measured.max(1) as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    arrival: f64,
+    transferred: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    LocalArrival { i: u32 },
+    Deliver { dest: u32, job: Job },
+    Departure { i: u32 },
+}
+
+struct Node {
+    queue: VecDeque<Job>,
+    service: Law,
+    rng: Xoshiro256PlusPlus,
+}
+
+struct Sim<'a> {
+    spec: &'a DynamicSpec,
+    nodes: Vec<Node>,
+    policy_rng: Xoshiro256PlusPlus,
+    transfer_rng: Xoshiro256PlusPlus,
+    probes: u64,
+    transfers: u64,
+    measuring: bool,
+}
+
+impl Sim<'_> {
+    /// Picks up to `limit` distinct random peers of `me` (uniform,
+    /// order random).
+    fn pick_peers(&mut self, me: usize, limit: u32) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut picked = Vec::with_capacity(limit as usize);
+        let mut guard = 0;
+        while picked.len() < limit as usize && picked.len() < n - 1 {
+            let j = (self.policy_rng.next_f64() * n as f64) as usize % n;
+            if j != me && !picked.contains(&j) {
+                picked.push(j);
+            }
+            guard += 1;
+            if guard > 16 * n as u32 {
+                break;
+            }
+        }
+        picked
+    }
+
+    fn queue_len(&self, i: usize) -> usize {
+        self.nodes[i].queue.len()
+    }
+
+    /// Sender-side destination decision for a *new local* job at `i`.
+    /// Returns `Some(dest)` when the job must be shipped to `dest`.
+    fn sender_decision(&mut self, i: usize) -> Option<usize> {
+        let here = self.queue_len(i) + 1; // including the new job
+        match self.spec.policy {
+            Policy::SenderRandom { threshold } => {
+                if here > threshold as usize {
+                    let peers = self.pick_peers(i, 1);
+                    peers.first().copied()
+                } else {
+                    None
+                }
+            }
+            Policy::SenderThreshold { threshold, probe_limit }
+            | Policy::Symmetric { threshold, probe_limit } => {
+                if here > threshold as usize {
+                    let peers = self.pick_peers(i, probe_limit);
+                    for &p in &peers {
+                        if self.measuring {
+                            self.probes += 1;
+                        }
+                        if self.queue_len(p) < threshold as usize {
+                            return Some(p);
+                        }
+                    }
+                }
+                None
+            }
+            Policy::SenderShortest { threshold, probe_limit } => {
+                if here > threshold as usize {
+                    let peers = self.pick_peers(i, probe_limit);
+                    if self.measuring {
+                        self.probes += peers.len() as u64;
+                    }
+                    let best = peers
+                        .into_iter()
+                        .min_by_key(|&p| self.queue_len(p))?;
+                    if self.queue_len(best) < threshold as usize {
+                        return Some(best);
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Receiver-side steal decision after a departure left `i` short.
+    /// Returns the index of a peer to steal from.
+    fn receiver_decision(&mut self, i: usize) -> Option<usize> {
+        let (threshold, probe_limit) = match self.spec.policy {
+            Policy::Receiver { threshold, probe_limit }
+            | Policy::Symmetric { threshold, probe_limit } => (threshold, probe_limit),
+            _ => return None,
+        };
+        if self.queue_len(i) >= threshold as usize {
+            return None;
+        }
+        let peers = self.pick_peers(i, probe_limit);
+        for p in peers {
+            if self.measuring {
+                self.probes += 1;
+            }
+            // Steal only a *waiting* job (never the one in service).
+            if self.queue_len(p) > threshold as usize && self.queue_len(p) >= 2 {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// Runs the dynamic model.
+///
+/// # Panics
+/// On structurally invalid specs (length mismatches, missing routing for
+/// [`Policy::StaticRouting`], out-of-range routing probabilities).
+#[must_use]
+pub fn run_dynamic(spec: &DynamicSpec, cfg: &DynamicConfig) -> DynamicResult {
+    let n = spec.services.len();
+    assert!(n >= 1, "dynamic: need at least one computer");
+    assert_eq!(spec.arrivals.len(), n, "dynamic: arrivals/services mismatch");
+    let routing_cum: Option<Vec<f64>> = match (&spec.policy, &spec.routing) {
+        (Policy::StaticRouting, Some(r)) => {
+            assert_eq!(r.len(), n, "dynamic: routing length mismatch");
+            let total: f64 = r.iter().sum();
+            assert!(total > 0.0, "dynamic: routing sums to zero");
+            let mut acc = 0.0;
+            let mut cum: Vec<f64> = r
+                .iter()
+                .map(|&p| {
+                    assert!(p >= 0.0, "dynamic: negative routing probability");
+                    acc += p / total;
+                    acc
+                })
+                .collect();
+            if let Some(last) = cum.last_mut() {
+                *last = 1.0;
+            }
+            Some(cum)
+        }
+        (Policy::StaticRouting, None) => panic!("dynamic: StaticRouting requires routing"),
+        _ => None,
+    };
+
+    let mut arrival_rngs: Vec<Xoshiro256PlusPlus> =
+        (0..n).map(|i| Xoshiro256PlusPlus::stream(cfg.seed, 0x1100 + i as u64)).collect();
+    let mut sim = Sim {
+        spec,
+        nodes: (0..n)
+            .map(|i| Node {
+                queue: VecDeque::new(),
+                service: spec.services[i],
+                rng: Xoshiro256PlusPlus::stream(cfg.seed, 0x1200 + i as u64),
+            })
+            .collect(),
+        policy_rng: Xoshiro256PlusPlus::stream(cfg.seed, 0x1300),
+        transfer_rng: Xoshiro256PlusPlus::stream(cfg.seed, 0x1400),
+        probes: 0,
+        transfers: 0,
+        measuring: cfg.warmup_jobs == 0,
+    };
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for (i, rng) in arrival_rngs.iter_mut().enumerate() {
+        let dt = spec.arrivals[i].sample(rng);
+        eng.schedule_in(dt, Ev::LocalArrival { i: i as u32 });
+    }
+
+    let mut response = Welford::new();
+    let mut transferred_response = Welford::new();
+    let mut completions = vec![0u64; n];
+    let mut completed = 0u64;
+    let mut measured = 0u64;
+    let target = cfg.warmup_jobs + cfg.measured_jobs;
+
+    // Enqueue + start service if idle.
+    fn enqueue(eng: &mut Engine<Ev>, node: &mut Node, i: usize, job: Job) {
+        node.queue.push_back(job);
+        if node.queue.len() == 1 {
+            let st = node.service.sample(&mut node.rng);
+            eng.schedule_in(st, Ev::Departure { i: i as u32 });
+        }
+    }
+
+    while completed < target {
+        let Some((now, ev)) = eng.pop() else { break };
+        match ev {
+            Ev::LocalArrival { i } => {
+                let i = i as usize;
+                let job = Job { arrival: now, transferred: false };
+                // Next local arrival first (renewal stream).
+                let dt = spec.arrivals[i].sample(&mut arrival_rngs[i]);
+                eng.schedule_in(dt, Ev::LocalArrival { i: i as u32 });
+
+                let dest: Option<usize> = match &spec.policy {
+                    Policy::NoBalancing => None,
+                    Policy::StaticRouting => {
+                        let u = sim.policy_rng.next_f64();
+                        let cum = routing_cum.as_ref().expect("routing checked above");
+                        let d = cum.iter().position(|&c| u <= c).unwrap_or(n - 1);
+                        (d != i).then_some(d)
+                    }
+                    Policy::CentralJsq => {
+                        let d = (0..n)
+                            .min_by(|&a, &b| {
+                                sim.queue_len(a)
+                                    .cmp(&sim.queue_len(b))
+                                    .then_with(|| {
+                                        spec.services[b]
+                                            .mean()
+                                            .partial_cmp(&spec.services[a].mean())
+                                            .expect("finite means")
+                                    })
+                            })
+                            .expect("at least one computer");
+                        (d != i).then_some(d)
+                    }
+                    _ => sim.sender_decision(i),
+                };
+                match dest {
+                    Some(d) => {
+                        if sim.measuring {
+                            sim.transfers += 1;
+                        }
+                        let delay = spec.transfer_delay.sample(&mut sim.transfer_rng);
+                        eng.schedule_in(
+                            delay,
+                            Ev::Deliver {
+                                dest: d as u32,
+                                job: Job { transferred: true, ..job },
+                            },
+                        );
+                    }
+                    None => enqueue(&mut eng, &mut sim.nodes[i], i, job),
+                }
+            }
+            Ev::Deliver { dest, job } => {
+                let d = dest as usize;
+                enqueue(&mut eng, &mut sim.nodes[d], d, job);
+            }
+            Ev::Departure { i } => {
+                let i = i as usize;
+                let job = sim.nodes[i].queue.pop_front().expect("departure from empty node");
+                completed += 1;
+                if sim.measuring {
+                    let resp = now - job.arrival;
+                    response.add(resp);
+                    if job.transferred {
+                        transferred_response.add(resp);
+                    }
+                    completions[i] += 1;
+                    measured += 1;
+                }
+                if !sim.nodes[i].queue.is_empty() {
+                    let node = &mut sim.nodes[i];
+                    let st = node.service.sample(&mut node.rng);
+                    eng.schedule_in(st, Ev::Departure { i: i as u32 });
+                }
+                if !sim.measuring && completed >= cfg.warmup_jobs {
+                    sim.measuring = true;
+                }
+                // Receiver-initiated steal attempt.
+                if let Some(victim) = sim.receiver_decision(i) {
+                    let stolen = sim.nodes[victim]
+                        .queue
+                        .pop_back()
+                        .expect("victim queue checked nonempty");
+                    if sim.measuring {
+                        sim.transfers += 1;
+                    }
+                    let delay = spec.transfer_delay.sample(&mut sim.transfer_rng);
+                    eng.schedule_in(
+                        delay,
+                        Ev::Deliver {
+                            dest: i as u32,
+                            job: Job { transferred: true, ..stolen },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    DynamicResult {
+        response,
+        transferred_response,
+        completions,
+        transfers: sim.transfers,
+        probes: sim.probes,
+        measured,
+        end_time: eng.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtlb_queueing::Mm1;
+
+    fn cfg(seed: u64) -> DynamicConfig {
+        DynamicConfig { seed, warmup_jobs: 10_000, measured_jobs: 150_000 }
+    }
+
+    #[test]
+    fn no_balancing_is_independent_mm1s() {
+        let spec = DynamicSpec::homogeneous(4, 1.0, 0.6, 0.0, Policy::NoBalancing);
+        let res = run_dynamic(&spec, &cfg(1));
+        let theory = Mm1::new(0.6, 1.0).unwrap().mean_response_time();
+        let got = res.mean_response_time();
+        assert!((got - theory).abs() / theory < 0.05, "got {got}, theory {theory}");
+        assert_eq!(res.transfers, 0);
+        assert_eq!(res.probes, 0);
+    }
+
+    #[test]
+    fn jsq_beats_no_balancing() {
+        // The pooled-queue effect: JSQ smooths stochastic imbalance.
+        let nolb = run_dynamic(
+            &DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::NoBalancing),
+            &cfg(2),
+        );
+        let jsq = run_dynamic(
+            &DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::CentralJsq),
+            &cfg(2),
+        );
+        assert!(
+            jsq.mean_response_time() < 0.7 * nolb.mean_response_time(),
+            "JSQ {} vs NOLB {}",
+            jsq.mean_response_time(),
+            nolb.mean_response_time()
+        );
+    }
+
+    #[test]
+    fn sender_threshold_helps_at_moderate_load() {
+        // Eager et al.: simple sender-initiated policies capture most of
+        // the improvement at moderate load.
+        let nolb = run_dynamic(
+            &DynamicSpec::homogeneous(8, 1.0, 0.7, 0.01, Policy::NoBalancing),
+            &cfg(3),
+        );
+        let snd = run_dynamic(
+            &DynamicSpec::homogeneous(
+                8,
+                1.0,
+                0.7,
+                0.01,
+                Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+            ),
+            &cfg(3),
+        );
+        assert!(
+            snd.mean_response_time() < 0.8 * nolb.mean_response_time(),
+            "SND {} vs NOLB {}",
+            snd.mean_response_time(),
+            nolb.mean_response_time()
+        );
+        assert!(snd.transfers > 0);
+        assert!(snd.probes_per_job() > 0.0);
+    }
+
+    #[test]
+    fn receiver_beats_sender_at_high_load() {
+        // The classical crossover [37]: "receiver-initiated schemes are
+        // preferable at high system loads."
+        let lam = 0.93;
+        let snd = run_dynamic(
+            &DynamicSpec::homogeneous(
+                8,
+                1.0,
+                lam,
+                0.01,
+                Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+            ),
+            &cfg(4),
+        );
+        let rcv = run_dynamic(
+            &DynamicSpec::homogeneous(
+                8,
+                1.0,
+                lam,
+                0.01,
+                Policy::Receiver { threshold: 1, probe_limit: 3 },
+            ),
+            &cfg(4),
+        );
+        assert!(
+            rcv.mean_response_time() < snd.mean_response_time(),
+            "RCV {} vs SND {}",
+            rcv.mean_response_time(),
+            snd.mean_response_time()
+        );
+    }
+
+    #[test]
+    fn symmetric_tracks_the_better_policy() {
+        for (lam, seed) in [(0.6, 5u64), (0.93, 6u64)] {
+            let sym = run_dynamic(
+                &DynamicSpec::homogeneous(
+                    8,
+                    1.0,
+                    lam,
+                    0.01,
+                    Policy::Symmetric { threshold: 2, probe_limit: 3 },
+                ),
+                &cfg(seed),
+            );
+            let snd = run_dynamic(
+                &DynamicSpec::homogeneous(
+                    8,
+                    1.0,
+                    lam,
+                    0.01,
+                    Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+                ),
+                &cfg(seed),
+            );
+            let rcv = run_dynamic(
+                &DynamicSpec::homogeneous(
+                    8,
+                    1.0,
+                    lam,
+                    0.01,
+                    Policy::Receiver { threshold: 1, probe_limit: 3 },
+                ),
+                &cfg(seed),
+            );
+            let best = snd.mean_response_time().min(rcv.mean_response_time());
+            assert!(
+                sym.mean_response_time() < 1.25 * best,
+                "lam {lam}: SYM {} vs best {best}",
+                sym.mean_response_time()
+            );
+        }
+    }
+
+    #[test]
+    fn static_routing_realizes_a_static_scheme() {
+        // Heterogeneous computers with all arrivals at the slow one;
+        // static routing per COOP's loads must reproduce COOP's analytic
+        // response time (plus nothing: zero transfer delay).
+        use gtlb_core::model::Cluster;
+        use gtlb_core::schemes::{Coop, SingleClassScheme};
+        let cluster = Cluster::new(vec![2.0, 1.0]).unwrap();
+        let phi = 1.8;
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let spec = DynamicSpec {
+            services: vec![Law::exponential(2.0), Law::exponential(1.0)],
+            // All jobs enter at computer 0 and are re-routed statically.
+            arrivals: vec![Law::exponential(phi), Law::exponential(1e-9)],
+            transfer_delay: Law::Det(gtlb_queueing::dist::Deterministic::new(0.0)),
+            policy: Policy::StaticRouting,
+            routing: Some(alloc.loads().iter().map(|&l| l / phi).collect()),
+        };
+        let res = run_dynamic(&spec, &cfg(7));
+        let analytic = alloc.mean_response_time(&cluster);
+        let got = res.mean_response_time();
+        assert!((got - analytic).abs() / analytic < 0.06, "got {got}, analytic {analytic}");
+    }
+
+    #[test]
+    fn transfer_delay_hurts() {
+        let fast = run_dynamic(
+            &DynamicSpec::homogeneous(
+                8,
+                1.0,
+                0.8,
+                0.0,
+                Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+            ),
+            &cfg(8),
+        );
+        let slow = run_dynamic(
+            &DynamicSpec::homogeneous(
+                8,
+                1.0,
+                0.8,
+                2.0, // transfers cost 2 mean service times
+                Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+            ),
+            &cfg(8),
+        );
+        assert!(slow.mean_response_time() > fast.mean_response_time());
+        // Transferred jobs bear the delay directly.
+        assert!(
+            slow.transferred_response.mean() > slow.response.mean(),
+            "transferred jobs should be the slow ones"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let spec = DynamicSpec::homogeneous(
+            4,
+            1.0,
+            0.7,
+            0.01,
+            Policy::Symmetric { threshold: 2, probe_limit: 3 },
+        );
+        let c = DynamicConfig { seed: 42, warmup_jobs: 100, measured_jobs: 5_000 };
+        let a = run_dynamic(&spec, &c);
+        let b = run_dynamic(&spec, &c);
+        assert_eq!(a.mean_response_time(), b.mean_response_time());
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    #[should_panic(expected = "StaticRouting requires routing")]
+    fn static_routing_needs_probabilities() {
+        let mut spec = DynamicSpec::homogeneous(2, 1.0, 0.5, 0.0, Policy::StaticRouting);
+        spec.routing = None;
+        let _ = run_dynamic(&spec, &DynamicConfig::default());
+    }
+}

@@ -1,0 +1,124 @@
+//! The dynamic transfer policies.
+//!
+//! A distributed dynamic scheme has three components (§2.2.2): a
+//! *transfer policy* (does this computer need to shed/steal work — here a
+//! queue-length threshold), a *location policy* (where to — random
+//! selection and probing), and an *information policy* (what state is
+//! consulted — instantaneous queue lengths of probed peers). The enum
+//! below packages the classical combinations.
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamic load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Serve every job where it arrives.
+    NoBalancing,
+    /// Static probabilistic routing: an arriving job is forwarded to
+    /// computer `j` with probability `routing[j]` regardless of state —
+    /// the bridge to the Chapter 3 static schemes (probabilities
+    /// `λ_j/Φ` realize COOP/OPTIM/… inside the dynamic simulator).
+    /// Routing probabilities are supplied separately in the spec.
+    StaticRouting,
+    /// Central join-shortest-queue: every arrival goes to the computer
+    /// with the fewest jobs in system (global instantaneous information;
+    /// ties broken by the faster computer).
+    CentralJsq,
+    /// Sender-initiated, Random location policy \[38\]: if the local queue
+    /// length (including the new job) exceeds `threshold`, transfer the
+    /// job to a uniformly random other computer, unconditionally.
+    SenderRandom {
+        /// Queue-length threshold `T`.
+        threshold: u32,
+    },
+    /// Sender-initiated, Threshold location policy \[38\]: probe up to
+    /// `probe_limit` random peers; transfer to the first whose queue is
+    /// below `threshold`; keep the job if all probes fail.
+    SenderThreshold {
+        /// Queue-length threshold `T`.
+        threshold: u32,
+        /// Maximum number of probes per transfer decision.
+        probe_limit: u32,
+    },
+    /// Sender-initiated, Shortest location policy \[38\]: probe
+    /// `probe_limit` random peers and transfer to the one with the
+    /// shortest queue, if that queue is below `threshold`.
+    SenderShortest {
+        /// Queue-length threshold `T`.
+        threshold: u32,
+        /// Number of peers probed.
+        probe_limit: u32,
+    },
+    /// Receiver-initiated \[37\]: when a departure leaves the local queue
+    /// below `threshold`, probe up to `probe_limit` random peers and
+    /// steal one *waiting* job from the first peer whose queue exceeds
+    /// `threshold`.
+    Receiver {
+        /// Queue-length threshold `T`.
+        threshold: u32,
+        /// Maximum number of probes per steal attempt.
+        probe_limit: u32,
+    },
+    /// Symmetrically-initiated \[79\]: sender-threshold behavior above the
+    /// threshold, receiver behavior below it.
+    Symmetric {
+        /// Queue-length threshold `T`.
+        threshold: u32,
+        /// Maximum probes for either direction.
+        probe_limit: u32,
+    },
+}
+
+impl Policy {
+    /// Display name for experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::NoBalancing => "NOLB",
+            Policy::StaticRouting => "STATIC",
+            Policy::CentralJsq => "JSQ",
+            Policy::SenderRandom { .. } => "SND-RANDOM",
+            Policy::SenderThreshold { .. } => "SND-THRESH",
+            Policy::SenderShortest { .. } => "SND-SHORT",
+            Policy::Receiver { .. } => "RECEIVER",
+            Policy::Symmetric { .. } => "SYMMETRIC",
+        }
+    }
+
+    /// Whether this policy ever pushes a job away at arrival time.
+    #[must_use]
+    pub fn is_sender_initiated(&self) -> bool {
+        matches!(
+            self,
+            Policy::SenderRandom { .. }
+                | Policy::SenderThreshold { .. }
+                | Policy::SenderShortest { .. }
+                | Policy::Symmetric { .. }
+        )
+    }
+
+    /// Whether this policy ever pulls a job at departure time.
+    #[must_use]
+    pub fn is_receiver_initiated(&self) -> bool {
+        matches!(self, Policy::Receiver { .. } | Policy::Symmetric { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_classification() {
+        assert_eq!(Policy::NoBalancing.name(), "NOLB");
+        assert!(!Policy::NoBalancing.is_sender_initiated());
+        let s = Policy::SenderThreshold { threshold: 2, probe_limit: 3 };
+        assert!(s.is_sender_initiated());
+        assert!(!s.is_receiver_initiated());
+        let r = Policy::Receiver { threshold: 1, probe_limit: 3 };
+        assert!(r.is_receiver_initiated());
+        assert!(!r.is_sender_initiated());
+        let y = Policy::Symmetric { threshold: 2, probe_limit: 3 };
+        assert!(y.is_sender_initiated() && y.is_receiver_initiated());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the dynamic-policy simulator: structural invariants
+//! must hold for every policy and every feasible parameterization.
+
+use gtlb_dynamic::{run_dynamic, DynamicConfig, DynamicSpec, Policy};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::NoBalancing),
+        Just(Policy::CentralJsq),
+        (1u32..4).prop_map(|t| Policy::SenderRandom { threshold: t }),
+        (1u32..4, 1u32..4)
+            .prop_map(|(t, p)| Policy::SenderThreshold { threshold: t, probe_limit: p }),
+        (1u32..4, 1u32..4)
+            .prop_map(|(t, p)| Policy::SenderShortest { threshold: t, probe_limit: p }),
+        (1u32..3, 1u32..4).prop_map(|(t, p)| Policy::Receiver { threshold: t, probe_limit: p }),
+        (1u32..4, 1u32..4).prop_map(|(t, p)| Policy::Symmetric { threshold: t, probe_limit: p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_completes_and_measures(
+        policy in arb_policy(),
+        n in 2usize..6,
+        rho in 0.2f64..0.85,
+        delay in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let spec = DynamicSpec::homogeneous(n, 1.0, rho, delay, policy);
+        let cfg = DynamicConfig { seed, warmup_jobs: 200, measured_jobs: 3_000 };
+        let res = run_dynamic(&spec, &cfg);
+        // Exactly the requested number of jobs measured.
+        prop_assert_eq!(res.measured, 3_000);
+        prop_assert_eq!(res.response.count(), 3_000);
+        // Completions per computer sum to the measured jobs.
+        let total: u64 = res.completions.iter().sum();
+        prop_assert_eq!(total, 3_000);
+        // Response times are physical.
+        prop_assert!(res.response.mean() > 0.0);
+        prop_assert!(res.end_time > 0.0);
+        // Transferred subset is a subset.
+        prop_assert!(res.transferred_response.count() <= res.measured);
+    }
+
+    #[test]
+    fn determinism_across_policies(
+        policy in arb_policy(),
+        seed in 0u64..1000,
+    ) {
+        let spec = DynamicSpec::homogeneous(4, 1.0, 0.6, 0.05, policy);
+        let cfg = DynamicConfig { seed, warmup_jobs: 100, measured_jobs: 2_000 };
+        let a = run_dynamic(&spec, &cfg);
+        let b = run_dynamic(&spec, &cfg);
+        prop_assert_eq!(a.response.mean(), b.response.mean());
+        prop_assert_eq!(a.transfers, b.transfers);
+        prop_assert_eq!(a.probes, b.probes);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn no_balancing_never_transfers(
+        n in 2usize..6,
+        rho in 0.2f64..0.85,
+        seed in 0u64..1000,
+    ) {
+        let spec = DynamicSpec::homogeneous(n, 1.0, rho, 0.1, Policy::NoBalancing);
+        let cfg = DynamicConfig { seed, warmup_jobs: 100, measured_jobs: 2_000 };
+        let res = run_dynamic(&spec, &cfg);
+        prop_assert_eq!(res.transfers, 0);
+        prop_assert_eq!(res.probes, 0);
+        prop_assert_eq!(res.transferred_response.count(), 0);
+    }
+}

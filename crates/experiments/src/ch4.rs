@@ -1,0 +1,231 @@
+//! Chapter 4 experiments — the noncooperative Nash game (§4.4).
+
+use gtlb_core::noncoop::{
+    nash, GlobalOptimalScheme, IndividualOptimalScheme, MultiUserScheme, NashInit, NashOptions,
+    NashScheme, ProportionalScheme,
+};
+use gtlb_sim::analytic::{per_user_times, sweep_multi_user};
+use gtlb_sim::report::{fmt_num, Table};
+use gtlb_sim::runner::{multi_user_spec, replicate_parallel, simulated_user_fairness, ArrivalLaw};
+use gtlb_sim::scenario::{
+    skewed_cluster, sized_cluster, table41, table41_system, user_shares, HYPEREXP_CV,
+    UTILIZATION_GRID,
+};
+
+use crate::common::Options;
+
+/// Table 4.1.
+pub fn table4_1(opts: &Options) {
+    let cluster = table41();
+    let mut t = Table::new(
+        "Table 4.1 — system configuration",
+        &["relative rate", "count", "rate (jobs/s)"],
+    );
+    for (rel, count, rate) in [(10, 2, 100.0), (5, 3, 50.0), (2, 5, 20.0), (1, 6, 10.0)] {
+        t.push_row(vec![rel.to_string(), count.to_string(), fmt_num(rate)]);
+    }
+    opts.emit("table4_1", &t);
+    println!(
+        "aggregate rate {} jobs/s; 10 users with shares {:?}",
+        fmt_num(cluster.total_rate()),
+        user_shares(10).iter().map(|q| (q * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+}
+
+/// Figure 4.2: norm vs iteration for NASH_0 and NASH_P (16 computers,
+/// 10 users, ρ = 60 %).
+pub fn fig4_2(opts: &Options) {
+    let system = table41_system(0.6, 10);
+    let nash_opts = NashOptions { tolerance: 1e-6, max_rounds: 20_000 };
+    let zero = nash::solve(&system, &NashInit::Zero, &nash_opts).expect("NASH_0 converges");
+    let prop =
+        nash::solve(&system, &NashInit::Proportional, &nash_opts).expect("NASH_P converges");
+    let mut t = Table::new(
+        "Fig 4.2 — norm vs number of iterations (per-round L1 profile change)",
+        &["iteration", "NASH_0", "NASH_P"],
+    );
+    let m = system.m() as u32;
+    let rounds = zero.norm_trace.len().max(prop.norm_trace.len());
+    for r in 0..rounds {
+        t.push_row(vec![
+            ((r as u32 + 1) * m).to_string(),
+            zero.norm_trace.get(r).map_or_else(|| "-".into(), |&v| format!("{v:.3e}")),
+            prop.norm_trace.get(r).map_or_else(|| "-".into(), |&v| format!("{v:.3e}")),
+        ]);
+    }
+    opts.emit("fig4_2", &t);
+    println!(
+        "NASH_0 took {} user updates; NASH_P took {} — {:.1}x fewer",
+        zero.user_updates,
+        prop.user_updates,
+        f64::from(zero.user_updates) / f64::from(prop.user_updates)
+    );
+}
+
+/// Figure 4.3: iterations to reach norm ≤ 1e-4 vs number of users
+/// (4…32) for both initializations.
+pub fn fig4_3(opts: &Options) {
+    let nash_opts = NashOptions { tolerance: 1e-4, max_rounds: 50_000 };
+    let mut t = Table::new(
+        "Fig 4.3 — user updates until norm <= 1e-4",
+        &["users", "NASH_0", "NASH_P"],
+    );
+    for m in (4..=32).step_by(4) {
+        let system = table41_system(0.6, m);
+        let zero = nash::solve(&system, &NashInit::Zero, &nash_opts).expect("converges");
+        let prop = nash::solve(&system, &NashInit::Proportional, &nash_opts).expect("converges");
+        t.push_row(vec![
+            m.to_string(),
+            zero.user_updates.to_string(),
+            prop.user_updates.to_string(),
+        ]);
+    }
+    opts.emit("fig4_3", &t);
+}
+
+fn multi_schemes() -> (NashScheme, GlobalOptimalScheme, IndividualOptimalScheme, ProportionalScheme)
+{
+    (NashScheme::default(), GlobalOptimalScheme, IndividualOptimalScheme::new(), ProportionalScheme)
+}
+
+fn multi_sweep_tables(
+    id: &str,
+    title: &str,
+    clusters: &[(String, gtlb_core::model::Cluster)],
+    rho: f64,
+    opts: &Options,
+) {
+    let (nash_s, gos, ios, ps) = multi_schemes();
+    let refs: [&dyn MultiUserScheme; 4] = [&nash_s, &gos, &ios, &ps];
+    let mut t_resp =
+        Table::new(format!("{title} — response time (s)"), &["x", "NASH", "GOS", "IOS", "PS"]);
+    let mut t_fair =
+        Table::new(format!("{title} — fairness index I"), &["x", "NASH", "GOS", "IOS", "PS"]);
+    for (label, cluster) in clusters {
+        let pts = sweep_multi_user(cluster, &user_shares(10), &refs, &[rho]).unwrap();
+        let names = ["NASH", "GOS", "IOS", "PS"];
+        t_resp.push_numeric_row(
+            label,
+            &names.map(|n| pts.iter().find(|p| p.scheme == n).unwrap().response_time),
+        );
+        t_fair.push_numeric_row(
+            label,
+            &names.map(|n| pts.iter().find(|p| p.scheme == n).unwrap().fairness),
+        );
+    }
+    opts.emit(&format!("{id}_response"), &t_resp);
+    opts.emit(&format!("{id}_fairness"), &t_fair);
+}
+
+/// Figure 4.4: response time + fairness vs utilization.
+pub fn fig4_4(opts: &Options) {
+    let (nash_s, gos, ios, ps) = multi_schemes();
+    let refs: [&dyn MultiUserScheme; 4] = [&nash_s, &gos, &ios, &ps];
+    let cluster = table41();
+    let pts = sweep_multi_user(&cluster, &user_shares(10), &refs, &UTILIZATION_GRID).unwrap();
+    let mut t_resp = Table::new(
+        "Fig 4.4 — response time vs utilization",
+        &["rho(%)", "NASH", "GOS", "IOS", "PS"],
+    );
+    let mut t_fair = Table::new(
+        "Fig 4.4 — fairness vs utilization",
+        &["rho(%)", "NASH", "GOS", "IOS", "PS"],
+    );
+    for &rho in &UTILIZATION_GRID {
+        let names = ["NASH", "GOS", "IOS", "PS"];
+        let grab = |n: &str| {
+            pts.iter()
+                .find(|p| p.scheme == n && (p.utilization - rho).abs() < 1e-12)
+                .unwrap()
+        };
+        t_resp.push_numeric_row(
+            &format!("{:.0}", rho * 100.0),
+            &names.map(|n| grab(n).response_time),
+        );
+        t_fair.push_numeric_row(&format!("{:.0}", rho * 100.0), &names.map(|n| grab(n).fairness));
+    }
+    opts.emit("fig4_4_response", &t_resp);
+    opts.emit("fig4_4_fairness", &t_fair);
+}
+
+/// Figure 4.5: per-user expected response times at ρ = 60 %.
+pub fn fig4_5(opts: &Options) {
+    let system = table41_system(0.6, 10);
+    let (nash_s, gos, ios, ps) = multi_schemes();
+    let nash_t = per_user_times(&system, &nash_s).unwrap();
+    let gos_t = per_user_times(&system, &gos).unwrap();
+    let ios_t = per_user_times(&system, &ios).unwrap();
+    let ps_t = per_user_times(&system, &ps).unwrap();
+    let mut t = Table::new(
+        "Fig 4.5 — expected response time for each user (rho = 60%)",
+        &["user", "share", "NASH", "GOS", "IOS", "PS"],
+    );
+    for j in 0..system.m() {
+        t.push_row(vec![
+            format!("U{}", j + 1),
+            fmt_num(user_shares(10)[j]),
+            fmt_num(nash_t[j]),
+            fmt_num(gos_t[j]),
+            fmt_num(ios_t[j]),
+            fmt_num(ps_t[j]),
+        ]);
+    }
+    opts.emit("fig4_5", &t);
+}
+
+/// Figure 4.6: heterogeneity sweep (2 fast + 14 slow, skew 1…20,
+/// ρ = 60 %).
+pub fn fig4_6(opts: &Options) {
+    let clusters: Vec<(String, _)> = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0]
+        .iter()
+        .map(|&s| (fmt_num(s), skewed_cluster(s, 10.0)))
+        .collect();
+    multi_sweep_tables("fig4_6", "Fig 4.6 (skew sweep, rho=60%)", &clusters, 0.6, opts);
+}
+
+/// Figure 4.7: system-size sweep (2 fast ×10 + up to 18 slow, ρ = 60 %).
+pub fn fig4_7(opts: &Options) {
+    let clusters: Vec<(String, _)> = (2..=20)
+        .step_by(2)
+        .map(|n| (n.to_string(), sized_cluster(n, 10.0)))
+        .collect();
+    multi_sweep_tables("fig4_7", "Fig 4.7 (size sweep, rho=60%)", &clusters, 0.6, opts);
+}
+
+/// Figure 4.8: hyper-exponential arrivals (CV = 1.6), simulated.
+pub fn fig4_8(opts: &Options) {
+    let budget = opts.budget();
+    let (nash_s, gos, ios, ps) = multi_schemes();
+    let refs: [(&str, &dyn MultiUserScheme); 4] =
+        [("NASH", &nash_s), ("GOS", &gos), ("IOS", &ios), ("PS", &ps)];
+    let mut t_resp = Table::new(
+        "Fig 4.8 — simulated response time, H2 arrivals CV=1.6 (mean ± 95% hw)",
+        &["rho(%)", "NASH", "GOS", "IOS", "PS"],
+    );
+    let mut t_fair = Table::new(
+        "Fig 4.8 — simulated user fairness, H2 arrivals CV=1.6",
+        &["rho(%)", "NASH", "GOS", "IOS", "PS"],
+    );
+    let grid: &[f64] = if opts.quick { &[0.3, 0.6, 0.9] } else { &UTILIZATION_GRID };
+    for &rho in grid {
+        let system = table41_system(rho, 10);
+        let mut resp_cells = vec![format!("{:.0}", rho * 100.0)];
+        let mut fair_vals = Vec::new();
+        for (_, s) in refs {
+            let profile = s.profile(&system).unwrap();
+            let spec =
+                multi_user_spec(&system, &profile, ArrivalLaw::HyperExp { cv: HYPEREXP_CV });
+            let res = replicate_parallel(&spec, &budget);
+            resp_cells.push(format!(
+                "{}±{}",
+                fmt_num(res.overall.mean),
+                fmt_num(res.overall.half_width)
+            ));
+            fair_vals.push(simulated_user_fairness(&res));
+        }
+        t_resp.push_row(resp_cells);
+        t_fair.push_numeric_row(&format!("{:.0}", rho * 100.0), &fair_vals);
+    }
+    opts.emit("fig4_8_response", &t_resp);
+    opts.emit("fig4_8_fairness", &t_fair);
+}

@@ -1,0 +1,226 @@
+//! Chapter 5 experiments — the truthful mechanism (§5.5).
+
+use gtlb_core::allocation::jain_index;
+use gtlb_core::model::Cluster;
+use gtlb_mechanism::payment::{rates_from_bids, PaymentBreakdown, TruthfulMechanism};
+use gtlb_sim::report::{fmt_num, Table};
+use gtlb_sim::runner::{replicate_parallel, single_class_spec, ArrivalLaw};
+use gtlb_sim::scenario::{table31, table51_bids, UTILIZATION_GRID};
+
+use crate::common::Options;
+
+/// The bid scenarios of §5.5: C1 truthful / 33 % higher / 7 % lower.
+fn bid_scenarios() -> [(&'static str, f64); 3] {
+    [("true", 1.0), ("high", 1.33), ("low", 0.93)]
+}
+
+fn bids_with_c1_factor(factor: f64) -> Vec<f64> {
+    let mut bids = table51_bids();
+    bids[0] *= factor;
+    bids
+}
+
+/// Table 5.1 (= Table 3.1, restated as bids).
+pub fn table5_1(opts: &Options) {
+    let bids = table51_bids();
+    let mut t = Table::new(
+        "Table 5.1 — system configuration (true values t_i = 1/mu_i)",
+        &["computer", "rate (jobs/s)", "true value t (s/job)"],
+    );
+    let cluster = table31();
+    let order = cluster.order_by_rate_desc();
+    for (slot, &i) in order.iter().enumerate() {
+        t.push_row(vec![
+            format!("C{}", slot + 1),
+            fmt_num(cluster.rates()[i]),
+            fmt_num(bids[i]),
+        ]);
+    }
+    opts.emit("table5_1", &t);
+}
+
+/// Figure 5.2: performance degradation vs utilization when C1 lies.
+///
+/// Evaluated two ways, as the analytic response time is infinite once an
+/// underbidding C1 is overloaded: the closed form (exact where finite)
+/// and the simulator (finite-horizon, like the paper's runs).
+pub fn fig5_2(opts: &Options) {
+    let cluster = table31();
+    let true_bids = table51_bids();
+    let budget = opts.budget();
+    let mut t = Table::new(
+        "Fig 5.2 — performance degradation PD (%) vs utilization",
+        &["rho(%)", "analytic high", "analytic low", "simulated high", "simulated low"],
+    );
+    let grid: &[f64] = if opts.quick { &[0.3, 0.6, 0.9] } else { &UTILIZATION_GRID };
+    for &rho in grid {
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let mech = TruthfulMechanism::new(phi);
+        let t_true = mech.true_response_time(&true_bids, &true_bids).unwrap();
+        let mut cells = vec![format!("{:.0}", rho * 100.0)];
+        let mut sim_cells = Vec::new();
+        for factor in [1.33, 0.93] {
+            let lying = bids_with_c1_factor(factor);
+            let t_lie = mech.true_response_time(&lying, &true_bids).unwrap();
+            cells.push(fmt_num(100.0 * (t_lie - t_true) / t_true));
+            // Simulated: run the lie-derived allocation on the TRUE rates.
+            let alloc = mech.allocate(&lying).unwrap();
+            let spec = single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::Poisson);
+            let res = replicate_parallel(&spec, &budget);
+            let alloc_true = mech.allocate(&true_bids).unwrap();
+            let spec_true =
+                single_class_spec(&cluster, alloc_true.loads(), phi, ArrivalLaw::Poisson);
+            let res_true = replicate_parallel(&spec_true, &budget);
+            sim_cells
+                .push(fmt_num(100.0 * (res.overall.mean - res_true.overall.mean) / res_true.overall.mean));
+        }
+        cells.extend(sim_cells);
+        t.push_row(cells);
+    }
+    opts.emit("fig5_2", &t);
+}
+
+/// Figure 5.3: fairness index vs utilization for the three bid
+/// scenarios (evaluated on the true rates).
+pub fn fig5_3(opts: &Options) {
+    let cluster = table31();
+    let mut t = Table::new(
+        "Fig 5.3 — fairness index vs utilization",
+        &["rho(%)", "OPTIM(true)", "OPTIM(high)", "OPTIM(low)"],
+    );
+    for &rho in &UTILIZATION_GRID {
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let mech = TruthfulMechanism::new(phi);
+        let mut vals = Vec::new();
+        for (_, factor) in bid_scenarios() {
+            let bids = bids_with_c1_factor(factor);
+            let alloc = mech.allocate(&bids).unwrap();
+            // Fairness of the realized times on the TRUE rates; an
+            // overloaded computer contributes an effectively-unbounded
+            // time, cratering the index like the paper's ρ=90% point.
+            let times: Vec<f64> = alloc
+                .loads()
+                .iter()
+                .zip(cluster.rates())
+                .filter(|(&l, _)| l > 0.0)
+                .map(|(&l, &mu)| if l < mu { 1.0 / (mu - l) } else { 1e6 })
+                .collect();
+            vals.push(jain_index(&times));
+        }
+        t.push_numeric_row(&format!("{:.0}", rho * 100.0), &vals);
+    }
+    opts.emit("fig5_3", &t);
+}
+
+fn payments_for(factor: f64, rho: f64) -> (Vec<PaymentBreakdown>, Vec<f64>, TruthfulMechanism) {
+    let cluster = table31();
+    let phi = cluster.arrival_rate_for_utilization(rho);
+    // Reserve price: 10x the slowest computer's true value. Needed above
+    // ~80% utilization, where the fast computers are pivotal (the rest of
+    // the market cannot carry the load alone) and the untruncated
+    // Archer-Tardos integral diverges; see EXPERIMENTS.md.
+    let mech = TruthfulMechanism::with_max_bid(phi, 10.0 / 0.013);
+    let bids = bids_with_c1_factor(factor);
+    let payments = mech.payments(&bids).expect("payments computable");
+    (payments, bids, mech)
+}
+
+/// Figure 5.4: profit of each computer at ρ = 50 % for the three bid
+/// scenarios (profit is always measured against the TRUE values).
+pub fn fig5_4(opts: &Options) {
+    let truth = table51_bids();
+    let mut t = Table::new(
+        "Fig 5.4 — profit for each computer (rho = 50%)",
+        &["computer", "true bid", "C1 high (x1.33)", "C1 low (x0.93)"],
+    );
+    let (p_true, _, _) = payments_for(1.0, 0.5);
+    let (p_high, _, _) = payments_for(1.33, 0.5);
+    let (p_low, _, _) = payments_for(0.93, 0.5);
+    let cluster = table31();
+    let order = cluster.order_by_rate_desc();
+    for (slot, &i) in order.iter().enumerate() {
+        t.push_row(vec![
+            format!("C{}", slot + 1),
+            fmt_num(p_true[i].profit(truth[i])),
+            fmt_num(p_high[i].profit(truth[i])),
+            fmt_num(p_low[i].profit(truth[i])),
+        ]);
+    }
+    opts.emit("fig5_4", &t);
+    println!(
+        "C1 profit: true {} / high {} / low {} — maximum at the truthful bid",
+        fmt_num(p_true[0].profit(truth[0])),
+        fmt_num(p_high[0].profit(truth[0])),
+        fmt_num(p_low[0].profit(truth[0]))
+    );
+}
+
+fn payment_structure(id: &str, title: &str, factor: f64, opts: &Options) {
+    let truth = table51_bids();
+    let (payments, _, _) = payments_for(factor, 0.5);
+    let cluster = table31();
+    let order = cluster.order_by_rate_desc();
+    let mut t = Table::new(title, &["computer", "payment", "cost", "profit", "cost/payment(%)"]);
+    for (slot, &i) in order.iter().enumerate() {
+        let p = &payments[i];
+        let cost = p.cost(truth[i]);
+        let pay = p.payment();
+        let frac = if pay > 0.0 { 100.0 * cost / pay } else { f64::NAN };
+        t.push_row(vec![
+            format!("C{}", slot + 1),
+            fmt_num(pay),
+            fmt_num(cost),
+            fmt_num(p.profit(truth[i])),
+            fmt_num(frac),
+        ]);
+    }
+    opts.emit(id, &t);
+}
+
+/// Figure 5.5: payment structure per computer, C1 bids 33 % higher.
+pub fn fig5_5(opts: &Options) {
+    payment_structure(
+        "fig5_5",
+        "Fig 5.5 — payment structure per computer (C1 bids higher, rho = 50%)",
+        1.33,
+        opts,
+    );
+}
+
+/// Figure 5.6: payment structure per computer, C1 bids 7 % lower.
+pub fn fig5_6(opts: &Options) {
+    payment_structure(
+        "fig5_6",
+        "Fig 5.6 — payment structure per computer (C1 bids lower, rho = 50%)",
+        0.93,
+        opts,
+    );
+}
+
+/// Figure 5.7: total payment vs utilization (truthful bids) split into
+/// cost and profit fractions.
+pub fn fig5_7(opts: &Options) {
+    let truth = table51_bids();
+    let mut t = Table::new(
+        "Fig 5.7 — total payment vs utilization (true bids)",
+        &["rho(%)", "total payment", "total cost", "cost share (%)", "profit share (%)"],
+    );
+    for &rho in &UTILIZATION_GRID {
+        let (payments, _, _) = payments_for(1.0, rho);
+        let total_pay: f64 = payments.iter().map(PaymentBreakdown::payment).sum();
+        let total_cost: f64 = payments.iter().zip(&truth).map(|(p, &b)| p.cost(b)).sum();
+        t.push_numeric_row(
+            &format!("{:.0}", rho * 100.0),
+            &[
+                total_pay,
+                total_cost,
+                100.0 * total_cost / total_pay,
+                100.0 * (total_pay - total_cost) / total_pay,
+            ],
+        );
+    }
+    opts.emit("fig5_7", &t);
+    // Sanity print for the reader: the rates the bids imply.
+    let rates = rates_from_bids(&truth).unwrap();
+    let _ = Cluster::new(rates).unwrap();
+}

@@ -1,0 +1,153 @@
+//! Chapter 6 experiments — the mechanism with verification (§6.4).
+
+use gtlb_mechanism::verification::{
+    table61_mechanism, table62_behaviors, Table62, VerifiedOutcome,
+};
+use gtlb_sim::report::{fmt_num, Table};
+
+use crate::common::Options;
+
+fn outcomes() -> Vec<(Table62, VerifiedOutcome)> {
+    let mech = table61_mechanism();
+    Table62::ALL
+        .iter()
+        .map(|&exp| (exp, mech.run(&table62_behaviors(&mech, exp)).expect("experiment runs")))
+        .collect()
+}
+
+/// Table 6.1.
+pub fn table6_1(opts: &Options) {
+    let mech = table61_mechanism();
+    let mut t = Table::new("Table 6.1 — true values", &["computers", "true value t"]);
+    for (label, val) in
+        [("C1 - C2", 1.0), ("C3 - C5", 2.0), ("C6 - C10", 5.0), ("C11 - C16", 10.0)]
+    {
+        t.push_row(vec![label.to_string(), fmt_num(val)]);
+    }
+    opts.emit("table6_1", &t);
+    println!(
+        "arrival rate Λ = {} jobs/s; optimal (True1) latency L* = {}",
+        fmt_num(mech.arrival_rate),
+        fmt_num(mech.honest_latency())
+    );
+}
+
+/// Table 6.2.
+pub fn table6_2(opts: &Options) {
+    let mut t = Table::new(
+        "Table 6.2 — types of experiments (C1's behavior; others truthful)",
+        &["experiment", "t1", "b1", "t̂1", "characterization"],
+    );
+    for exp in Table62::ALL {
+        let b = exp.behavior(1.0);
+        let kind = match exp {
+            Table62::True1 => "b = t, executes at full speed",
+            Table62::True2 => "b = t, executes slower",
+            Table62::High1 => "b > t, executes at the lie",
+            Table62::High2 => "b > t, executes at full speed",
+            Table62::High3 => "b > t, executes between",
+            Table62::High4 => "b > t, executes even slower",
+            Table62::Low1 => "b < t, executes at full speed",
+            Table62::Low2 => "b < t, executes slower",
+        };
+        t.push_row(vec![
+            exp.name().to_string(),
+            "1".into(),
+            fmt_num(b.bid),
+            fmt_num(b.execution),
+            kind.to_string(),
+        ]);
+    }
+    opts.emit("table6_2", &t);
+}
+
+/// Figure 6.1: total latency for each experiment.
+pub fn fig6_1(opts: &Options) {
+    let mech = table61_mechanism();
+    let base = mech.honest_latency();
+    let mut t = Table::new(
+        "Fig 6.1 — total latency for each experiment",
+        &["experiment", "total latency", "vs True1 (%)"],
+    );
+    for (exp, out) in outcomes() {
+        t.push_row(vec![
+            exp.name().to_string(),
+            fmt_num(out.total_latency),
+            fmt_num(100.0 * (out.total_latency / base - 1.0)),
+        ]);
+    }
+    opts.emit("fig6_1", &t);
+}
+
+/// Figure 6.2: payment and utility of computer C1 per experiment.
+pub fn fig6_2(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 6.2 — payment and utility for computer C1",
+        &["experiment", "payment", "utility"],
+    );
+    for (exp, out) in outcomes() {
+        t.push_row(vec![
+            exp.name().to_string(),
+            fmt_num(out.payment(0)),
+            fmt_num(out.utility(0)),
+        ]);
+    }
+    opts.emit("fig6_2", &t);
+    println!("C1's utility peaks at True1; Low2's payment and utility are negative.");
+}
+
+fn per_computer(id: &str, exp: Table62, opts: &Options) {
+    let mech = table61_mechanism();
+    let out = mech.run(&table62_behaviors(&mech, exp)).unwrap();
+    let mut t = Table::new(
+        format!("{id} — payment and utility for each computer ({})", exp.name()),
+        &["computer", "allocation x", "compensation", "bonus", "payment", "utility"],
+    );
+    for i in 0..mech.n() {
+        t.push_row(vec![
+            format!("C{}", i + 1),
+            fmt_num(out.allocation[i]),
+            fmt_num(out.compensations[i]),
+            fmt_num(out.bonuses[i]),
+            fmt_num(out.payment(i)),
+            fmt_num(out.utility(i)),
+        ]);
+    }
+    opts.emit(id, &t);
+}
+
+/// Figure 6.3: per-computer payments/utilities in True1.
+pub fn fig6_3(opts: &Options) {
+    per_computer("fig6_3", Table62::True1, opts);
+}
+
+/// Figure 6.4: per-computer payments/utilities in High1.
+pub fn fig6_4(opts: &Options) {
+    per_computer("fig6_4", Table62::High1, opts);
+}
+
+/// Figure 6.5: per-computer payments/utilities in Low1.
+pub fn fig6_5(opts: &Options) {
+    per_computer("fig6_5", Table62::Low1, opts);
+}
+
+/// Figure 6.6: payment structure — total payment vs total valuation
+/// per experiment (frugality).
+pub fn fig6_6(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 6.6 — payment structure (frugality)",
+        &["experiment", "total payment", "total valuation", "payment/valuation"],
+    );
+    for (exp, out) in outcomes() {
+        let pay = out.total_payment();
+        let val = out.total_valuation();
+        t.push_row(vec![
+            exp.name().to_string(),
+            fmt_num(pay),
+            fmt_num(val),
+            fmt_num(pay / val),
+        ]);
+    }
+    opts.emit("fig6_6", &t);
+    println!("(the paper reports payments at most ~2.5x the total valuation)");
+}

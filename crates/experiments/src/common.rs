@@ -1,0 +1,54 @@
+//! Shared experiment plumbing.
+
+use std::path::PathBuf;
+
+use gtlb_sim::report::Table;
+use gtlb_sim::runner::SimBudget;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Shrink simulation budgets for smoke runs.
+    pub quick: bool,
+    /// Where to mirror every table as CSV (None = stdout only).
+    pub csv_dir: Option<PathBuf>,
+    /// Base PRNG seed for the simulated experiments.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { quick: false, csv_dir: None, seed: 0x67_1B }
+    }
+}
+
+impl Options {
+    /// The simulation budget implied by the flags: the paper's protocol
+    /// (5 replications, ~1–2 million jobs total) or a smoke-test budget.
+    #[must_use]
+    pub fn budget(&self) -> SimBudget {
+        if self.quick {
+            SimBudget { seed: self.seed, ..SimBudget::quick() }
+        } else {
+            SimBudget {
+                seed: self.seed,
+                replications: 5,
+                warmup_jobs: 30_000,
+                measured_jobs: 300_000,
+            }
+        }
+    }
+
+    /// Prints the table and mirrors it to CSV when requested.
+    pub fn emit(&self, id: &str, table: &Table) {
+        print!("{table}");
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{id}.csv"));
+            match table.write_csv(&path) {
+                Ok(()) => println!("[csv written to {}]", path.display()),
+                Err(e) => eprintln!("[csv write failed: {e}]"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,156 @@
+//! `experiments` — regenerates every table and figure of the paper's
+//! evaluation (and the dissertation's extension chapters).
+//!
+//! ```text
+//! cargo run --release -p gtlb-experiments -- <id>... [--quick] [--csv DIR]
+//! cargo run --release -p gtlb-experiments -- all
+//! cargo run --release -p gtlb-experiments -- list
+//! ```
+//!
+//! Ids: `table3_1 fig3_1 … fig3_6 table4_1 fig4_2 … fig4_8 table5_1
+//! fig5_2 … fig5_7 table6_1 table6_2 fig6_1 … fig6_6 ablate_drop_rule
+//! ablate_nash_init ablate_wardrop_tol`, or the groups `ch3 ch4 ch5 ch6
+//! ablations all`.
+
+mod ablations;
+mod dynamic_ext;
+mod extensions;
+mod ch3;
+mod ch4;
+mod ch5;
+mod ch6;
+mod common;
+
+use common::Options;
+
+type Runner = fn(&Options);
+
+const REGISTRY: &[(&str, &str, Runner)] = &[
+    ("table3_1", "Table 3.1: system configuration", ch3::table3_1),
+    ("fig3_1", "Fig 3.1: response time & fairness vs utilization (COOP/PROP/WARDROP/OPTIM)", ch3::fig3_1),
+    ("fig3_2", "Fig 3.2: per-computer response time at medium load (rho=50%)", ch3::fig3_2),
+    ("fig3_3", "Fig 3.3: per-computer response time at high load (rho=90%)", ch3::fig3_3),
+    ("fig3_4", "Fig 3.4: effect of heterogeneity (speed skew 1..20)", ch3::fig3_4),
+    ("fig3_5", "Fig 3.5: effect of system size (2..20 computers)", ch3::fig3_5),
+    ("fig3_6", "Fig 3.6: hyper-exponential arrivals (CV=1.6), simulated", ch3::fig3_6),
+    ("table4_1", "Table 4.1: system configuration", ch4::table4_1),
+    ("fig4_2", "Fig 4.2: norm vs iterations (NASH_0 vs NASH_P)", ch4::fig4_2),
+    ("fig4_3", "Fig 4.3: iterations to converge vs number of users", ch4::fig4_3),
+    ("fig4_4", "Fig 4.4: response time & fairness vs utilization (NASH/GOS/IOS/PS)", ch4::fig4_4),
+    ("fig4_5", "Fig 4.5: per-user response time at rho=60%", ch4::fig4_5),
+    ("fig4_6", "Fig 4.6: effect of heterogeneity (multi-user)", ch4::fig4_6),
+    ("fig4_7", "Fig 4.7: effect of system size (multi-user)", ch4::fig4_7),
+    ("fig4_8", "Fig 4.8: hyper-exponential arrivals (multi-user), simulated", ch4::fig4_8),
+    ("table5_1", "Table 5.1: system configuration", ch5::table5_1),
+    ("fig5_2", "Fig 5.2: performance degradation vs utilization (C1 lies)", ch5::fig5_2),
+    ("fig5_3", "Fig 5.3: fairness vs utilization (true/high/low bids)", ch5::fig5_3),
+    ("fig5_4", "Fig 5.4: profit per computer at medium load", ch5::fig5_4),
+    ("fig5_5", "Fig 5.5: payment structure per computer (C1 bids higher)", ch5::fig5_5),
+    ("fig5_6", "Fig 5.6: payment structure per computer (C1 bids lower)", ch5::fig5_6),
+    ("fig5_7", "Fig 5.7: total payment vs utilization", ch5::fig5_7),
+    ("table6_1", "Table 6.1: true values", ch6::table6_1),
+    ("table6_2", "Table 6.2: experiment matrix", ch6::table6_2),
+    ("fig6_1", "Fig 6.1: total latency per experiment", ch6::fig6_1),
+    ("fig6_2", "Fig 6.2: payment & utility of C1 per experiment", ch6::fig6_2),
+    ("fig6_3", "Fig 6.3: payment & utility per computer (True1)", ch6::fig6_3),
+    ("fig6_4", "Fig 6.4: payment & utility per computer (High1)", ch6::fig6_4),
+    ("fig6_5", "Fig 6.5: payment & utility per computer (Low1)", ch6::fig6_5),
+    ("fig6_6", "Fig 6.6: payment structure (frugality)", ch6::fig6_6),
+    ("dyn_compare", "Extension: dynamic policies vs static COOP on Table 3.1", dynamic_ext::compare),
+    ("dyn_crossover", "Extension: sender- vs receiver-initiated crossover with load", dynamic_ext::crossover),
+    ("dyn_overhead", "Extension: location-policy detail vs probe overhead", dynamic_ext::overhead),
+    ("ext_drift", "Extension: NASH warm-started over a drifting load trace", extensions::drift),
+    ("ext_fault", "Extension: fault-aware vs fault-blind truthful allocation", extensions::fault),
+    ("ext_estimation", "Extension: NASH on statistically estimated rates", extensions::estimation),
+    ("ext_network", "Extension: load exchange over a shared M/M/1 channel (Tantawi-Towsley)", extensions::network),
+    ("ext_poa", "Extension: price of anarchy of the noncooperative game", extensions::poa),
+    ("ablate_drop_rule", "Ablation: COOP/OPTIM with vs without the drop-slowest loop", ablations::drop_rule),
+    ("ablate_nash_init", "Ablation: NASH_0 vs NASH_P vs warm start", ablations::nash_init),
+    ("ablate_wardrop_tol", "Ablation: WARDROP tolerance vs error vs iterations", ablations::wardrop_tol),
+];
+
+const GROUPS: &[(&str, &str)] = &[
+    ("ch3", "fig3_"),
+    ("ch4", "fig4_"),
+    ("ch5", "fig5_"),
+    ("ch6", "fig6_"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--csv" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                });
+                opts.csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--seed" => {
+                let s = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                });
+                opts.seed = s;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "list") {
+        println!("available experiments:");
+        for (id, desc, _) in REGISTRY {
+            println!("  {id:<18} {desc}");
+        }
+        println!("  groups: ch3 ch4 ch5 ch6 tables dynamic extensions ablations all");
+        println!("  flags: --quick (smaller simulation budgets), --csv DIR, --seed N");
+        return;
+    }
+
+    let mut selected: Vec<&(&str, &str, Runner)> = Vec::new();
+    for id in &ids {
+        match id.as_str() {
+            "all" => selected.extend(REGISTRY.iter()),
+            "tables" => {
+                selected.extend(REGISTRY.iter().filter(|(n, _, _)| n.starts_with("table")));
+            }
+            "ablations" => {
+                selected.extend(REGISTRY.iter().filter(|(n, _, _)| n.starts_with("ablate")));
+            }
+            "dynamic" => {
+                selected.extend(REGISTRY.iter().filter(|(n, _, _)| n.starts_with("dyn_")));
+            }
+            "extensions" => {
+                selected.extend(
+                    REGISTRY.iter().filter(|(n, _, _)| n.starts_with("ext_") || n.starts_with("dyn_")),
+                );
+            }
+            g if GROUPS.iter().any(|(name, _)| *name == g) => {
+                let prefix = GROUPS.iter().find(|(name, _)| *name == g).unwrap().1;
+                let table_prefix = format!("table{}", &g[2..]);
+                selected.extend(REGISTRY.iter().filter(|(n, _, _)| {
+                    n.starts_with(prefix) || n.starts_with(&table_prefix)
+                }));
+            }
+            exact => match REGISTRY.iter().find(|(n, _, _)| *n == exact) {
+                Some(entry) => selected.push(entry),
+                None => {
+                    eprintln!("unknown experiment `{exact}` (try `list`)");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    selected.dedup_by_key(|e| e.0);
+
+    for (id, desc, run) in selected {
+        println!("\n########## {id} — {desc}\n");
+        let started = std::time::Instant::now();
+        run(&opts);
+        println!("[{} finished in {:.2?}]", id, started.elapsed());
+    }
+}

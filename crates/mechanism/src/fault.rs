@@ -1,0 +1,222 @@
+//! Fault-tolerant load-balancing mechanism — an instantiation of the
+//! dissertation's first mechanism-design future-work item (§7.3):
+//! *"consider that each agent (computer) is characterized not only by its
+//! processing rate, but also by its probability of failure … devise a
+//! fault tolerant load balancing mechanism that exhibits … truthfulness
+//! and voluntary participation."*
+//!
+//! Model: computer `i` fails each job independently with probability
+//! `p_i` and failed jobs are re-executed on the same computer until they
+//! succeed (geometric retries). The number of executions per job is
+//! geometric with mean `1/(1 − p_i)`, so a computer with raw per-job time
+//! `t_i` behaves exactly like a reliable computer with *effective* value
+//!
+//! ```text
+//! t_eff_i = t_i / (1 − p_i)        (μ_eff_i = μ_i (1 − p_i))
+//! ```
+//!
+//! We take the failure probabilities to be **publicly monitored** (the
+//! dispatcher observes failures; an agent cannot lie about `p_i`), while
+//! the speed remains private. The agent's data is then still a single
+//! real parameter, and the Archer–Tardos machinery applies verbatim on
+//! the effective bids: the allocation stays decreasing in `b_i` (the
+//! `1/(1 − p_i)` factor is a fixed positive rescaling), so the mechanism
+//! remains truthful and voluntarily participated. A fully private `p_i`
+//! would be a two-parameter problem outside this framework — exactly why
+//! the dissertation lists it as open.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::{Allocation, CoreError};
+
+use crate::payment::{rates_from_bids, PaymentBreakdown, TruthfulMechanism};
+
+/// The fault-aware truthful mechanism: Chapter 5's mechanism run on
+/// failure-discounted effective rates.
+#[derive(Debug, Clone)]
+pub struct FaultAwareMechanism {
+    inner: TruthfulMechanism,
+    failure_probs: Vec<f64>,
+}
+
+impl FaultAwareMechanism {
+    /// Builds the mechanism for a system receiving `arrival_rate` jobs/s
+    /// on computers with the given (publicly monitored) failure
+    /// probabilities.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] when any probability is outside `[0, 1)`.
+    pub fn new(arrival_rate: f64, failure_probs: Vec<f64>) -> Result<Self, CoreError> {
+        if let Some((i, &p)) = failure_probs
+            .iter()
+            .enumerate()
+            .find(|&(_, &p)| !(0.0..1.0).contains(&p))
+        {
+            return Err(CoreError::BadInput(format!(
+                "failure probability of computer {i} must lie in [0,1), got {p}"
+            )));
+        }
+        Ok(Self { inner: TruthfulMechanism::new(arrival_rate), failure_probs })
+    }
+
+    /// As [`FaultAwareMechanism::new`] with a reserve price for thin
+    /// markets (see [`TruthfulMechanism::with_max_bid`]).
+    ///
+    /// # Errors
+    /// As [`FaultAwareMechanism::new`].
+    pub fn with_max_bid(
+        arrival_rate: f64,
+        failure_probs: Vec<f64>,
+        max_bid: f64,
+    ) -> Result<Self, CoreError> {
+        let mut m = Self::new(arrival_rate, failure_probs)?;
+        m.inner = TruthfulMechanism::with_max_bid(arrival_rate, max_bid);
+        Ok(m)
+    }
+
+    /// Number of participating computers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.failure_probs.len()
+    }
+
+    /// The effective bids `b_i/(1 − p_i)` the mechanism actually
+    /// optimizes over.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on malformed bids or length mismatch.
+    pub fn effective_bids(&self, bids: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if bids.len() != self.n() {
+            return Err(CoreError::BadInput(format!(
+                "{} bids for {} computers",
+                bids.len(),
+                self.n()
+            )));
+        }
+        let _ = rates_from_bids(bids)?; // validates positivity
+        Ok(bids.iter().zip(&self.failure_probs).map(|(&b, &p)| b / (1.0 - p)).collect())
+    }
+
+    /// The failure-aware allocation: OPTIM on the effective rates.
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::allocate`] on the effective bids.
+    pub fn allocate(&self, bids: &[f64]) -> Result<Allocation, CoreError> {
+        self.inner.allocate(&self.effective_bids(bids)?)
+    }
+
+    /// Truthful payment for agent `i`. The compensation term uses the
+    /// *effective* bid — retries are work the computer really performs,
+    /// so they are costed.
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::payment`].
+    pub fn payment(&self, i: usize, bids: &[f64]) -> Result<PaymentBreakdown, CoreError> {
+        self.inner.payment(i, &self.effective_bids(bids)?)
+    }
+
+    /// Expected response time of an allocation executed on the *true*
+    /// effective rates (counting retries). `+∞` when a computer is
+    /// overloaded.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on malformed true values.
+    pub fn true_response_time(
+        &self,
+        allocation: &Allocation,
+        true_values: &[f64],
+    ) -> Result<f64, CoreError> {
+        let eff = self.effective_bids(true_values)?;
+        let cluster = Cluster::new(rates_from_bids(&eff)?)?;
+        Ok(allocation.mean_response_time(&cluster))
+    }
+
+    /// The cost of *ignoring* failures: response time of the fault-blind
+    /// allocation (computed from raw bids as if `p ≡ 0`) vs the
+    /// fault-aware one, both evaluated on the true effective rates.
+    /// Returns `(blind, aware)`.
+    ///
+    /// # Errors
+    /// Propagates allocation failures; the blind allocation may overload
+    /// a flaky computer, in which case `blind` is `+∞`.
+    pub fn blind_vs_aware(&self, bids: &[f64]) -> Result<(f64, f64), CoreError> {
+        let blind = self.inner.allocate(bids)?;
+        let aware = self.allocate(bids)?;
+        Ok((self.true_response_time(&blind, bids)?, self.true_response_time(&aware, bids)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bids() -> Vec<f64> {
+        vec![1.0, 1.0, 2.0, 4.0] // rates (1, 1, 0.5, 0.25)
+    }
+
+    #[test]
+    fn zero_failures_reduce_to_base_mechanism() {
+        let m = FaultAwareMechanism::new(1.0, vec![0.0; 4]).unwrap();
+        let base = TruthfulMechanism::new(1.0);
+        let a = m.allocate(&bids()).unwrap();
+        let b = base.allocate(&bids()).unwrap();
+        for i in 0..4 {
+            assert!((a.loads()[i] - b.loads()[i]).abs() < 1e-12);
+        }
+        let pa = m.payment(0, &bids()).unwrap();
+        let pb = base.payment(0, &bids()).unwrap();
+        assert!((pa.payment() - pb.payment()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flaky_computers_get_less_load() {
+        // Same raw speed, but computer 1 fails half its jobs.
+        let reliable = FaultAwareMechanism::new(1.0, vec![0.0, 0.0, 0.0, 0.0]).unwrap();
+        let flaky = FaultAwareMechanism::new(1.0, vec![0.0, 0.5, 0.0, 0.0]).unwrap();
+        let a = reliable.allocate(&bids()).unwrap();
+        let b = flaky.allocate(&bids()).unwrap();
+        assert!(b.loads()[1] < a.loads()[1], "{:?} vs {:?}", b.loads(), a.loads());
+        assert!(b.loads()[0] > a.loads()[0]);
+    }
+
+    #[test]
+    fn ignoring_failures_costs_response_time() {
+        let m = FaultAwareMechanism::new(1.2, vec![0.4, 0.0, 0.0, 0.0]).unwrap();
+        let (blind, aware) = m.blind_vs_aware(&bids()).unwrap();
+        assert!(
+            blind > aware,
+            "fault-blind {blind} should be worse than fault-aware {aware}"
+        );
+    }
+
+    #[test]
+    fn truthfulness_carries_over() {
+        let m = FaultAwareMechanism::new(1.0, vec![0.3, 0.1, 0.0, 0.2]).unwrap();
+        let truth = bids();
+        // Profit against the TRUE effective cost t_eff * load.
+        let t_eff0 = truth[0] / (1.0 - 0.3);
+        let honest = {
+            let p = m.payment(0, &truth).unwrap();
+            p.payment() - t_eff0 * p.load
+        };
+        for factor in [0.6, 0.8, 1.25, 1.6, 2.5] {
+            let mut lying = truth.clone();
+            lying[0] *= factor;
+            let p = m.payment(0, &lying).unwrap();
+            let profit = p.payment() - t_eff0 * p.load;
+            assert!(
+                honest >= profit - 1e-6,
+                "misreport x{factor} beats truth: {profit} > {honest}"
+            );
+        }
+        assert!(honest >= -1e-9, "voluntary participation violated: {honest}");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(FaultAwareMechanism::new(1.0, vec![1.0]).is_err()); // p = 1
+        assert!(FaultAwareMechanism::new(1.0, vec![-0.1]).is_err());
+        let m = FaultAwareMechanism::new(1.0, vec![0.0, 0.0]).unwrap();
+        assert!(m.effective_bids(&[1.0]).is_err()); // wrong count
+        assert!(m.effective_bids(&[1.0, -1.0]).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The LBM protocol (§5.4): the truthful mechanism run as an actual
+//! two-phase message protocol between a dispatcher and agent processes.
+//!
+//! Phase I (*bidding*): the dispatcher sends `ReqBid` to every computer;
+//! each computer answers with its bid `b_i` according to its (possibly
+//! dishonest) strategy. Phase II (*completion*): the dispatcher computes
+//! the OPTIM allocation and the payments, sends each computer its
+//! payment, and each computer evaluates its profit.
+//!
+//! The protocol runs each agent on its own thread communicating over
+//! channels — a faithful miniature of the distributed deployment the
+//! paper envisions (the dispatcher "is run on one of the computers and is
+//! able to communicate with all the other computers").
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use gtlb_core::CoreError;
+
+use crate::payment::{PaymentBreakdown, TruthfulMechanism};
+
+/// How an agent turns its true value into a bid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BidStrategy {
+    /// Report the true value (what the mechanism incentivizes).
+    Truthful,
+    /// Report `factor × t_i` (`factor > 1` = claims to be *slower*;
+    /// Figure 5.2's "bids 33 % higher" is `Scale(1.33)`, "7 % lower" is
+    /// `Scale(0.93)`).
+    Scale(f64),
+}
+
+impl BidStrategy {
+    /// The bid an agent with true value `t` submits.
+    #[must_use]
+    pub fn bid(&self, true_value: f64) -> f64 {
+        match self {
+            BidStrategy::Truthful => true_value,
+            BidStrategy::Scale(f) => f * true_value,
+        }
+    }
+}
+
+/// One participating computer.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentSpec {
+    /// Private true value `t_i = 1/μ_i`.
+    pub true_value: f64,
+    /// Bidding behavior.
+    pub strategy: BidStrategy,
+}
+
+/// Outcome of one protocol round.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// The bids actually submitted in Phase I.
+    pub bids: Vec<f64>,
+    /// Per-agent payment breakdowns computed in Phase II.
+    pub payments: Vec<PaymentBreakdown>,
+    /// Per-agent realized profits (`P_i − t_i λ_i`), as evaluated by the
+    /// agents themselves upon receiving their payments.
+    pub profits: Vec<f64>,
+}
+
+impl ProtocolOutcome {
+    /// Total payment disbursed by the mechanism.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().map(PaymentBreakdown::payment).sum()
+    }
+
+    /// Total true cost incurred by the agents.
+    #[must_use]
+    pub fn total_cost(&self, agents: &[AgentSpec]) -> f64 {
+        self.payments.iter().zip(agents).map(|(p, a)| p.cost(a.true_value)).sum()
+    }
+}
+
+/// Messages dispatcher → agent.
+enum ToAgent {
+    ReqBid,
+    Payment(PaymentBreakdown),
+}
+
+/// Messages agent → dispatcher.
+enum ToDispatcher {
+    Bid { agent: usize, bid: f64 },
+    ProfitReport { agent: usize, profit: f64 },
+}
+
+/// Runs one round of the LBM protocol with each agent on its own thread.
+///
+/// # Errors
+/// Propagates allocation/payment errors from the mechanism (overloaded
+/// reported capacity, thin market, …).
+pub fn run_protocol(
+    mechanism: &TruthfulMechanism,
+    agents: &[AgentSpec],
+) -> Result<ProtocolOutcome, CoreError> {
+    let n = agents.len();
+    if n == 0 {
+        return Err(CoreError::BadInput("LBM: no agents".into()));
+    }
+    let (to_disp_tx, to_disp_rx): (Sender<ToDispatcher>, Receiver<ToDispatcher>) = bounded(n);
+    let mut agent_txs: Vec<Sender<ToAgent>> = Vec::with_capacity(n);
+    let mut agent_rxs: Vec<Receiver<ToAgent>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded(2);
+        agent_txs.push(tx);
+        agent_rxs.push(rx);
+    }
+
+    std::thread::scope(|scope| -> Result<ProtocolOutcome, CoreError> {
+        // Own the senders inside the scope so that an early return (e.g.
+        // the mechanism rejecting the bids) drops them, disconnecting the
+        // agents' receive loops instead of deadlocking the scope join.
+        let agent_txs = agent_txs;
+        // Spawn the agents.
+        for (idx, (spec, rx)) in agents.iter().zip(agent_rxs.drain(..)).enumerate() {
+            let tx = to_disp_tx.clone();
+            let spec = *spec;
+            scope.spawn(move || {
+                // Phase I: answer the bid request.
+                if let Ok(ToAgent::ReqBid) = rx.recv() {
+                    let bid = spec.strategy.bid(spec.true_value);
+                    let _ = tx.send(ToDispatcher::Bid { agent: idx, bid });
+                }
+                // Phase II: receive the payment, evaluate the profit.
+                if let Ok(ToAgent::Payment(p)) = rx.recv() {
+                    let profit = p.profit(spec.true_value);
+                    let _ = tx.send(ToDispatcher::ProfitReport { agent: idx, profit });
+                }
+            });
+        }
+        drop(to_disp_tx);
+
+        // Dispatcher, Phase I: request and collect bids.
+        for tx in &agent_txs {
+            tx.send(ToAgent::ReqBid).expect("agent hung up before bidding");
+        }
+        let mut bids = vec![0.0; n];
+        for _ in 0..n {
+            match to_disp_rx.recv().expect("agent died during bidding") {
+                ToDispatcher::Bid { agent, bid } => bids[agent] = bid,
+                ToDispatcher::ProfitReport { .. } => unreachable!("profit before payment"),
+            }
+        }
+
+        // Dispatcher, Phase II: allocate, pay.
+        let payments = mechanism.payments(&bids)?;
+        for (tx, p) in agent_txs.iter().zip(&payments) {
+            tx.send(ToAgent::Payment(*p)).expect("agent hung up before payment");
+        }
+        let mut profits = vec![0.0; n];
+        for _ in 0..n {
+            match to_disp_rx.recv().expect("agent died during completion") {
+                ToDispatcher::ProfitReport { agent, profit } => profits[agent] = profit,
+                ToDispatcher::Bid { .. } => unreachable!("second bid"),
+            }
+        }
+        Ok(ProtocolOutcome { bids, payments, profits })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table51_agents(strategy_for_c1: BidStrategy) -> Vec<AgentSpec> {
+        let rates = [
+            0.13, 0.13, 0.065, 0.065, 0.065, 0.026, 0.026, 0.026, 0.026, 0.026, 0.013, 0.013,
+            0.013, 0.013, 0.013, 0.013,
+        ];
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| AgentSpec {
+                true_value: 1.0 / r,
+                strategy: if i == 0 { strategy_for_c1 } else { BidStrategy::Truthful },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn truthful_round_end_to_end() {
+        let mech = TruthfulMechanism::new(0.5 * 0.663);
+        let agents = table51_agents(BidStrategy::Truthful);
+        let out = run_protocol(&mech, &agents).unwrap();
+        assert_eq!(out.bids.len(), 16);
+        // All bids are the true values.
+        for (b, a) in out.bids.iter().zip(&agents) {
+            assert_eq!(*b, a.true_value);
+        }
+        // Voluntary participation: nobody loses.
+        for (i, &p) in out.profits.iter().enumerate() {
+            assert!(p >= -1e-9, "agent {i} lost {p}");
+        }
+        assert!(out.total_payment() >= out.total_cost(&agents));
+    }
+
+    #[test]
+    fn c1_overbidding_lowers_its_own_profit() {
+        // Figure 5.4's message: C1's profit peaks at truth.
+        let mech = TruthfulMechanism::new(0.5 * 0.663);
+        let honest = run_protocol(&mech, &table51_agents(BidStrategy::Truthful)).unwrap();
+        let high = run_protocol(&mech, &table51_agents(BidStrategy::Scale(1.33))).unwrap();
+        let low = run_protocol(&mech, &table51_agents(BidStrategy::Scale(0.93))).unwrap();
+        assert!(high.profits[0] <= honest.profits[0] + 1e-6);
+        assert!(low.profits[0] <= honest.profits[0] + 1e-6);
+    }
+
+    #[test]
+    fn strategies_produce_expected_bids() {
+        assert_eq!(BidStrategy::Truthful.bid(2.0), 2.0);
+        assert_eq!(BidStrategy::Scale(1.33).bid(2.0), 2.66);
+        assert_eq!(BidStrategy::Scale(0.93).bid(2.0), 1.86);
+    }
+
+    #[test]
+    fn empty_agent_list_rejected() {
+        let mech = TruthfulMechanism::new(1.0);
+        assert!(run_protocol(&mech, &[]).is_err());
+    }
+}

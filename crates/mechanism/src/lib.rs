@@ -1,0 +1,37 @@
+//! `gtlb-mechanism` — algorithmic mechanism design for load balancing.
+//!
+//! The dissertation's Chapters 5 and 6 extend the load-balancing games to
+//! settings where the computers are *selfish agents* that may misreport
+//! their capabilities. This crate implements both mechanisms:
+//!
+//! * [`payment`] (Chapter 5): each computer's private data is its
+//!   per-unit-load cost `t_i = 1/μ_i`; the mechanism runs the optimal
+//!   (OPTIM) allocation on the reported bids and hands each agent the
+//!   Archer–Tardos payment
+//!   `P_i(b) = b_i·λ_i(b) + ∫_{b_i}^{∞} λ_i(u, b_{−i}) du`,
+//!   which is truthful because the allocation is decreasing in the bid
+//!   (Theorem 5.1) and satisfies voluntary participation because the work
+//!   curve has finite area (Theorem 5.2);
+//! * [`lbm`] (Chapter 5): the two-phase LBM protocol (bidding →
+//!   completion) wrapping the payment computation, plus the
+//!   performance-degradation metrics of Figure 5.2;
+//! * [`fault`] (future work §7.3, instantiated): the same mechanism on
+//!   failure-discounted effective rates — truthful and voluntarily
+//!   participated when failure probabilities are publicly monitored;
+//! * [`verification`] (Chapter 6): computers with *linear* load-dependent
+//!   latency `ℓ_i = t_i x_i` that can both misreport (`b_i ≠ t_i`) and
+//!   shirk (`t̂_i > t_i`); the compensation-and-bonus mechanism pays
+//!   `t̂_i x_i² + (L*_{−i} − L(x(b), t̂))` after observing the executed
+//!   rates, which is truthful and voluntarily participated
+//!   (Theorems 6.2–6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod lbm;
+pub mod payment;
+pub mod verification;
+
+pub use payment::{PaymentBreakdown, TruthfulMechanism};
+pub use verification::VerifiedMechanism;

@@ -1,0 +1,424 @@
+//! Chapter 5: the truthful mechanism for one-parameter agents.
+//!
+//! Setting (§5.3): computer `i`'s private *true value* is
+//! `t_i = 1/μ_i` — the processing time per unit load; its cost is
+//! `cost_i = t_i · λ_i` (its utilization). Each computer reports a bid
+//! `b_i`; the mechanism computes the overall-optimal allocation
+//! `λ(b)` from the bids and pays each agent
+//!
+//! ```text
+//! P_i(b_i, b_{−i}) = b_i · λ_i(b) + ∫_{b_i}^{∞} λ_i(u, b_{−i}) du
+//! ```
+//!
+//! (eq. 5.16). The first term compensates the *reported* cost; the
+//! integral of the (decreasing, eventually-zero) work curve is the
+//! agent's expected profit. The agent's profit `P_i − t_i λ_i` is
+//! maximized by bidding `b_i = t_i` (Theorem 5.2, following Archer &
+//! Tardos), and truthful agents never lose (voluntary participation).
+
+use gtlb_core::model::Cluster;
+use gtlb_core::schemes::{Optim, SingleClassScheme};
+use gtlb_core::{Allocation, CoreError};
+use gtlb_numerics::integrate::adaptive_simpson;
+
+/// The Chapter 5 mechanism: optimal allocation + Archer–Tardos payments.
+#[derive(Debug, Clone)]
+pub struct TruthfulMechanism {
+    /// Total arrival rate `Φ` the dispatcher must place.
+    pub arrival_rate: f64,
+    /// Absolute tolerance of the payment quadrature.
+    pub quad_tol: f64,
+    /// Reserve price: bids above this are inadmissible, and the payment
+    /// integral is truncated here. Required when the market is *thin* —
+    /// at high utilization the remaining computers cannot carry `Φ`
+    /// alone, so a pivotal computer is never priced out and the untruncated
+    /// integral diverges. `None` keeps the paper's idealized setting
+    /// (finite work-curve area assumed, Theorem 5.2) and reports an error
+    /// on thin markets.
+    pub max_bid: Option<f64>,
+}
+
+/// Per-agent payment decomposition (Figures 5.4–5.7 plot these pieces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaymentBreakdown {
+    /// Load `λ_i(b)` allocated to the agent.
+    pub load: f64,
+    /// Reported-cost compensation `b_i λ_i(b)`.
+    pub cost_term: f64,
+    /// Profit term `∫_{b_i}^{cutoff} λ_i(u, b_{−i}) du`.
+    pub profit_term: f64,
+}
+
+impl PaymentBreakdown {
+    /// Total payment handed to the agent.
+    #[must_use]
+    pub fn payment(&self) -> f64 {
+        self.cost_term + self.profit_term
+    }
+
+    /// The agent's actual profit given its *true* value `t_i`:
+    /// `P_i − t_i λ_i`.
+    #[must_use]
+    pub fn profit(&self, true_value: f64) -> f64 {
+        self.payment() - true_value * self.load
+    }
+
+    /// The agent's actual incurred cost `t_i λ_i` (its utilization).
+    #[must_use]
+    pub fn cost(&self, true_value: f64) -> f64 {
+        true_value * self.load
+    }
+}
+
+/// Converts bids `b_i = 1/μ_i` to processing rates.
+///
+/// # Errors
+/// [`CoreError::BadInput`] on nonpositive bids.
+pub fn rates_from_bids(bids: &[f64]) -> Result<Vec<f64>, CoreError> {
+    if let Some((i, &b)) = bids.iter().enumerate().find(|&(_, &b)| !(b.is_finite() && b > 0.0)) {
+        return Err(CoreError::BadInput(format!("bid {i} must be positive and finite, got {b}")));
+    }
+    Ok(bids.iter().map(|&b| 1.0 / b).collect())
+}
+
+impl TruthfulMechanism {
+    /// Mechanism for a system receiving `arrival_rate` jobs per second.
+    ///
+    /// # Panics
+    /// If `arrival_rate` is not strictly positive.
+    #[must_use]
+    pub fn new(arrival_rate: f64) -> Self {
+        assert!(arrival_rate > 0.0, "arrival rate must be positive");
+        Self { arrival_rate, quad_tol: 1e-10, max_bid: None }
+    }
+
+    /// Mechanism with a reserve price `max_bid` (see the field docs).
+    /// Truthfulness is preserved for agents with `t_i ≤ max_bid`: the
+    /// work curve is unchanged on the admissible range and payments just
+    /// lose a bid-independent tail.
+    ///
+    /// # Panics
+    /// If either parameter is not strictly positive.
+    #[must_use]
+    pub fn with_max_bid(arrival_rate: f64, max_bid: f64) -> Self {
+        assert!(max_bid > 0.0, "max bid must be positive");
+        Self { max_bid: Some(max_bid), ..Self::new(arrival_rate) }
+    }
+
+    /// The allocation the mechanism computes from the reported bids: the
+    /// OPTIM square-root rule on rates `μ_i = 1/b_i` (the paper's OPTIM
+    /// algorithm restated over bids).
+    ///
+    /// # Errors
+    /// [`CoreError::Overloaded`] when the *reported* capacity cannot carry
+    /// `Φ`; [`CoreError::BadInput`] on malformed bids.
+    pub fn allocate(&self, bids: &[f64]) -> Result<Allocation, CoreError> {
+        let cluster = Cluster::new(rates_from_bids(bids)?)?;
+        Optim.allocate(&cluster, self.arrival_rate)
+    }
+
+    /// Agent `i`'s load as a function of its own bid `u`, everyone else
+    /// fixed — the *work curve* whose area is the profit term. Returns 0
+    /// when the bid prices the agent out of the active set.
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::allocate`].
+    pub fn work_curve(&self, i: usize, u: f64, bids: &[f64]) -> Result<f64, CoreError> {
+        let mut b = bids.to_vec();
+        b[i] = u;
+        Ok(self.allocate(&b)?.loads()[i])
+    }
+
+    /// Smallest bid at which agent `i`'s allocation reaches zero
+    /// (Theorem 5.1 guarantees the work curve is decreasing, so the
+    /// cutoff is well defined). Needed to truncate the payment integral.
+    ///
+    /// # Errors
+    /// [`CoreError::Overloaded`] when the other agents alone cannot carry
+    /// `Φ` — then agent `i` is never priced out and the integral
+    /// diverges (the mechanism is undefined for such thin markets).
+    pub fn cutoff_bid(&self, i: usize, bids: &[f64]) -> Result<f64, CoreError> {
+        let others: f64 =
+            bids.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &b)| 1.0 / b).sum();
+        if others <= self.arrival_rate {
+            // Thin market: agent i is pivotal and is never priced out.
+            return match self.max_bid {
+                Some(cap) => Ok(cap.max(bids[i])),
+                None => Err(CoreError::Overloaded {
+                    arrival_rate: self.arrival_rate,
+                    capacity: others,
+                }),
+            };
+        }
+        // Predicate bisection on "load == 0": expand hi until the agent is
+        // priced out, then shrink the bracket.
+        let mut lo = bids[i];
+        if self.work_curve(i, lo, bids)? == 0.0 {
+            return Ok(lo);
+        }
+        let mut hi = lo * 2.0;
+        let mut guard = 0;
+        while self.work_curve(i, hi, bids)? > 0.0 {
+            if let Some(cap) = self.max_bid {
+                if hi >= cap {
+                    return Ok(cap.max(bids[i]));
+                }
+            }
+            lo = hi;
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                return Err(CoreError::NoConvergence { solver: "cutoff-bid", iterations: 200 });
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.work_curve(i, mid, bids)? > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-12 * hi {
+                break;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// The Archer–Tardos payment for agent `i` (eq. 5.16).
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::cutoff_bid`].
+    pub fn payment(&self, i: usize, bids: &[f64]) -> Result<PaymentBreakdown, CoreError> {
+        let load = self.work_curve(i, bids[i], bids)?;
+        let cost_term = bids[i] * load;
+        let profit_term = if load == 0.0 {
+            0.0
+        } else {
+            let cutoff = self.cutoff_bid(i, bids)?;
+            let q = adaptive_simpson(
+                |u| self.work_curve(i, u, bids).unwrap_or(0.0),
+                bids[i],
+                cutoff,
+                self.quad_tol,
+                48,
+            );
+            q.value.max(0.0)
+        };
+        Ok(PaymentBreakdown { load, cost_term, profit_term })
+    }
+
+    /// Payments for every agent.
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::payment`].
+    pub fn payments(&self, bids: &[f64]) -> Result<Vec<PaymentBreakdown>, CoreError> {
+        (0..bids.len()).map(|i| self.payment(i, bids)).collect()
+    }
+
+    /// Expected response time of the bid-derived allocation when executed
+    /// on the agents' *true* rates — `+∞` when a lie overloads a
+    /// computer. The basis of the performance-degradation metric
+    /// (Figure 5.2).
+    ///
+    /// # Errors
+    /// As [`TruthfulMechanism::allocate`]; also on malformed true values.
+    pub fn true_response_time(&self, bids: &[f64], true_values: &[f64]) -> Result<f64, CoreError> {
+        let alloc = self.allocate(bids)?;
+        let true_cluster = Cluster::new(rates_from_bids(true_values)?)?;
+        Ok(alloc.mean_response_time(&true_cluster))
+    }
+}
+
+/// Performance degradation `PD = 100·(T_lie − T_true)/T_true` (§5.5).
+/// `+∞` when the lie destabilizes a queue (analytically; the simulation
+/// harness reports the finite finite-horizon value instead).
+#[must_use]
+pub fn performance_degradation(t_lie: f64, t_true: f64) -> f64 {
+    100.0 * (t_lie - t_true) / t_true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 5.1's system (= Table 3.1): bids are the inverse rates.
+    fn table51_bids() -> Vec<f64> {
+        let rates = [
+            0.13, 0.13, 0.065, 0.065, 0.065, 0.026, 0.026, 0.026, 0.026, 0.026, 0.013, 0.013,
+            0.013, 0.013, 0.013, 0.013,
+        ];
+        rates.iter().map(|&r| 1.0 / r).collect()
+    }
+
+    fn mech(rho: f64) -> TruthfulMechanism {
+        TruthfulMechanism::new(rho * 0.663)
+    }
+
+    #[test]
+    fn allocation_matches_optim_on_true_rates() {
+        let m = mech(0.5);
+        let bids = table51_bids();
+        let a = m.allocate(&bids).unwrap();
+        let cluster = Cluster::new(rates_from_bids(&bids).unwrap()).unwrap();
+        a.verify(&cluster, m.arrival_rate, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn work_curve_is_decreasing_in_own_bid() {
+        // Theorem 5.1.
+        let m = mech(0.6);
+        let bids = table51_bids();
+        let mut prev = f64::INFINITY;
+        for k in 0..40 {
+            let u = bids[0] * (0.5 + 0.1 * f64::from(k));
+            let w = m.work_curve(0, u, &bids).unwrap();
+            assert!(w <= prev + 1e-12, "work curve increased at u={u}: {w} > {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn cutoff_prices_the_agent_out() {
+        let m = mech(0.5);
+        let bids = table51_bids();
+        let cut = m.cutoff_bid(0, &bids).unwrap();
+        assert!(cut > bids[0]);
+        assert_eq!(m.work_curve(0, cut * 1.01, &bids).unwrap(), 0.0);
+        assert!(m.work_curve(0, cut * 0.99, &bids).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn truth_telling_maximizes_profit() {
+        // Theorem 5.2, checked on a grid of misreports for the fastest
+        // computer at medium load.
+        let m = mech(0.5);
+        let bids = table51_bids();
+        let t0 = bids[0];
+        let honest = m.payment(0, &bids).unwrap().profit(t0);
+        for factor in [0.7, 0.85, 0.93, 1.1, 1.33, 2.0, 4.0] {
+            let mut lying = bids.clone();
+            lying[0] = t0 * factor;
+            let p = m.payment(0, &lying).unwrap();
+            let profit = p.payment() - t0 * p.load;
+            assert!(
+                honest >= profit - 1e-6,
+                "misreport factor {factor} beats truth: {profit} > {honest}"
+            );
+        }
+    }
+
+    #[test]
+    fn voluntary_participation_for_every_agent() {
+        let m = mech(0.5);
+        let bids = table51_bids();
+        for i in 0..bids.len() {
+            let p = m.payment(i, &bids).unwrap();
+            assert!(
+                p.profit(bids[i]) >= -1e-9,
+                "agent {i} loses while truthful: {}",
+                p.profit(bids[i])
+            );
+        }
+    }
+
+    #[test]
+    fn unused_agents_get_nothing() {
+        let m = mech(0.3);
+        let bids = table51_bids();
+        let payments = m.payments(&bids).unwrap();
+        for (i, p) in payments.iter().enumerate() {
+            if p.load == 0.0 {
+                assert_eq!(p.payment(), 0.0, "idle agent {i} was paid");
+            }
+        }
+        // At 30% utilization the slow computers are idle.
+        assert!(payments.iter().any(|p| p.load == 0.0));
+    }
+
+    #[test]
+    fn payment_covers_cost_with_margin() {
+        // §5.5 frugality: payments are a small multiple of cost.
+        let m = mech(0.5);
+        let bids = table51_bids();
+        let payments = m.payments(&bids).unwrap();
+        let total_cost: f64 =
+            payments.iter().zip(&bids).map(|(p, &b)| p.cost(b)).sum();
+        let total_payment: f64 = payments.iter().map(PaymentBreakdown::payment).sum();
+        assert!(total_payment >= total_cost);
+        assert!(
+            total_payment < 6.0 * total_cost,
+            "mechanism is not frugal: {total_payment} vs cost {total_cost}"
+        );
+    }
+
+    #[test]
+    fn lying_degrades_true_performance() {
+        // Figure 5.2's setup: C1 misreports by ±.
+        let m = mech(0.5);
+        let bids = table51_bids();
+        let t_true = m.true_response_time(&bids, &bids).unwrap();
+        let mut high = bids.clone();
+        high[0] *= 1.33;
+        let t_high = m.true_response_time(&high, &bids).unwrap();
+        let mut low = bids.clone();
+        low[0] *= 0.93;
+        let t_low = m.true_response_time(&low, &bids).unwrap();
+        assert!(t_high > t_true);
+        assert!(t_low > t_true);
+        assert!(performance_degradation(t_high, t_true) > 0.0);
+    }
+
+    #[test]
+    fn underbid_at_high_load_destabilizes() {
+        // At ρ = 90 %, C1 claiming to be faster pulls more than its real
+        // capacity — analytically infinite response time.
+        let m = mech(0.9);
+        let bids = table51_bids();
+        let mut low = bids.clone();
+        low[0] *= 0.80;
+        let t = m.true_response_time(&low, &bids).unwrap();
+        assert!(t.is_infinite() || t > 10.0 * m.true_response_time(&bids, &bids).unwrap());
+    }
+
+    #[test]
+    fn thin_market_is_rejected() {
+        // Two computers; without either one the other cannot carry Φ.
+        let m = TruthfulMechanism::new(1.5);
+        let bids = vec![1.0, 1.0]; // rates (1, 1), Φ = 1.5
+        assert!(matches!(m.cutoff_bid(0, &bids), Err(CoreError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn reserve_price_makes_thin_market_payable() {
+        let m = TruthfulMechanism::with_max_bid(1.5, 50.0);
+        let bids = vec![1.0, 1.0];
+        assert_eq!(m.cutoff_bid(0, &bids).unwrap(), 50.0);
+        let p = m.payment(0, &bids).unwrap();
+        assert!(p.payment().is_finite());
+        assert!(p.profit(1.0) >= 0.0);
+    }
+
+    #[test]
+    fn reserve_price_keeps_truthfulness_at_high_load() {
+        // ρ = 90% on Table 5.1: the fast computers are pivotal.
+        let m = TruthfulMechanism::with_max_bid(0.9 * 0.663, 10.0 / 0.013);
+        let bids = table51_bids();
+        let honest = m.payment(0, &bids).unwrap().profit(bids[0]);
+        for factor in [0.8, 0.93, 1.2, 1.33, 2.0] {
+            let mut lying = bids.clone();
+            lying[0] = bids[0] * factor;
+            let p = m.payment(0, &lying).unwrap();
+            let profit = p.payment() - bids[0] * p.load;
+            assert!(honest >= profit - 1e-6, "factor {factor}: {profit} > {honest}");
+        }
+    }
+
+    #[test]
+    fn bad_bids_rejected() {
+        let m = TruthfulMechanism::new(1.0);
+        assert!(m.allocate(&[1.0, -1.0]).is_err());
+        assert!(m.allocate(&[1.0, 0.0]).is_err());
+        assert!(rates_from_bids(&[f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! Chapter 6: the load-balancing mechanism *with verification*.
+//!
+//! Model (§6.2): computer `i` has a linear load-dependent latency
+//! `ℓ_i(x_i) = t_i x_i` — `t_i` inversely proportional to its processing
+//! rate; jobs arrive at total rate `Λ`; a feasible allocation
+//! `x = (x_1 … x_n)` (nonnegative, `Σx_i = Λ`) costs total latency
+//! `L(x, t) = Σ t_i x_i²`. Theorem 6.1: the optimum allocates in
+//! proportion to the processing rates,
+//!
+//! ```text
+//! x_i* = (1/t_i) / Σ_k (1/t_k) · Λ,      L* = Λ² / Σ_k (1/t_k)
+//! ```
+//!
+//! (the PR algorithm). An agent can lie twice: report a bid `b_i ≠ t_i`
+//! at allocation time, *and* execute its jobs at a degraded rate
+//! `t̂_i ≥ t_i` afterwards. The mechanism *verifies*: payments are handed
+//! only after execution, when the realized `t̂_i` is known (§6.3):
+//!
+//! ```text
+//! P_i = t̂_i x_i  +  ( L*_{−i}(b_{−i}) − L(x(b), t̂) )
+//!       compensation           bonus
+//! ```
+//!
+//! where `L*_{−i}` is the optimal latency with agent `i` excluded and the
+//! compensation covers the agent's valuation — "the negation of its
+//! latency" `−ℓ_i(x_i) = −t̂_i x_i` (§6.1). The agent's utility
+//! `u_i = P_i − t̂_i x_i = L*_{−i} − L(x(b), t̂)` is its marginal
+//! contribution to the system, so truth-telling *and* full-speed
+//! execution are dominant (Theorem 6.2) and truthful agents never lose
+//! (Theorem 6.3). The linear valuation reproduces the paper's reported
+//! payment signs (C1's payment is *negative* in experiment Low2 because
+//! `|bonus| >` compensation, §6.4) and the ≈2.5× payment-to-valuation
+//! frugality ratio of Figure 6.6.
+
+use gtlb_core::CoreError;
+use gtlb_numerics::sum::neumaier_sum;
+
+/// The Chapter 6 mechanism: PR allocation + compensation-and-bonus
+/// payments with post-execution verification.
+#[derive(Debug, Clone)]
+pub struct VerifiedMechanism {
+    /// True values `t_i` (1/processing-rate) of the participating
+    /// computers — used only to *evaluate* outcomes in experiments; the
+    /// mechanism itself sees bids and executed values.
+    pub true_values: Vec<f64>,
+    /// Total job arrival rate `Λ`.
+    pub arrival_rate: f64,
+}
+
+/// One agent's declared and realized behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Behavior {
+    /// Reported value `b_i` at allocation time.
+    pub bid: f64,
+    /// Realized execution value `t̂_i ≥ t_i` observed by the mechanism
+    /// after the jobs complete.
+    pub execution: f64,
+}
+
+impl Behavior {
+    /// The honest behavior for an agent of true value `t`.
+    #[must_use]
+    pub fn truthful(t: f64) -> Self {
+        Self { bid: t, execution: t }
+    }
+}
+
+/// Everything the mechanism produces for one round.
+#[derive(Debug, Clone)]
+pub struct VerifiedOutcome {
+    /// The PR allocation computed from the bids.
+    pub allocation: Vec<f64>,
+    /// Realized total latency `L(x(b), t̂)`.
+    pub total_latency: f64,
+    /// Per-agent compensations `t̂_i x_i`.
+    pub compensations: Vec<f64>,
+    /// Per-agent bonuses `L*_{−i} − L(x(b), t̂)`.
+    pub bonuses: Vec<f64>,
+    /// Per-agent valuations `−t̂_i x_i` — the negation of each agent's
+    /// realized latency (§6.1).
+    pub valuations: Vec<f64>,
+}
+
+impl VerifiedOutcome {
+    /// Payment to agent `i`: compensation + bonus.
+    #[must_use]
+    pub fn payment(&self, i: usize) -> f64 {
+        self.compensations[i] + self.bonuses[i]
+    }
+
+    /// Utility of agent `i`: valuation + payment (= its bonus).
+    #[must_use]
+    pub fn utility(&self, i: usize) -> f64 {
+        self.valuations[i] + self.payment(i)
+    }
+
+    /// Total payment disbursed.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        (0..self.compensations.len()).map(|i| self.payment(i)).sum()
+    }
+
+    /// Total (absolute) valuation — the frugality yardstick of
+    /// Figure 6.6.
+    #[must_use]
+    pub fn total_valuation(&self) -> f64 {
+        self.valuations.iter().map(|v| v.abs()).sum()
+    }
+}
+
+/// The PR algorithm (Theorem 6.1): allocate `Λ` in proportion to the
+/// reported processing rates `1/b_i`.
+///
+/// # Errors
+/// [`CoreError::BadInput`] on nonpositive bids or rate.
+pub fn pr_allocation(bids: &[f64], arrival_rate: f64) -> Result<Vec<f64>, CoreError> {
+    if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+        return Err(CoreError::BadInput(format!(
+            "arrival rate must be positive, got {arrival_rate}"
+        )));
+    }
+    if let Some((i, &b)) = bids.iter().enumerate().find(|&(_, &b)| !(b.is_finite() && b > 0.0)) {
+        return Err(CoreError::BadInput(format!("bid {i} must be positive, got {b}")));
+    }
+    let inv_sum = neumaier_sum(bids.iter().map(|&b| 1.0 / b));
+    Ok(bids.iter().map(|&b| arrival_rate / (b * inv_sum)).collect())
+}
+
+/// Total latency `L(x, v) = Σ v_i x_i²` of an allocation under the given
+/// (executed) values.
+#[must_use]
+pub fn total_latency(allocation: &[f64], values: &[f64]) -> f64 {
+    neumaier_sum(allocation.iter().zip(values).map(|(&x, &v)| v * x * x))
+}
+
+/// The optimal total latency achievable with the given values:
+/// `L* = Λ²/Σ(1/v)` (Theorem 6.1).
+#[must_use]
+pub fn optimal_latency(values: &[f64], arrival_rate: f64) -> f64 {
+    arrival_rate * arrival_rate / neumaier_sum(values.iter().map(|&v| 1.0 / v))
+}
+
+impl VerifiedMechanism {
+    /// Builds the mechanism for the given true values and arrival rate.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on degenerate parameters.
+    pub fn new(true_values: Vec<f64>, arrival_rate: f64) -> Result<Self, CoreError> {
+        if true_values.len() < 2 {
+            return Err(CoreError::BadInput(
+                "the bonus needs at least two agents (L*_{-i} must exist)".into(),
+            ));
+        }
+        if let Some((i, &t)) =
+            true_values.iter().enumerate().find(|&(_, &t)| !(t.is_finite() && t > 0.0))
+        {
+            return Err(CoreError::BadInput(format!("true value {i} must be positive, got {t}")));
+        }
+        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+            return Err(CoreError::BadInput("arrival rate must be positive".into()));
+        }
+        Ok(Self { true_values, arrival_rate })
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.true_values.len()
+    }
+
+    /// Runs one round: allocate from bids, observe execution values,
+    /// compute payments.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on malformed behaviors (wrong count,
+    /// execution faster than the true value — physically impossible).
+    pub fn run(&self, behaviors: &[Behavior]) -> Result<VerifiedOutcome, CoreError> {
+        if behaviors.len() != self.n() {
+            return Err(CoreError::BadInput(format!(
+                "{} behaviors for {} agents",
+                behaviors.len(),
+                self.n()
+            )));
+        }
+        for (i, (b, &t)) in behaviors.iter().zip(&self.true_values).enumerate() {
+            if !(b.bid.is_finite() && b.bid > 0.0) {
+                return Err(CoreError::BadInput(format!("agent {i} bid must be positive")));
+            }
+            if b.execution < t * (1.0 - 1e-12) {
+                return Err(CoreError::BadInput(format!(
+                    "agent {i} cannot execute faster than its true rate ({} < {t})",
+                    b.execution
+                )));
+            }
+        }
+        let bids: Vec<f64> = behaviors.iter().map(|b| b.bid).collect();
+        let exec: Vec<f64> = behaviors.iter().map(|b| b.execution).collect();
+        let allocation = pr_allocation(&bids, self.arrival_rate)?;
+        let realized = total_latency(&allocation, &exec);
+
+        let n = self.n();
+        let mut compensations = Vec::with_capacity(n);
+        let mut bonuses = Vec::with_capacity(n);
+        let mut valuations = Vec::with_capacity(n);
+        for i in 0..n {
+            let comp = exec[i] * allocation[i];
+            // L*_{-i}: optimal latency over the *other agents' bids* (the
+            // mechanism's best alternative had agent i not participated).
+            let others: Vec<f64> =
+                bids.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &b)| b).collect();
+            let l_without = optimal_latency(&others, self.arrival_rate);
+            bonuses.push(l_without - realized);
+            compensations.push(comp);
+            valuations.push(-comp);
+        }
+        Ok(VerifiedOutcome {
+            allocation,
+            total_latency: realized,
+            compensations,
+            bonuses,
+            valuations,
+        })
+    }
+
+    /// The realized latency if everyone behaves honestly — `L*` of
+    /// Theorem 6.1.
+    #[must_use]
+    pub fn honest_latency(&self) -> f64 {
+        optimal_latency(&self.true_values, self.arrival_rate)
+    }
+}
+
+/// The experiment matrix of Table 6.2: computer C1's behavior in each of
+/// the eight named experiments (everyone else truthful, `t₁ = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table62 {
+    /// Truthful bid, full-speed execution — the baseline optimum.
+    True1,
+    /// Truthful bid, degraded execution (`t̂₁ = 3`).
+    True2,
+    /// Overbid ×3, execution matching the lie (`t̂₁ = 3`).
+    High1,
+    /// Overbid ×3, full-speed execution.
+    High2,
+    /// Overbid ×3, execution `t̂₁ = 2`.
+    High3,
+    /// Overbid ×3, execution `t̂₁ = 4`.
+    High4,
+    /// Underbid ×0.5, full-speed execution.
+    Low1,
+    /// Underbid ×0.5, degraded execution (`t̂₁ = 2`).
+    Low2,
+}
+
+impl Table62 {
+    /// All eight experiments in the paper's order (Figure 6.1's x-axis).
+    pub const ALL: [Table62; 8] = [
+        Table62::True1,
+        Table62::True2,
+        Table62::High1,
+        Table62::High2,
+        Table62::High3,
+        Table62::High4,
+        Table62::Low1,
+        Table62::Low2,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table62::True1 => "True1",
+            Table62::True2 => "True2",
+            Table62::High1 => "High1",
+            Table62::High2 => "High2",
+            Table62::High3 => "High3",
+            Table62::High4 => "High4",
+            Table62::Low1 => "Low1",
+            Table62::Low2 => "Low2",
+        }
+    }
+
+    /// C1's `(bid, execution)` for a true value `t1`.
+    #[must_use]
+    pub fn behavior(&self, t1: f64) -> Behavior {
+        let (bid, exec) = match self {
+            Table62::True1 => (1.0, 1.0),
+            Table62::True2 => (1.0, 3.0),
+            Table62::High1 => (3.0, 3.0),
+            Table62::High2 => (3.0, 1.0),
+            Table62::High3 => (3.0, 2.0),
+            Table62::High4 => (3.0, 4.0),
+            Table62::Low1 => (0.5, 1.0),
+            Table62::Low2 => (0.5, 2.0),
+        };
+        Behavior { bid: bid * t1, execution: exec * t1 }
+    }
+}
+
+/// The Table 6.1 system: true values {1×2, 2×3, 5×5, 10×6}, and the
+/// arrival rate Λ = 20 jobs/s recovered from the paper's reported
+/// `L(True1) = 78.43 = Λ²/Σ(1/t)` (see DESIGN.md, substitution 6).
+///
+/// # Panics
+/// Never (the constants are valid).
+#[must_use]
+pub fn table61_mechanism() -> VerifiedMechanism {
+    let mut t = vec![1.0, 1.0];
+    t.extend(std::iter::repeat_n(2.0, 3));
+    t.extend(std::iter::repeat_n(5.0, 5));
+    t.extend(std::iter::repeat_n(10.0, 6));
+    VerifiedMechanism::new(t, 20.0).expect("table 6.1 constants are valid")
+}
+
+/// Behaviors for one Table 6.2 experiment: C1 per the experiment,
+/// everyone else truthful.
+#[must_use]
+pub fn table62_behaviors(mech: &VerifiedMechanism, exp: Table62) -> Vec<Behavior> {
+    mech.true_values
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| if i == 0 { exp.behavior(t) } else { Behavior::truthful(t) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr_allocation_proportional_and_conserving() {
+        let x = pr_allocation(&[1.0, 2.0, 4.0], 14.0).unwrap();
+        // 1/t = (1, 0.5, 0.25), sum 1.75 -> x = (8, 4, 2).
+        assert!((x[0] - 8.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_is_the_latency_minimizer() {
+        // Compare against a grid of alternative splits for two agents.
+        let t = [1.0, 3.0];
+        let lam = 6.0;
+        let opt = pr_allocation(&t, lam).unwrap();
+        let l_opt = total_latency(&opt, &t);
+        assert!((l_opt - optimal_latency(&t, lam)).abs() < 1e-9);
+        for k in 0..=60 {
+            let x1 = lam * f64::from(k) / 60.0;
+            let l = total_latency(&[x1, lam - x1], &t);
+            assert!(l >= l_opt - 1e-9, "split {x1} beats PR: {l} < {l_opt}");
+        }
+    }
+
+    #[test]
+    fn paper_true1_latency() {
+        // The anchor that recovered Λ = 20: L(True1) = 78.43.
+        let mech = table61_mechanism();
+        assert!((mech.honest_latency() - 78.431).abs() < 0.01, "{}", mech.honest_latency());
+    }
+
+    #[test]
+    fn paper_low_experiments_match_reported_deltas() {
+        // §6.4: Low1 ≈ +11 %, Low2 ≈ +66 %.
+        let mech = table61_mechanism();
+        let base = mech.honest_latency();
+        let low1 = mech.run(&table62_behaviors(&mech, Table62::Low1)).unwrap().total_latency;
+        let low2 = mech.run(&table62_behaviors(&mech, Table62::Low2)).unwrap().total_latency;
+        assert!(((low1 / base - 1.0) * 100.0 - 11.0).abs() < 1.0, "Low1 {}", low1 / base);
+        assert!(((low2 / base - 1.0) * 100.0 - 66.0).abs() < 2.0, "Low2 {}", low2 / base);
+    }
+
+    #[test]
+    fn truth_maximizes_utility_over_bid_and_execution_grid() {
+        // Theorem 6.2 on the Table 6.1 system: C1's utility under True1
+        // dominates every (bid, execution) in a grid.
+        let mech = table61_mechanism();
+        let honest = mech.run(&table62_behaviors(&mech, Table62::True1)).unwrap().utility(0);
+        for bid_f in [0.25, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 8.0] {
+            for exec_f in [1.0, 1.3, 2.0, 4.0] {
+                let mut b = table62_behaviors(&mech, Table62::True1);
+                b[0] = Behavior { bid: bid_f, execution: exec_f };
+                let u = mech.run(&b).unwrap().utility(0);
+                assert!(
+                    u <= honest + 1e-9,
+                    "(bid {bid_f}, exec {exec_f}) beats truth: {u} > {honest}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voluntary_participation_for_truthful_agents() {
+        // Theorem 6.3: a truthful agent never loses, for any *bids* of
+        // the others — the guarantee quantifies over b_{-i} with the
+        // others executing at their bids. True1 and High1 are the
+        // Table 6.2 experiments where C1's execution matches its bid.
+        let mech = table61_mechanism();
+        for exp in [Table62::True1, Table62::High1] {
+            let out = mech.run(&table62_behaviors(&mech, exp)).unwrap();
+            for i in 1..mech.n() {
+                assert!(
+                    out.utility(i) >= -1e-9,
+                    "{}: truthful agent {i} lost {}",
+                    exp.name(),
+                    out.utility(i)
+                );
+            }
+        }
+        // Arbitrary (consistent) bids of C1, sweeping a grid.
+        for bid in [0.3, 0.7, 1.0, 2.5, 6.0] {
+            let mut b = table62_behaviors(&mech, Table62::True1);
+            b[0] = Behavior { bid, execution: bid.max(1.0) };
+            if bid >= 1.0 {
+                let out = mech.run(&b).unwrap();
+                for i in 1..mech.n() {
+                    assert!(out.utility(i) >= -1e-9, "bid {bid}: agent {i} lost");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shirking_by_others_can_hurt_bystanders() {
+        // The boundary of Theorem 6.3: when C1 *executes slower than it
+        // bid* (True2), the realized latency exceeds the planned one and
+        // bystanders can end up below zero — the guarantee does not (and
+        // cannot) extend to deviations the allocator never saw.
+        let mech = table61_mechanism();
+        let out = mech.run(&table62_behaviors(&mech, Table62::True2)).unwrap();
+        assert!((1..mech.n()).any(|i| out.utility(i) < 0.0));
+    }
+
+    #[test]
+    fn low2_payment_is_negative() {
+        // §6.4's highlighted pathology: lying low and shirking makes the
+        // system worse than not having C1 at all -> negative payment.
+        let mech = table61_mechanism();
+        let out = mech.run(&table62_behaviors(&mech, Table62::Low2)).unwrap();
+        assert!(out.payment(0) < 0.0, "payment {}", out.payment(0));
+        assert!(out.utility(0) < 0.0);
+    }
+
+    #[test]
+    fn c1_utility_ranking_matches_figure_6_2() {
+        // True1 highest; every deviation strictly lower.
+        let mech = table61_mechanism();
+        let mut utils = Vec::new();
+        for exp in Table62::ALL {
+            let out = mech.run(&table62_behaviors(&mech, exp)).unwrap();
+            utils.push((exp.name(), out.utility(0)));
+        }
+        let honest = utils[0].1;
+        for &(name, u) in &utils[1..] {
+            assert!(u < honest, "{name} should be below True1: {u} vs {honest}");
+        }
+    }
+
+    #[test]
+    fn frugality_total_payment_vs_valuation() {
+        // Figure 6.6: total payment at most ~2.5× total valuation.
+        let mech = table61_mechanism();
+        let out = mech.run(&table62_behaviors(&mech, Table62::True1)).unwrap();
+        let ratio = out.total_payment() / out.total_valuation();
+        assert!((1.0..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(VerifiedMechanism::new(vec![1.0], 1.0).is_err());
+        assert!(VerifiedMechanism::new(vec![1.0, -1.0], 1.0).is_err());
+        assert!(VerifiedMechanism::new(vec![1.0, 1.0], 0.0).is_err());
+        let mech = VerifiedMechanism::new(vec![1.0, 2.0], 5.0).unwrap();
+        // Execution faster than truth is physically impossible.
+        let bad = vec![Behavior { bid: 1.0, execution: 0.5 }, Behavior::truthful(2.0)];
+        assert!(mech.run(&bad).is_err());
+        // Wrong behavior count.
+        assert!(mech.run(&[Behavior::truthful(1.0)]).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Adaptive quadrature.
+//!
+//! The truthful payment of Chapter 5 (Theorem 5.2) is
+//! `P_i(b) = b_i λ_i(b) + ∫_{b_i}^{∞} λ_i(u, b_{−i}) du`.
+//! The integrand is the computer's allocated load as a function of its own
+//! bid: continuous, non-increasing, piecewise smooth with kinks at bids
+//! where the optimal active set changes, and identically zero past a finite
+//! cutoff. Adaptive Simpson with interval subdivision concentrates work at
+//! the kinks and integrates the smooth pieces at machine-precision-ish
+//! accuracy.
+
+/// Result of an adaptive quadrature run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quadrature {
+    /// Estimated integral value.
+    pub value: f64,
+    /// Number of integrand evaluations.
+    pub evaluations: u32,
+    /// Whether the recursion depth limit was hit anywhere (the returned
+    /// value is then the best available estimate, not guaranteed to meet
+    /// the tolerance).
+    pub saturated: bool,
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` with absolute
+/// tolerance `tol`.
+///
+/// ```
+/// use gtlb_numerics::integrate::adaptive_simpson;
+/// let q = adaptive_simpson(|x| x * x, 0.0, 3.0, 1e-12, 40);
+/// assert!((q.value - 9.0).abs() < 1e-10);
+/// ```
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: u32,
+) -> Quadrature {
+    assert!(b >= a, "adaptive_simpson: b must be >= a");
+    if a == b {
+        return Quadrature { value: 0.0, evaluations: 0, saturated: false };
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let mut evals = 3;
+    let whole = simpson(a, b, fa, fm, fb);
+    let mut saturated = false;
+    let value = recurse(
+        &mut f, a, b, fa, fm, fb, whole, tol, max_depth, &mut evals, &mut saturated,
+    );
+    Quadrature { value, evaluations: evals, saturated }
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+    evals: &mut u32,
+    saturated: &mut bool,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    *evals += 2;
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 {
+        *saturated = true;
+        return left + right + delta / 15.0;
+    }
+    if delta.abs() <= 15.0 * tol {
+        return left + right + delta / 15.0;
+    }
+    recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1, evals, saturated)
+        + recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1, evals, saturated)
+}
+
+/// Composite trapezoid rule with `n` uniform panels; a cheap cross-check
+/// used in tests against [`adaptive_simpson`].
+pub fn trapezoid<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 1, "trapezoid: need at least one panel");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for k in 1..n {
+        acc += f(a + h * k as f64);
+    }
+    acc * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_is_exact() {
+        // Simpson is exact for cubics.
+        let q = adaptive_simpson(|x| 4.0 * x * x * x - x, 0.0, 2.0, 1e-14, 20);
+        assert!((q.value - 14.0).abs() < 1e-10, "got {}", q.value);
+        assert!(!q.saturated);
+    }
+
+    #[test]
+    fn kinked_integrand_converges() {
+        // |x - 1| over [0, 3]: kink at 1, exact area 0.5 + 2.0 = 2.5.
+        let q = adaptive_simpson(|x| (x - 1.0f64).abs(), 0.0, 3.0, 1e-10, 48);
+        assert!((q.value - 2.5).abs() < 1e-8, "got {}", q.value);
+    }
+
+    #[test]
+    fn piecewise_zero_tail_like_payment_curve() {
+        // Mimics a load curve: positive decreasing then identically zero.
+        let f = |x: f64| (2.0 - x).max(0.0);
+        let q = adaptive_simpson(f, 0.0, 10.0, 1e-10, 48);
+        assert!((q.value - 2.0).abs() < 1e-8, "got {}", q.value);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        let q = adaptive_simpson(|x| x, 1.0, 1.0, 1e-12, 10);
+        assert_eq!(q.value, 0.0);
+    }
+
+    #[test]
+    fn trapezoid_agrees_with_simpson() {
+        let f = |x: f64| (x).sin();
+        let s = adaptive_simpson(f, 0.0, std::f64::consts::PI, 1e-12, 40).value;
+        let t = trapezoid(f, 0.0, std::f64::consts::PI, 20_000);
+        assert!((s - 2.0).abs() < 1e-10);
+        assert!((t - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn depth_limit_reports_saturation() {
+        let q = adaptive_simpson(|x: f64| (1e6 * x).sin().abs(), 0.0, 1.0, 1e-14, 2);
+        assert!(q.saturated);
+    }
+}

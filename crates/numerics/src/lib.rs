@@ -1,0 +1,87 @@
+//! Numerical kernels underpinning the `gtlb` workspace.
+//!
+//! The load-balancing algorithms in the Grosu–Chronopoulos–Leung paper are
+//! closed-form, but verifying them (KKT conditions, Nash bargaining first
+//! order conditions) and computing the truthful payments of the mechanism
+//! chapters requires a small, dependable numerical toolbox:
+//!
+//! * [`sum`] — compensated (Neumaier) and pairwise summation, so that
+//!   feasibility checks like `Σλ_i = Φ` do not drown in rounding error on
+//!   large clusters;
+//! * [`roots`] — bracketing root finders (bisection and Brent) used by the
+//!   Wardrop-equilibrium solver and by the payment cutoff search;
+//! * [`integrate`] — adaptive Simpson quadrature for the Archer–Tardos
+//!   payment integral `∫ λ_i(u, b_{-i}) du`, whose integrand has kinks at
+//!   active-set changes;
+//! * [`optimize`] — a projected-gradient reference optimizer over the
+//!   simplex-with-capacities feasible set, used **only in tests** to
+//!   cross-check the paper's closed-form allocations against a generic
+//!   convex solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod integrate;
+pub mod optimize;
+pub mod roots;
+pub mod sum;
+
+/// Default absolute tolerance used across the workspace when comparing
+/// floating-point quantities produced by different algorithms.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` agree to within `abs_tol` absolutely or
+/// `rel_tol` relative to the larger magnitude.
+///
+/// ```
+/// use gtlb_numerics::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-9));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= abs_tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= rel_tol * scale
+}
+
+/// Clamps tiny negative values (rounding debris) to exactly zero.
+///
+/// Allocation formulas like `λ_i = μ_i − c√μ_i` can return `-1e-17` for a
+/// computer that is exactly at its drop threshold; downstream feasibility
+/// checks require `λ_i ≥ 0`.
+#[must_use]
+pub fn snap_nonnegative(x: f64, tol: f64) -> f64 {
+    if x < 0.0 && x > -tol {
+        0.0
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_handles_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-12, 1e-12));
+        assert!(approx_eq(0.0, 1e-13, 1e-12, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_relative_branch() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn snap_nonnegative_snaps_only_small_negatives() {
+        assert_eq!(snap_nonnegative(-1e-15, 1e-12), 0.0);
+        assert_eq!(snap_nonnegative(-1.0, 1e-12), -1.0);
+        assert_eq!(snap_nonnegative(2.5, 1e-12), 2.5);
+    }
+}

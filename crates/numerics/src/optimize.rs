@@ -1,0 +1,288 @@
+//! Reference convex optimizer: projected gradient over a capped simplex.
+//!
+//! Every static allocation in the paper solves
+//! `min f(λ)  s.t.  λ_i ≥ 0,  Σλ_i = Φ,  λ_i < μ_i`
+//! for some separable convex `f` (expected delay for OPTIM, negated log
+//! product for COOP/NBS). The closed-form algorithms are fast but subtle
+//! (drop-slowest loops, square-root rules); this module provides a slow,
+//! generic projected-gradient solver over the same feasible set so that
+//! property tests can confirm the closed forms actually minimize what the
+//! theorems say they minimize.
+
+/// The feasible set `{ λ : 0 ≤ λ_i ≤ cap_i, Σ λ_i = total }`.
+#[derive(Debug, Clone)]
+pub struct CappedSimplex {
+    /// Required coordinate sum (the total arrival rate `Φ`).
+    pub total: f64,
+    /// Per-coordinate upper bounds (the stability caps, `μ_i − ε`).
+    pub caps: Vec<f64>,
+}
+
+impl CappedSimplex {
+    /// Creates the set, checking that it is nonempty.
+    ///
+    /// # Panics
+    /// If `total < 0`, any cap is negative, or `Σ caps < total`.
+    #[must_use]
+    pub fn new(total: f64, caps: Vec<f64>) -> Self {
+        assert!(total >= 0.0, "CappedSimplex: total must be nonnegative");
+        assert!(
+            caps.iter().all(|&c| c >= 0.0),
+            "CappedSimplex: caps must be nonnegative"
+        );
+        let cap_sum: f64 = caps.iter().sum();
+        assert!(
+            cap_sum >= total,
+            "CappedSimplex: infeasible (sum of caps {cap_sum} < total {total})"
+        );
+        Self { total, caps }
+    }
+
+    /// Euclidean projection of `x` onto the set, in place.
+    ///
+    /// The projection is `λ_i = clamp(x_i − ν, 0, cap_i)` for the unique
+    /// shift `ν` making the coordinates sum to `total`. The sum of clamps
+    /// is a piecewise-linear non-increasing function of `ν` with
+    /// breakpoints at `x_i` and `x_i − cap_i`; we scan the sorted
+    /// breakpoints and solve the crossing segment exactly — no
+    /// bracketing, robust to coordinates of wildly different magnitudes
+    /// (gradient steps can throw iterates to ±1e17, where an additive
+    /// bracket slack would round away).
+    pub fn project(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.caps.len(), "project: dimension mismatch");
+        let sum_at = |nu: f64| -> f64 {
+            x.iter()
+                .zip(&self.caps)
+                .map(|(&xi, &ci)| (xi - nu).clamp(0.0, ci))
+                .sum::<f64>()
+        };
+        // Breakpoints of the piecewise-linear sum.
+        let mut bps: Vec<f64> = Vec::with_capacity(2 * x.len());
+        for (&xi, &ci) in x.iter().zip(&self.caps) {
+            bps.push(xi);
+            bps.push(xi - ci);
+        }
+        bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        bps.dedup();
+
+        // Left of the first breakpoint every coordinate sits at its cap,
+        // so the sum is Σcaps ≥ total (constructor invariant). Walk right
+        // until the sum drops below the target, then solve the linear
+        // segment.
+        let nu = 'search: {
+            let mut prev_bp = bps[0];
+            let mut prev_sum = sum_at(prev_bp);
+            if prev_sum <= self.total {
+                break 'search prev_bp;
+            }
+            for &bp in &bps[1..] {
+                let s = sum_at(bp);
+                if s <= self.total {
+                    // Crossing inside (prev_bp, bp]: slope = Δs/Δν < 0.
+                    let slope = (s - prev_sum) / (bp - prev_bp);
+                    break 'search if slope < 0.0 {
+                        prev_bp + (self.total - prev_sum) / slope
+                    } else {
+                        bp
+                    };
+                }
+                prev_bp = bp;
+                prev_sum = s;
+            }
+            // total == 0 and all coordinates vanish at the last breakpoint.
+            *bps.last().expect("at least one breakpoint")
+        };
+        for (xi, &ci) in x.iter_mut().zip(&self.caps) {
+            *xi = (*xi - nu).clamp(0.0, ci);
+        }
+        // Re-normalize the (tiny) residual onto an interior coordinate so
+        // the conservation law holds to high precision.
+        let drift = self.total - x.iter().sum::<f64>();
+        if drift != 0.0 {
+            if let Some((i, _)) = x
+                .iter()
+                .enumerate()
+                .find(|&(i, &v)| v + drift >= 0.0 && v + drift <= self.caps[i])
+            {
+                x[i] += drift;
+            }
+        }
+    }
+}
+
+/// Options for [`projected_gradient`].
+#[derive(Debug, Clone, Copy)]
+pub struct PgOptions {
+    /// Maximum outer iterations.
+    pub max_iter: u32,
+    /// Initial step size for the backtracking line search.
+    pub step0: f64,
+    /// Stop when the projected-gradient step moves less than this (L∞).
+    pub x_tol: f64,
+}
+
+impl Default for PgOptions {
+    fn default() -> Self {
+        Self { max_iter: 50_000, step0: 1.0, x_tol: 1e-12 }
+    }
+}
+
+/// Projected gradient descent with Armijo backtracking for
+/// `min f(λ)` over a [`CappedSimplex`]. Returns the final iterate.
+///
+/// This is a *reference* solver: simple, robust, slow. It is deliberately
+/// not exported through the facade crate's prelude — production code uses
+/// the paper's closed forms.
+pub fn projected_gradient<F, G>(
+    mut f: F,
+    mut grad: G,
+    set: &CappedSimplex,
+    mut x: Vec<f64>,
+    opts: PgOptions,
+) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+    G: FnMut(&[f64], &mut [f64]),
+{
+    assert_eq!(x.len(), set.caps.len(), "projected_gradient: dimension mismatch");
+    set.project(&mut x);
+    let n = x.len();
+    let mut g = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut fx = f(&x);
+    let mut step = opts.step0;
+    for _ in 0..opts.max_iter {
+        grad(&x, &mut g);
+        // Backtracking: find a step that decreases f after projection.
+        let mut accepted = false;
+        let mut local = step;
+        for _ in 0..60 {
+            for i in 0..n {
+                trial[i] = x[i] - local * g[i];
+            }
+            set.project(&mut trial);
+            let ft = f(&trial);
+            if ft < fx {
+                let moved = x
+                    .iter()
+                    .zip(&trial)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                x.copy_from_slice(&trial);
+                fx = ft;
+                step = (local * 1.5).min(opts.step0 * 16.0);
+                accepted = true;
+                if moved < opts.x_tol {
+                    return x;
+                }
+                break;
+            }
+            local *= 0.5;
+        }
+        if !accepted {
+            return x; // no descent direction at line-search resolution
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_respects_constraints() {
+        let set = CappedSimplex::new(1.0, vec![0.4, 0.4, 0.4]);
+        let mut x = vec![3.0, -1.0, 0.2];
+        set.project(&mut x);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10, "sum {sum}");
+        for (i, &v) in x.iter().enumerate() {
+            assert!((0.0..=0.4 + 1e-12).contains(&v), "x[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn projection_of_feasible_point_is_identity() {
+        let set = CappedSimplex::new(1.0, vec![1.0, 1.0]);
+        let mut x = vec![0.25, 0.75];
+        set.project(&mut x);
+        assert!((x[0] - 0.25).abs() < 1e-10 && (x[1] - 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_survives_huge_magnitudes() {
+        // Regression: a gradient step can fling a coordinate to -1e17;
+        // the old bisection bracket lost its slack to rounding there.
+        let set = CappedSimplex::new(
+            0.4169933566119411,
+            vec![0.3990450087710752, 0.16560613318868908],
+        );
+        let mut x = vec![-18.06, -1.6e17];
+        set.project(&mut x);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - set.total).abs() < 1e-9, "sum {sum}");
+        for (v, c) in x.iter().zip(&set.caps) {
+            assert!(*v >= 0.0 && v <= c);
+        }
+    }
+
+    #[test]
+    fn projection_zero_total() {
+        let set = CappedSimplex::new(0.0, vec![1.0, 2.0]);
+        let mut x = vec![5.0, -3.0];
+        set.project(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_set_rejected() {
+        let _ = CappedSimplex::new(5.0, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn pg_solves_quadratic_with_known_solution() {
+        // min Σ (x_i - t_i)^2 over the simplex sum=1, caps=1: the solution
+        // is the projection of t.
+        let t = [0.9, 0.5, -0.2];
+        let set = CappedSimplex::new(1.0, vec![1.0; 3]);
+        let sol = projected_gradient(
+            |x| x.iter().zip(&t).map(|(a, b)| (a - b).powi(2)).sum(),
+            |x, g| {
+                for i in 0..3 {
+                    g[i] = 2.0 * (x[i] - t[i]);
+                }
+            },
+            &set,
+            vec![1.0 / 3.0; 3],
+            PgOptions::default(),
+        );
+        let mut expect = t.to_vec();
+        set.project(&mut expect);
+        for i in 0..3 {
+            assert!((sol[i] - expect[i]).abs() < 1e-6, "{sol:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn pg_solves_mm1_delay_two_servers() {
+        // min λ1/(μ1-λ1) + λ2/(μ2-λ2), μ=(4,1), Φ=2.
+        // Square-root rule: c=(5-2)/(2+1)=1 -> λ=(4-2, 1-1)=(2,0).
+        let mu = [4.0, 1.0];
+        let phi = 2.0;
+        let eps = 1e-6;
+        let set = CappedSimplex::new(phi, mu.iter().map(|&m| m - eps).collect());
+        let f = |x: &[f64]| -> f64 {
+            x.iter().zip(&mu).map(|(&l, &m)| l / (m - l)).sum()
+        };
+        let g = |x: &[f64], out: &mut [f64]| {
+            for i in 0..2 {
+                out[i] = mu[i] / (mu[i] - x[i]).powi(2);
+            }
+        };
+        let sol = projected_gradient(f, g, &set, vec![1.0, 1.0], PgOptions::default());
+        assert!((sol[0] - 2.0).abs() < 1e-4, "{sol:?}");
+        assert!(sol[1].abs() < 1e-4, "{sol:?}");
+    }
+}

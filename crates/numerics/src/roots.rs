@@ -1,0 +1,246 @@
+//! Bracketing root finders.
+//!
+//! Two call sites in the workspace need scalar root finding:
+//!
+//! * the Wardrop-equilibrium solver searches for the common response-time
+//!   level `t` with `Σ_i max(0, μ_i − 1/t) = Φ` (an increasing, piecewise
+//!   smooth function with kinks where computers enter the active set);
+//! * the truthful-payment computation searches for the cutoff bid at which
+//!   a computer's allocated load reaches zero (Theorem 5.2's finite-area
+//!   condition).
+//!
+//! Both functions are continuous and monotone on the bracket, so bisection
+//! is guaranteed; Brent's method is offered for the smooth case.
+
+/// Outcome of a bracketing search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the (approximate) root.
+    pub x: f64,
+    /// Residual `f(x)` at the returned abscissa.
+    pub residual: f64,
+    /// Number of function evaluations spent.
+    pub evaluations: u32,
+}
+
+/// Errors reported by the root finders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(lo)` and `f(hi)` have the same sign, so no root is bracketed.
+    NotBracketed,
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotBracketed => write!(f, "root is not bracketed by the given interval"),
+            Self::MaxIterations => write!(f, "root finder exhausted its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Bisection on `[lo, hi]`; requires `f(lo)` and `f(hi)` of opposite sign
+/// (zero endpoint values count as roots). Converges unconditionally for
+/// continuous `f`; tolerance is on the bracket width.
+///
+/// ```
+/// use gtlb_numerics::roots::bisect;
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    x_tol: f64,
+    max_iter: u32,
+) -> Result<Root, RootError> {
+    assert!(lo <= hi, "bisect: lo must not exceed hi");
+    let mut flo = f(lo);
+    let mut evals = 1;
+    if flo == 0.0 {
+        return Ok(Root { x: lo, residual: 0.0, evaluations: evals });
+    }
+    let fhi = f(hi);
+    evals += 1;
+    if fhi == 0.0 {
+        return Ok(Root { x: hi, residual: 0.0, evaluations: evals });
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        evals += 1;
+        if fmid == 0.0 || (hi - lo) <= x_tol {
+            return Ok(Root { x: mid, residual: fmid, evaluations: evals });
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Expands `hi` geometrically (factor 2) until `f(lo)` and `f(hi)` bracket
+/// a sign change, then returns the bracket. Used to find the payment
+/// cutoff bid when no a-priori upper bound is known.
+pub fn expand_bracket<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    mut hi: f64,
+    max_doublings: u32,
+) -> Result<(f64, f64), RootError> {
+    assert!(hi > lo, "expand_bracket: hi must exceed lo");
+    let flo = f(lo);
+    for _ in 0..max_doublings {
+        let fhi = f(hi);
+        if fhi == 0.0 || flo.signum() != fhi.signum() {
+            return Ok((lo, hi));
+        }
+        hi = lo + (hi - lo) * 2.0;
+    }
+    Err(RootError::NotBracketed)
+}
+
+/// Brent's method: inverse quadratic interpolation with bisection
+/// fallback. Superlinear on smooth functions, never worse than bisection.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    x_tol: f64,
+    max_iter: u32,
+) -> Result<Root, RootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    let mut evals = 2;
+    if fa == 0.0 {
+        return Ok(Root { x: a, residual: 0.0, evaluations: evals });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, residual: 0.0, evaluations: evals });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    #[allow(clippy::explicit_counter_loop)] // evals is part of the returned diagnostics
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() <= x_tol {
+            return Ok(Root { x: b, residual: fb, evaluations: evals });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // inverse quadratic interpolation
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // secant
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && if mflag {
+                (s - b).abs() < 0.5 * (b - c).abs()
+            } else {
+                (s - b).abs() < 0.5 * (c - d).abs()
+            });
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        evals += 1;
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap();
+        assert_eq!(r.x, 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 10).unwrap_err(),
+            RootError::NotBracketed
+        );
+    }
+
+    #[test]
+    fn bisect_handles_kinked_function() {
+        // The Wardrop level function is piecewise linear with kinks.
+        let mu = [4.0, 2.0, 1.0];
+        let phi = 3.0;
+        let g = |t: f64| {
+            mu.iter().map(|&m| (m - 1.0 / t).max(0.0)).sum::<f64>() - phi
+        };
+        let r = bisect(g, 0.25, 10.0, 1e-12, 200).unwrap();
+        // active set {4, 2}: t solves (4 - 1/t) + (2 - 1/t) = 3 -> t = 2/3
+        assert!((r.x - 2.0 / 3.0).abs() < 1e-9, "got {}", r.x);
+    }
+
+    #[test]
+    fn brent_matches_bisect_faster() {
+        let f = |x: f64| x.exp() - 3.0;
+        let rb = bisect(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        let rr = brent(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((rb.x - rr.x).abs() < 1e-10);
+        assert!(rr.evaluations <= rb.evaluations);
+    }
+
+    #[test]
+    fn expand_bracket_grows_until_sign_change() {
+        let (lo, hi) = expand_bracket(|x| x - 100.0, 0.0, 1.0, 64).unwrap();
+        assert!(lo < 100.0 && hi >= 100.0);
+    }
+
+    #[test]
+    fn expand_bracket_gives_up() {
+        assert!(expand_bracket(|_| 1.0, 0.0, 1.0, 8).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Queueing-theory substrate for the `gtlb` workspace.
+//!
+//! The paper models every computer of the distributed system as an M/M/1
+//! queue (Poisson arrivals, exponential service, single FCFS server) and
+//! additionally evaluates the schemes under two-stage hyper-exponential
+//! interarrival times with coefficient of variation 1.6 (Figures 3.6 and
+//! 4.8). This crate provides:
+//!
+//! * [`dist`] — the renewal-process distributions (exponential,
+//!   two-stage hyper-exponential with balanced-means CV fitting, Erlang,
+//!   deterministic, uniform) sampled by inverse transform from an abstract
+//!   uniform source, so the simulation engine owns the PRNG;
+//! * [`mm1`] — closed-form M/M/1 performance measures used both by the
+//!   analytic evaluation pipeline and to validate the simulator;
+//! * [`mg1`] — the Pollaczek–Khinchine formulas for M/G/1, used to
+//!   cross-check the simulator under non-exponential service;
+//! * [`heavy`] — heavy-tailed laws (lognormal, bounded Pareto) with
+//!   closed-form moments, for stress tests beyond the paper's
+//!   exponential assumptions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod heavy;
+pub mod mg1;
+pub mod mm1;
+
+pub use dist::{Draw, UniformSource};
+pub use mm1::Mm1;

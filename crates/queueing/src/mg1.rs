@@ -1,0 +1,121 @@
+//! M/G/1 Pollaczek–Khinchine formulas.
+//!
+//! The dissertation's background chapter models communication channels as
+//! M/G/1 queues; in this reproduction the formulas serve as an independent
+//! oracle for validating the discrete-event simulator under
+//! non-exponential *service* laws (the figures themselves vary the
+//! *arrival* law, for which no simple closed form exists — that is exactly
+//! why the paper simulates).
+
+use crate::dist::Draw;
+
+/// M/G/1 queue: Poisson arrivals at rate `λ`, i.i.d. service times from an
+/// arbitrary law with known first two moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mg1 {
+    arrival_rate: f64,
+    service_mean: f64,
+    service_second_moment: f64,
+}
+
+impl Mg1 {
+    /// Builds the queue from the service law's moments.
+    ///
+    /// # Panics
+    /// If the queue is unstable (`λ·E[S] ≥ 1`) or parameters are
+    /// nonpositive.
+    #[must_use]
+    pub fn new<D: Draw>(arrival_rate: f64, service: &D) -> Self {
+        Self::from_moments(arrival_rate, service.mean(), service.second_moment())
+    }
+
+    /// Builds the queue directly from moments.
+    ///
+    /// # Panics
+    /// See [`Mg1::new`].
+    #[must_use]
+    pub fn from_moments(arrival_rate: f64, service_mean: f64, service_second_moment: f64) -> Self {
+        assert!(arrival_rate > 0.0, "Mg1: arrival rate must be positive");
+        assert!(service_mean > 0.0, "Mg1: service mean must be positive");
+        assert!(
+            service_second_moment >= service_mean * service_mean,
+            "Mg1: E[S^2] must be at least E[S]^2"
+        );
+        let rho = arrival_rate * service_mean;
+        assert!(rho < 1.0, "Mg1: unstable (rho = {rho})");
+        Self { arrival_rate, service_mean, service_second_moment }
+    }
+
+    /// Utilization `ρ = λ·E[S]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.service_mean
+    }
+
+    /// Expected waiting time in queue (Pollaczek–Khinchine):
+    /// `W = λ E[S²] / (2 (1 − ρ))`.
+    #[must_use]
+    pub fn mean_waiting_time(&self) -> f64 {
+        self.arrival_rate * self.service_second_moment / (2.0 * (1.0 - self.utilization()))
+    }
+
+    /// Expected response time `T = W + E[S]`.
+    #[must_use]
+    pub fn mean_response_time(&self) -> f64 {
+        self.mean_waiting_time() + self.service_mean
+    }
+
+    /// Expected number in system via Little's law.
+    #[must_use]
+    pub fn mean_number_in_system(&self) -> f64 {
+        self.arrival_rate * self.mean_response_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Deterministic, Exponential, HyperExp2};
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn reduces_to_mm1_for_exponential_service() {
+        let lambda = 0.7;
+        let mu = 1.3;
+        let mg1 = Mg1::new(lambda, &Exponential::new(mu));
+        let mm1 = Mm1::new(lambda, mu).unwrap();
+        assert!((mg1.mean_response_time() - mm1.mean_response_time()).abs() < 1e-12);
+        assert!((mg1.mean_waiting_time() - mm1.mean_waiting_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_halves_the_waiting_time() {
+        // M/D/1 waits exactly half as long as M/M/1 at equal rates.
+        let lambda = 0.5;
+        let mean_service = 1.0;
+        let md1 = Mg1::new(lambda, &Deterministic::new(mean_service));
+        let mm1 = Mm1::new(lambda, 1.0 / mean_service).unwrap();
+        assert!((md1.mean_waiting_time() - 0.5 * mm1.mean_waiting_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperexp_service_waits_longer_than_mm1() {
+        let lambda = 0.5;
+        let h2 = HyperExp2::fit_balanced(1.0, 1.6);
+        let mh1 = Mg1::new(lambda, &h2);
+        let mm1 = Mm1::new(lambda, 1.0).unwrap();
+        assert!(mh1.mean_waiting_time() > mm1.mean_waiting_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_rejected() {
+        let _ = Mg1::new(1.1, &Deterministic::new(1.0));
+    }
+
+    #[test]
+    fn littles_law() {
+        let q = Mg1::new(0.4, &Exponential::new(1.0));
+        assert!((q.mean_number_in_system() - 0.4 * q.mean_response_time()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Closed-form M/M/1 performance measures.
+//!
+//! The paper's entire analytic apparatus rests on one formula: the
+//! expected response time (sojourn time) of an M/M/1 queue with arrival
+//! rate `λ` and service rate `μ` is `T = 1/(μ − λ)` (eq. 3.5 / 4.1 / 5.1).
+//! This module packages that formula together with the rest of the M/M/1
+//! stationary measures, with explicit stability handling, so both the
+//! analytic evaluator and the simulator validation tests share one source
+//! of truth.
+
+use serde::{Deserialize, Serialize};
+
+/// A stable single-server Markovian queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1 {
+    arrival_rate: f64,
+    service_rate: f64,
+}
+
+/// Error returned when constructing an unstable or degenerate queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// `λ ≥ μ`: the queue has no stationary distribution.
+    Unstable,
+    /// A rate was nonpositive or non-finite.
+    BadRate,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unstable => write!(f, "M/M/1 is unstable: arrival rate >= service rate"),
+            Self::BadRate => write!(f, "M/M/1 rates must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl Mm1 {
+    /// Creates a stable M/M/1 queue.
+    ///
+    /// # Errors
+    /// [`QueueError::BadRate`] for nonpositive/non-finite rates,
+    /// [`QueueError::Unstable`] when `λ ≥ μ`.
+    pub fn new(arrival_rate: f64, service_rate: f64) -> Result<Self, QueueError> {
+        if !(arrival_rate.is_finite() && service_rate.is_finite())
+            || arrival_rate < 0.0
+            || service_rate <= 0.0
+        {
+            return Err(QueueError::BadRate);
+        }
+        if arrival_rate >= service_rate {
+            return Err(QueueError::Unstable);
+        }
+        Ok(Self { arrival_rate, service_rate })
+    }
+
+    /// Arrival rate `λ`.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Service rate `μ`.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Utilization `ρ = λ/μ ∈ [0, 1)`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Expected response (sojourn) time `T = 1/(μ − λ)` — the quantity the
+    /// paper's objective functions are built from.
+    ///
+    /// ```
+    /// use gtlb_queueing::Mm1;
+    /// let q = Mm1::new(1.0, 3.0).unwrap();
+    /// assert_eq!(q.mean_response_time(), 0.5);
+    /// ```
+    #[must_use]
+    pub fn mean_response_time(&self) -> f64 {
+        1.0 / (self.service_rate - self.arrival_rate)
+    }
+
+    /// Expected waiting time in queue, `W = ρ/(μ − λ)`.
+    #[must_use]
+    pub fn mean_waiting_time(&self) -> f64 {
+        self.utilization() / (self.service_rate - self.arrival_rate)
+    }
+
+    /// Expected number of jobs in the system, `L = ρ/(1 − ρ)`
+    /// (Little's law: `L = λ T`).
+    #[must_use]
+    pub fn mean_number_in_system(&self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Expected number of jobs waiting in queue, `Lq = ρ²/(1 − ρ)`.
+    #[must_use]
+    pub fn mean_number_in_queue(&self) -> f64 {
+        let rho = self.utilization();
+        rho * rho / (1.0 - rho)
+    }
+
+    /// Stationary probability of exactly `n` jobs in the system,
+    /// `P(N = n) = (1 − ρ) ρⁿ`.
+    #[must_use]
+    pub fn prob_n_in_system(&self, n: u32) -> f64 {
+        let rho = self.utilization();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// The response-time distribution is exponential with rate `μ − λ`;
+    /// returns its `q`-quantile.
+    #[must_use]
+    pub fn response_time_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile must lie in [0,1)");
+        -(-q).ln_1p() / (self.service_rate - self.arrival_rate)
+    }
+}
+
+/// Expected response time `1/(μ − λ)` treating instability as `+∞`, for
+/// evaluating allocations that a *lying* agent made infeasible (the
+/// Chapter 5 performance-degradation experiments need this to detect
+/// overload rather than panic).
+#[must_use]
+pub fn response_time_or_inf(arrival_rate: f64, service_rate: f64) -> f64 {
+    if arrival_rate < service_rate {
+        1.0 / (service_rate - arrival_rate)
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_guards() {
+        assert_eq!(Mm1::new(2.0, 1.0).unwrap_err(), QueueError::Unstable);
+        assert_eq!(Mm1::new(1.0, 1.0).unwrap_err(), QueueError::Unstable);
+        assert_eq!(Mm1::new(-1.0, 1.0).unwrap_err(), QueueError::BadRate);
+        assert_eq!(Mm1::new(0.5, 0.0).unwrap_err(), QueueError::BadRate);
+        assert_eq!(Mm1::new(f64::NAN, 1.0).unwrap_err(), QueueError::BadRate);
+        assert!(Mm1::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn textbook_example() {
+        // λ = 3, μ = 4: ρ = 0.75, T = 1, W = 0.75, L = 3, Lq = 2.25.
+        let q = Mm1::new(3.0, 4.0).unwrap();
+        assert!((q.utilization() - 0.75).abs() < 1e-12);
+        assert!((q.mean_response_time() - 1.0).abs() < 1e-12);
+        assert!((q.mean_waiting_time() - 0.75).abs() < 1e-12);
+        assert!((q.mean_number_in_system() - 3.0).abs() < 1e-12);
+        assert!((q.mean_number_in_queue() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1::new(0.31, 0.9).unwrap();
+        assert!(
+            (q.mean_number_in_system() - q.arrival_rate() * q.mean_response_time()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        let q = Mm1::new(0.6, 1.0).unwrap();
+        let total: f64 = (0..200).map(|n| q.prob_n_in_system(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_quantile_median_below_mean() {
+        let q = Mm1::new(1.0, 2.0).unwrap();
+        // Exponential: median = ln 2 * mean < mean.
+        assert!(q.response_time_quantile(0.5) < q.mean_response_time());
+    }
+
+    #[test]
+    fn overload_reports_infinity() {
+        assert_eq!(response_time_or_inf(2.0, 1.0), f64::INFINITY);
+        assert_eq!(response_time_or_inf(1.0, 1.0), f64::INFINITY);
+        assert_eq!(response_time_or_inf(1.0, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Closed-form evaluation of the schemes under Poisson arrivals.
+//!
+//! With exponential interarrival and service times every computer is an
+//! exact M/M/1 queue, so each figure's quantities (overall expected
+//! response time, fairness index, per-computer/per-user times) follow
+//! directly from the allocation — no simulation noise. The DES runner
+//! ([`crate::runner`]) cross-validates these numbers and covers the
+//! hyper-exponential cases.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::noncoop::{MultiUserScheme, UserSystem};
+use gtlb_core::schemes::SingleClassScheme;
+use gtlb_core::CoreError;
+use serde::Serialize;
+
+/// One point of a utilization sweep (one line segment of Figure 3.1).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Scheme display name.
+    pub scheme: String,
+    /// System utilization `ρ`.
+    pub utilization: f64,
+    /// Overall expected response time (seconds).
+    pub response_time: f64,
+    /// Fairness index.
+    pub fairness: f64,
+}
+
+/// Evaluates single-class schemes across a utilization grid
+/// (Figures 3.1's two panels).
+///
+/// # Errors
+/// Propagates scheme failures.
+pub fn sweep_single_class(
+    cluster: &Cluster,
+    schemes: &[&dyn SingleClassScheme],
+    utilizations: &[f64],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::with_capacity(schemes.len() * utilizations.len());
+    for &s in schemes {
+        for &rho in utilizations {
+            let phi = cluster.arrival_rate_for_utilization(rho);
+            let alloc = s.allocate(cluster, phi)?;
+            out.push(SweepPoint {
+                scheme: s.name().to_string(),
+                utilization: rho,
+                response_time: alloc.mean_response_time(cluster),
+                fairness: alloc.fairness_index(cluster),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates multi-user schemes across a utilization grid on a cluster
+/// with the given user shares (Figure 4.4).
+///
+/// # Errors
+/// Propagates scheme failures.
+pub fn sweep_multi_user(
+    cluster: &Cluster,
+    shares: &[f64],
+    schemes: &[&dyn MultiUserScheme],
+    utilizations: &[f64],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::with_capacity(schemes.len() * utilizations.len());
+    for &s in schemes {
+        for &rho in utilizations {
+            let phi = cluster.arrival_rate_for_utilization(rho);
+            let system = UserSystem::with_shares(cluster.clone(), phi, shares)?;
+            let profile = s.profile(&system)?;
+            out.push(SweepPoint {
+                scheme: s.name().to_string(),
+                utilization: rho,
+                response_time: profile.overall_response_time(&system),
+                fairness: profile.fairness_index(&system),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Per-computer expected response times under one scheme at one load
+/// (Figures 3.2 / 3.3). Unused computers report `None`.
+///
+/// # Errors
+/// Propagates scheme failures.
+pub fn per_computer_times(
+    cluster: &Cluster,
+    scheme: &dyn SingleClassScheme,
+    rho: f64,
+) -> Result<Vec<Option<f64>>, CoreError> {
+    let phi = cluster.arrival_rate_for_utilization(rho);
+    Ok(scheme.allocate(cluster, phi)?.response_times(cluster))
+}
+
+/// Per-user expected response times under one multi-user scheme
+/// (Figure 4.5).
+///
+/// # Errors
+/// Propagates scheme failures.
+pub fn per_user_times(
+    system: &UserSystem,
+    scheme: &dyn MultiUserScheme,
+) -> Result<Vec<f64>, CoreError> {
+    Ok(scheme.profile(system)?.user_times(system))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{table31, table41, user_shares, UTILIZATION_GRID};
+    use gtlb_core::noncoop::{
+        GlobalOptimalScheme, IndividualOptimalScheme, NashScheme, ProportionalScheme,
+    };
+    use gtlb_core::schemes::{Coop, Optim, Prop, Wardrop};
+
+    #[test]
+    fn figure_3_1_shape() {
+        let cluster = table31();
+        let schemes: [&dyn SingleClassScheme; 4] =
+            [&Coop, &Prop, &Wardrop::default(), &Optim];
+        let pts = sweep_single_class(&cluster, &schemes, &UTILIZATION_GRID).unwrap();
+        assert_eq!(pts.len(), 36);
+        let get = |name: &str, rho: f64| {
+            pts.iter()
+                .find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12)
+                .unwrap()
+        };
+        // Paper: at ρ=50%, COOP ≈ 19% below PROP and ≈ 20% above OPTIM.
+        let coop = get("COOP", 0.5).response_time;
+        let prop = get("PROP", 0.5).response_time;
+        let optim = get("OPTIM", 0.5).response_time;
+        assert!(coop < prop, "COOP {coop} vs PROP {prop}");
+        assert!(coop > optim, "COOP {coop} vs OPTIM {optim}");
+        let below_prop = (prop - coop) / prop * 100.0;
+        let above_optim = (coop - optim) / optim * 100.0;
+        assert!((below_prop - 19.0).abs() < 5.0, "below PROP: {below_prop}%");
+        assert!((above_optim - 20.0).abs() < 6.0, "above OPTIM: {above_optim}%");
+        // COOP and WARDROP coincide over the whole range.
+        for rho in UTILIZATION_GRID {
+            let c = get("COOP", rho);
+            let w = get("WARDROP", rho);
+            assert!((c.response_time - w.response_time).abs() < 1e-6 * c.response_time);
+            assert!((c.fairness - 1.0).abs() < 1e-9);
+            assert!((w.fairness - 1.0).abs() < 1e-6);
+        }
+        // OPTIM's fairness decays from 1 toward ~0.88 at ρ=90%.
+        assert!(get("OPTIM", 0.1).fairness > 0.99);
+        let f_high = get("OPTIM", 0.9).fairness;
+        assert!((0.8..0.95).contains(&f_high), "OPTIM fairness at 90%: {f_high}");
+    }
+
+    #[test]
+    fn figure_4_4_shape() {
+        let cluster = table41();
+        let nash = NashScheme::default();
+        let ios = IndividualOptimalScheme::new();
+        let schemes: [&dyn MultiUserScheme; 4] =
+            [&nash, &GlobalOptimalScheme, &ios, &ProportionalScheme];
+        let pts =
+            sweep_multi_user(&cluster, &user_shares(10), &schemes, &[0.3, 0.5, 0.9]).unwrap();
+        let get = |name: &str, rho: f64| {
+            pts.iter()
+                .find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12)
+                .unwrap()
+        };
+        // Medium load: GOS <= NASH < PS; NASH close to GOS.
+        let gos = get("GOS", 0.5).response_time;
+        let nash_t = get("NASH", 0.5).response_time;
+        let ps = get("PS", 0.5).response_time;
+        assert!(gos <= nash_t + 1e-9 && nash_t < ps);
+        assert!((nash_t - gos) / gos < 0.2, "NASH should approach GOS");
+        // PS and IOS perfectly fair; NASH close to 1.
+        assert!((get("PS", 0.9).fairness - 1.0).abs() < 1e-9);
+        assert!((get("IOS", 0.9).fairness - 1.0).abs() < 1e-6);
+        assert!(get("NASH", 0.9).fairness > 0.9);
+    }
+
+    #[test]
+    fn per_computer_times_figure_3_2() {
+        let cluster = table31();
+        let coop = per_computer_times(&cluster, &Coop, 0.5).unwrap();
+        // COOP leaves the six slowest computers idle at ρ = 50 %.
+        assert_eq!(coop.iter().filter(|t| t.is_none()).count(), 6);
+        // All used computers share ≈39.4 s.
+        for t in coop.iter().flatten() {
+            assert!((t - 39.447).abs() < 0.05, "t = {t}");
+        }
+        // PROP's spread between fastest and slowest is large (paper: 15 s
+        // vs 155 s at medium load).
+        let prop = per_computer_times(&cluster, &Prop, 0.5).unwrap();
+        let t_fast = prop[0].unwrap();
+        let t_slow = prop[15].unwrap();
+        assert!((t_fast - 15.4).abs() < 1.0, "fast {t_fast}");
+        assert!((t_slow - 153.8).abs() < 5.0, "slow {t_slow}");
+    }
+
+    #[test]
+    fn per_user_times_figure_4_5() {
+        let system = crate::scenario::table41_system(0.6, 10);
+        let nash_times = per_user_times(&system, &NashScheme::default()).unwrap();
+        let gos_times = per_user_times(&system, &GlobalOptimalScheme).unwrap();
+        let ps_times = per_user_times(&system, &ProportionalScheme).unwrap();
+        // PS: all users equal. GOS: large spread. NASH: mild spread.
+        let spread = |ts: &[f64]| {
+            let max = ts.iter().copied().fold(0.0f64, f64::max);
+            let min = ts.iter().copied().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        assert!((spread(&ps_times) - 1.0).abs() < 1e-9);
+        assert!(spread(&gos_times) > spread(&nash_times));
+    }
+}

@@ -1,0 +1,147 @@
+//! Rate estimation from simulation observations.
+//!
+//! The paper's NASH algorithm assumes each user knows the available
+//! processing rates, remarking that they "can be determined by
+//! statistical estimation of the run queue length of each processor"
+//! (§4.2, Remark 2). This module closes that loop: it estimates each
+//! computer's service rate from observable quantities of a measurement
+//! window — per-computer throughput and busy fraction —
+//!
+//! ```text
+//! μ̂_i = completions_i / busy_time_i = throughput_i / utilization_i
+//! ```
+//!
+//! (the standard renewal-reward estimator: each completion "pays" one
+//! service time, and busy time is the sum of service times), and
+//! quantifies what estimation noise does to the schemes built on top
+//! (the `ext_estimation` experiment).
+
+use gtlb_core::model::Cluster;
+use gtlb_core::CoreError;
+use gtlb_desim::farm::FarmResult;
+
+/// Per-computer service-rate estimates from one measurement window.
+#[derive(Debug, Clone)]
+pub struct RateEstimate {
+    /// Estimated service rates; `None` for computers that served no jobs
+    /// (nothing to observe).
+    pub rates: Vec<Option<f64>>,
+    /// Observed per-computer throughputs (jobs per unit time).
+    pub throughput: Vec<f64>,
+    /// Number of completions each estimate is based on.
+    pub samples: Vec<u64>,
+}
+
+impl RateEstimate {
+    /// Extracts the estimates from a farm run.
+    #[must_use]
+    pub fn from_run(result: &FarmResult) -> Self {
+        let window = result.measured_window;
+        let n = result.per_computer.len();
+        let mut rates = Vec::with_capacity(n);
+        let mut throughput = Vec::with_capacity(n);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let count = result.per_computer[i].count();
+            let thr = count as f64 / window;
+            let util = result.utilization[i];
+            rates.push((count > 0 && util > 0.0).then(|| thr / util));
+            throughput.push(thr);
+            samples.push(count);
+        }
+        Self { rates, throughput, samples }
+    }
+
+    /// Builds a [`Cluster`] from the estimates, filling unobserved
+    /// computers with the caller's prior (e.g. the nominal rate, or a
+    /// conservative floor).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] if a prior is nonpositive or lengths
+    /// mismatch.
+    pub fn to_cluster(&self, priors: &[f64]) -> Result<Cluster, CoreError> {
+        if priors.len() != self.rates.len() {
+            return Err(CoreError::BadInput(format!(
+                "{} priors for {} computers",
+                priors.len(),
+                self.rates.len()
+            )));
+        }
+        Cluster::new(
+            self.rates
+                .iter()
+                .zip(priors)
+                .map(|(est, &prior)| est.unwrap_or(prior))
+                .collect(),
+        )
+    }
+
+    /// Worst-case relative error against the true rates, over the
+    /// computers that were actually observed.
+    #[must_use]
+    pub fn max_relative_error(&self, truth: &[f64]) -> f64 {
+        self.rates
+            .iter()
+            .zip(truth)
+            .filter_map(|(est, &t)| est.map(|e| (e - t).abs() / t))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtlb_core::schemes::{Prop, SingleClassScheme};
+    use gtlb_desim::farm::{run, RunConfig};
+    use crate::runner::{single_class_spec, ArrivalLaw};
+    use crate::scenario::table41;
+
+    fn observe(measured_jobs: u64, seed: u64) -> (RateEstimate, Cluster) {
+        // PROP routing keeps every computer busy, so every rate is
+        // observable.
+        let cluster = table41();
+        let phi = cluster.arrival_rate_for_utilization(0.6);
+        let loads = Prop.allocate(&cluster, phi).unwrap();
+        let spec = single_class_spec(&cluster, loads.loads(), phi, ArrivalLaw::Poisson);
+        let res = run(&spec, &RunConfig { seed, warmup_jobs: 5_000, measured_jobs });
+        (RateEstimate::from_run(&res), cluster)
+    }
+
+    #[test]
+    fn estimates_converge_to_true_rates() {
+        let (est, cluster) = observe(400_000, 11);
+        let err = est.max_relative_error(cluster.rates());
+        assert!(err < 0.05, "max relative error {err}");
+        assert!(est.rates.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn longer_windows_reduce_error() {
+        let (short, cluster) = observe(20_000, 7);
+        let (long, _) = observe(500_000, 7);
+        let e_short = short.max_relative_error(cluster.rates());
+        let e_long = long.max_relative_error(cluster.rates());
+        assert!(e_long < e_short, "short {e_short} vs long {e_long}");
+    }
+
+    #[test]
+    fn unobserved_computers_fall_back_to_priors() {
+        // Route everything to computer 0; the others are unobservable.
+        let cluster = Cluster::new(vec![10.0, 5.0]).unwrap();
+        let spec = single_class_spec(&cluster, &[4.0, 0.0], 4.0, ArrivalLaw::Poisson);
+        let res = run(&spec, &RunConfig { seed: 3, warmup_jobs: 1_000, measured_jobs: 50_000 });
+        let est = RateEstimate::from_run(&res);
+        assert!(est.rates[0].is_some());
+        assert!(est.rates[1].is_none());
+        assert_eq!(est.samples[1], 0);
+        let c = est.to_cluster(&[10.0, 5.0]).unwrap();
+        assert_eq!(c.rates()[1], 5.0);
+        assert!((c.rates()[0] - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn prior_length_checked() {
+        let (est, _) = observe(5_000, 1);
+        assert!(est.to_cluster(&[1.0]).is_err());
+    }
+}

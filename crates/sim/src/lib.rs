@@ -1,0 +1,30 @@
+//! `gtlb-sim` — the experiment driver.
+//!
+//! Ties the algorithm crates to the simulation substrate and packages the
+//! paper's experimental methodology:
+//!
+//! * [`scenario`] — the published system configurations (Tables 3.1, 4.1,
+//!   5.1, 6.1) and the parametrized families behind the heterogeneity and
+//!   system-size sweeps;
+//! * [`analytic`] — closed-form (M/M/1) evaluation of any scheme across a
+//!   utilization sweep: instant, exact, used for the Poisson-arrival
+//!   figures;
+//! * [`runner`] — discrete-event evaluation with independent
+//!   replications fanned out across cores with rayon (results are
+//!   bit-identical to sequential runs: seeds are derived per
+//!   replication); required for the hyper-exponential-arrival figures
+//!   where no closed form exists;
+//! * [`report`] — fixed-width tables and CSV output matching the rows
+//!   and series the paper reports;
+//! * [`estimate`] — service-rate estimation from simulation
+//!   observations, closing the paper's "rates can be estimated from run
+//!   queue lengths" remark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod estimate;
+pub mod report;
+pub mod runner;
+pub mod scenario;

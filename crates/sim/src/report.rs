@@ -1,0 +1,200 @@
+//! Paper-style table rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table matching the rows/series the paper's
+/// figures plot.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller so the caller
+    /// controls precision).
+    ///
+    /// # Panics
+    /// If the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "Table: wrong cell count");
+        self.rows.push(cells);
+    }
+
+    /// Convenience for numeric rows: formats every value with 4
+    /// significant-digit fixed notation (`NaN`/`inf` pass through).
+    pub fn push_numeric_row(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|&v| fmt_num(v)));
+        self.push_row(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (RFC-4180-ish: quotes only when
+    /// needed).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path` (creating parent directories).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a number the way the tables expect: fixed 4-significant-ish
+/// digits, with infinities and NaN spelled out.
+#[must_use]
+pub fn fmt_num(v: f64) -> String {
+    if v.is_nan() {
+        return "-".into();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else if a >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["scheme", "rho", "T"]);
+        t.push_row(vec!["COOP".into(), "0.5".into(), "39.45".into()]);
+        t.push_row(vec!["PROP".into(), "0.5".into(), "48.60".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("COOP"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(fmt_num(f64::NAN), "-");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(39.4472), "39.45");
+        assert_eq!(fmt_num(1234.56), "1235");
+        assert_eq!(fmt_num(0.7313), "0.7313");
+        assert_eq!(fmt_num(0.0001234), "1.234e-4");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["he,llo".into(), "qu\"ote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"he,llo\""));
+        assert!(csv.contains("\"qu\"\"ote\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("gtlb_report_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["a"]);
+        t.push_numeric_row("row", &[]);
+        t.write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.starts_with("a\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong cell count")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Discrete-event evaluation with parallel replications.
+//!
+//! Builds `gtlb-desim` farm models from allocations/strategy profiles and
+//! replicates them in parallel with rayon. Replication `r` of base seed
+//! `s` always runs with `replication_seed(s, r)`, so the parallel results
+//! are bit-identical to sequential ones regardless of thread scheduling —
+//! the determinism contract of the simulation engine survives the
+//! fan-out.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::noncoop::{StrategyProfile, UserSystem};
+use gtlb_desim::farm::{run, FarmResult, FarmSpec, RunConfig, SourceSpec};
+use gtlb_desim::replication::{replication_seed, ReplicatedResult};
+use gtlb_desim::stats::ConfidenceInterval;
+use gtlb_queueing::dist::Law;
+use rayon::prelude::*;
+
+/// Arrival-process family for the sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalLaw {
+    /// Poisson arrivals (exponential interarrivals) — the default model.
+    Poisson,
+    /// Two-stage hyper-exponential interarrivals with this coefficient of
+    /// variation (Figures 3.6 / 4.8 use 1.6).
+    HyperExp {
+        /// Coefficient of variation (≥ 1).
+        cv: f64,
+    },
+}
+
+impl ArrivalLaw {
+    fn law(&self, rate: f64) -> Law {
+        match *self {
+            ArrivalLaw::Poisson => Law::exponential(rate),
+            ArrivalLaw::HyperExp { cv } => Law::hyperexp(1.0 / rate, cv),
+        }
+    }
+}
+
+/// Simulation budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBudget {
+    /// Base seed.
+    pub seed: u64,
+    /// Independent replications (the paper uses 5).
+    pub replications: u32,
+    /// Warm-up completions discarded per replication.
+    pub warmup_jobs: u64,
+    /// Measured completions per replication.
+    pub measured_jobs: u64,
+}
+
+impl Default for SimBudget {
+    fn default() -> Self {
+        Self { seed: 0x6A0B, replications: 5, warmup_jobs: 20_000, measured_jobs: 200_000 }
+    }
+}
+
+impl SimBudget {
+    /// A light-weight budget for CI-sized test runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { seed: 0x6A0B, replications: 3, warmup_jobs: 2_000, measured_jobs: 30_000 }
+    }
+}
+
+/// Builds the farm model for a single-class allocation on a cluster:
+/// one source of total rate `phi` (split per the loads), exponential
+/// servers at the cluster's rates.
+///
+/// # Panics
+/// If `phi ≤ 0` or the lengths mismatch.
+#[must_use]
+pub fn single_class_spec(
+    cluster: &Cluster,
+    loads: &[f64],
+    phi: f64,
+    arrivals: ArrivalLaw,
+) -> FarmSpec {
+    assert_eq!(loads.len(), cluster.n(), "loads/cluster mismatch");
+    assert!(phi > 0.0, "phi must be positive");
+    FarmSpec {
+        services: cluster.rates().iter().map(|&m| Law::exponential(m)).collect(),
+        sources: vec![SourceSpec {
+            interarrival: arrivals.law(phi),
+            routing: loads.iter().map(|&l| l / phi).collect(),
+        }],
+    }
+}
+
+/// Builds the farm model for a multi-user strategy profile: one source
+/// per user with its own rate and routing row.
+#[must_use]
+pub fn multi_user_spec(
+    system: &UserSystem,
+    profile: &StrategyProfile,
+    arrivals: ArrivalLaw,
+) -> FarmSpec {
+    FarmSpec {
+        services: system.cluster().rates().iter().map(|&m| Law::exponential(m)).collect(),
+        sources: system
+            .user_rates()
+            .iter()
+            .enumerate()
+            .map(|(j, &phi_j)| SourceSpec {
+                interarrival: arrivals.law(phi_j),
+                routing: profile.row(j).to_vec(),
+            })
+            .collect(),
+    }
+}
+
+/// Runs `budget.replications` independent replications of `spec` in
+/// parallel and aggregates exactly like
+/// [`gtlb_desim::replication::replicate`] (same seeds, same statistics).
+#[must_use]
+pub fn replicate_parallel(spec: &FarmSpec, budget: &SimBudget) -> ReplicatedResult {
+    assert!(budget.replications > 0, "need at least one replication");
+    let raw: Vec<FarmResult> = (0..budget.replications)
+        .into_par_iter()
+        .map(|r| {
+            let cfg = RunConfig {
+                seed: replication_seed(budget.seed, r),
+                warmup_jobs: budget.warmup_jobs,
+                measured_jobs: budget.measured_jobs,
+            };
+            run(spec, &cfg)
+        })
+        .collect();
+    aggregate(raw)
+}
+
+fn aggregate(raw: Vec<FarmResult>) -> ReplicatedResult {
+    let overall = ConfidenceInterval::from_estimates(
+        &raw.iter().map(|r| r.overall.mean()).collect::<Vec<_>>(),
+    );
+    let m = raw[0].per_user.len();
+    let n = raw[0].per_computer.len();
+    let per_user = (0..m)
+        .map(|j| {
+            ConfidenceInterval::from_estimates(
+                &raw.iter().map(|r| r.per_user[j].mean()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let per_computer = (0..n)
+        .map(|i| {
+            ConfidenceInterval::from_estimates(
+                &raw.iter().map(|r| r.per_computer[i].mean()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let utilization = (0..n)
+        .map(|i| {
+            ConfidenceInterval::from_estimates(
+                &raw.iter().map(|r| r.utilization[i]).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    ReplicatedResult { overall, per_user, per_computer, utilization, raw }
+}
+
+/// Fairness index across computers as measured by the simulation
+/// (Jain's index of the per-computer mean response times, used computers
+/// only).
+#[must_use]
+pub fn simulated_computer_fairness(result: &ReplicatedResult) -> f64 {
+    let times: Vec<f64> = result
+        .per_computer
+        .iter()
+        .filter(|ci| ci.mean.is_finite() && !ci.mean.is_nan())
+        .map(|ci| ci.mean)
+        .collect();
+    gtlb_core::allocation::jain_index(&times)
+}
+
+/// Fairness index across users as measured by the simulation.
+#[must_use]
+pub fn simulated_user_fairness(result: &ReplicatedResult) -> f64 {
+    let times: Vec<f64> = result.per_user.iter().map(|ci| ci.mean).collect();
+    gtlb_core::allocation::jain_index(&times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{table31, table41_system};
+    use gtlb_core::noncoop::{MultiUserScheme, NashScheme};
+    use gtlb_core::schemes::{Coop, SingleClassScheme};
+    use gtlb_desim::replication::replicate;
+
+    #[test]
+    fn parallel_replication_is_bit_identical_to_sequential() {
+        let cluster = table31();
+        let phi = cluster.arrival_rate_for_utilization(0.5);
+        let loads = Coop.allocate(&cluster, phi).unwrap();
+        let spec = single_class_spec(&cluster, loads.loads(), phi, ArrivalLaw::Poisson);
+        let budget = SimBudget { replications: 3, warmup_jobs: 500, measured_jobs: 10_000, seed: 7 };
+        let par = replicate_parallel(&spec, &budget);
+        let seq = replicate(
+            &spec,
+            &RunConfig { seed: 7, warmup_jobs: 500, measured_jobs: 10_000 },
+            3,
+        );
+        assert_eq!(par.overall.mean, seq.overall.mean);
+        assert_eq!(par.overall.half_width, seq.overall.half_width);
+    }
+
+    #[test]
+    fn coop_simulation_matches_analytics() {
+        let cluster = table31();
+        let phi = cluster.arrival_rate_for_utilization(0.5);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let spec = single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::Poisson);
+        let res = replicate_parallel(&spec, &SimBudget::quick());
+        let analytic = alloc.mean_response_time(&cluster);
+        assert!(
+            (res.overall.mean - analytic).abs() / analytic < 0.05,
+            "simulated {} vs analytic {analytic}",
+            res.overall.mean
+        );
+        // Simulated fairness close to 1 for COOP.
+        assert!(simulated_computer_fairness(&res) > 0.98);
+    }
+
+    #[test]
+    fn hyperexp_arrivals_inflate_response_times() {
+        let cluster = table31();
+        let phi = cluster.arrival_rate_for_utilization(0.6);
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let poisson = replicate_parallel(
+            &single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::Poisson),
+            &SimBudget::quick(),
+        );
+        let bursty = replicate_parallel(
+            &single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::HyperExp { cv: 1.6 }),
+            &SimBudget::quick(),
+        );
+        assert!(bursty.overall.mean > poisson.overall.mean);
+    }
+
+    #[test]
+    fn multi_user_simulation_tracks_per_user_analytics() {
+        let system = table41_system(0.6, 4);
+        let profile = NashScheme::default().profile(&system).unwrap();
+        let spec = multi_user_spec(&system, &profile, ArrivalLaw::Poisson);
+        let res = replicate_parallel(&spec, &SimBudget::quick());
+        let analytic = profile.user_times(&system);
+        for (j, (ci, &a)) in res.per_user.iter().zip(&analytic).enumerate() {
+            let sim = ci.mean;
+            assert!((sim - a).abs() / a < 0.1, "user {j}: sim {sim} vs analytic {a}");
+        }
+        assert!(simulated_user_fairness(&res) > 0.9);
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's published system configurations.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::noncoop::UserSystem;
+
+/// Table 3.1 (and 5.1): 16 heterogeneous computers, relative rates
+/// {10, 5, 2, 1} × counts {2, 3, 5, 6}, slowest at 0.013 jobs/s ("a value
+/// that can be found in real distributed systems").
+///
+/// # Panics
+/// Never (constants are valid).
+#[must_use]
+pub fn table31() -> Cluster {
+    Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)])
+        .expect("table 3.1 constants are valid")
+}
+
+/// Table 4.1: the same 16-computer shape at job-scale rates
+/// {100, 50, 20, 10} jobs/s.
+///
+/// # Panics
+/// Never (constants are valid).
+#[must_use]
+pub fn table41() -> Cluster {
+    Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)])
+        .expect("table 4.1 constants are valid")
+}
+
+/// Table 5.1 equals Table 3.1; the mechanism bids are the inverse rates.
+#[must_use]
+pub fn table51_bids() -> Vec<f64> {
+    table31().rates().iter().map(|&r| 1.0 / r).collect()
+}
+
+/// The heterogeneity-sweep family (Figures 3.4 / 4.6): 2 fast + 14 slow
+/// computers; the fast computers run at `skew ×` the slow rate.
+///
+/// # Panics
+/// If `skew < 1` or `slow_rate ≤ 0`.
+#[must_use]
+pub fn skewed_cluster(skew: f64, slow_rate: f64) -> Cluster {
+    assert!(skew >= 1.0, "speed skewness must be at least 1");
+    Cluster::from_groups(&[(2, skew * slow_rate), (14, slow_rate)])
+        .expect("skewed cluster parameters are valid")
+}
+
+/// The system-size family (Figures 3.5 / 4.7): 2 fast computers
+/// (relative rate 10) plus `n − 2` slow ones (relative rate 1), `n ≥ 2`.
+///
+/// # Panics
+/// If `n < 2` or `slow_rate ≤ 0`.
+#[must_use]
+pub fn sized_cluster(n: usize, slow_rate: f64) -> Cluster {
+    assert!(n >= 2, "the family starts at the 2 fast computers");
+    let mut groups = vec![(2, 10.0 * slow_rate)];
+    if n > 2 {
+        groups.push((n - 2, slow_rate));
+    }
+    Cluster::from_groups(&groups).expect("sized cluster parameters are valid")
+}
+
+/// The 10 users' shares of the total arrival rate for the Chapter 4
+/// experiments. The dissertation text does not list the split; this
+/// few-heavy-many-light vector follows the follow-up JPDC 2005 paper's
+/// setup (see DESIGN.md, substitution 3).
+pub const USER_SHARES_10: [f64; 10] = [0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04];
+
+/// Shares for an arbitrary user count: the first `min(m, 10)` entries of
+/// [`USER_SHARES_10`]'s shape, extended uniformly and renormalized. Used
+/// by the convergence-vs-user-count sweep (Figure 4.3).
+#[must_use]
+pub fn user_shares(m: usize) -> Vec<f64> {
+    assert!(m >= 1, "need at least one user");
+    let mut q: Vec<f64> = (0..m)
+        .map(|j| if j < 10 { USER_SHARES_10[j] } else { 0.04 })
+        .collect();
+    let total: f64 = q.iter().sum();
+    for v in &mut q {
+        *v /= total;
+    }
+    q
+}
+
+/// The Chapter 4 reference system: Table 4.1's cluster at utilization
+/// `rho`, shared by `m` users with [`user_shares`] splits.
+///
+/// # Panics
+/// If `rho ∉ (0, 1)`.
+#[must_use]
+pub fn table41_system(rho: f64, m: usize) -> UserSystem {
+    let cluster = table41();
+    let phi = cluster.arrival_rate_for_utilization(rho);
+    UserSystem::with_shares(cluster, phi, &user_shares(m))
+        .expect("table 4.1 system parameters are valid")
+}
+
+/// The utilization grid of Figures 3.1 / 3.6 / 4.4 / 4.8 / 5.2:
+/// 10 % … 90 %.
+pub const UTILIZATION_GRID: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The coefficient of variation of the hyper-exponential arrival
+/// experiments (Figures 3.6 / 4.8).
+pub const HYPEREXP_CV: f64 = 1.6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_published_aggregates() {
+        assert_eq!(table31().n(), 16);
+        assert!((table31().total_rate() - 0.663).abs() < 1e-12);
+        assert_eq!(table41().n(), 16);
+        assert!((table41().total_rate() - 510.0).abs() < 1e-9);
+        assert_eq!(table51_bids().len(), 16);
+        assert!((table51_bids()[0] - 1.0 / 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_family_endpoints() {
+        let homo = skewed_cluster(1.0, 1.0);
+        assert!((homo.speed_skewness() - 1.0).abs() < 1e-12);
+        assert_eq!(homo.n(), 16);
+        let hetero = skewed_cluster(20.0, 1.0);
+        assert!((hetero.speed_skewness() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_family() {
+        assert_eq!(sized_cluster(2, 1.0).n(), 2);
+        assert_eq!(sized_cluster(20, 1.0).n(), 20);
+        assert!((sized_cluster(20, 1.0).total_rate() - 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_shares_normalize() {
+        for m in [1, 4, 10, 16, 32] {
+            let q = user_shares(m);
+            assert_eq!(q.len(), m);
+            let s: f64 = q.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "m={m}: sum {s}");
+        }
+        for (a, b) in user_shares(10).iter().zip(&USER_SHARES_10) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table41_system_is_feasible() {
+        let sys = table41_system(0.6, 10);
+        assert_eq!(sys.m(), 10);
+        assert!((sys.total_arrival_rate() - 306.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Dynamic vs static load balancing: run the survey chapter's classical
+//! dynamic policies (sender-/receiver-initiated, JSQ) against the paper's
+//! static COOP allocation on one cluster, under increasing transfer cost.
+//!
+//! ```text
+//! cargo run --release --example dynamic_policies
+//! ```
+
+use gtlb::balancing::schemes::{Coop, SingleClassScheme};
+use gtlb::dynamic::{run_dynamic, DynamicConfig, DynamicSpec, Policy};
+use gtlb::prelude::*;
+use gtlb::queueing::dist::{Deterministic, Law};
+use gtlb::sim::report::{fmt_num, Table};
+
+fn main() {
+    // 2 fast + 6 slow computers, every node locally loaded to 70%.
+    let cluster = Cluster::from_groups(&[(2, 5.0), (6, 1.0)]).unwrap();
+    let rho = 0.7;
+    let phi = cluster.arrival_rate_for_utilization(rho);
+    let coop = Coop.allocate(&cluster, phi).unwrap();
+
+    let cfg = DynamicConfig { seed: 7, warmup_jobs: 20_000, measured_jobs: 200_000 };
+    let policies: Vec<(String, Policy)> = vec![
+        ("no balancing".into(), Policy::NoBalancing),
+        ("static COOP routing".into(), Policy::StaticRouting),
+        ("sender threshold(2), 3 probes".into(), Policy::SenderThreshold { threshold: 2, probe_limit: 3 }),
+        ("receiver threshold(1), 3 probes".into(), Policy::Receiver { threshold: 1, probe_limit: 3 }),
+        ("symmetric".into(), Policy::Symmetric { threshold: 2, probe_limit: 3 }),
+        ("central JSQ".into(), Policy::CentralJsq),
+    ];
+
+    let mut t = Table::new(
+        "mean response time (s) as transfers get more expensive",
+        &["policy", "free", "d=0.2", "d=1.0", "transfers/job"],
+    );
+    for (label, policy) in &policies {
+        let mut cells = vec![label.clone()];
+        let mut tf = 0.0;
+        for d in [0.0, 0.2, 1.0] {
+            let spec = DynamicSpec {
+                services: cluster.rates().iter().map(|&m| Law::exponential(m)).collect(),
+                arrivals: cluster.rates().iter().map(|&m| Law::exponential(rho * m)).collect(),
+                transfer_delay: Law::Det(Deterministic::new(d)),
+                policy: *policy,
+                routing: matches!(policy, Policy::StaticRouting)
+                    .then(|| coop.loads().iter().map(|&l| l / phi).collect()),
+            };
+            let res = run_dynamic(&spec, &cfg);
+            cells.push(fmt_num(res.mean_response_time()));
+            tf = res.transfer_fraction();
+        }
+        cells.push(fmt_num(tf));
+        t.push_row(cells);
+    }
+    println!("analytic COOP response time (free central dispatcher): {} s\n", fmt_num(coop.mean_response_time(&cluster)));
+    println!("{t}");
+    println!("dynamic policies exploit live queue state and win when transfers are cheap;");
+    println!("the static NBS needs no state at all and ages gracefully as they get dear.");
+}

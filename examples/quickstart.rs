@@ -1,0 +1,53 @@
+//! Quickstart: balance a heterogeneous cluster with the Nash Bargaining
+//! Solution and compare it against the classical schemes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gtlb::prelude::*;
+use gtlb::sim::report::{fmt_num, Table};
+
+fn main() {
+    // A small shop: two fast servers (10 jobs/s), three mid-tier (4
+    // jobs/s) and one old box (1 job/s), running at 70 % utilization.
+    let cluster = Cluster::from_groups(&[(2, 10.0), (3, 4.0), (1, 1.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.7);
+    println!(
+        "cluster: {} computers, {} jobs/s aggregate, arrival rate {} jobs/s\n",
+        cluster.n(),
+        fmt_num(cluster.total_rate()),
+        fmt_num(phi)
+    );
+
+    let schemes: [&dyn SingleClassScheme; 4] =
+        [&Coop, &Optim, &Prop, &Wardrop::default()];
+
+    let mut summary =
+        Table::new("scheme comparison", &["scheme", "mean response (s)", "fairness", "idle computers"]);
+    for scheme in schemes {
+        let alloc = scheme.allocate(&cluster, phi).unwrap();
+        // Every scheme's output satisfies the feasibility conditions of
+        // the paper (positivity, stability, conservation).
+        alloc.verify(&cluster, phi, 1e-9).unwrap();
+        let idle = alloc.loads().iter().filter(|&&l| l == 0.0).count();
+        summary.push_row(vec![
+            scheme.name().to_string(),
+            fmt_num(alloc.mean_response_time(&cluster)),
+            fmt_num(alloc.fairness_index(&cluster)),
+            idle.to_string(),
+        ]);
+    }
+    println!("{summary}");
+
+    // The NBS promise: every job sees the same expected response time,
+    // no matter which computer it lands on.
+    let nbs = Coop.allocate(&cluster, phi).unwrap();
+    println!("COOP per-computer response times (None = computer left idle):");
+    for (i, t) in nbs.response_times(&cluster).iter().enumerate() {
+        match t {
+            Some(t) => println!("  computer {i}: {:>8} s  (load {} jobs/s)", fmt_num(*t), fmt_num(nbs.loads()[i])),
+            None => println!("  computer {i}:     idle"),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-simulator consistency: the workspace contains two independent
+//! discrete-event models — the dispatcher/farm model (`gtlb-desim`, the
+//! paper's §3.4 setup) and the local-arrival dynamic model
+//! (`gtlb-dynamic`, the survey's §2.2.2 setup). Under configurations
+//! where both describe the same physical system they must agree with
+//! each other and with the closed forms.
+
+use gtlb::balancing::schemes::{Coop, SingleClassScheme};
+use gtlb::desim::farm::{run as run_farm, RunConfig};
+use gtlb::dynamic::{run_dynamic, DynamicSpec, Policy};
+use gtlb::prelude::*;
+use gtlb::queueing::dist::{Deterministic, Law};
+use gtlb::sim::estimate::RateEstimate;
+use gtlb::sim::runner::{single_class_spec, ArrivalLaw};
+
+/// COOP routing realized in BOTH simulators on the same cluster must hit
+/// the same analytic mean (free transfers, Poisson arrivals). The two
+/// engines share no model code beyond the event loop, so agreement here
+/// is a genuine cross-check.
+#[test]
+fn both_simulators_agree_on_coop_routing() {
+    let cluster = Cluster::from_groups(&[(2, 5.0), (4, 1.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.65);
+    let alloc = Coop.allocate(&cluster, phi).unwrap();
+    let analytic = alloc.mean_response_time(&cluster);
+
+    // Farm model: one central source, probabilistic split.
+    let farm_spec = single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::Poisson);
+    let farm = run_farm(
+        &farm_spec,
+        &RunConfig { seed: 71, warmup_jobs: 20_000, measured_jobs: 250_000 },
+    );
+
+    // Dynamic model: all jobs enter at computer 0 and are statically
+    // re-routed with zero transfer delay — physically the same system.
+    let mut arrivals = vec![Law::exponential(1e-9); cluster.n()];
+    arrivals[0] = Law::exponential(phi);
+    let dyn_spec = DynamicSpec {
+        services: cluster.rates().iter().map(|&m| Law::exponential(m)).collect(),
+        arrivals,
+        transfer_delay: Law::Det(Deterministic::new(0.0)),
+        policy: Policy::StaticRouting,
+        routing: Some(alloc.loads().iter().map(|&l| l / phi).collect()),
+    };
+    let dynamic = run_dynamic(
+        &dyn_spec,
+        &RunConfig { seed: 72, warmup_jobs: 20_000, measured_jobs: 250_000 },
+    );
+
+    let t_farm = farm.mean_response_time();
+    let t_dyn = dynamic.mean_response_time();
+    assert!((t_farm - analytic).abs() / analytic < 0.04, "farm {t_farm} vs analytic {analytic}");
+    assert!((t_dyn - analytic).abs() / analytic < 0.04, "dynamic {t_dyn} vs analytic {analytic}");
+    assert!((t_farm - t_dyn).abs() / analytic < 0.06, "farm {t_farm} vs dynamic {t_dyn}");
+}
+
+/// The full estimate-then-balance pipeline: observe the cluster under
+/// PROP, estimate rates, compute COOP on the estimates, and verify the
+/// resulting allocation is feasible and near-optimal on the TRUE system.
+#[test]
+fn estimate_then_balance_pipeline() {
+    let cluster = Cluster::from_groups(&[(2, 8.0), (4, 2.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.6);
+
+    // Observe under PROP (keeps every computer busy).
+    let prop = Prop.allocate(&cluster, phi).unwrap();
+    let spec = single_class_spec(&cluster, prop.loads(), phi, ArrivalLaw::Poisson);
+    let obs = run_farm(&spec, &RunConfig { seed: 5, warmup_jobs: 10_000, measured_jobs: 300_000 });
+    let est = RateEstimate::from_run(&obs);
+    assert!(est.max_relative_error(cluster.rates()) < 0.05);
+
+    // Balance on the estimates, execute on the truth.
+    let est_cluster = est.to_cluster(cluster.rates()).unwrap();
+    let alloc = Coop.allocate(&est_cluster, phi).unwrap();
+    alloc.verify(&cluster, phi, 1e-6).unwrap(); // feasible on the TRUE rates
+    let t_est = alloc.mean_response_time(&cluster);
+    let t_exact = Coop.allocate(&cluster, phi).unwrap().mean_response_time(&cluster);
+    assert!(
+        (t_est - t_exact).abs() / t_exact < 0.05,
+        "estimated-rate COOP {t_est} vs exact {t_exact}"
+    );
+}
+
+/// Receiver-initiated stealing on a *heterogeneous* cluster still beats
+/// no balancing — the dynamic policies are not homogeneous-only.
+#[test]
+fn dynamic_stealing_helps_heterogeneous_clusters() {
+    let cluster = Cluster::from_groups(&[(2, 4.0), (6, 1.0)]).unwrap();
+    let rho = 0.75;
+    let mk = |policy| DynamicSpec {
+        services: cluster.rates().iter().map(|&m| Law::exponential(m)).collect(),
+        arrivals: cluster.rates().iter().map(|&m| Law::exponential(rho * m)).collect(),
+        transfer_delay: Law::Det(Deterministic::new(0.02)),
+        policy,
+        routing: None,
+    };
+    let cfg = RunConfig { seed: 9, warmup_jobs: 10_000, measured_jobs: 150_000 };
+    let nolb = run_dynamic(&mk(Policy::NoBalancing), &cfg);
+    let steal = run_dynamic(&mk(Policy::Receiver { threshold: 1, probe_limit: 3 }), &cfg);
+    assert!(
+        steal.mean_response_time() < 0.9 * nolb.mean_response_time(),
+        "stealing {} vs no balancing {}",
+        steal.mean_response_time(),
+        nolb.mean_response_time()
+    );
+}

@@ -1,0 +1,160 @@
+//! End-to-end mechanism checks across crates: the LBM protocol on the
+//! paper's cluster, the Chapter 5 figures' headline claims, and the
+//! Chapter 6 experiment matrix.
+
+use gtlb::mechanism::lbm::{run_protocol, AgentSpec, BidStrategy};
+use gtlb::mechanism::payment::PaymentBreakdown;
+use gtlb::mechanism::verification::{table61_mechanism, table62_behaviors, Table62};
+use gtlb::prelude::*;
+use gtlb::sim::scenario::{table31, table51_bids};
+
+fn agents(c1: BidStrategy) -> Vec<AgentSpec> {
+    table51_bids()
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| AgentSpec {
+            true_value: t,
+            strategy: if i == 0 { c1 } else { BidStrategy::Truthful },
+        })
+        .collect()
+}
+
+/// §5.5 (Fig. 5.4): "the profit at C1 is maximum if it bids the true
+/// value, [lower] if it bids higher and [lower] if it bids lower. The
+/// mechanism penalizes C1 if it does not report the true value."
+#[test]
+fn protocol_profit_peaks_at_truth() {
+    let phi = table31().arrival_rate_for_utilization(0.5);
+    let mech = TruthfulMechanism::new(phi);
+    let honest = run_protocol(&mech, &agents(BidStrategy::Truthful)).unwrap();
+    let high = run_protocol(&mech, &agents(BidStrategy::Scale(1.33))).unwrap();
+    let low = run_protocol(&mech, &agents(BidStrategy::Scale(0.93))).unwrap();
+    assert!(honest.profits[0] >= high.profits[0] - 1e-9);
+    assert!(honest.profits[0] >= low.profits[0] - 1e-9);
+    // Everyone is weakly profitable when truthful.
+    assert!(honest.profits.iter().all(|&p| p >= -1e-9));
+}
+
+/// §5.5 (Fig. 5.4): "Computers C11 to C16 are not utilized when C1
+/// underbids and when it reports the true value … These computers will be
+/// utilized in the case when C1 overbids, getting a small profit."
+#[test]
+fn slow_computers_enter_when_c1_overbids() {
+    let cluster = table31();
+    let phi = cluster.arrival_rate_for_utilization(0.5);
+    let mech = TruthfulMechanism::new(phi);
+    let order = cluster.order_by_rate_desc();
+    let slow: Vec<usize> = order[10..].to_vec();
+    let slow_load = |payments: &[PaymentBreakdown]| -> f64 {
+        slow.iter().map(|&i| payments[i].load).sum()
+    };
+    // Under truthful bids the slow tail is (essentially) unused: OPTIM
+    // keeps the 0.013-rate computers marginally active with ~2.3% busy
+    // time — the paper's bar chart rounds this to "not utilized".
+    let honest = mech.payments(&table51_bids()).unwrap();
+    let idle_ish = slow_load(&honest);
+    for &i in &slow {
+        assert!(
+            honest[i].load < 0.05 * cluster.rates()[i],
+            "slow computer {i} carries real load {}",
+            honest[i].load
+        );
+    }
+    let mut high = table51_bids();
+    high[0] *= 1.33;
+    let overbid = mech.payments(&high).unwrap();
+    assert!(
+        slow_load(&overbid) > 1.5 * idle_ish,
+        "overbidding C1 should push load to the slow tail: {} vs {idle_ish}",
+        slow_load(&overbid)
+    );
+}
+
+/// §5.5 (Fig. 5.7): "The total cost is about 21% of the payment at 90%
+/// system utilization … increases to 40% at 10% system utilization."
+/// Shape check: the cost share decreases with utilization.
+#[test]
+fn cost_share_decreases_with_utilization() {
+    let cluster = table31();
+    let truth = table51_bids();
+    let share_at = |rho: f64| -> f64 {
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let mech = TruthfulMechanism::with_max_bid(phi, 10.0 / 0.013);
+        let p = mech.payments(&truth).unwrap();
+        let pay: f64 = p.iter().map(PaymentBreakdown::payment).sum();
+        let cost: f64 = p.iter().zip(&truth).map(|(x, &b)| x.cost(b)).sum();
+        cost / pay
+    };
+    let low = share_at(0.1);
+    let mid = share_at(0.5);
+    let high = share_at(0.9);
+    assert!(low > mid && mid > high, "shares {low} {mid} {high}");
+    assert!(low < 1.0 && high > 0.05);
+}
+
+/// §6.4 (Fig. 6.1): the ordering of total latencies across the Table 6.2
+/// experiments — True1 minimal; Low2 the worst of the Low family;
+/// High4 the worst of the High family.
+#[test]
+fn table62_latency_ordering() {
+    let mech = table61_mechanism();
+    let latency = |e: Table62| mech.run(&table62_behaviors(&mech, e)).unwrap().total_latency;
+    let true1 = latency(Table62::True1);
+    for e in Table62::ALL {
+        assert!(latency(e) >= true1 - 1e-9, "{} beats True1", e.name());
+    }
+    assert!(latency(Table62::Low2) > latency(Table62::Low1));
+    assert!(latency(Table62::High4) > latency(Table62::High3));
+    assert!(latency(Table62::High3) > latency(Table62::High2));
+}
+
+/// §6.4 (Fig. 6.2): "C1 obtains the highest utility in the experiment
+/// True1 … In the experiment Low2 the payment and utility of C1 are
+/// negative."
+#[test]
+fn c1_utility_profile_matches_figure() {
+    let mech = table61_mechanism();
+    let outcome = |e: Table62| mech.run(&table62_behaviors(&mech, e)).unwrap();
+    let honest_u = outcome(Table62::True1).utility(0);
+    for e in &Table62::ALL[1..] {
+        assert!(outcome(*e).utility(0) < honest_u, "{} should be below True1", e.name());
+    }
+    let low2 = outcome(Table62::Low2);
+    assert!(low2.payment(0) < 0.0, "Low2 payment {}", low2.payment(0));
+    assert!(low2.utility(0) < 0.0, "Low2 utility {}", low2.utility(0));
+}
+
+/// §6.4 (Fig. 6.5): "In the experiment Low1 computer C1 obtains a utility
+/// which is [~45%] lower than in the experiment True1. The other
+/// computers (C2 - C16) obtain lower utilities [than in True1]."
+#[test]
+fn low1_depresses_everyone() {
+    let mech = table61_mechanism();
+    let true1 = mech.run(&table62_behaviors(&mech, Table62::True1)).unwrap();
+    let low1 = mech.run(&table62_behaviors(&mech, Table62::Low1)).unwrap();
+    for i in 0..mech.n() {
+        assert!(
+            low1.utility(i) <= true1.utility(i) + 1e-9,
+            "computer {i}: {} vs {}",
+            low1.utility(i),
+            true1.utility(i)
+        );
+    }
+    let drop = 1.0 - low1.utility(0) / true1.utility(0);
+    assert!((0.2..0.8).contains(&drop), "C1's Low1 utility drop {drop}");
+}
+
+/// §6.4 (Fig. 6.4): in High1 the *other* computers receive more jobs and
+/// higher utilities than in True1.
+#[test]
+fn high1_boosts_bystanders() {
+    let mech = table61_mechanism();
+    let true1 = mech.run(&table62_behaviors(&mech, Table62::True1)).unwrap();
+    let high1 = mech.run(&table62_behaviors(&mech, Table62::High1)).unwrap();
+    assert!(high1.utility(0) < true1.utility(0));
+    let improved = (1..mech.n()).filter(|&i| high1.utility(i) > true1.utility(i)).count();
+    assert!(improved > mech.n() / 2, "only {improved} bystanders improved");
+    for i in 1..mech.n() {
+        assert!(high1.allocation[i] > true1.allocation[i]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests over the whole stack: random clusters, random
+//! loads, random games — the invariants the theorems promise must hold
+//! everywhere, not just on the paper's configurations.
+
+use gtlb::balancing::noncoop::{nash, NashInit, NashOptions, UserSystem};
+use gtlb::numerics::optimize::{projected_gradient, CappedSimplex, PgOptions};
+use gtlb::prelude::*;
+use proptest::prelude::*;
+
+/// Random heterogeneous cluster: 1–12 computers, rates spanning three
+/// orders of magnitude.
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    prop::collection::vec(0.01f64..10.0, 1..12)
+        .prop_map(|rates| Cluster::new(rates).expect("rates are positive"))
+}
+
+/// A cluster plus a feasible utilization.
+fn arb_loaded_cluster() -> impl Strategy<Value = (Cluster, f64)> {
+    (arb_cluster(), 0.05f64..0.95).prop_map(|(c, rho)| {
+        let phi = c.arrival_rate_for_utilization(rho);
+        (c, phi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_scheme_is_feasible((cluster, phi) in arb_loaded_cluster()) {
+        let schemes: [&dyn SingleClassScheme; 4] =
+            [&Coop, &Optim, &Prop, &Wardrop::default()];
+        for s in schemes {
+            let alloc = s.allocate(&cluster, phi).unwrap();
+            alloc.verify(&cluster, phi, 1e-6)
+                .unwrap_or_else(|e| panic!("{} infeasible: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn coop_fairness_is_one((cluster, phi) in arb_loaded_cluster()) {
+        // Theorem 3.8.
+        let alloc = Coop.allocate(&cluster, phi).unwrap();
+        let f = alloc.fairness_index(&cluster);
+        prop_assert!((f - 1.0).abs() < 1e-9, "fairness {f}");
+    }
+
+    #[test]
+    fn coop_equals_wardrop((cluster, phi) in arb_loaded_cluster()) {
+        // In the parallel-M/M/1 model the NBS and the Wardrop equilibrium
+        // coincide — the reason Figure 3.1's curves overlap.
+        let coop = Coop.allocate(&cluster, phi).unwrap();
+        let wardrop = Wardrop::default().allocate(&cluster, phi).unwrap();
+        for (i, (&a, &b)) in coop.loads().iter().zip(wardrop.loads()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-5 * phi.max(1.0), "computer {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn optim_beats_every_feasible_rival(
+        (cluster, phi) in arb_loaded_cluster(),
+        noise in prop::collection::vec(0.0f64..1.0, 12),
+    ) {
+        // OPTIM's delay is a global minimum: no random feasible rival
+        // (here: a random point of the feasible simplex) does better.
+        let optim = Optim.allocate(&cluster, phi).unwrap();
+        let d_opt = optim.total_delay(&cluster);
+        // Build a random feasible allocation by capped-simplex projection.
+        let caps: Vec<f64> = cluster.rates().iter().map(|&m| m * 0.999_999).collect();
+        let set = CappedSimplex::new(phi, caps);
+        let mut rival: Vec<f64> = cluster
+            .rates()
+            .iter()
+            .zip(noise.iter().cycle())
+            .map(|(&m, &u)| m * u)
+            .collect();
+        set.project(&mut rival);
+        let d_rival = Allocation::new(rival).total_delay(&cluster);
+        prop_assert!(d_opt <= d_rival + 1e-7 * (1.0 + d_rival.abs()),
+            "rival beats OPTIM: {d_rival} < {d_opt}");
+    }
+
+    #[test]
+    fn coop_maximizes_the_nash_product(
+        (cluster, phi) in arb_loaded_cluster(),
+        noise in prop::collection::vec(0.0f64..1.0, 12),
+    ) {
+        // Theorem 3.5: the NBS maximizes Σ ln(μ_i − λ_i) over the
+        // feasible set.
+        let coop = Coop.allocate(&cluster, phi).unwrap();
+        let p_coop = coop.log_nash_product(&cluster);
+        let caps: Vec<f64> = cluster.rates().iter().map(|&m| m * 0.999_999).collect();
+        let set = CappedSimplex::new(phi, caps);
+        let mut rival: Vec<f64> = cluster
+            .rates()
+            .iter()
+            .zip(noise.iter().cycle())
+            .map(|(&m, &u)| m * u)
+            .collect();
+        set.project(&mut rival);
+        let p_rival = Allocation::new(rival).log_nash_product(&cluster);
+        prop_assert!(p_coop >= p_rival - 1e-7 * (1.0 + p_rival.abs()),
+            "rival beats COOP's Nash product: {p_rival} > {p_coop}");
+    }
+
+    #[test]
+    fn response_time_ordering((cluster, phi) in arb_loaded_cluster()) {
+        // OPTIM <= COOP and OPTIM <= PROP everywhere (social optimality).
+        let t_opt = Optim.allocate(&cluster, phi).unwrap().mean_response_time(&cluster);
+        let t_coop = Coop.allocate(&cluster, phi).unwrap().mean_response_time(&cluster);
+        let t_prop = Prop.allocate(&cluster, phi).unwrap().mean_response_time(&cluster);
+        prop_assert!(t_opt <= t_coop * (1.0 + 1e-9));
+        prop_assert!(t_opt <= t_prop * (1.0 + 1e-9));
+        // And COOP never loses to PROP on this model (observed throughout
+        // the paper's evaluation).
+        prop_assert!(t_coop <= t_prop * (1.0 + 1e-9), "COOP {t_coop} > PROP {t_prop}");
+    }
+
+    #[test]
+    fn optim_matches_projected_gradient_reference(
+        rates in prop::collection::vec(0.1f64..5.0, 2..5),
+        rho in 0.2f64..0.9,
+    ) {
+        // Cross-check the square-root rule against the generic solver on
+        // small instances.
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let closed = Optim.allocate(&cluster, phi).unwrap();
+        let set = CappedSimplex::new(phi, rates.iter().map(|&m| m - 1e-9).collect());
+        let mu = rates.clone();
+        let reference = projected_gradient(
+            |x| x.iter().zip(&mu).map(|(&l, &m)| l / (m - l)).sum::<f64>(),
+            |x, g| {
+                for i in 0..mu.len() {
+                    g[i] = mu[i] / (mu[i] - x[i]).powi(2);
+                }
+            },
+            &set,
+            vec![phi / rates.len() as f64; rates.len()],
+            PgOptions { max_iter: 100_000, ..Default::default() },
+        );
+        let d_closed = closed.total_delay(&cluster);
+        let d_ref = Allocation::new(reference).total_delay(&cluster);
+        // The reference solver is approximate; the closed form must be at
+        // least as good.
+        prop_assert!(d_closed <= d_ref + 1e-4 * (1.0 + d_ref),
+            "closed {d_closed} worse than reference {d_ref}");
+    }
+
+    #[test]
+    fn nash_equilibrium_certified_on_random_games(
+        rates in prop::collection::vec(0.5f64..20.0, 2..6),
+        shares in prop::collection::vec(0.1f64..1.0, 2..5),
+        rho in 0.2f64..0.8,
+    ) {
+        let cluster = Cluster::new(rates).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let total: f64 = shares.iter().sum();
+        let q: Vec<f64> = shares.iter().map(|s| s / total).collect();
+        let system = UserSystem::with_shares(cluster, phi, &q).unwrap();
+        let out = nash::solve(
+            &system,
+            &NashInit::Proportional,
+            &NashOptions { tolerance: 1e-10, max_rounds: 50_000 },
+        ).unwrap();
+        out.profile.verify(&system, 1e-6).unwrap();
+        nash::verify_equilibrium(&system, &out.profile, 1e-5).unwrap();
+    }
+
+    #[test]
+    fn mechanism_truthful_on_random_markets(
+        rates in prop::collection::vec(0.2f64..5.0, 3..7),
+        rho in 0.2f64..0.7,
+        liar_factor in 0.5f64..2.0,
+    ) {
+        // Chapter 5 truthfulness beyond the paper's fixed cluster: on a
+        // random market, a random misreport by agent 0 never beats truth.
+        let capacity: f64 = rates.iter().sum();
+        let phi = rho * capacity;
+        // Keep the market thick: the others must carry Φ alone.
+        let others: f64 = rates.iter().skip(1).sum();
+        prop_assume!(others > phi * 1.05);
+        let mech = TruthfulMechanism::new(phi);
+        let bids: Vec<f64> = rates.iter().map(|&r| 1.0 / r).collect();
+        let honest = mech.payment(0, &bids).unwrap().profit(bids[0]);
+        let mut lying = bids.clone();
+        lying[0] *= liar_factor;
+        let p = mech.payment(0, &lying).unwrap();
+        let lied = p.payment() - bids[0] * p.load;
+        prop_assert!(honest >= lied - 1e-6 * (1.0 + honest.abs()),
+            "misreport x{liar_factor} beats truth: {lied} > {honest}");
+    }
+
+    #[test]
+    fn verified_mechanism_truthful_on_random_instances(
+        values in prop::collection::vec(0.5f64..10.0, 2..8),
+        lambda in 1.0f64..50.0,
+        bid_factor in 0.3f64..3.0,
+        exec_factor in 1.0f64..3.0,
+    ) {
+        use gtlb::mechanism::verification::{Behavior, VerifiedMechanism};
+        let mech = VerifiedMechanism::new(values.clone(), lambda).unwrap();
+        let honest: Vec<Behavior> = values.iter().map(|&t| Behavior::truthful(t)).collect();
+        let u_honest = mech.run(&honest).unwrap().utility(0);
+        let mut deviant = honest.clone();
+        deviant[0] = Behavior {
+            bid: values[0] * bid_factor,
+            execution: values[0] * exec_factor,
+        };
+        let u_dev = mech.run(&deviant).unwrap().utility(0);
+        prop_assert!(u_honest >= u_dev - 1e-9 * (1.0 + u_honest.abs()),
+            "deviation (x{bid_factor}, x{exec_factor}) beats truth: {u_dev} > {u_honest}");
+        // Voluntary participation for the truthful profile.
+        let out = mech.run(&honest).unwrap();
+        for i in 0..values.len() {
+            prop_assert!(out.utility(i) >= -1e-9, "agent {i} lost {}", out.utility(i));
+        }
+    }
+
+    #[test]
+    fn mechanism_allocation_decreasing_in_bid(
+        rates in prop::collection::vec(0.2f64..5.0, 3..6),
+        rho in 0.2f64..0.7,
+    ) {
+        // Theorem 5.1 on random markets (kept thick so raising agent 0's
+        // bid never drops the reported capacity below Φ).
+        let capacity: f64 = rates.iter().sum();
+        let phi = rho * capacity;
+        let others: f64 = rates.iter().skip(1).sum();
+        prop_assume!(others > phi * 1.05);
+        let mech = TruthfulMechanism::new(phi);
+        let bids: Vec<f64> = rates.iter().map(|&r| 1.0 / r).collect();
+        let mut prev = f64::INFINITY;
+        for step in 0..20 {
+            let u = bids[0] * (0.5 + 0.15 * f64::from(step));
+            let w = mech.work_curve(0, u, &bids).unwrap();
+            prop_assert!(w <= prev + 1e-9, "work curve increased at {u}");
+            prev = w;
+        }
+    }
+}

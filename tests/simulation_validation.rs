@@ -1,0 +1,188 @@
+//! Cross-crate validation: the discrete-event simulator against the
+//! closed-form queueing oracles, across service/arrival laws — the
+//! evidence that the Sim++ substitution preserves behaviour.
+
+use gtlb::desim::farm::{run, FarmSpec, RunConfig, SourceSpec};
+use gtlb::desim::replication::replicate;
+use gtlb::queueing::dist::{Deterministic, Draw, Erlang, HyperExp2, Law};
+use gtlb::queueing::mg1::Mg1;
+use gtlb::queueing::Mm1;
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig { seed, warmup_jobs: 20_000, measured_jobs: 250_000 }
+}
+
+#[test]
+fn mm1_grid_of_utilizations() {
+    for (i, rho) in [0.2, 0.5, 0.8].into_iter().enumerate() {
+        let mu = 1.0;
+        let lambda = rho * mu;
+        let spec = FarmSpec::single_class_mm1(&[mu], &[lambda], lambda);
+        let res = run(&spec, &cfg(100 + i as u64));
+        let theory = Mm1::new(lambda, mu).unwrap().mean_response_time();
+        let got = res.mean_response_time();
+        assert!(
+            (got - theory).abs() / theory < 0.04,
+            "rho {rho}: simulated {got}, theory {theory}"
+        );
+    }
+}
+
+#[test]
+fn md1_pollaczek_khinchine() {
+    // Deterministic service: waiting time is half the M/M/1's.
+    let lambda = 0.6;
+    let service = Deterministic::new(1.0);
+    let spec = FarmSpec {
+        services: vec![Law::Det(service)],
+        sources: vec![SourceSpec { interarrival: Law::exponential(lambda), routing: vec![1.0] }],
+    };
+    let res = run(&spec, &cfg(7));
+    let theory = Mg1::new(lambda, &service).mean_response_time();
+    let got = res.mean_response_time();
+    assert!((got - theory).abs() / theory < 0.04, "simulated {got}, theory {theory}");
+}
+
+#[test]
+fn mg1_hyperexponential_service() {
+    let lambda = 0.5;
+    let service = HyperExp2::fit_balanced(1.0, 1.6);
+    let spec = FarmSpec {
+        services: vec![Law::Hyper(service)],
+        sources: vec![SourceSpec { interarrival: Law::exponential(lambda), routing: vec![1.0] }],
+    };
+    let res = run(&spec, &cfg(11));
+    let theory = Mg1::new(lambda, &service).mean_response_time();
+    let got = res.mean_response_time();
+    assert!((got - theory).abs() / theory < 0.05, "simulated {got}, theory {theory}");
+}
+
+#[test]
+fn mg1_erlang_service() {
+    let lambda = 0.7;
+    let service = Erlang::with_mean(4, 1.0);
+    let spec = FarmSpec {
+        services: vec![Law::Erlang(service)],
+        sources: vec![SourceSpec { interarrival: Law::exponential(lambda), routing: vec![1.0] }],
+    };
+    let res = run(&spec, &cfg(13));
+    let theory = Mg1::new(lambda, &service).mean_response_time();
+    let got = res.mean_response_time();
+    assert!((got - theory).abs() / theory < 0.05, "simulated {got}, theory {theory}");
+}
+
+#[test]
+fn replication_protocol_meets_paper_quality_bar() {
+    // "standard error less than 5% at the 95% confidence level" with 5
+    // replications — on the actual Table 3.1 cluster under COOP.
+    use gtlb::prelude::*;
+    let cluster = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.6);
+    let alloc = Coop.allocate(&cluster, phi).unwrap();
+    let spec = FarmSpec::single_class_mm1(cluster.rates(), alloc.loads(), phi);
+    let rep = replicate(&spec, &RunConfig { seed: 99, warmup_jobs: 10_000, measured_jobs: 120_000 }, 5);
+    assert!(rep.overall.relative_half_width() < 0.05);
+    let analytic = alloc.mean_response_time(&cluster);
+    assert!(
+        (rep.overall.mean - analytic).abs() / analytic < 0.05,
+        "simulated {} vs analytic {analytic}",
+        rep.overall.mean
+    );
+}
+
+#[test]
+fn poisson_splitting_preserves_per_queue_behaviour() {
+    // Route a Poisson stream over three asymmetric computers: each queue
+    // must individually match its own M/M/1.
+    let mu = [3.0, 2.0, 0.5];
+    let loads = [1.8, 1.0, 0.2];
+    let phi: f64 = loads.iter().sum();
+    let spec = FarmSpec::single_class_mm1(&mu, &loads, phi);
+    let res = run(&spec, &cfg(17));
+    for i in 0..3 {
+        let theory = Mm1::new(loads[i], mu[i]).unwrap().mean_response_time();
+        let got = res.per_computer[i].mean();
+        assert!(
+            (got - theory).abs() / theory < 0.07,
+            "queue {i}: simulated {got}, theory {theory}"
+        );
+    }
+}
+
+#[test]
+fn little_law_holds_in_simulation() {
+    let lambda = 0.65;
+    let mu = 1.0;
+    let spec = FarmSpec::single_class_mm1(&[mu], &[lambda], lambda);
+    let res = run(&spec, &cfg(23));
+    // L = λ·T (Little), measured entirely from simulation outputs.
+    let l = res.mean_in_system[0];
+    let t = res.mean_response_time();
+    assert!((l - lambda * t).abs() / l < 0.05, "L {l}, λT {}", lambda * t);
+}
+
+#[test]
+fn sampling_moments_match_declared_moments() {
+    // The distributions report their own mean/variance; the simulator's
+    // samples must agree (smoke-level, one law per family).
+    use gtlb::desim::rng::Xoshiro256PlusPlus;
+    let laws: Vec<Law> = vec![
+        Law::exponential(2.0),
+        Law::hyperexp(1.5, 1.6),
+        Law::Erlang(Erlang::with_mean(3, 2.0)),
+        Law::Det(Deterministic::new(0.7)),
+    ];
+    for (k, law) in laws.iter().enumerate() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(31 + k as u64);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = law.sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / f64::from(n);
+        let var = sum2 / f64::from(n) - mean * mean;
+        assert!((mean - law.mean()).abs() < 0.02 * law.mean().max(0.1), "law {k} mean");
+        assert!((var - law.variance()).abs() < 0.1 * law.variance().max(0.05), "law {k} var");
+    }
+}
+
+#[test]
+fn mg1_lognormal_service() {
+    // Heavy-ish tails (CV = 2): Pollaczek–Khinchine still pins the mean.
+    use gtlb::queueing::heavy::Lognormal;
+    let lambda = 0.5;
+    let service = Lognormal::fit(1.0, 2.0);
+    let spec = FarmSpec {
+        services: vec![Law::Lognormal(service)],
+        sources: vec![SourceSpec { interarrival: Law::exponential(lambda), routing: vec![1.0] }],
+    };
+    let res = run(&spec, &RunConfig { seed: 51, warmup_jobs: 50_000, measured_jobs: 600_000 });
+    let theory = Mg1::new(lambda, &service).mean_response_time();
+    let got = res.mean_response_time();
+    assert!(
+        (got - theory).abs() / theory < 0.08,
+        "simulated {got}, theory {theory}"
+    );
+}
+
+#[test]
+fn mg1_bounded_pareto_service() {
+    use gtlb::queueing::heavy::BoundedPareto;
+    let service = BoundedPareto::new(0.5, 50.0, 1.5);
+    let lambda = 0.4 / service.mean(); // utilization 0.4
+    let spec = FarmSpec {
+        services: vec![Law::Pareto(service)],
+        sources: vec![SourceSpec { interarrival: Law::exponential(lambda), routing: vec![1.0] }],
+    };
+    let res = run(&spec, &RunConfig { seed: 53, warmup_jobs: 50_000, measured_jobs: 600_000 });
+    let theory = Mg1::new(lambda, &service).mean_response_time();
+    let got = res.mean_response_time();
+    // Heavy tails converge slowly; accept a wider Monte-Carlo band.
+    assert!(
+        (got - theory).abs() / theory < 0.15,
+        "simulated {got}, theory {theory}"
+    );
+}
