@@ -18,10 +18,7 @@ fn bench_single_queue(c: &mut Criterion) {
     group.throughput(Throughput::Elements(jobs * 2));
     group.bench_function("mm1_single_queue_50k_jobs", |b| {
         b.iter(|| {
-            run(
-                black_box(&spec),
-                &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs },
-            )
+            run(black_box(&spec), &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs })
         })
     });
     group.finish();
@@ -38,10 +35,7 @@ fn bench_paper_farm(c: &mut Criterion) {
     group.throughput(Throughput::Elements(jobs * 2));
     group.bench_function("table31_farm_50k_jobs", |b| {
         b.iter(|| {
-            run(
-                black_box(&spec),
-                &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs },
-            )
+            run(black_box(&spec), &RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: jobs })
         })
     });
     group.finish();

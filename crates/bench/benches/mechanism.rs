@@ -28,9 +28,7 @@ fn bench_payment(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("payment/all_16_agents");
     group.sample_size(20);
-    group.bench_function("payments", |b| {
-        b.iter(|| mech.payments(black_box(&bids)).unwrap())
-    });
+    group.bench_function("payments", |b| b.iter(|| mech.payments(black_box(&bids)).unwrap()));
     group.finish();
 }
 

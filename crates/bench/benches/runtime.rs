@@ -1,0 +1,116 @@
+//! Online runtime hot paths: dispatch throughput (one uniform draw plus
+//! an inverse-CDF lookup behind the epoch swap) and the cost of
+//! publishing a fresh table under reader load.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtlb_runtime::{EpochSwap, Runtime, SchemeKind};
+
+fn serving_runtime(n_nodes: usize) -> Runtime {
+    let rt = Runtime::builder()
+        .seed(42)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(0.7 * n_nodes as f64)
+        .build();
+    for i in 0..n_nodes {
+        // Heterogeneous: a few fast nodes, a tail of slow ones.
+        let rate = if i < n_nodes / 4 + 1 { 4.0 } else { 1.0 };
+        rt.register_node(rate).unwrap();
+    }
+    rt.resolve_now().unwrap();
+    rt
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_dispatch");
+    group.throughput(Throughput::Elements(1));
+    for &n in &[2usize, 8, 32, 128] {
+        let rt = serving_runtime(n);
+        group.bench_with_input(BenchmarkId::new("dispatch", n), &rt, |b, rt| {
+            b.iter(|| black_box(rt.dispatch().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_load(c: &mut Criterion) {
+    // The raw read side of the epoch swap: what each dispatch pays before
+    // the CDF lookup.
+    let rt = serving_runtime(8);
+    let slot = rt.table_handle();
+    let mut group = c.benchmark_group("runtime_dispatch");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("table_load", |b| b.iter(|| black_box(slot.load().epoch())));
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    // Publish latency: swap a prebuilt table into the slot (the re-solver
+    // write path minus the solve itself), alone and against a reader.
+    let rt = serving_runtime(8);
+    let table = (*rt.current_table()).clone();
+    let mut group = c.benchmark_group("runtime_publish");
+    group.throughput(Throughput::Elements(1));
+
+    let slot = Arc::new(EpochSwap::new(table.clone()));
+    group.bench_function("publish_uncontended", |b| {
+        let next = Arc::new(table.clone());
+        b.iter(|| black_box(slot.publish_arc(Arc::clone(&next))))
+    });
+
+    let slot = Arc::new(EpochSwap::new(table.clone()));
+    let reader_slot = Arc::clone(&slot);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader_stop = Arc::clone(&stop);
+    let reader = std::thread::spawn(move || {
+        let mut sink = 0u64;
+        while !reader_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            sink = sink.wrapping_add(reader_slot.load().epoch());
+        }
+        sink
+    });
+    group.bench_function("publish_vs_reader", |b| {
+        let next = Arc::new(table.clone());
+        b.iter(|| black_box(slot.publish_arc(Arc::clone(&next))))
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = reader.join();
+    group.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    // The full periodic re-solve: snapshot, COOP solve, build, publish.
+    let mut group = c.benchmark_group("runtime_resolve");
+    for &n in &[8usize, 32] {
+        let rt = serving_runtime(n);
+        group.bench_with_input(BenchmarkId::new("coop_resolve", n), &rt, |b, rt| {
+            b.iter(|| black_box(rt.resolve_now().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_path(c: &mut Criterion) {
+    // Renormalize-on-failure: RoutingTable::without_node, the latency
+    // between "node died" and "no job routes to it".
+    let rt = serving_runtime(32);
+    let table = rt.current_table();
+    let victim = table.nodes()[0];
+    let mut group = c.benchmark_group("runtime_resolve");
+    group.bench_function("renormalize_without_node_32", |b| {
+        b.iter(|| black_box(table.without_node(victim, 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_table_load,
+    bench_publish,
+    bench_resolve,
+    bench_failure_path
+);
+criterion_main!(benches);

@@ -1,7 +1,6 @@
 //! Load allocations and the metrics the paper evaluates them by.
 
 use gtlb_numerics::sum::neumaier_sum;
-use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::model::Cluster;
@@ -13,7 +12,7 @@ const USED_EPS: f64 = 1e-12;
 
 /// A vector of per-computer job arrival rates `λ_i` produced by a
 /// load-balancing scheme.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     loads: Vec<f64>,
 }
@@ -132,12 +131,7 @@ impl Allocation {
     /// computers kept in the game).
     #[must_use]
     pub fn log_nash_product(&self, cluster: &Cluster) -> f64 {
-        neumaier_sum(
-            self.loads
-                .iter()
-                .zip(cluster.rates())
-                .map(|(&l, &mu)| (mu - l.max(0.0)).ln()),
-        )
+        neumaier_sum(self.loads.iter().zip(cluster.rates()).map(|(&l, &mu)| (mu - l.max(0.0)).ln()))
     }
 
     /// Jain's fairness index over the *used* computers,
@@ -149,11 +143,7 @@ impl Allocation {
     /// Returns `NaN` for the empty allocation.
     #[must_use]
     pub fn fairness_index(&self, cluster: &Cluster) -> f64 {
-        let xs: Vec<f64> = self
-            .response_times(cluster)
-            .into_iter()
-            .flatten()
-            .collect();
+        let xs: Vec<f64> = self.response_times(cluster).into_iter().flatten().collect();
         jain_index(&xs)
     }
 }
@@ -194,7 +184,8 @@ mod tests {
         assert!(Allocation::new(vec![2.0, 1.0]).verify(&c, 3.0, 1e-9).is_err());
         assert!(Allocation::new(vec![-0.5, 2.0, 1.5]).verify(&c, 3.0, 1e-9).is_err());
         assert!(Allocation::new(vec![4.0, 0.0, 0.0]).verify(&c, 4.0, 1e-9).is_err()); // λ=μ
-        assert!(Allocation::new(vec![1.0, 1.0, 0.0]).verify(&c, 3.0, 1e-9).is_err()); // conservation
+        assert!(Allocation::new(vec![1.0, 1.0, 0.0]).verify(&c, 3.0, 1e-9).is_err());
+        // conservation
     }
 
     #[test]

@@ -2,13 +2,12 @@
 //! computers.
 
 use gtlb_numerics::sum::neumaier_sum;
-use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 
 /// A cluster of `n` heterogeneous computers, each modeled as an M/M/1
 /// queue with average processing rate `μ_i` (jobs per second).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     rates: Vec<f64>,
 }
@@ -119,9 +118,7 @@ impl Cluster {
     #[must_use]
     pub fn order_by_rate_desc(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.rates.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.rates[b].partial_cmp(&self.rates[a]).expect("rates are finite")
-        });
+        idx.sort_by(|&a, &b| self.rates[b].partial_cmp(&self.rates[a]).expect("rates are finite"));
         idx
     }
 }

@@ -24,7 +24,6 @@
 
 use gtlb_numerics::optimize::{projected_gradient, CappedSimplex, PgOptions};
 use gtlb_numerics::sum::neumaier_sum;
-use serde::{Deserialize, Serialize};
 
 use crate::allocation::Allocation;
 use crate::error::CoreError;
@@ -32,7 +31,7 @@ use crate::model::Cluster;
 
 /// A cluster whose jobs arrive at individual computers and may be
 /// exchanged over a shared channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkedSystem {
     /// The computers.
     pub cluster: Cluster,
@@ -101,12 +100,7 @@ impl NetworkedSystem {
     /// `τ(β) = Σ max(0, φ_i − β_i)`.
     #[must_use]
     pub fn traffic(&self, loads: &[f64]) -> f64 {
-        neumaier_sum(
-            self.local_arrivals
-                .iter()
-                .zip(loads)
-                .map(|(&phi, &b)| (phi - b).max(0.0)),
-        )
+        neumaier_sum(self.local_arrivals.iter().zip(loads).map(|(&phi, &b)| (phi - b).max(0.0)))
     }
 
     /// The objective `D(β)` (smoothing `eps = 0` gives the exact value);
@@ -157,10 +151,7 @@ impl NetworkedSystem {
         // capacity MUST export the difference; if even that minimum
         // migration saturates the channel, no feasible exchange exists.
         let min_traffic: f64 = neumaier_sum(
-            self.local_arrivals
-                .iter()
-                .zip(self.cluster.rates())
-                .map(|(&p, &m)| (p - m).max(0.0)),
+            self.local_arrivals.iter().zip(self.cluster.rates()).map(|(&p, &m)| (p - m).max(0.0)),
         );
         if min_traffic >= self.channel_capacity {
             return Err(CoreError::Overloaded {
@@ -169,8 +160,7 @@ impl NetworkedSystem {
             });
         }
         // Stability margin keeps the smooth objective finite near caps.
-        let caps: Vec<f64> =
-            self.cluster.rates().iter().map(|&m| m * (1.0 - 1e-7)).collect();
+        let caps: Vec<f64> = self.cluster.rates().iter().map(|&m| m * (1.0 - 1e-7)).collect();
         let set = CappedSimplex::new(phi, caps);
         // Start from the free-channel optimum (the closed-form OPTIM
         // point): feasible, interior, and the true optimum lies on the
@@ -214,7 +204,10 @@ impl NetworkedSystem {
         );
         let total = self.delay(&solution, 0.0);
         if !total.is_finite() {
-            return Err(CoreError::NoConvergence { solver: "network-exchange", iterations: 50_000 });
+            return Err(CoreError::NoConvergence {
+                solver: "network-exchange",
+                iterations: 50_000,
+            });
         }
         let traffic = self.traffic(&solution);
         Ok(ExchangePlan {
@@ -309,7 +302,7 @@ mod tests {
         assert!(NetworkedSystem::new(cluster.clone(), vec![-0.1, 0.5], 1.0).is_err());
         assert!(NetworkedSystem::new(cluster.clone(), vec![0.5, 0.5], 0.0).is_err());
         assert!(NetworkedSystem::new(cluster.clone(), vec![1.5, 0.6], 1.0).is_err()); // overload
-        // Zero arrivals are fine.
+                                                                                      // Zero arrivals are fine.
         let sys = NetworkedSystem::new(cluster, vec![0.0, 0.0], 1.0).unwrap();
         let plan = sys.optimize().unwrap();
         assert_eq!(plan.loads.loads(), &[0.0, 0.0]);

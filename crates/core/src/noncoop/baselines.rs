@@ -126,9 +126,8 @@ fn greedy_fill(system: &UserSystem, target_loads: &[f64]) -> Result<StrategyProf
         }
         // Absorb rounding drift into the largest entry so Σ row = 1.
         let total: f64 = row.iter().sum();
-        if let Some(max) = row
-            .iter_mut()
-            .max_by(|a, b| a.partial_cmp(b).expect("fractions are finite"))
+        if let Some(max) =
+            row.iter_mut().max_by(|a, b| a.partial_cmp(b).expect("fractions are finite"))
         {
             *max += 1.0 - total;
         }
@@ -145,8 +144,7 @@ mod tests {
     use crate::noncoop::nash::{solve, NashInit, NashOptions};
 
     fn sys() -> UserSystem {
-        let cluster =
-            Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
+        let cluster = Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
         let phi = cluster.arrival_rate_for_utilization(0.6);
         let shares = [0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.05, 0.05, 0.04];
         UserSystem::with_shares(cluster, phi, &shares).unwrap()
@@ -174,10 +172,8 @@ mod tests {
         let gos = GlobalOptimalScheme.profile(&s).unwrap();
         gos.verify(&s, 1e-7).unwrap();
         let t_gos = gos.overall_response_time(&s);
-        for scheme in [
-            &ProportionalScheme as &dyn MultiUserScheme,
-            &IndividualOptimalScheme::new(),
-        ] {
+        for scheme in [&ProportionalScheme as &dyn MultiUserScheme, &IndividualOptimalScheme::new()]
+        {
             let t = scheme.profile(&s).unwrap().overall_response_time(&s);
             assert!(t_gos <= t + 1e-9, "GOS {t_gos} vs {} {t}", scheme.name());
         }

@@ -45,7 +45,9 @@ pub fn available_rates(system: &UserSystem, profile: &StrategyProfile, j: usize)
 /// leaves no room), [`CoreError::BadInput`] on nonpositive `φ_j`.
 pub fn best_reply(avail: &[f64], phi_j: f64) -> Result<Vec<f64>, CoreError> {
     if !(phi_j.is_finite() && phi_j > 0.0) {
-        return Err(CoreError::BadInput(format!("user arrival rate must be positive, got {phi_j}")));
+        return Err(CoreError::BadInput(format!(
+            "user arrival rate must be positive, got {phi_j}"
+        )));
     }
     let capacity: f64 = avail.iter().sum();
     if phi_j >= capacity {
@@ -115,11 +117,7 @@ mod tests {
     fn reply_is_actually_optimal_no_profitable_deviation() {
         // Compare the closed-form reply's response time against a grid of
         // feasible alternatives.
-        let sys = UserSystem::new(
-            Cluster::new(vec![4.0, 2.0]).unwrap(),
-            vec![1.0, 1.5],
-        )
-        .unwrap();
+        let sys = UserSystem::new(Cluster::new(vec![4.0, 2.0]).unwrap(), vec![1.0, 1.5]).unwrap();
         let mut profile = StrategyProfile::proportional(&sys);
         let reply = best_reply_in_profile(&sys, &profile, 0).unwrap();
         profile.set_row(0, reply);
@@ -146,10 +144,7 @@ mod tests {
 
     #[test]
     fn rejects_infeasible_demand() {
-        assert!(matches!(
-            best_reply(&[1.0, 1.0], 2.5),
-            Err(CoreError::Overloaded { .. })
-        ));
+        assert!(matches!(best_reply(&[1.0, 1.0], 2.5), Err(CoreError::Overloaded { .. })));
         assert!(best_reply(&[1.0], 0.0).is_err());
     }
 

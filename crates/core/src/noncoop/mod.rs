@@ -20,6 +20,8 @@ pub mod best_reply;
 pub mod nash;
 pub mod system;
 
-pub use baselines::{GlobalOptimalScheme, IndividualOptimalScheme, MultiUserScheme, ProportionalScheme};
+pub use baselines::{
+    GlobalOptimalScheme, IndividualOptimalScheme, MultiUserScheme, ProportionalScheme,
+};
 pub use nash::{NashInit, NashOptions, NashOutcome, NashScheme};
 pub use system::{StrategyProfile, UserSystem};

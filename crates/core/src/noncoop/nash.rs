@@ -179,8 +179,7 @@ mod tests {
 
     fn paper_system(m: usize) -> UserSystem {
         // Table 4.1's cluster at 60% utilization, m equal users.
-        let cluster =
-            Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
+        let cluster = Cluster::from_groups(&[(2, 100.0), (3, 50.0), (5, 20.0), (6, 10.0)]).unwrap();
         let phi = cluster.arrival_rate_for_utilization(0.6);
         let rates = vec![phi / m as f64; m];
         UserSystem::new(cluster, rates).unwrap()

@@ -1,7 +1,6 @@
 //! The multi-user system model and strategy profiles.
 
 use gtlb_numerics::sum::neumaier_sum;
-use serde::{Deserialize, Serialize};
 
 use crate::allocation::{jain_index, Allocation};
 use crate::error::CoreError;
@@ -9,7 +8,7 @@ use crate::model::Cluster;
 
 /// A cluster shared by `m` users, user `j` generating jobs at average
 /// rate `φ_j` (Figure 4.1's model).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserSystem {
     cluster: Cluster,
     user_rates: Vec<f64>,
@@ -83,7 +82,7 @@ impl UserSystem {
 
 /// A strategy profile: row `j` holds user `j`'s fractions `s_ji` over the
 /// computers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyProfile {
     fractions: Vec<Vec<f64>>,
 }
@@ -193,9 +192,7 @@ impl StrategyProfile {
     #[must_use]
     pub fn user_times(&self, system: &UserSystem) -> Vec<f64> {
         let loads = self.computer_loads(system);
-        (0..system.m())
-            .map(|j| self.user_response_time_with_loads(system, j, &loads))
-            .collect()
+        (0..system.m()).map(|j| self.user_response_time_with_loads(system, j, &loads)).collect()
     }
 
     /// Overall expected response time `T = Σ_j (φ_j/Φ) D_j` — the y-axis
@@ -204,12 +201,7 @@ impl StrategyProfile {
     pub fn overall_response_time(&self, system: &UserSystem) -> f64 {
         let phi = system.total_arrival_rate();
         let times = self.user_times(system);
-        neumaier_sum(
-            times
-                .iter()
-                .zip(system.user_rates())
-                .map(|(&d, &p)| d * p / phi),
-        )
+        neumaier_sum(times.iter().zip(system.user_rates()).map(|(&d, &p)| d * p / phi))
     }
 
     /// Jain's fairness index over the users' expected response times
@@ -236,11 +228,10 @@ impl StrategyProfile {
             if row.len() != system.n() {
                 return Err(CoreError::BadInput(format!("row {j} has wrong width")));
             }
-            if let Some((i, &s)) = row.iter().enumerate().find(|&(_, &s)| s < -tol || !s.is_finite())
+            if let Some((i, &s)) =
+                row.iter().enumerate().find(|&(_, &s)| s < -tol || !s.is_finite())
             {
-                return Err(CoreError::BadInput(format!(
-                    "positivity violated: s[{j}][{i}] = {s}"
-                )));
+                return Err(CoreError::BadInput(format!("positivity violated: s[{j}][{i}] = {s}")));
             }
             let total: f64 = neumaier_sum(row.iter().copied());
             if (total - 1.0).abs() > tol {

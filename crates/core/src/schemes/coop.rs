@@ -71,9 +71,9 @@ impl SingleClassScheme for Coop {
         sorted_waterfill(
             cluster,
             phi,
-            |_mu| 1.0,                                   // prefix statistic: count (via sum of 1)
+            |_mu| 1.0, // prefix statistic: count (via sum of 1)
             |sum_mu, _count, k| (sum_mu - phi) / k as f64, // α
-            |mu_slowest, alpha| mu_slowest > alpha,      // keep iff λ = μ − α > 0
+            |mu_slowest, alpha| mu_slowest > alpha, // keep iff λ = μ − α > 0
             |mu, alpha| mu - alpha,
         )
     }

@@ -109,12 +109,8 @@ mod tests {
     #[test]
     fn all_schemes_reject_overload() {
         let c = Cluster::new(vec![1.0, 1.0]).unwrap();
-        let schemes: Vec<Box<dyn SingleClassScheme>> = vec![
-            Box::new(Coop),
-            Box::new(Optim),
-            Box::new(Prop),
-            Box::new(Wardrop::default()),
-        ];
+        let schemes: Vec<Box<dyn SingleClassScheme>> =
+            vec![Box::new(Coop), Box::new(Optim), Box::new(Prop), Box::new(Wardrop::default())];
         for s in &schemes {
             assert!(
                 matches!(s.allocate(&c, 2.5), Err(CoreError::Overloaded { .. })),
@@ -127,19 +123,14 @@ mod tests {
     #[test]
     fn all_schemes_feasible_on_table31_grid() {
         let c = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
-        let schemes: Vec<Box<dyn SingleClassScheme>> = vec![
-            Box::new(Coop),
-            Box::new(Optim),
-            Box::new(Prop),
-            Box::new(Wardrop::default()),
-        ];
+        let schemes: Vec<Box<dyn SingleClassScheme>> =
+            vec![Box::new(Coop), Box::new(Optim), Box::new(Prop), Box::new(Wardrop::default())];
         for rho10 in 1..=9 {
             let phi = c.arrival_rate_for_utilization(f64::from(rho10) / 10.0);
             for s in &schemes {
                 let a = s.allocate(&c, phi).unwrap();
-                a.verify(&c, phi, 1e-7).unwrap_or_else(|e| {
-                    panic!("{} infeasible at rho={}: {e}", s.name(), rho10)
-                });
+                a.verify(&c, phi, 1e-7)
+                    .unwrap_or_else(|e| panic!("{} infeasible at rho={}: {e}", s.name(), rho10));
             }
         }
     }

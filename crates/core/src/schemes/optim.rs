@@ -43,9 +43,9 @@ impl SingleClassScheme for Optim {
         sorted_waterfill(
             cluster,
             phi,
-            f64::sqrt,                                       // prefix statistic: Σ√μ
+            f64::sqrt,                                        // prefix statistic: Σ√μ
             |sum_mu, sum_sqrt, _k| (sum_mu - phi) / sum_sqrt, // c
-            |mu_slowest, c| mu_slowest.sqrt() > c,           // keep iff λ = μ − c√μ > 0
+            |mu_slowest, c| mu_slowest.sqrt() > c,            // keep iff λ = μ − c√μ > 0
             |mu, c| mu - c * mu.sqrt(),
         )
     }
@@ -94,8 +94,13 @@ mod tests {
                 out[i] = mu[i] / (mu[i] - x[i]).powi(2);
             }
         };
-        let reference =
-            projected_gradient(f, g, &set, vec![1.0; 3], PgOptions { max_iter: 200_000, ..Default::default() });
+        let reference = projected_gradient(
+            f,
+            g,
+            &set,
+            vec![1.0; 3],
+            PgOptions { max_iter: 200_000, ..Default::default() },
+        );
         for i in 0..3 {
             assert!(
                 (closed.loads()[i] - reference[i]).abs() < 1e-4,
@@ -134,8 +139,13 @@ mod tests {
         let phi = c.arrival_rate_for_utilization(0.5);
         let used_optim =
             Optim.allocate(&c, phi).unwrap().loads().iter().filter(|&&l| l > 0.0).count();
-        let used_coop =
-            crate::schemes::Coop.allocate(&c, phi).unwrap().loads().iter().filter(|&&l| l > 0.0).count();
+        let used_coop = crate::schemes::Coop
+            .allocate(&c, phi)
+            .unwrap()
+            .loads()
+            .iter()
+            .filter(|&&l| l > 0.0)
+            .count();
         assert!(used_optim >= used_coop, "OPTIM {used_optim} vs COOP {used_coop}");
     }
 }

@@ -68,9 +68,8 @@ impl Wardrop {
             });
         }
         let rates = cluster.rates();
-        let excess = |t: f64| -> f64 {
-            neumaier_sum(rates.iter().map(|&mu| (mu - 1.0 / t).max(0.0))) - phi
-        };
+        let excess =
+            |t: f64| -> f64 { neumaier_sum(rates.iter().map(|&mu| (mu - 1.0 / t).max(0.0))) - phi };
         // Level bracket: at t = 1/μ_max nothing is loaded (excess = −Φ);
         // expand upward until the level absorbs Φ.
         let mu_max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -107,13 +106,11 @@ impl Wardrop {
                 break;
             }
         }
-        let mut loads: Vec<f64> =
-            rates.iter().map(|&mu| (mu - 1.0 / level).max(0.0)).collect();
+        let mut loads: Vec<f64> = rates.iter().map(|&mu| (mu - 1.0 / level).max(0.0)).collect();
         // Re-distribute the residual over the used computers so the
         // conservation law holds exactly (the level search stops at ε).
         let total = neumaier_sum(loads.iter().copied());
-        let used: Vec<usize> =
-            (0..n).filter(|&i| loads[i] > 0.0).collect();
+        let used: Vec<usize> = (0..n).filter(|&i| loads[i] > 0.0).collect();
         if !used.is_empty() && total > 0.0 {
             let residual = phi - total;
             let share = residual / used.len() as f64;

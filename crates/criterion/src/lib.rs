@@ -1,0 +1,311 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! This workspace builds without network access, so the real criterion
+//! cannot be fetched. This crate re-implements the slice of its API used
+//! by the gtlb bench targets, keeping every `benches/*.rs` file
+//! source-compatible: [`Criterion`] with `bench_function` and
+//! `benchmark_group`, [`BenchmarkGroup`] with
+//! `sample_size`/`throughput`/`bench_with_input`/`finish`,
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a short calibration run,
+//! each benchmark takes `sample_size` wall-clock samples and reports the
+//! minimum and mean time per iteration (plus element throughput when
+//! configured). There is no statistical outlier analysis, plotting, or
+//! baseline comparison.
+//!
+//! Like upstream, running a harness-less bench binary without the
+//! `--bench` flag (which is what `cargo test` does) executes each
+//! benchmark body exactly once as a smoke test instead of timing it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id combining a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units of work per iteration, used to report a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (jobs, events, ...) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures handed to it by a benchmark body and accumulates the
+/// timing result.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    result: Option<SampleStats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, or runs it once in test mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: double the batch size until one batch takes >= 5 ms,
+        // so per-sample timing error from `Instant` resolution is small.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Aim for ~10 ms per sample, bounded so the whole benchmark stays
+        // in the hundreds of milliseconds.
+        let iters = ((10.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+        let mut mean_acc = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            mean_acc += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.result = Some(SampleStats { mean_ns: mean_acc / self.sample_size as f64, min_ns });
+    }
+}
+
+/// The benchmark manager: entry point handed to every `criterion_group!`
+/// function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness-less targets;
+        // `cargo test` does not. Without it we only smoke-test.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { test_mode: !bench_mode }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+impl Criterion {
+    /// Benchmarks `f` under `id` with default settings.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &id.to_string(), DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+
+    /// Starts a named group whose settings (sample size, throughput)
+    /// apply to every benchmark registered on it.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work per iteration so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, &full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for upstream compatibility; settings are
+    /// per-group already so there is nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    test_mode: bool,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { test_mode, sample_size, result: None };
+    f(&mut bencher);
+    if test_mode {
+        println!("{name}: ok (test mode, 1 iteration)");
+        return;
+    }
+    match bencher.result {
+        Some(stats) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  thrpt: {}/s", si(n as f64 / (stats.mean_ns * 1e-9)))
+                }
+                Throughput::Bytes(n) => {
+                    format!("  thrpt: {}B/s", si(n as f64 / (stats.mean_ns * 1e-9)))
+                }
+            });
+            println!(
+                "{name}: time/iter [min {}s, mean {}s]{}",
+                si(stats.min_ns * 1e-9),
+                si(stats.mean_ns * 1e-9),
+                rate.unwrap_or_default(),
+            );
+        }
+        None => println!("{name}: no measurement (body never called Bencher::iter)"),
+    }
+}
+
+/// Formats a positive quantity with an SI prefix, three significant
+/// digits (e.g. `1.23 M`, `456 n`).
+fn si(x: f64) -> String {
+    const PREFIXES: [(f64, &str); 7] =
+        [(1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""), (1e-3, "m"), (1e-6, "µ"), (1e-9, "n")];
+    for (scale, prefix) in PREFIXES {
+        if x >= scale {
+            let v = x / scale;
+            let digits = if v >= 100.0 {
+                0
+            } else if v >= 10.0 {
+                1
+            } else {
+                2
+            };
+            return format!("{v:.digits$} {prefix}");
+        }
+    }
+    format!("{x:.3e} ")
+}
+
+/// Bundles benchmark functions into one group function, mirroring
+/// upstream's macro shape (configuration arm not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("NASH_P", 4).to_string(), "NASH_P/4");
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+
+    #[test]
+    fn si_prefixes() {
+        assert_eq!(si(1.234e6), "1.23 M");
+        assert_eq!(si(456.0e-9), "456 n");
+        assert_eq!(si(12.5e-3), "12.5 m");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        let mut with_input = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| b.iter(|| with_input += x));
+        group.finish();
+        assert_eq!(with_input, 3);
+    }
+}

@@ -19,12 +19,20 @@
 
 use std::collections::VecDeque;
 
+use gtlb_core::error::CoreError;
 use gtlb_queueing::dist::{Draw, Law};
 use gtlb_queueing::UniformSource;
 
 use crate::engine::Engine;
 use crate::rng::Xoshiro256PlusPlus;
 use crate::stats::{TimeWeighted, Welford};
+
+/// Largest deviation of a routing row's sum from 1 that is treated as
+/// floating-point drift and renormalized. Iteratively computed loads
+/// (e.g. Wardrop's level solver) conserve mass only to ~1e-7, so the
+/// tolerance must sit above that; anything larger is a modeling error
+/// and is rejected.
+pub const ROUTING_SUM_TOL: f64 = 1e-6;
 
 /// One job-generating user/class.
 #[derive(Debug, Clone)]
@@ -34,8 +42,9 @@ pub struct SourceSpec {
     /// CV = 1.6).
     pub interarrival: Law,
     /// Routing probabilities `s_ij` over the computers; must be
-    /// nonnegative and sum to 1 (within tolerance — the vector is
-    /// renormalized defensively).
+    /// nonnegative, finite, and sum to 1 within [`ROUTING_SUM_TOL`]
+    /// (sub-tolerance drift is renormalized; anything else is rejected
+    /// by [`try_run`]).
     pub routing: Vec<f64>,
 }
 
@@ -138,28 +147,43 @@ struct Server {
     busy_time: f64,
 }
 
-/// Runs the model to completion and returns the measurements.
+/// Validates the spec and precomputes the normalized cumulative routing
+/// rows used for inverse-CDF routing.
 ///
-/// # Panics
-/// If the spec is structurally invalid (no sources, empty/negative routing
-/// rows, length mismatches).
-#[must_use]
-pub fn run(spec: &FarmSpec, cfg: &RunConfig) -> FarmResult {
+/// Rejects — instead of silently repairing — every malformed routing row:
+/// wrong length, negative or non-finite entries, and sums deviating from
+/// 1 by more than [`ROUTING_SUM_TOL`] (which includes all-zero rows).
+/// Only sub-tolerance floating-point drift is renormalized.
+fn validated_cum_routing(spec: &FarmSpec) -> Result<Vec<Vec<f64>>, CoreError> {
     let n = spec.services.len();
     let m = spec.sources.len();
-    assert!(n > 0, "farm: need at least one computer");
-    assert!(m > 0, "farm: need at least one source");
-
-    // Normalized cumulative routing rows for O(n) inverse-CDF routing.
+    if n == 0 {
+        return Err(CoreError::BadInput("farm: need at least one computer".into()));
+    }
+    if m == 0 {
+        return Err(CoreError::BadInput("farm: need at least one source".into()));
+    }
     let mut cum_routing: Vec<Vec<f64>> = Vec::with_capacity(m);
     for (j, src) in spec.sources.iter().enumerate() {
-        assert_eq!(src.routing.len(), n, "farm: routing row {j} has wrong length");
-        assert!(
-            src.routing.iter().all(|&p| p >= 0.0),
-            "farm: routing row {j} contains a negative probability"
-        );
+        if src.routing.len() != n {
+            return Err(CoreError::BadInput(format!(
+                "farm: routing row {j} has wrong length: {} entries for {n} computers",
+                src.routing.len()
+            )));
+        }
+        if let Some((i, &p)) =
+            src.routing.iter().enumerate().find(|&(_, &p)| !(p.is_finite() && p >= 0.0))
+        {
+            return Err(CoreError::BadInput(format!(
+                "farm: routing row {j} has an invalid probability at computer {i}: {p}"
+            )));
+        }
         let total: f64 = src.routing.iter().sum();
-        assert!(total > 0.0, "farm: routing row {j} is all zero");
+        if (total - 1.0).abs() > ROUTING_SUM_TOL {
+            return Err(CoreError::BadInput(format!(
+                "farm: routing row {j} sums to {total}, expected 1 (tolerance {ROUTING_SUM_TOL})"
+            )));
+        }
         let mut cum = Vec::with_capacity(n);
         let mut acc = 0.0;
         for &p in &src.routing {
@@ -172,6 +196,37 @@ pub fn run(spec: &FarmSpec, cfg: &RunConfig) -> FarmResult {
         }
         cum_routing.push(cum);
     }
+    Ok(cum_routing)
+}
+
+/// Runs the model to completion and returns the measurements.
+///
+/// # Errors
+/// [`CoreError::BadInput`] when the spec is structurally invalid: no
+/// computers or sources, or a routing row with the wrong length, a
+/// negative/non-finite entry, or a sum off 1 by more than
+/// [`ROUTING_SUM_TOL`].
+pub fn try_run(spec: &FarmSpec, cfg: &RunConfig) -> Result<FarmResult, CoreError> {
+    let cum_routing = validated_cum_routing(spec)?;
+    Ok(run_validated(spec, cfg, &cum_routing))
+}
+
+/// Runs the model to completion and returns the measurements.
+///
+/// # Panics
+/// If the spec is structurally invalid — the panicking wrapper around
+/// [`try_run`] for callers whose specs are correct by construction.
+#[must_use]
+pub fn run(spec: &FarmSpec, cfg: &RunConfig) -> FarmResult {
+    match try_run(spec, cfg) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn run_validated(spec: &FarmSpec, cfg: &RunConfig, cum_routing: &[Vec<f64>]) -> FarmResult {
+    let n = spec.services.len();
+    let m = spec.sources.len();
 
     // Independent streams: arrivals (one per user), routing (one per
     // user), services (one per computer).
@@ -346,11 +401,7 @@ mod tests {
             );
         }
         // Mixture identity: overall = Σ (λ_i/Φ) T_i.
-        let mix = loads
-            .iter()
-            .zip(&mu)
-            .map(|(&l, &m)| (l / phi) / (m - l))
-            .sum::<f64>();
+        let mix = loads.iter().zip(&mu).map(|(&l, &m)| (l / phi) / (m - l)).sum::<f64>();
         assert!((res.mean_response_time() - mix).abs() / mix < 0.05);
     }
 
@@ -432,5 +483,62 @@ mod tests {
             }],
         };
         let _ = run(&spec, &RunConfig::default());
+    }
+
+    fn spec_with_routing(routing: Vec<f64>) -> FarmSpec {
+        FarmSpec {
+            services: vec![Law::exponential(1.0); routing.len()],
+            sources: vec![SourceSpec { interarrival: Law::exponential(0.4), routing }],
+        }
+    }
+
+    #[test]
+    fn try_run_rejects_malformed_routing() {
+        use gtlb_core::error::CoreError;
+        let cfg = RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: 10 };
+        for routing in [
+            vec![0.7, -0.3, 0.6], // negative entry
+            vec![0.5, f64::NAN],  // non-finite entry
+            vec![0.0, 0.0],       // all zero (sum 0 ≠ 1)
+            vec![0.3, 0.3],       // sums to 0.6: off by far more than drift
+            vec![0.7, 0.7],       // sums to 1.4
+        ] {
+            let spec = spec_with_routing(routing.clone());
+            assert!(
+                matches!(try_run(&spec, &cfg), Err(CoreError::BadInput(_))),
+                "routing {routing:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_renormalizes_only_float_drift() {
+        let cfg = RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: 500 };
+        // 1e-7 below 1: the conservation error an iterative solver leaves.
+        let drift = spec_with_routing(vec![0.5 - 5e-8, 0.5 - 5e-8]);
+        let exact = spec_with_routing(vec![0.5, 0.5]);
+        let a = try_run(&drift, &cfg).unwrap();
+        let b = try_run(&exact, &cfg).unwrap();
+        // After renormalization the drifted spec is *identical*.
+        assert_eq!(a.mean_response_time().to_bits(), b.mean_response_time().to_bits());
+        // Just past the tolerance: rejected.
+        let over = spec_with_routing(vec![0.5 + 1e-6, 0.5 + 1e-6]);
+        assert!(try_run(&over, &cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn run_panics_on_non_stochastic_row() {
+        let _ = run(&spec_with_routing(vec![0.25, 0.25]), &RunConfig::default());
+    }
+
+    #[test]
+    fn try_run_rejects_empty_models() {
+        use gtlb_core::error::CoreError;
+        let cfg = RunConfig::default();
+        let no_computers = FarmSpec { services: vec![], sources: vec![] };
+        assert!(matches!(try_run(&no_computers, &cfg), Err(CoreError::BadInput(_))));
+        let no_sources = FarmSpec { services: vec![Law::exponential(1.0)], sources: vec![] };
+        assert!(matches!(try_run(&no_sources, &cfg), Err(CoreError::BadInput(_))));
     }
 }

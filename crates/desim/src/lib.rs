@@ -22,7 +22,9 @@
 //!   with per-user and per-computer response-time accumulators and warm-up
 //!   deletion;
 //! * [`replication`] — the "replicate with independent streams and
-//!   aggregate" driver.
+//!   aggregate" driver;
+//! * [`par`] — deterministic fork–join fan-out (order-preserving parallel
+//!   map) used by the replication layers above.
 //!
 //! The engine is deliberately single-threaded: determinism per seed is a
 //! hard requirement. Parallelism across *replications* and parameter
@@ -34,6 +36,7 @@
 pub mod calendar;
 pub mod engine;
 pub mod farm;
+pub mod par;
 pub mod replication;
 pub mod rng;
 pub mod stats;

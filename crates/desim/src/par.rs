@@ -1,0 +1,142 @@
+//! Deterministic fork–join parallelism for replication fan-out.
+//!
+//! A tiny scoped-thread work-stealing-free pool: the input items are
+//! claimed by index from an atomic counter and every output lands in its
+//! input's slot, so the result vector is **bit-identical to a sequential
+//! map** regardless of thread count or scheduling. This is the property
+//! the replication contract relies on (`replication_seed(s, r)` fixes the
+//! randomness per item; this module fixes the aggregation order).
+//!
+//! The worker count honours the `RAYON_NUM_THREADS` environment variable
+//! (the de-facto convention for capping simulation parallelism, kept for
+//! compatibility with earlier revisions that used rayon), falling back to
+//! the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads used by [`par_map`]: `RAYON_NUM_THREADS` when
+/// set to a positive integer, otherwise the available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on [`thread_count`] threads. Output order matches
+/// input order exactly (see the module docs for the determinism argument).
+pub fn par_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    par_map_with_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 runs inline on the calling
+/// thread). Exposed so tests can compare thread counts directly.
+///
+/// # Panics
+/// If `threads == 0` or a worker panics (the panic is propagated).
+pub fn par_map_with_threads<T, O, F>(threads: usize, items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    assert!(threads > 0, "par_map: need at least one thread");
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Hand items out by index; each worker sends (index, output) back and
+    // the collector reassembles them in input order.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("par_map: poisoned slot").take();
+                let item = item.expect("par_map: slot claimed twice");
+                let out = f(item);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        while let Ok((i, out)) = rx.recv() {
+            results[i] = Some(out);
+            received += 1;
+        }
+        assert!(received == n, "par_map: a worker panicked before finishing");
+        results.into_iter().map(|o| o.expect("par_map: missing slot")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let par = par_map_with_threads(7, items, |x| x * x);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn single_thread_is_inline() {
+        let out = par_map_with_threads(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let items: Vec<u32> = (0..37).collect();
+        let a = par_map_with_threads(1, items.clone(), |x| f64::from(x).sqrt());
+        let b = par_map_with_threads(4, items.clone(), |x| f64::from(x).sqrt());
+        let c = par_map_with_threads(16, items, |x| f64::from(x).sqrt());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u8> = par_map_with_threads(4, Vec::<u8>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_with_threads(4, vec![9], |x| x * 2), vec![18]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = par_map_with_threads(0, vec![1], |x| x);
+    }
+}

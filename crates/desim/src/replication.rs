@@ -126,8 +126,7 @@ mod tests {
         let spec = FarmSpec::single_class_mm1(&[1.0], &[0.3], 0.3);
         let cfg = RunConfig { seed: 9, warmup_jobs: 500, measured_jobs: 5_000 };
         let rep = replicate(&spec, &cfg, 3);
-        let manual: f64 =
-            rep.raw.iter().map(|r| r.overall.mean()).sum::<f64>() / 3.0;
+        let manual: f64 = rep.raw.iter().map(|r| r.overall.mean()).sum::<f64>() / 3.0;
         assert!((rep.overall.mean - manual).abs() < 1e-12);
     }
 }

@@ -32,12 +32,8 @@ impl Xoshiro256PlusPlus {
     #[must_use]
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         // All-zero state is invalid for xoshiro; splitmix64 of any seed
         // cannot produce four zeros, but guard for belt and braces.
         if s == [0, 0, 0, 0] {
@@ -67,10 +63,7 @@ impl Xoshiro256PlusPlus {
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -133,7 +126,8 @@ mod tests {
         // Reference sequence for xoshiro256++ with state {1, 2, 3, 4}
         // (from the public C implementation).
         let mut rng = Xoshiro256PlusPlus { s: [1, 2, 3, 4] };
-        let expected: [u64; 5] = [41943041, 58720359, 3588806011781223, 3591011842654386, 9228616714210784205];
+        let expected: [u64; 5] =
+            [41943041, 58720359, 3588806011781223, 3591011842654386, 9228616714210784205];
         for e in expected {
             assert_eq!(rng.next_u64(), e);
         }

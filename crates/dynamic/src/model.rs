@@ -188,9 +188,7 @@ impl Sim<'_> {
                     if self.measuring {
                         self.probes += peers.len() as u64;
                     }
-                    let best = peers
-                        .into_iter()
-                        .min_by_key(|&p| self.queue_len(p))?;
+                    let best = peers.into_iter().min_by_key(|&p| self.queue_len(p))?;
                     if self.queue_len(best) < threshold as usize {
                         return Some(best);
                     }
@@ -320,14 +318,12 @@ pub fn run_dynamic(spec: &DynamicSpec, cfg: &DynamicConfig) -> DynamicResult {
                     Policy::CentralJsq => {
                         let d = (0..n)
                             .min_by(|&a, &b| {
-                                sim.queue_len(a)
-                                    .cmp(&sim.queue_len(b))
-                                    .then_with(|| {
-                                        spec.services[b]
-                                            .mean()
-                                            .partial_cmp(&spec.services[a].mean())
-                                            .expect("finite means")
-                                    })
+                                sim.queue_len(a).cmp(&sim.queue_len(b)).then_with(|| {
+                                    spec.services[b]
+                                        .mean()
+                                        .partial_cmp(&spec.services[a].mean())
+                                        .expect("finite means")
+                                })
                             })
                             .expect("at least one computer");
                         (d != i).then_some(d)
@@ -342,10 +338,7 @@ pub fn run_dynamic(spec: &DynamicSpec, cfg: &DynamicConfig) -> DynamicResult {
                         let delay = spec.transfer_delay.sample(&mut sim.transfer_rng);
                         eng.schedule_in(
                             delay,
-                            Ev::Deliver {
-                                dest: d as u32,
-                                job: Job { transferred: true, ..job },
-                            },
+                            Ev::Deliver { dest: d as u32, job: Job { transferred: true, ..job } },
                         );
                     }
                     None => enqueue(&mut eng, &mut sim.nodes[i], i, job),
@@ -378,20 +371,15 @@ pub fn run_dynamic(spec: &DynamicSpec, cfg: &DynamicConfig) -> DynamicResult {
                 }
                 // Receiver-initiated steal attempt.
                 if let Some(victim) = sim.receiver_decision(i) {
-                    let stolen = sim.nodes[victim]
-                        .queue
-                        .pop_back()
-                        .expect("victim queue checked nonempty");
+                    let stolen =
+                        sim.nodes[victim].queue.pop_back().expect("victim queue checked nonempty");
                     if sim.measuring {
                         sim.transfers += 1;
                     }
                     let delay = spec.transfer_delay.sample(&mut sim.transfer_rng);
                     eng.schedule_in(
                         delay,
-                        Ev::Deliver {
-                            dest: i as u32,
-                            job: Job { transferred: true, ..stolen },
-                        },
+                        Ev::Deliver { dest: i as u32, job: Job { transferred: true, ..stolen } },
                     );
                 }
             }
@@ -432,14 +420,10 @@ mod tests {
     #[test]
     fn jsq_beats_no_balancing() {
         // The pooled-queue effect: JSQ smooths stochastic imbalance.
-        let nolb = run_dynamic(
-            &DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::NoBalancing),
-            &cfg(2),
-        );
-        let jsq = run_dynamic(
-            &DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::CentralJsq),
-            &cfg(2),
-        );
+        let nolb =
+            run_dynamic(&DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::NoBalancing), &cfg(2));
+        let jsq =
+            run_dynamic(&DynamicSpec::homogeneous(8, 1.0, 0.8, 0.0, Policy::CentralJsq), &cfg(2));
         assert!(
             jsq.mean_response_time() < 0.7 * nolb.mean_response_time(),
             "JSQ {} vs NOLB {}",
@@ -452,10 +436,8 @@ mod tests {
     fn sender_threshold_helps_at_moderate_load() {
         // Eager et al.: simple sender-initiated policies capture most of
         // the improvement at moderate load.
-        let nolb = run_dynamic(
-            &DynamicSpec::homogeneous(8, 1.0, 0.7, 0.01, Policy::NoBalancing),
-            &cfg(3),
-        );
+        let nolb =
+            run_dynamic(&DynamicSpec::homogeneous(8, 1.0, 0.7, 0.01, Policy::NoBalancing), &cfg(3));
         let snd = run_dynamic(
             &DynamicSpec::homogeneous(
                 8,

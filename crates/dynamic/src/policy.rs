@@ -7,10 +7,8 @@
 //! consulted — instantaneous queue lengths of probed peers). The enum
 //! below packages the classical combinations.
 
-use serde::{Deserialize, Serialize};
-
 /// A dynamic load-balancing policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
     /// Serve every job where it arrives.
     NoBalancing,

@@ -104,12 +104,8 @@ pub fn wardrop_tol(opts: &Options) {
         let rep = Wardrop::with_tolerance(eps).solve(&cluster, phi).unwrap();
         // Raw conservation residual at the accepted level, before the
         // solver's exactness repair redistributes it.
-        let raw: f64 = cluster
-            .rates()
-            .iter()
-            .map(|&mu| (mu - 1.0 / rep.level).max(0.0))
-            .sum::<f64>()
-            - phi;
+        let raw: f64 =
+            cluster.rates().iter().map(|&mu| (mu - 1.0 / rep.level).max(0.0)).sum::<f64>() - phi;
         let err = l1_distance(rep.allocation.loads(), exact.loads());
         t.push_row(vec![
             format!("{eps:.0e}"),

@@ -7,7 +7,7 @@ use gtlb_sim::report::{fmt_num, Table};
 use gtlb_sim::runner::{
     replicate_parallel, simulated_computer_fairness, single_class_spec, ArrivalLaw,
 };
-use gtlb_sim::scenario::{skewed_cluster, sized_cluster, table31, HYPEREXP_CV, UTILIZATION_GRID};
+use gtlb_sim::scenario::{sized_cluster, skewed_cluster, table31, HYPEREXP_CV, UTILIZATION_GRID};
 
 use crate::common::Options;
 
@@ -34,13 +34,7 @@ pub fn table3_1(opts: &Options) {
     );
 }
 
-fn sweep_tables(
-    id: &str,
-    title: &str,
-    cluster: &Cluster,
-    utilizations: &[f64],
-    opts: &Options,
-) {
+fn sweep_tables(id: &str, title: &str, cluster: &Cluster, utilizations: &[f64], opts: &Options) {
     let boxed = schemes();
     let refs: Vec<&dyn SingleClassScheme> = boxed.iter().map(AsRef::as_ref).collect();
     let pts = sweep_single_class(cluster, &refs, utilizations).expect("schemes feasible");
@@ -63,10 +57,7 @@ fn sweep_tables(
             &format!("{:.0}", rho * 100.0),
             &names.map(|n| grab(n).response_time),
         );
-        t_fair.push_numeric_row(
-            &format!("{:.0}", rho * 100.0),
-            &names.map(|n| grab(n).fairness),
-        );
+        t_fair.push_numeric_row(&format!("{:.0}", rho * 100.0), &names.map(|n| grab(n).fairness));
     }
     opts.emit(&format!("{id}_response"), &t_resp);
     opts.emit(&format!("{id}_fairness"), &t_fair);
@@ -190,8 +181,7 @@ pub fn fig3_6(opts: &Options) {
         "Fig 3.6 — simulated fairness, H2 arrivals CV=1.6",
         &["rho(%)", "COOP", "PROP", "WARDROP", "OPTIM"],
     );
-    let grid: &[f64] =
-        if opts.quick { &[0.3, 0.6, 0.9] } else { &UTILIZATION_GRID };
+    let grid: &[f64] = if opts.quick { &[0.3, 0.6, 0.9] } else { &UTILIZATION_GRID };
     for &rho in grid {
         let phi = cluster.arrival_rate_for_utilization(rho);
         let mut resp_cells = vec![format!("{:.0}", rho * 100.0)];

@@ -8,7 +8,7 @@ use gtlb_sim::analytic::{per_user_times, sweep_multi_user};
 use gtlb_sim::report::{fmt_num, Table};
 use gtlb_sim::runner::{multi_user_spec, replicate_parallel, simulated_user_fairness, ArrivalLaw};
 use gtlb_sim::scenario::{
-    skewed_cluster, sized_cluster, table41, table41_system, user_shares, HYPEREXP_CV,
+    sized_cluster, skewed_cluster, table41, table41_system, user_shares, HYPEREXP_CV,
     UTILIZATION_GRID,
 };
 
@@ -38,8 +38,7 @@ pub fn fig4_2(opts: &Options) {
     let system = table41_system(0.6, 10);
     let nash_opts = NashOptions { tolerance: 1e-6, max_rounds: 20_000 };
     let zero = nash::solve(&system, &NashInit::Zero, &nash_opts).expect("NASH_0 converges");
-    let prop =
-        nash::solve(&system, &NashInit::Proportional, &nash_opts).expect("NASH_P converges");
+    let prop = nash::solve(&system, &NashInit::Proportional, &nash_opts).expect("NASH_P converges");
     let mut t = Table::new(
         "Fig 4.2 — norm vs number of iterations (per-round L1 profile change)",
         &["iteration", "NASH_0", "NASH_P"],
@@ -66,10 +65,8 @@ pub fn fig4_2(opts: &Options) {
 /// (4…32) for both initializations.
 pub fn fig4_3(opts: &Options) {
     let nash_opts = NashOptions { tolerance: 1e-4, max_rounds: 50_000 };
-    let mut t = Table::new(
-        "Fig 4.3 — user updates until norm <= 1e-4",
-        &["users", "NASH_0", "NASH_P"],
-    );
+    let mut t =
+        Table::new("Fig 4.3 — user updates until norm <= 1e-4", &["users", "NASH_0", "NASH_P"]);
     for m in (4..=32).step_by(4) {
         let system = table41_system(0.6, m);
         let zero = nash::solve(&system, &NashInit::Zero, &nash_opts).expect("converges");
@@ -127,16 +124,12 @@ pub fn fig4_4(opts: &Options) {
         "Fig 4.4 — response time vs utilization",
         &["rho(%)", "NASH", "GOS", "IOS", "PS"],
     );
-    let mut t_fair = Table::new(
-        "Fig 4.4 — fairness vs utilization",
-        &["rho(%)", "NASH", "GOS", "IOS", "PS"],
-    );
+    let mut t_fair =
+        Table::new("Fig 4.4 — fairness vs utilization", &["rho(%)", "NASH", "GOS", "IOS", "PS"]);
     for &rho in &UTILIZATION_GRID {
         let names = ["NASH", "GOS", "IOS", "PS"];
         let grab = |n: &str| {
-            pts.iter()
-                .find(|p| p.scheme == n && (p.utilization - rho).abs() < 1e-12)
-                .unwrap()
+            pts.iter().find(|p| p.scheme == n && (p.utilization - rho).abs() < 1e-12).unwrap()
         };
         t_resp.push_numeric_row(
             &format!("{:.0}", rho * 100.0),
@@ -185,10 +178,8 @@ pub fn fig4_6(opts: &Options) {
 
 /// Figure 4.7: system-size sweep (2 fast ×10 + up to 18 slow, ρ = 60 %).
 pub fn fig4_7(opts: &Options) {
-    let clusters: Vec<(String, _)> = (2..=20)
-        .step_by(2)
-        .map(|n| (n.to_string(), sized_cluster(n, 10.0)))
-        .collect();
+    let clusters: Vec<(String, _)> =
+        (2..=20).step_by(2).map(|n| (n.to_string(), sized_cluster(n, 10.0))).collect();
     multi_sweep_tables("fig4_7", "Fig 4.7 (size sweep, rho=60%)", &clusters, 0.6, opts);
 }
 
@@ -213,8 +204,7 @@ pub fn fig4_8(opts: &Options) {
         let mut fair_vals = Vec::new();
         for (_, s) in refs {
             let profile = s.profile(&system).unwrap();
-            let spec =
-                multi_user_spec(&system, &profile, ArrivalLaw::HyperExp { cv: HYPEREXP_CV });
+            let spec = multi_user_spec(&system, &profile, ArrivalLaw::HyperExp { cv: HYPEREXP_CV });
             let res = replicate_parallel(&spec, &budget);
             resp_cells.push(format!(
                 "{}±{}",

@@ -30,11 +30,7 @@ pub fn table5_1(opts: &Options) {
     let cluster = table31();
     let order = cluster.order_by_rate_desc();
     for (slot, &i) in order.iter().enumerate() {
-        t.push_row(vec![
-            format!("C{}", slot + 1),
-            fmt_num(cluster.rates()[i]),
-            fmt_num(bids[i]),
-        ]);
+        t.push_row(vec![format!("C{}", slot + 1), fmt_num(cluster.rates()[i]), fmt_num(bids[i])]);
     }
     opts.emit("table5_1", &t);
 }
@@ -71,8 +67,9 @@ pub fn fig5_2(opts: &Options) {
             let spec_true =
                 single_class_spec(&cluster, alloc_true.loads(), phi, ArrivalLaw::Poisson);
             let res_true = replicate_parallel(&spec_true, &budget);
-            sim_cells
-                .push(fmt_num(100.0 * (res.overall.mean - res_true.overall.mean) / res_true.overall.mean));
+            sim_cells.push(fmt_num(
+                100.0 * (res.overall.mean - res_true.overall.mean) / res_true.overall.mean,
+            ));
         }
         cells.extend(sim_cells);
         t.push_row(cells);

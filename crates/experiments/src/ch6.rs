@@ -19,8 +19,7 @@ fn outcomes() -> Vec<(Table62, VerifiedOutcome)> {
 pub fn table6_1(opts: &Options) {
     let mech = table61_mechanism();
     let mut t = Table::new("Table 6.1 — true values", &["computers", "true value t"]);
-    for (label, val) in
-        [("C1 - C2", 1.0), ("C3 - C5", 2.0), ("C6 - C10", 5.0), ("C11 - C16", 10.0)]
+    for (label, val) in [("C1 - C2", 1.0), ("C3 - C5", 2.0), ("C6 - C10", 5.0), ("C11 - C16", 10.0)]
     {
         t.push_row(vec![label.to_string(), fmt_num(val)]);
     }
@@ -86,11 +85,7 @@ pub fn fig6_2(opts: &Options) {
         &["experiment", "payment", "utility"],
     );
     for (exp, out) in outcomes() {
-        t.push_row(vec![
-            exp.name().to_string(),
-            fmt_num(out.payment(0)),
-            fmt_num(out.utility(0)),
-        ]);
+        t.push_row(vec![exp.name().to_string(), fmt_num(out.payment(0)), fmt_num(out.utility(0))]);
     }
     opts.emit("fig6_2", &t);
     println!("C1's utility peaks at True1; Low2's payment and utility are negative.");
@@ -141,12 +136,7 @@ pub fn fig6_6(opts: &Options) {
     for (exp, out) in outcomes() {
         let pay = out.total_payment();
         let val = out.total_valuation();
-        t.push_row(vec![
-            exp.name().to_string(),
-            fmt_num(pay),
-            fmt_num(val),
-            fmt_num(pay / val),
-        ]);
+        t.push_row(vec![exp.name().to_string(), fmt_num(pay), fmt_num(val), fmt_num(pay / val)]);
     }
     opts.emit("fig6_6", &t);
     println!("(the paper reports payments at most ~2.5x the total valuation)");

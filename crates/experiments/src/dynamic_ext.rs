@@ -60,11 +60,7 @@ pub fn compare(opts: &Options) {
             };
             let spec = DynamicSpec {
                 services: cluster.rates().iter().map(|&m| Law::exponential(m)).collect(),
-                arrivals: cluster
-                    .rates()
-                    .iter()
-                    .map(|&m| Law::exponential(rho * m))
-                    .collect(),
+                arrivals: cluster.rates().iter().map(|&m| Law::exponential(rho * m)).collect(),
                 transfer_delay: Law::Det(Deterministic::new(d)),
                 policy,
                 routing,

@@ -74,13 +74,9 @@ pub fn fault(opts: &Options) {
             let phi = cluster.arrival_rate_for_utilization(rho);
             let mut probs = vec![0.0; cluster.n()];
             probs[0] = p; // the fastest computer is flaky
-            // Capacity check: effective capacity must still exceed phi.
-            let eff_cap: f64 = cluster
-                .rates()
-                .iter()
-                .zip(&probs)
-                .map(|(&m, &q)| m * (1.0 - q))
-                .sum();
+                          // Capacity check: effective capacity must still exceed phi.
+            let eff_cap: f64 =
+                cluster.rates().iter().zip(&probs).map(|(&m, &q)| m * (1.0 - q)).sum();
             if eff_cap <= phi {
                 continue;
             }
@@ -121,8 +117,8 @@ pub fn estimation(opts: &Options) {
     let cluster = table41();
     let rho = 0.6;
     let phi = cluster.arrival_rate_for_utilization(rho);
-    let truth = UserSystem::with_shares(cluster.clone(), phi, &user_shares(10))
-        .expect("feasible system");
+    let truth =
+        UserSystem::with_shares(cluster.clone(), phi, &user_shares(10)).expect("feasible system");
     let exact = NashScheme::default().profile(&truth).expect("exact equilibrium");
     let t_exact = exact.overall_response_time(&truth);
 
@@ -216,7 +212,13 @@ pub fn network(opts: &Options) {
 
     let mut t = Table::new(
         "Load exchange over a shared channel (Table 3.1, rho = 60%)",
-        &["channel capacity (jobs/s)", "traffic", "channel delay (s)", "total delay D", "vs free-channel OPTIM (%)"],
+        &[
+            "channel capacity (jobs/s)",
+            "traffic",
+            "channel delay (s)",
+            "total delay D",
+            "vs free-channel OPTIM (%)",
+        ],
     );
     for cap in [1e6, 1.0, 0.3, 0.15, 0.1, 0.05, 0.02] {
         let sys = NetworkedSystem::new(cluster.clone(), arrivals.clone(), cap).unwrap();
@@ -228,13 +230,9 @@ pub fn network(opts: &Options) {
                 fmt_num(plan.total_delay),
                 fmt_num(100.0 * (plan.total_delay - t_optim) / t_optim),
             ]),
-            Err(e) => t.push_row(vec![
-                fmt_num(cap),
-                "-".into(),
-                "-".into(),
-                format!("{e}"),
-                "-".into(),
-            ]),
+            Err(e) => {
+                t.push_row(vec![fmt_num(cap), "-".into(), "-".into(), format!("{e}"), "-".into()])
+            }
         }
     }
     opts.emit("ext_network", &t);
@@ -254,10 +252,8 @@ pub fn network(opts: &Options) {
 pub fn poa(opts: &Options) {
     use gtlb_core::noncoop::{GlobalOptimalScheme, MultiUserScheme, NashScheme};
 
-    let mut t = Table::new(
-        "Price of anarchy: T(NASH) / T(GOS)",
-        &["rho(%)", "m=2", "m=5", "m=10", "m=20"],
-    );
+    let mut t =
+        Table::new("Price of anarchy: T(NASH) / T(GOS)", &["rho(%)", "m=2", "m=5", "m=10", "m=20"]);
     for &rho in &[0.2, 0.4, 0.6, 0.8, 0.9] {
         let mut vals = Vec::new();
         for m in [2usize, 5, 10, 20] {

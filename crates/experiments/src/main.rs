@@ -13,13 +13,13 @@
 //! ablations all`.
 
 mod ablations;
-mod dynamic_ext;
-mod extensions;
 mod ch3;
 mod ch4;
 mod ch5;
 mod ch6;
 mod common;
+mod dynamic_ext;
+mod extensions;
 
 use common::Options;
 
@@ -27,7 +27,11 @@ type Runner = fn(&Options);
 
 const REGISTRY: &[(&str, &str, Runner)] = &[
     ("table3_1", "Table 3.1: system configuration", ch3::table3_1),
-    ("fig3_1", "Fig 3.1: response time & fairness vs utilization (COOP/PROP/WARDROP/OPTIM)", ch3::fig3_1),
+    (
+        "fig3_1",
+        "Fig 3.1: response time & fairness vs utilization (COOP/PROP/WARDROP/OPTIM)",
+        ch3::fig3_1,
+    ),
     ("fig3_2", "Fig 3.2: per-computer response time at medium load (rho=50%)", ch3::fig3_2),
     ("fig3_3", "Fig 3.3: per-computer response time at high load (rho=90%)", ch3::fig3_3),
     ("fig3_4", "Fig 3.4: effect of heterogeneity (speed skew 1..20)", ch3::fig3_4),
@@ -56,25 +60,41 @@ const REGISTRY: &[(&str, &str, Runner)] = &[
     ("fig6_4", "Fig 6.4: payment & utility per computer (High1)", ch6::fig6_4),
     ("fig6_5", "Fig 6.5: payment & utility per computer (Low1)", ch6::fig6_5),
     ("fig6_6", "Fig 6.6: payment structure (frugality)", ch6::fig6_6),
-    ("dyn_compare", "Extension: dynamic policies vs static COOP on Table 3.1", dynamic_ext::compare),
-    ("dyn_crossover", "Extension: sender- vs receiver-initiated crossover with load", dynamic_ext::crossover),
+    (
+        "dyn_compare",
+        "Extension: dynamic policies vs static COOP on Table 3.1",
+        dynamic_ext::compare,
+    ),
+    (
+        "dyn_crossover",
+        "Extension: sender- vs receiver-initiated crossover with load",
+        dynamic_ext::crossover,
+    ),
     ("dyn_overhead", "Extension: location-policy detail vs probe overhead", dynamic_ext::overhead),
     ("ext_drift", "Extension: NASH warm-started over a drifting load trace", extensions::drift),
     ("ext_fault", "Extension: fault-aware vs fault-blind truthful allocation", extensions::fault),
     ("ext_estimation", "Extension: NASH on statistically estimated rates", extensions::estimation),
-    ("ext_network", "Extension: load exchange over a shared M/M/1 channel (Tantawi-Towsley)", extensions::network),
+    (
+        "ext_network",
+        "Extension: load exchange over a shared M/M/1 channel (Tantawi-Towsley)",
+        extensions::network,
+    ),
     ("ext_poa", "Extension: price of anarchy of the noncooperative game", extensions::poa),
-    ("ablate_drop_rule", "Ablation: COOP/OPTIM with vs without the drop-slowest loop", ablations::drop_rule),
+    (
+        "ablate_drop_rule",
+        "Ablation: COOP/OPTIM with vs without the drop-slowest loop",
+        ablations::drop_rule,
+    ),
     ("ablate_nash_init", "Ablation: NASH_0 vs NASH_P vs warm start", ablations::nash_init),
-    ("ablate_wardrop_tol", "Ablation: WARDROP tolerance vs error vs iterations", ablations::wardrop_tol),
+    (
+        "ablate_wardrop_tol",
+        "Ablation: WARDROP tolerance vs error vs iterations",
+        ablations::wardrop_tol,
+    ),
 ];
 
-const GROUPS: &[(&str, &str)] = &[
-    ("ch3", "fig3_"),
-    ("ch4", "fig4_"),
-    ("ch5", "fig5_"),
-    ("ch6", "fig6_"),
-];
+const GROUPS: &[(&str, &str)] =
+    &[("ch3", "fig3_"), ("ch4", "fig4_"), ("ch5", "fig5_"), ("ch6", "fig6_")];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,15 +146,19 @@ fn main() {
             }
             "extensions" => {
                 selected.extend(
-                    REGISTRY.iter().filter(|(n, _, _)| n.starts_with("ext_") || n.starts_with("dyn_")),
+                    REGISTRY
+                        .iter()
+                        .filter(|(n, _, _)| n.starts_with("ext_") || n.starts_with("dyn_")),
                 );
             }
             g if GROUPS.iter().any(|(name, _)| *name == g) => {
                 let prefix = GROUPS.iter().find(|(name, _)| *name == g).unwrap().1;
                 let table_prefix = format!("table{}", &g[2..]);
-                selected.extend(REGISTRY.iter().filter(|(n, _, _)| {
-                    n.starts_with(prefix) || n.starts_with(&table_prefix)
-                }));
+                selected.extend(
+                    REGISTRY
+                        .iter()
+                        .filter(|(n, _, _)| n.starts_with(prefix) || n.starts_with(&table_prefix)),
+                );
             }
             exact => match REGISTRY.iter().find(|(n, _, _)| *n == exact) {
                 Some(entry) => selected.push(entry),

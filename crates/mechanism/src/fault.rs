@@ -46,10 +46,8 @@ impl FaultAwareMechanism {
     /// # Errors
     /// [`CoreError::BadInput`] when any probability is outside `[0, 1)`.
     pub fn new(arrival_rate: f64, failure_probs: Vec<f64>) -> Result<Self, CoreError> {
-        if let Some((i, &p)) = failure_probs
-            .iter()
-            .enumerate()
-            .find(|&(_, &p)| !(0.0..1.0).contains(&p))
+        if let Some((i, &p)) =
+            failure_probs.iter().enumerate().find(|&(_, &p)| !(0.0..1.0).contains(&p))
         {
             return Err(CoreError::BadInput(format!(
                 "failure probability of computer {i} must lie in [0,1), got {p}"
@@ -182,10 +180,7 @@ mod tests {
     fn ignoring_failures_costs_response_time() {
         let m = FaultAwareMechanism::new(1.2, vec![0.4, 0.0, 0.0, 0.0]).unwrap();
         let (blind, aware) = m.blind_vs_aware(&bids()).unwrap();
-        assert!(
-            blind > aware,
-            "fault-blind {blind} should be worse than fault-aware {aware}"
-        );
+        assert!(blind > aware, "fault-blind {blind} should be worse than fault-aware {aware}");
     }
 
     #[test]

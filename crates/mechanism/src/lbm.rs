@@ -12,7 +12,7 @@
 //! paper envisions (the dispatcher "is run on one of the computers and is
 //! able to communicate with all the other computers").
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use gtlb_core::CoreError;
 
@@ -100,11 +100,12 @@ pub fn run_protocol(
     if n == 0 {
         return Err(CoreError::BadInput("LBM: no agents".into()));
     }
-    let (to_disp_tx, to_disp_rx): (Sender<ToDispatcher>, Receiver<ToDispatcher>) = bounded(n);
-    let mut agent_txs: Vec<Sender<ToAgent>> = Vec::with_capacity(n);
+    let (to_disp_tx, to_disp_rx): (SyncSender<ToDispatcher>, Receiver<ToDispatcher>) =
+        sync_channel(n);
+    let mut agent_txs: Vec<SyncSender<ToAgent>> = Vec::with_capacity(n);
     let mut agent_rxs: Vec<Receiver<ToAgent>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = bounded(2);
+        let (tx, rx) = sync_channel(2);
         agent_txs.push(tx);
         agent_rxs.push(rx);
     }

@@ -144,10 +144,9 @@ impl TruthfulMechanism {
             // Thin market: agent i is pivotal and is never priced out.
             return match self.max_bid {
                 Some(cap) => Ok(cap.max(bids[i])),
-                None => Err(CoreError::Overloaded {
-                    arrival_rate: self.arrival_rate,
-                    capacity: others,
-                }),
+                None => {
+                    Err(CoreError::Overloaded { arrival_rate: self.arrival_rate, capacity: others })
+                }
             };
         }
         // Predicate bisection on "load == 0": expand hi until the agent is
@@ -342,8 +341,7 @@ mod tests {
         let m = mech(0.5);
         let bids = table51_bids();
         let payments = m.payments(&bids).unwrap();
-        let total_cost: f64 =
-            payments.iter().zip(&bids).map(|(p, &b)| p.cost(b)).sum();
+        let total_cost: f64 = payments.iter().zip(&bids).map(|(p, &b)| p.cost(b)).sum();
         let total_payment: f64 = payments.iter().map(PaymentBreakdown::payment).sum();
         assert!(total_payment >= total_cost);
         assert!(

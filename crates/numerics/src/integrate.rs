@@ -48,9 +48,8 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
     let mut evals = 3;
     let whole = simpson(a, b, fa, fm, fb);
     let mut saturated = false;
-    let value = recurse(
-        &mut f, a, b, fa, fm, fb, whole, tol, max_depth, &mut evals, &mut saturated,
-    );
+    let value =
+        recurse(&mut f, a, b, fa, fm, fb, whole, tol, max_depth, &mut evals, &mut saturated);
     Quadrature { value, evaluations: evals, saturated }
 }
 

@@ -26,10 +26,7 @@ impl CappedSimplex {
     #[must_use]
     pub fn new(total: f64, caps: Vec<f64>) -> Self {
         assert!(total >= 0.0, "CappedSimplex: total must be nonnegative");
-        assert!(
-            caps.iter().all(|&c| c >= 0.0),
-            "CappedSimplex: caps must be nonnegative"
-        );
+        assert!(caps.iter().all(|&c| c >= 0.0), "CappedSimplex: caps must be nonnegative");
         let cap_sum: f64 = caps.iter().sum();
         assert!(
             cap_sum >= total,
@@ -51,10 +48,7 @@ impl CappedSimplex {
     pub fn project(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.caps.len(), "project: dimension mismatch");
         let sum_at = |nu: f64| -> f64 {
-            x.iter()
-                .zip(&self.caps)
-                .map(|(&xi, &ci)| (xi - nu).clamp(0.0, ci))
-                .sum::<f64>()
+            x.iter().zip(&self.caps).map(|(&xi, &ci)| (xi - nu).clamp(0.0, ci)).sum::<f64>()
         };
         // Breakpoints of the piecewise-linear sum.
         let mut bps: Vec<f64> = Vec::with_capacity(2 * x.len());
@@ -99,10 +93,8 @@ impl CappedSimplex {
         // the conservation law holds to high precision.
         let drift = self.total - x.iter().sum::<f64>();
         if drift != 0.0 {
-            if let Some((i, _)) = x
-                .iter()
-                .enumerate()
-                .find(|&(i, &v)| v + drift >= 0.0 && v + drift <= self.caps[i])
+            if let Some((i, _)) =
+                x.iter().enumerate().find(|&(i, &v)| v + drift >= 0.0 && v + drift <= self.caps[i])
             {
                 x[i] += drift;
             }
@@ -163,11 +155,7 @@ where
             set.project(&mut trial);
             let ft = f(&trial);
             if ft < fx {
-                let moved = x
-                    .iter()
-                    .zip(&trial)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0, f64::max);
+                let moved = x.iter().zip(&trial).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
                 x.copy_from_slice(&trial);
                 fx = ft;
                 step = (local * 1.5).min(opts.step0 * 16.0);
@@ -214,10 +202,8 @@ mod tests {
     fn projection_survives_huge_magnitudes() {
         // Regression: a gradient step can fling a coordinate to -1e17;
         // the old bisection bracket lost its slack to rounding there.
-        let set = CappedSimplex::new(
-            0.4169933566119411,
-            vec![0.3990450087710752, 0.16560613318868908],
-        );
+        let set =
+            CappedSimplex::new(0.4169933566119411, vec![0.3990450087710752, 0.16560613318868908]);
         let mut x = vec![-18.06, -1.6e17];
         set.project(&mut x);
         let sum: f64 = x.iter().sum();
@@ -273,9 +259,7 @@ mod tests {
         let phi = 2.0;
         let eps = 1e-6;
         let set = CappedSimplex::new(phi, mu.iter().map(|&m| m - eps).collect());
-        let f = |x: &[f64]| -> f64 {
-            x.iter().zip(&mu).map(|(&l, &m)| l / (m - l)).sum()
-        };
+        let f = |x: &[f64]| -> f64 { x.iter().zip(&mu).map(|(&l, &m)| l / (m - l)).sum() };
         let g = |x: &[f64], out: &mut [f64]| {
             for i in 0..2 {
                 out[i] = mu[i] / (mu[i] - x[i]).powi(2);

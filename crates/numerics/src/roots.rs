@@ -216,9 +216,7 @@ mod tests {
         // The Wardrop level function is piecewise linear with kinks.
         let mu = [4.0, 2.0, 1.0];
         let phi = 3.0;
-        let g = |t: f64| {
-            mu.iter().map(|&m| (m - 1.0 / t).max(0.0)).sum::<f64>() - phi
-        };
+        let g = |t: f64| mu.iter().map(|&m| (m - 1.0 / t).max(0.0)).sum::<f64>() - phi;
         let r = bisect(g, 0.25, 10.0, 1e-12, 200).unwrap();
         // active set {4, 2}: t solves (4 - 1/t) + (2 - 1/t) = 3 -> t = 2/3
         assert!((r.x - 2.0 / 3.0).abs() < 1e-9, "got {}", r.x);

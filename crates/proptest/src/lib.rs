@@ -1,0 +1,175 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! This workspace builds without network access, so the real proptest
+//! cannot be fetched. This crate re-implements the (small) slice of its
+//! API that the gtlb test suites use, keeping every test file
+//! source-compatible:
+//!
+//! * [`strategy`] — the [`Strategy`](strategy::Strategy) trait with
+//!   `prop_map`/`boxed`, numeric-range and tuple strategies,
+//!   [`Just`](strategy::Just), and [`Union`](strategy::Union)
+//!   (the engine behind `prop_oneof!`);
+//! * [`collection`] — `vec(strategy, size)` with exact or ranged sizes;
+//! * [`test_runner`] — deterministic case generation (seeded from the
+//!   test's fully qualified name, so failures reproduce run-to-run) and
+//!   the `ProptestConfig`/`TestCaseError` types;
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!   and `prop_oneof!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs but is not minimized), no persisted regression files, and all
+//! `prop_oneof!` arms are equally weighted. Neither limitation affects
+//! the invariants the suites assert.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Upstream-compatible module alias: `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a standard test that samples its strategies for the
+/// configured number of cases and runs the body against each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::Rng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u64 = 0;
+            let __max_rejects: u64 = u64::from(__config.cases) * 64 + 1024;
+            let mut __case: u64 = 0;
+            while __passed < __config.cases {
+                __case += 1;
+                let __vals = ($($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+);
+                let __desc = format!("{:?}", __vals);
+                let __res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let ($($pat,)+) = __vals;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __res {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __max_rejects,
+                            "{}: too many prop_assume rejections ({__rejected} rejects, \
+                             {__passed} passes)",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case #{__case}: {msg}\n  inputs: {__desc}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )* };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (and
+/// reporting its inputs) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (counted separately from passes) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

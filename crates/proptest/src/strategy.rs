@@ -1,0 +1,187 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::Rng;
+
+/// A recipe for generating values of one type from the deterministic
+/// test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can share a
+    /// collection (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (the engine of `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union.
+    ///
+    /// # Panics
+    /// If `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof!: need at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        let i = rng.usize_below(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => { $(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.u64_below(span) as $t)
+            }
+        }
+    )+ };
+}
+
+int_range_strategy!(u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)+) => { $(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+ };
+}
+
+tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::from_name("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (1.5f64..2.5).sample(&mut r);
+            assert!((1.5..2.5).contains(&x));
+            let n = (3usize..7).sample(&mut r);
+            assert!((3..7).contains(&n));
+            let u = (10u32..11).sample(&mut r);
+            assert_eq!(u, 10);
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(41).sample(&mut r), 41);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_sample_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = ((0.0f64..1.0), (5u64..6), Just("x")).sample(&mut r);
+        assert!((0.0..1.0).contains(&a));
+        assert_eq!(b, 5);
+        assert_eq!(c, "x");
+    }
+}

@@ -5,8 +5,6 @@
 //! this crate PRNG-agnostic: the simulation engine plugs in its own
 //! deterministic, stream-split generator.
 
-use serde::{Deserialize, Serialize};
-
 /// Source of i.i.d. uniforms on the open interval `(0, 1)`.
 ///
 /// Implementations must never return exactly `0.0` or `1.0` — the
@@ -44,7 +42,7 @@ pub trait Draw {
 }
 
 /// Exponential distribution with rate `λ` (mean `1/λ`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     rate: f64,
 }
@@ -93,7 +91,7 @@ impl Draw for Exponential {
 /// This is the arrival law of the paper's Figure 3.6 / 4.8 experiments
 /// ("two-stage hyper-exponential distribution … coefficient of variation
 /// 1.6").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HyperExp2 {
     p: f64,
     r1: f64,
@@ -170,7 +168,7 @@ impl Draw for HyperExp2 {
 /// Erlang-`k` distribution (sum of `k` i.i.d. exponentials), CV `1/√k < 1`.
 /// Used in tests to exercise the simulator below the exponential's
 /// variability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Erlang {
     k: u32,
     rate: f64,
@@ -217,7 +215,7 @@ impl Draw for Erlang {
 
 /// Point mass at `value` (CV = 0). Handy for D/M/1-style stress tests of
 /// the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Deterministic {
     value: f64,
 }
@@ -247,7 +245,7 @@ impl Draw for Deterministic {
 }
 
 /// Uniform distribution on `[lo, hi]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uniform {
     lo: f64,
     hi: f64,
@@ -281,7 +279,7 @@ impl Draw for Uniform {
 /// Type-erased distribution enum so simulation configs can be stored,
 /// serialized, and switched at run time without generics at the
 /// component boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Law {
     /// Exponential (Poisson process interarrivals).
     Exp(Exponential),

@@ -7,12 +7,10 @@
 //! be validated far outside the exponential assumption (see the
 //! `simulation_validation` integration tests).
 
-use serde::{Deserialize, Serialize};
-
 use crate::dist::{Draw, UniformSource};
 
 /// Lognormal distribution: `exp(N(mu, sigma²))`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Lognormal {
     mu: f64,
     sigma: f64,
@@ -66,7 +64,7 @@ impl Draw for Lognormal {
 /// Bounded Pareto on `[lo, hi]` with shape `alpha > 0` — the classical
 /// heavy-tail model with all moments finite (thanks to the upper bound),
 /// hence PK-checkable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundedPareto {
     lo: f64,
     hi: f64,

@@ -8,10 +8,8 @@
 //! analytic evaluator and the simulator validation tests share one source
 //! of truth.
 
-use serde::{Deserialize, Serialize};
-
 /// A stable single-server Markovian queue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mm1 {
     arrival_rate: f64,
     service_rate: f64,

@@ -1,0 +1,124 @@
+//! The dispatch hot path: one uniform draw, one CDF lookup.
+//!
+//! The dispatcher owns a deterministic RNG stream and reads the current
+//! routing table through [`EpochSwap`], so dispatching never contends
+//! with the re-solver beyond an `Arc` clone. Determinism matters here
+//! for the same reason it does in the simulator: a trace replayed with
+//! the same seed and the same sequence of published tables makes exactly
+//! the same routing decisions.
+
+use std::sync::Arc;
+
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+
+use crate::error::RuntimeError;
+use crate::swap::EpochSwap;
+use crate::table::RoutingTable;
+
+/// RNG stream id for dispatch draws — disjoint from the simulator's
+/// arrival (0x0100), routing (0x0200) and service (0x0300) stream
+/// families.
+pub const DISPATCH_STREAM: u64 = 0x0400;
+
+/// One routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The chosen node.
+    pub node: crate::registry::NodeId,
+    /// Epoch of the table that made the choice — lets callers correlate
+    /// decisions with the re-solves and failures that produced them.
+    pub epoch: u64,
+}
+
+/// Routes jobs by sampling the currently published table.
+#[derive(Debug)]
+pub struct Dispatcher {
+    table: Arc<EpochSwap<RoutingTable>>,
+    rng: Xoshiro256PlusPlus,
+    dispatched: u64,
+}
+
+impl Dispatcher {
+    /// Dispatcher reading from `table`, drawing from stream
+    /// [`DISPATCH_STREAM`] of `seed`.
+    #[must_use]
+    pub fn new(table: Arc<EpochSwap<RoutingTable>>, seed: u64) -> Self {
+        Self { table, rng: Xoshiro256PlusPlus::stream(seed, DISPATCH_STREAM), dispatched: 0 }
+    }
+
+    /// Routes one job.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] while the published table is
+    /// empty (nothing registered yet, or everything down).
+    pub fn dispatch(&mut self) -> Result<Decision, RuntimeError> {
+        let table = self.table.load();
+        if table.is_empty() {
+            return Err(RuntimeError::NoServingNodes);
+        }
+        let u = self.rng.next_open01();
+        self.dispatched += 1;
+        Ok(Decision { node: table.route(u), epoch: table.epoch() })
+    }
+
+    /// Jobs routed so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::NodeId;
+
+    fn table(epoch: u64, probs: &[f64]) -> RoutingTable {
+        let ids = (0..probs.len() as u64).map(NodeId::from_raw).collect();
+        RoutingTable::new(epoch, ids, probs).unwrap()
+    }
+
+    #[test]
+    fn dispatch_frequencies_match_probabilities() {
+        let swap = Arc::new(EpochSwap::new(table(1, &[0.6, 0.3, 0.1])));
+        let mut d = Dispatcher::new(Arc::clone(&swap), 7);
+        let n = 200_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            let decision = d.dispatch().unwrap();
+            assert_eq!(decision.epoch, 1);
+            counts[decision.node.raw() as usize] += 1;
+        }
+        assert_eq!(d.dispatched(), n);
+        for (c, p) in counts.iter().zip([0.6, 0.3, 0.1]) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_in_the_seed() {
+        let mk = |seed| {
+            let swap = Arc::new(EpochSwap::new(table(0, &[0.5, 0.5])));
+            let mut d = Dispatcher::new(swap, seed);
+            (0..64).map(|_| d.dispatch().unwrap().node).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(42), mk(42));
+        assert_ne!(mk(42), mk(43));
+    }
+
+    #[test]
+    fn dispatch_follows_a_publish() {
+        let swap = Arc::new(EpochSwap::new(table(1, &[1.0, 0.0])));
+        let mut d = Dispatcher::new(Arc::clone(&swap), 1);
+        for _ in 0..50 {
+            assert_eq!(d.dispatch().unwrap().node, NodeId::from_raw(0));
+        }
+        swap.publish(table(2, &[0.0, 1.0]));
+        for _ in 0..50 {
+            let decision = d.dispatch().unwrap();
+            assert_eq!(decision.node, NodeId::from_raw(1));
+            assert_eq!(decision.epoch, 2);
+        }
+    }
+}

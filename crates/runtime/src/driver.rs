@@ -1,0 +1,243 @@
+//! The trace driver: a closed-loop harness replaying a synthetic job
+//! stream through a [`Runtime`](crate::Runtime).
+//!
+//! The driver plays two roles at once:
+//!
+//! * **workload** — it generates Poisson arrivals at rate `Φ` on a
+//!   virtual clock and draws exponential service times at the chosen
+//!   node's true (nominal) rate, modeling each node as an FCFS queue via
+//!   its next-free time;
+//! * **telemetry** — it feeds every arrival and completed service back
+//!   into the runtime's estimators, closing the loop the re-solver runs
+//!   on.
+//!
+//! Response times are accumulated both raw (Welford) and as batch means,
+//! so a run yields a 95 % confidence interval to hold against the
+//! allocator's analytic prediction — the validation the integration test
+//! and example perform. `run_jobs` is resumable: callers interleave
+//! chunks of jobs with control-plane events (failures, drains,
+//! re-solves) to exercise mid-run transitions.
+
+use std::collections::HashMap;
+
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+use gtlb_desim::stats::{BatchMeans, ConfidenceInterval, Welford};
+
+use crate::error::RuntimeError;
+use crate::registry::NodeId;
+use crate::Runtime;
+
+/// RNG stream id of the driver's arrival process.
+pub const DRIVER_ARRIVAL_STREAM: u64 = 0x0500;
+/// Base RNG stream id of per-node service processes (node `i` uses
+/// `DRIVER_SERVICE_STREAM_BASE + i`).
+pub const DRIVER_SERVICE_STREAM_BASE: u64 = 0x0600;
+
+/// Driver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Base seed; arrival and per-node service streams are derived from
+    /// it, so a trace is exactly reproducible.
+    pub seed: u64,
+    /// Response times per batch for the batch-means interval.
+    pub batch_size: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { seed: 0x5EED, batch_size: 1_000 }
+    }
+}
+
+/// Measurements accumulated since the last reset.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Mean observed response time.
+    pub mean_response: f64,
+    /// 95 % batch-means confidence interval (needs ≥ 2 full batches).
+    pub ci: Option<ConfidenceInterval>,
+    /// Jobs per node, in node-id order.
+    pub per_node: Vec<(NodeId, u64)>,
+}
+
+/// Replays a synthetic arrival stream against a runtime.
+#[derive(Debug)]
+pub struct TraceDriver {
+    phi: f64,
+    seed: u64,
+    batch_size: u64,
+    clock: f64,
+    arrivals: Xoshiro256PlusPlus,
+    services: HashMap<NodeId, Xoshiro256PlusPlus>,
+    next_free: HashMap<NodeId, f64>,
+    responses: Welford,
+    batches: BatchMeans,
+    per_node: HashMap<NodeId, u64>,
+}
+
+impl TraceDriver {
+    /// Driver generating Poisson arrivals at total rate `phi`.
+    ///
+    /// # Panics
+    /// If `phi` is nonpositive or non-finite.
+    #[must_use]
+    pub fn new(phi: f64, cfg: TraceConfig) -> Self {
+        assert!(phi.is_finite() && phi > 0.0, "trace arrival rate must be positive");
+        Self {
+            phi,
+            seed: cfg.seed,
+            batch_size: cfg.batch_size,
+            clock: 0.0,
+            arrivals: Xoshiro256PlusPlus::stream(cfg.seed, DRIVER_ARRIVAL_STREAM),
+            services: HashMap::new(),
+            next_free: HashMap::new(),
+            responses: Welford::new(),
+            batches: BatchMeans::new(cfg.batch_size),
+            per_node: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Pushes `jobs` jobs through the runtime: generate arrival →
+    /// dispatch → queue at the chosen node → record the response time and
+    /// feed the estimators.
+    ///
+    /// Resumable: queues, clocks and RNG streams persist across calls, so
+    /// callers can inject control-plane events between chunks.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] when dispatch has nowhere to
+    /// route; [`RuntimeError::UnknownNode`] when a chosen node was
+    /// deregistered mid-flight.
+    pub fn run_jobs(&mut self, runtime: &Runtime, jobs: u64) -> Result<(), RuntimeError> {
+        for _ in 0..jobs {
+            let gap = -self.arrivals.next_open01().ln() / self.phi;
+            self.clock += gap;
+            let arrived = self.clock;
+            runtime.record_arrival(arrived);
+
+            let decision = runtime.dispatch()?;
+            let node = decision.node;
+            let mu = runtime.node_rate(node).ok_or(RuntimeError::UnknownNode(node))?;
+
+            let seed = self.seed;
+            let rng = self.services.entry(node).or_insert_with(|| {
+                Xoshiro256PlusPlus::stream(seed, DRIVER_SERVICE_STREAM_BASE + node.raw())
+            });
+            let service = -rng.next_open01().ln() / mu;
+
+            let free = self.next_free.entry(node).or_insert(0.0);
+            let start = arrived.max(*free);
+            let done = start + service;
+            *free = done;
+
+            runtime.record_service(node, service);
+            let response = done - arrived;
+            self.responses.add(response);
+            self.batches.add(response);
+            *self.per_node.entry(node).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+
+    /// Drops accumulated measurements (warm-up deletion, or isolating a
+    /// post-failure phase) while keeping the clock, queues, and RNG
+    /// streams — the workload continues seamlessly.
+    pub fn reset_measurements(&mut self) {
+        self.responses = Welford::new();
+        self.batches = BatchMeans::new(self.batch_size);
+        self.per_node.clear();
+    }
+
+    /// Measurements since construction or the last reset.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut per_node: Vec<(NodeId, u64)> =
+            self.per_node.iter().map(|(&id, &c)| (id, c)).collect();
+        per_node.sort_by_key(|&(id, _)| id);
+        TraceStats {
+            jobs: self.responses.count(),
+            mean_response: self.responses.mean(),
+            ci: (self.batches.batches() >= 2).then(|| self.batches.confidence_interval()),
+            per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::SchemeKind;
+    use crate::RuntimeBuilder;
+
+    fn runtime(rates: &[f64], phi: f64) -> (Runtime, Vec<NodeId>) {
+        let rt = RuntimeBuilder::new()
+            .seed(11)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(phi)
+            .build();
+        let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+        rt.resolve_now().unwrap();
+        (rt, ids)
+    }
+
+    #[test]
+    fn single_node_matches_mm1() {
+        // One node: the closed loop is an M/M/1 queue with ρ = 0.5, whose
+        // mean response time is 1/(μ − λ) = 2.
+        let (rt, _) = runtime(&[1.0], 0.5);
+        let mut driver = TraceDriver::new(0.5, TraceConfig { seed: 3, batch_size: 2_000 });
+        driver.run_jobs(&rt, 10_000).unwrap();
+        driver.reset_measurements(); // warm-up deletion
+        driver.run_jobs(&rt, 40_000).unwrap();
+        let stats = driver.stats();
+        assert_eq!(stats.jobs, 40_000);
+        let ci = stats.ci.expect("enough batches");
+        let tol = (3.0 * ci.half_width).max(0.05 * 2.0);
+        assert!(
+            (stats.mean_response - 2.0).abs() < tol,
+            "observed {} vs analytic 2.0 (tol {tol})",
+            stats.mean_response
+        );
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let run = || {
+            let (rt, _) = runtime(&[1.0, 0.5], 0.6);
+            let mut driver = TraceDriver::new(0.6, TraceConfig { seed: 9, batch_size: 100 });
+            driver.run_jobs(&rt, 2_000).unwrap();
+            (driver.stats().mean_response, driver.clock())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a.to_bits(), b.to_bits(), "same seed ⇒ bit-identical trace");
+        assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    #[test]
+    fn per_node_counts_follow_the_table() {
+        // ρ = 0.8, high enough that COOP loads the slow node too.
+        let (rt, ids) = runtime(&[4.0, 1.0], 4.0);
+        let mut driver = TraceDriver::new(4.0, TraceConfig::default());
+        driver.run_jobs(&rt, 20_000).unwrap();
+        let stats = driver.stats();
+        let table = rt.current_table();
+        let total: u64 = stats.per_node.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 20_000);
+        for &id in &ids {
+            let p = table.prob_of(id).unwrap();
+            let count = stats.per_node.iter().find(|&&(n, _)| n == id).map_or(0, |&(_, c)| c);
+            let freq = count as f64 / total as f64;
+            assert!((freq - p).abs() < 0.02, "{id}: freq {freq} vs p {p}");
+            assert!(p > 0.0 && count > 0, "{id} should carry load at ρ = 0.8");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Runtime-layer errors.
+
+use gtlb_core::error::CoreError;
+
+use crate::registry::NodeId;
+
+/// Errors produced by the online dispatch runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// An allocation-layer error (overload, bad input, non-convergence)
+    /// surfaced while building a cluster or solving for a routing table.
+    Core(CoreError),
+    /// The referenced node is not (or no longer) registered.
+    UnknownNode(NodeId),
+    /// No node is currently accepting work, so there is nothing to route
+    /// to and nothing to solve over.
+    NoServingNodes,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "allocation error: {e}"),
+            Self::UnknownNode(id) => write!(f, "unknown node {id}"),
+            Self::NoServingNodes => write!(f, "no serving nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RuntimeError = CoreError::BadInput("x".into()).into();
+        assert!(e.to_string().contains("allocation error"));
+        assert!(RuntimeError::NoServingNodes.to_string().contains("no serving nodes"));
+        assert!(RuntimeError::UnknownNode(NodeId::from_raw(3)).to_string().contains("node-3"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Online rate estimation: the measured `Φ` and `μ_i` that drive
+//! re-solves.
+//!
+//! The offline schemes take the arrival rate and processing rates as
+//! givens; a live system has to measure them. Two estimators feed the
+//! re-solver:
+//!
+//! * an EWMA over job inter-arrival times estimates the aggregate
+//!   arrival rate `Φ̂` — exponentially forgetting, so it tracks load
+//!   drift at a tunable time constant;
+//! * a sliding window over each node's recent service times estimates
+//!   its processing rate `μ̂_i = k / Σ_{last k} s` (the MLE for an
+//!   exponential server over the window) — windowed, so a degraded node
+//!   is re-rated within a bounded number of jobs.
+//!
+//! Both report `None` until they have enough observations; the runtime
+//! then falls back to configured nominal values, so a cold system is
+//! solvable from the first dispatch.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::registry::NodeId;
+
+/// EWMA estimator of an event rate from event timestamps.
+#[derive(Debug, Clone)]
+pub struct EwmaRate {
+    alpha: f64,
+    last_event: Option<f64>,
+    mean_gap: Option<f64>,
+    count: u64,
+}
+
+impl EwmaRate {
+    /// Estimator with smoothing factor `alpha ∈ (0, 1]` (weight of the
+    /// newest inter-arrival gap).
+    ///
+    /// # Panics
+    /// If `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must lie in (0, 1]");
+        Self { alpha, last_event: None, mean_gap: None, count: 0 }
+    }
+
+    /// Records an event at time `t` (nondecreasing; a backwards step is
+    /// treated as a restart of the clock).
+    pub fn observe(&mut self, t: f64) {
+        self.count += 1;
+        if let Some(last) = self.last_event {
+            let gap = t - last;
+            if gap >= 0.0 {
+                self.mean_gap = Some(match self.mean_gap {
+                    Some(m) => m + self.alpha * (gap - m),
+                    None => gap,
+                });
+            }
+        }
+        self.last_event = Some(t);
+    }
+
+    /// Estimated event rate (1 / smoothed gap); `None` before the second
+    /// event or while the smoothed gap is zero.
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        match self.mean_gap {
+            Some(gap) if gap > 0.0 => Some(1.0 / gap),
+            _ => None,
+        }
+    }
+
+    /// Events observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Sliding-window estimator of a service rate from service durations.
+#[derive(Debug, Clone)]
+pub struct WindowRate {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl WindowRate {
+    /// Estimator remembering the last `capacity` service times.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "service window must be positive");
+        Self { window: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Records one service duration (nonpositive durations are ignored —
+    /// they carry no rate information).
+    pub fn observe(&mut self, service_time: f64) {
+        if !(service_time.is_finite() && service_time > 0.0) {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(service_time);
+    }
+
+    /// Estimated service rate over the window, `k / Σs`; `None` while
+    /// empty.
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.window.iter().sum();
+        (sum > 0.0).then(|| self.window.len() as f64 / sum)
+    }
+
+    /// Observations currently in the window.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.window.len()
+    }
+}
+
+/// The runtime's estimators: one arrival EWMA plus one service window per
+/// node, with warm-up thresholds below which estimates are withheld.
+#[derive(Debug, Clone)]
+pub struct EstimatorBank {
+    arrivals: EwmaRate,
+    services: HashMap<NodeId, WindowRate>,
+    service_window: usize,
+    min_arrival_obs: u64,
+    min_service_obs: usize,
+}
+
+impl EstimatorBank {
+    /// Builds the bank.
+    ///
+    /// * `alpha` — arrival EWMA smoothing factor;
+    /// * `service_window` — service times remembered per node;
+    /// * `min_arrival_obs` / `min_service_obs` — observations required
+    ///   before an estimate is reported (cold-start guard).
+    #[must_use]
+    pub fn new(
+        alpha: f64,
+        service_window: usize,
+        min_arrival_obs: u64,
+        min_service_obs: usize,
+    ) -> Self {
+        Self {
+            arrivals: EwmaRate::new(alpha),
+            services: HashMap::new(),
+            service_window,
+            min_arrival_obs,
+            min_service_obs,
+        }
+    }
+
+    /// Records a job arrival at (virtual or wall-clock) time `t`.
+    pub fn observe_arrival(&mut self, t: f64) {
+        self.arrivals.observe(t);
+    }
+
+    /// Records a completed service of `duration` seconds at `node`.
+    pub fn observe_service(&mut self, node: NodeId, duration: f64) {
+        self.services
+            .entry(node)
+            .or_insert_with(|| WindowRate::new(self.service_window))
+            .observe(duration);
+    }
+
+    /// Drops a node's service history (deregistration).
+    pub fn forget(&mut self, node: NodeId) {
+        self.services.remove(&node);
+    }
+
+    /// Estimated aggregate arrival rate `Φ̂`, once warm.
+    #[must_use]
+    pub fn arrival_rate(&self) -> Option<f64> {
+        (self.arrivals.count() >= self.min_arrival_obs).then(|| self.arrivals.rate()).flatten()
+    }
+
+    /// Arrivals observed so far.
+    #[must_use]
+    pub fn arrival_count(&self) -> u64 {
+        self.arrivals.count()
+    }
+
+    /// Estimated service rate `μ̂_i` of one node, once warm.
+    #[must_use]
+    pub fn service_rate(&self, node: NodeId) -> Option<f64> {
+        let w = self.services.get(&node)?;
+        (w.count() >= self.min_service_obs).then(|| w.rate()).flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_a_steady_stream() {
+        let mut e = EwmaRate::new(0.1);
+        assert!(e.rate().is_none());
+        for k in 0..100 {
+            e.observe(k as f64 * 0.5); // 2 events per second
+        }
+        let rate = e.rate().unwrap();
+        assert!((rate - 2.0).abs() < 1e-9, "rate {rate}");
+        assert_eq!(e.count(), 100);
+    }
+
+    #[test]
+    fn ewma_adapts_to_a_rate_change() {
+        let mut e = EwmaRate::new(0.2);
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += 1.0; // rate 1
+            e.observe(t);
+        }
+        for _ in 0..100 {
+            t += 0.1; // rate 10
+            e.observe(t);
+        }
+        let rate = e.rate().unwrap();
+        assert!(rate > 8.0, "EWMA should have largely forgotten the old rate, got {rate}");
+    }
+
+    #[test]
+    fn window_rate_is_mle_over_window() {
+        let mut w = WindowRate::new(4);
+        assert!(w.rate().is_none());
+        for s in [1.0, 1.0, 1.0, 1.0] {
+            w.observe(s);
+        }
+        assert!((w.rate().unwrap() - 1.0).abs() < 1e-12);
+        // Four faster services push the old ones out of the window.
+        for s in [0.25, 0.25, 0.25, 0.25] {
+            w.observe(s);
+        }
+        assert!((w.rate().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(w.count(), 4);
+    }
+
+    #[test]
+    fn window_ignores_degenerate_durations() {
+        let mut w = WindowRate::new(8);
+        w.observe(0.0);
+        w.observe(-1.0);
+        w.observe(f64::NAN);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn bank_withholds_cold_estimates() {
+        let mut bank = EstimatorBank::new(0.1, 16, 5, 3);
+        let node = NodeId::from_raw(0);
+        for k in 0..4 {
+            bank.observe_arrival(k as f64);
+            bank.observe_service(node, 0.5);
+        }
+        assert!(bank.arrival_rate().is_none(), "4 arrivals < min 5");
+        assert!(bank.service_rate(node).is_some(), "4 services >= min 3");
+        bank.observe_arrival(4.0);
+        assert!((bank.arrival_rate().unwrap() - 1.0).abs() < 1e-9);
+        bank.forget(node);
+        assert!(bank.service_rate(node).is_none());
+    }
+}

@@ -1,0 +1,587 @@
+//! `gtlb-runtime` — an online dispatch runtime serving live job streams
+//! from the game-theoretic allocators.
+//!
+//! The offline crates answer "given rates, what is the optimal split?".
+//! This crate runs that answer as a service. Data flows in a loop:
+//!
+//! ```text
+//!   registry (membership, health, nominal μ)
+//!       │ snapshot of serving nodes
+//!       ▼
+//!   estimator bank (EWMA Φ̂, windowed μ̂ᵢ)──▶ re-solver (COOP/NASH/…)
+//!       ▲                                        │ publish (epoch n+1)
+//!       │ arrivals & service times               ▼
+//!   dispatcher ◀── epoch-swapped routing table (Arc snapshot)
+//!       │ jobs
+//!       ▼
+//!   nodes … whose measurements feed the estimators
+//! ```
+//!
+//! * [`registry`] — who is in the cluster and whether they serve;
+//! * [`estimator`] — online `Φ̂` / `μ̂ᵢ` estimates feeding the solver;
+//! * [`resolver`] — the scheme ([`SchemeKind`]) and the solve/publish
+//!   step, plus the immediate renormalize-on-failure path;
+//! * [`table`] / [`swap`] — immutable routing tables behind an
+//!   epoch-swapped `Arc`, so the dispatch hot path never blocks on a
+//!   re-solve;
+//! * [`dispatcher`] — the hot path: one deterministic uniform draw, one
+//!   inverse-CDF lookup;
+//! * [`driver`] — a closed-loop trace harness validating observed mean
+//!   response times against the allocator's analytic prediction.
+//!
+//! The [`Runtime`] ties these together behind one handle that is cheap
+//! to share across threads; [`Runtime::spawn_resolver`] runs the
+//! re-solve loop in the background.
+
+pub mod dispatcher;
+pub mod driver;
+pub mod error;
+pub mod estimator;
+pub mod registry;
+pub mod resolver;
+pub mod swap;
+pub mod table;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+pub use dispatcher::{Decision, Dispatcher};
+pub use driver::{TraceConfig, TraceDriver, TraceStats};
+pub use error::RuntimeError;
+pub use estimator::EstimatorBank;
+pub use registry::{Health, Node, NodeId, Registry};
+pub use resolver::{ResolveOutcome, SchemeKind};
+pub use swap::EpochSwap;
+pub use table::RoutingTable;
+
+/// Tunables of a [`Runtime`]; built through [`RuntimeBuilder`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Base seed for the dispatcher's RNG stream.
+    pub seed: u64,
+    /// Allocation scheme the re-solver runs.
+    pub scheme: SchemeKind,
+    /// Arrival rate assumed until the estimator is warm (and whenever it
+    /// goes cold again). `0.0` means "idle until measured": tables fall
+    /// back to capacity-proportional routing.
+    pub nominal_arrival_rate: f64,
+    /// Smoothing factor of the arrival-rate EWMA.
+    pub ewma_alpha: f64,
+    /// Service times remembered per node.
+    pub service_window: usize,
+    /// Arrivals required before `Φ̂` is trusted.
+    pub min_arrival_obs: u64,
+    /// Per-node services required before `μ̂ᵢ` is trusted.
+    pub min_service_obs: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            scheme: SchemeKind::Coop,
+            nominal_arrival_rate: 0.0,
+            ewma_alpha: 0.05,
+            service_window: 256,
+            min_arrival_obs: 64,
+            min_service_obs: 16,
+        }
+    }
+}
+
+/// Builder for [`Runtime`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeBuilder {
+    /// Default configuration: COOP, seed 0, idle nominal rate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dispatcher seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the allocation scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Sets the designed-for arrival rate used until estimates warm up.
+    #[must_use]
+    pub fn nominal_arrival_rate(mut self, phi: f64) -> Self {
+        self.cfg.nominal_arrival_rate = phi;
+        self
+    }
+
+    /// Sets the arrival-EWMA smoothing factor.
+    #[must_use]
+    pub fn ewma_alpha(mut self, alpha: f64) -> Self {
+        self.cfg.ewma_alpha = alpha;
+        self
+    }
+
+    /// Sets the per-node service-time window.
+    #[must_use]
+    pub fn service_window(mut self, window: usize) -> Self {
+        self.cfg.service_window = window;
+        self
+    }
+
+    /// Sets the warm-up thresholds below which estimates are withheld.
+    #[must_use]
+    pub fn min_observations(mut self, arrivals: u64, services: usize) -> Self {
+        self.cfg.min_arrival_obs = arrivals;
+        self.cfg.min_service_obs = services;
+        self
+    }
+
+    /// Builds the runtime (no nodes, empty routing table).
+    #[must_use]
+    pub fn build(self) -> Runtime {
+        Runtime::with_config(self.cfg)
+    }
+}
+
+struct State {
+    registry: Registry,
+    bank: EstimatorBank,
+}
+
+/// The online dispatch runtime: registry + estimators + re-solver +
+/// dispatcher behind one shareable handle.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    state: Mutex<State>,
+    table: Arc<EpochSwap<RoutingTable>>,
+    dispatcher: Mutex<Dispatcher>,
+    epoch: AtomicU64,
+}
+
+impl Runtime {
+    /// Starts building a runtime.
+    #[must_use]
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Builds a runtime from an explicit configuration.
+    #[must_use]
+    pub fn with_config(cfg: RuntimeConfig) -> Self {
+        let table = Arc::new(EpochSwap::new(RoutingTable::empty(0)));
+        let dispatcher = Mutex::new(Dispatcher::new(Arc::clone(&table), cfg.seed));
+        let bank = EstimatorBank::new(
+            cfg.ewma_alpha,
+            cfg.service_window,
+            cfg.min_arrival_obs,
+            cfg.min_service_obs,
+        );
+        Self {
+            cfg,
+            state: Mutex::new(State { registry: Registry::new(), bank }),
+            table,
+            dispatcher,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this runtime was built with.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    // ---- membership & health -------------------------------------------
+
+    /// Registers a node with declared capacity `rate` (jobs/second). The
+    /// node joins the routing table at the next resolve.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Core`] for a nonpositive or non-finite rate.
+    pub fn register_node(&self, rate: f64) -> Result<NodeId, RuntimeError> {
+        self.state().registry.register(rate)
+    }
+
+    /// Deregisters a node: removed from the registry and estimator bank,
+    /// and — if it is in the live table — routed around immediately.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn deregister_node(&self, id: NodeId) -> Result<(), RuntimeError> {
+        {
+            let mut state = self.state();
+            state.registry.deregister(id)?;
+            state.bank.forget(id);
+        }
+        self.republish_without(id);
+        Ok(())
+    }
+
+    /// Starts draining a node: it finishes queued work but stops
+    /// receiving new jobs, immediately and at every future resolve.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn drain_node(&self, id: NodeId) -> Result<(), RuntimeError> {
+        self.state().registry.set_health(id, Health::Draining)?;
+        self.republish_without(id);
+        Ok(())
+    }
+
+    /// Marks a node suspect (still serving, flagged for demotion).
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn mark_suspect(&self, id: NodeId) -> Result<(), RuntimeError> {
+        self.state().registry.set_health(id, Health::Suspect)?;
+        Ok(())
+    }
+
+    /// Marks a node up. It rejoins the routing table at the next resolve
+    /// (rejoining needs a real allocation, not a renormalization).
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn mark_up(&self, id: NodeId) -> Result<(), RuntimeError> {
+        self.state().registry.set_health(id, Health::Up)?;
+        Ok(())
+    }
+
+    /// Marks a node down. Its probability mass is redistributed over the
+    /// survivors **immediately** (renormalized table, next epoch); the
+    /// full re-solve that rebalances everyone follows separately —
+    /// "renormalize, then re-solve".
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn mark_down(&self, id: NodeId) -> Result<(), RuntimeError> {
+        self.state().registry.set_health(id, Health::Down)?;
+        self.republish_without(id);
+        Ok(())
+    }
+
+    /// A node's declared capacity, if registered.
+    #[must_use]
+    pub fn node_rate(&self, id: NodeId) -> Option<f64> {
+        self.state().registry.node(id).map(Node::nominal_rate)
+    }
+
+    /// A node's health, if registered.
+    #[must_use]
+    pub fn node_health(&self, id: NodeId) -> Option<Health> {
+        self.state().registry.node(id).map(Node::health)
+    }
+
+    // ---- telemetry ------------------------------------------------------
+
+    /// Records a job arrival at time `t` (drives `Φ̂`).
+    pub fn record_arrival(&self, t: f64) {
+        self.state().bank.observe_arrival(t);
+    }
+
+    /// Records a completed service at `node` (drives `μ̂ᵢ`). Unknown
+    /// nodes are accepted — completions may race deregistration.
+    pub fn record_service(&self, node: NodeId, duration: f64) {
+        self.state().bank.observe_service(node, duration);
+    }
+
+    /// The current arrival-rate estimate, once warm.
+    #[must_use]
+    pub fn estimated_arrival_rate(&self) -> Option<f64> {
+        self.state().bank.arrival_rate()
+    }
+
+    /// The current service-rate estimate of one node, once warm.
+    #[must_use]
+    pub fn estimated_service_rate(&self, id: NodeId) -> Option<f64> {
+        self.state().bank.service_rate(id)
+    }
+
+    // ---- solving & dispatching -----------------------------------------
+
+    /// Runs a full solve now: snapshot the serving nodes, pick measured
+    /// rates where warm (nominal otherwise), allocate with the configured
+    /// scheme, and publish the resulting table at the next epoch.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] with nothing to solve over;
+    /// [`RuntimeError::Core`] from the allocator (e.g. a nominal arrival
+    /// rate at or above capacity).
+    pub fn resolve_now(&self) -> Result<ResolveOutcome, RuntimeError> {
+        let state = self.state();
+        let State { ref registry, ref bank } = *state;
+        let (ids, cluster) =
+            registry.serving_cluster(|n| bank.service_rate(n.id()).unwrap_or(n.nominal_rate()))?;
+        // Estimated Φ is clamped below capacity (transient overshoot must
+        // not wedge the solver); the configured nominal rate is not — an
+        // impossible design load should fail loudly.
+        let phi = match bank.arrival_rate() {
+            Some(est) => resolver::clamp_phi(est, &cluster),
+            None => self.cfg.nominal_arrival_rate,
+        };
+        let epoch = self.next_epoch();
+        let (table, outcome) = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
+        self.table.publish(table);
+        Ok(outcome)
+    }
+
+    /// Routes one job via the published table.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] before the first resolve or after
+    /// the last node went down.
+    pub fn dispatch(&self) -> Result<Decision, RuntimeError> {
+        self.dispatcher.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dispatch()
+    }
+
+    /// Jobs dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatcher.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dispatched()
+    }
+
+    /// Snapshot of the currently published routing table.
+    #[must_use]
+    pub fn current_table(&self) -> Arc<RoutingTable> {
+        self.table.load()
+    }
+
+    /// The epoch-swap slot itself (benchmarks, custom dispatch loops).
+    #[must_use]
+    pub fn table_handle(&self) -> Arc<EpochSwap<RoutingTable>> {
+        Arc::clone(&self.table)
+    }
+
+    /// Spawns the background re-solve loop: every `interval`, run
+    /// [`Runtime::resolve_now`] and publish. Solve errors (e.g. a
+    /// transient empty serving set) are tolerated; the loop retries next
+    /// tick. Returns a handle that stops the loop when dropped.
+    #[must_use]
+    pub fn spawn_resolver(self: &Arc<Self>, interval: Duration) -> ResolverHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let rt = Arc::clone(self);
+        let join = std::thread::spawn(move || {
+            let mut solves = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                if rt.resolve_now().is_ok() {
+                    solves += 1;
+                }
+                // Sleep in short slices so stop() returns promptly.
+                let mut remaining = interval;
+                while !remaining.is_zero() && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = remaining.min(Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+            solves
+        });
+        ResolverHandle { stop, join: Some(join) }
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Publishes the current table minus `id` (failure/drain path). A
+    /// no-op when the node is not in the table. When the survivors held
+    /// zero probability (the departed node had all the mass — common
+    /// under COOP at low load, which parks slow nodes at λ = 0), falls
+    /// back to capacity-proportional routing over the serving nodes so
+    /// the system stays routable until the next full solve; publishes the
+    /// empty table only when nothing serves at all.
+    fn republish_without(&self, id: NodeId) {
+        let current = self.table.load();
+        if !current.nodes().contains(&id) {
+            return;
+        }
+        let epoch = self.next_epoch();
+        let fallback = |epoch: u64| -> RoutingTable {
+            let state = self.state();
+            match state.registry.serving_cluster(|n| n.nominal_rate()) {
+                Ok((ids, cluster)) => RoutingTable::new(epoch, ids, cluster.rates())
+                    .unwrap_or_else(|_| RoutingTable::empty(epoch)),
+                Err(_) => RoutingTable::empty(epoch),
+            }
+        };
+        let table = current.without_node(id, epoch).unwrap_or_else(|_| fallback(epoch));
+        self.table.publish(table);
+    }
+}
+
+/// Handle to the background re-solve loop; stops and joins on drop.
+#[derive(Debug)]
+pub struct ResolverHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl ResolverHandle {
+    /// Stops the loop and returns how many successful solves it ran.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.join.take() {
+            Some(join) => join.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for ResolverHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coop_runtime(phi: f64) -> Runtime {
+        Runtime::builder().seed(5).scheme(SchemeKind::Coop).nominal_arrival_rate(phi).build()
+    }
+
+    #[test]
+    fn dispatch_before_resolve_fails() {
+        let rt = coop_runtime(0.5);
+        assert_eq!(rt.dispatch(), Err(RuntimeError::NoServingNodes));
+        rt.register_node(1.0).unwrap();
+        assert_eq!(rt.dispatch(), Err(RuntimeError::NoServingNodes), "not resolved yet");
+        rt.resolve_now().unwrap();
+        assert!(rt.dispatch().is_ok());
+    }
+
+    #[test]
+    fn resolve_publishes_monotone_epochs() {
+        let rt = coop_runtime(0.5);
+        rt.register_node(1.0).unwrap();
+        rt.register_node(2.0).unwrap();
+        let e1 = rt.resolve_now().unwrap().epoch;
+        let e2 = rt.resolve_now().unwrap().epoch;
+        assert!(e2 > e1);
+        assert_eq!(rt.current_table().epoch(), e2);
+    }
+
+    #[test]
+    fn mark_down_renormalizes_immediately() {
+        let rt = coop_runtime(0.9);
+        let a = rt.register_node(2.0).unwrap();
+        let b = rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        let before = rt.current_table();
+        assert!(before.prob_of(a).unwrap() > 0.0);
+
+        rt.mark_down(a).unwrap();
+        let after = rt.current_table();
+        assert!(after.epoch() > before.epoch());
+        assert_eq!(after.prob_of(a), None, "down node left the table without a solve");
+        assert!((after.prob_of(b).unwrap() - 1.0).abs() < 1e-12);
+
+        // The follow-up full solve sees only the survivor.
+        let outcome = rt.resolve_now().unwrap();
+        assert_eq!(outcome.nodes, vec![b]);
+    }
+
+    #[test]
+    fn last_node_down_empties_the_table() {
+        let rt = coop_runtime(0.1);
+        let a = rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert!(rt.dispatch().is_ok());
+        rt.mark_down(a).unwrap();
+        assert_eq!(rt.dispatch(), Err(RuntimeError::NoServingNodes));
+        assert!(matches!(rt.resolve_now(), Err(RuntimeError::NoServingNodes)));
+        // Recovery: back up, resolve, dispatch again.
+        rt.mark_up(a).unwrap();
+        rt.resolve_now().unwrap();
+        assert!(rt.dispatch().is_ok());
+    }
+
+    #[test]
+    fn drain_and_deregister_leave_the_table() {
+        let rt = coop_runtime(1.0);
+        let a = rt.register_node(2.0).unwrap();
+        let b = rt.register_node(1.0).unwrap();
+        let c = rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        rt.drain_node(a).unwrap();
+        assert_eq!(rt.current_table().prob_of(a), None);
+        assert_eq!(rt.node_health(a), Some(Health::Draining));
+        rt.deregister_node(b).unwrap();
+        assert_eq!(rt.current_table().prob_of(b), None);
+        assert_eq!(rt.node_rate(b), None);
+        assert!(rt.current_table().prob_of(c).is_some());
+    }
+
+    #[test]
+    fn estimated_rates_feed_the_solve() {
+        let rt = Runtime::builder()
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(0.4)
+            .min_observations(8, 4)
+            .build();
+        let a = rt.register_node(1.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        // Feed arrivals at measured rate 2.0 and services showing node a
+        // is really twice as fast as declared.
+        for k in 0..32 {
+            rt.record_arrival(k as f64 * 0.5);
+            rt.record_service(a, 0.5);
+        }
+        assert!((rt.estimated_arrival_rate().unwrap() - 2.0).abs() < 1e-9);
+        assert!((rt.estimated_service_rate(a).unwrap() - 2.0).abs() < 1e-9);
+        let outcome = rt.resolve_now().unwrap();
+        assert!((outcome.phi - 2.0).abs() < 1e-9, "solve used the measured Φ");
+        assert!((outcome.rates[0] - 2.0).abs() < 1e-9, "solve used the measured μ");
+        assert!((outcome.rates[1] - 1.0).abs() < 1e-9, "cold node keeps its nominal μ");
+    }
+
+    #[test]
+    fn overloaded_estimate_is_clamped_not_fatal() {
+        let rt = Runtime::builder().nominal_arrival_rate(0.5).min_observations(4, 1_000).build();
+        rt.register_node(1.0).unwrap();
+        // Estimated arrival rate 10 >> capacity 1.
+        for k in 0..16 {
+            rt.record_arrival(k as f64 * 0.1);
+        }
+        let outcome = rt.resolve_now().unwrap();
+        assert!(outcome.phi < 1.0, "estimate clamped below capacity, got {}", outcome.phi);
+    }
+
+    #[test]
+    fn background_resolver_publishes() {
+        let rt = Arc::new(coop_runtime(0.8));
+        rt.register_node(1.0).unwrap();
+        rt.register_node(2.0).unwrap();
+        let handle = rt.spawn_resolver(Duration::from_millis(1));
+        // Wait for at least one publish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rt.current_table().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "resolver never published");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rt.dispatch().is_ok());
+        let solves = handle.stop();
+        assert!(solves >= 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! The node registry: cluster membership and health for the online
+//! runtime.
+//!
+//! Where the offline crates take a fixed [`Cluster`], a live system's
+//! membership changes: nodes join, degrade, drain for maintenance, and
+//! fail. The registry is the runtime's single source of truth for "which
+//! computers exist, how fast are they nominally, and which are currently
+//! accepting work". The re-solver snapshots it into a [`Cluster`] on
+//! every solve.
+
+use std::fmt;
+
+use gtlb_core::error::CoreError;
+use gtlb_core::model::Cluster;
+
+use crate::error::RuntimeError;
+
+/// Stable identifier of a registered node. Ids are never reused, even
+/// after the node deregisters, so stale ids fail loudly instead of
+/// silently addressing a newer node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// The numeric id (stream derivation, logging).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its numeric form (tests, persistence).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Health of a registered node, as seen by the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving normally.
+    Up,
+    /// Missed a health signal; still routed to, but a candidate for
+    /// demotion to [`Health::Down`].
+    Suspect,
+    /// Administratively draining: finishes queued work but receives no
+    /// new jobs, and is excluded from future allocations.
+    Draining,
+    /// Failed: receives no jobs and is excluded from allocations.
+    Down,
+}
+
+impl Health {
+    /// Whether a node in this state accepts new jobs (and therefore
+    /// belongs in the cluster handed to the allocators).
+    #[must_use]
+    pub fn serves(self) -> bool {
+        matches!(self, Self::Up | Self::Suspect)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Up => "up",
+            Self::Suspect => "suspect",
+            Self::Draining => "draining",
+            Self::Down => "down",
+        }
+    }
+}
+
+/// One registered node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    nominal_rate: f64,
+    health: Health,
+}
+
+impl Node {
+    /// The node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Declared processing capacity `μ_i` (jobs/second), used until the
+    /// online estimator has enough observations to measure it.
+    #[must_use]
+    pub fn nominal_rate(&self) -> f64 {
+        self.nominal_rate
+    }
+
+    /// Current health.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        self.health
+    }
+}
+
+/// Membership and health of the cluster's nodes, in registration order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    next_id: u64,
+    nodes: Vec<Node>,
+}
+
+impl Registry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node with declared capacity `rate`, initially
+    /// [`Health::Up`].
+    ///
+    /// # Errors
+    /// [`RuntimeError::Core`] when `rate` is nonpositive or non-finite.
+    pub fn register(&mut self, rate: f64) -> Result<NodeId, RuntimeError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CoreError::BadInput(format!(
+                "node capacity must be positive and finite, got {rate}"
+            ))
+            .into());
+        }
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.push(Node { id, nominal_rate: rate, health: Health::Up });
+        Ok(id)
+    }
+
+    /// Removes a node entirely.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] when `id` is not registered.
+    pub fn deregister(&mut self, id: NodeId) -> Result<Node, RuntimeError> {
+        let pos = self.position(id)?;
+        Ok(self.nodes.remove(pos))
+    }
+
+    /// Sets a node's health, returning the previous state.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] when `id` is not registered.
+    pub fn set_health(&mut self, id: NodeId, health: Health) -> Result<Health, RuntimeError> {
+        let pos = self.position(id)?;
+        let old = self.nodes[pos].health;
+        self.nodes[pos].health = health;
+        Ok(old)
+    }
+
+    /// Updates a node's declared capacity (e.g. after a hardware change).
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unknown ids, [`RuntimeError::Core`]
+    /// for nonpositive/non-finite rates.
+    pub fn set_nominal_rate(&mut self, id: NodeId, rate: f64) -> Result<(), RuntimeError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CoreError::BadInput(format!(
+                "node capacity must be positive and finite, got {rate}"
+            ))
+            .into());
+        }
+        let pos = self.position(id)?;
+        self.nodes[pos].nominal_rate = rate;
+        Ok(())
+    }
+
+    /// Looks a node up.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// All nodes in registration order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of registered nodes (any health).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes currently accepting work ([`Health::serves`]).
+    pub fn serving(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.health.serves())
+    }
+
+    /// Snapshots the serving nodes as an allocation-layer [`Cluster`],
+    /// using `rate_of(node)` for each capacity (callers substitute
+    /// measured rates where available, nominal rates otherwise).
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] when nothing serves;
+    /// [`RuntimeError::Core`] when a supplied rate is invalid.
+    pub fn serving_cluster(
+        &self,
+        mut rate_of: impl FnMut(&Node) -> f64,
+    ) -> Result<(Vec<NodeId>, Cluster), RuntimeError> {
+        let mut ids = Vec::new();
+        let mut rates = Vec::new();
+        for node in self.serving() {
+            ids.push(node.id);
+            rates.push(rate_of(node));
+        }
+        if ids.is_empty() {
+            return Err(RuntimeError::NoServingNodes);
+        }
+        let cluster = Cluster::new(rates)?;
+        Ok((ids, cluster))
+    }
+
+    fn position(&self, id: NodeId) -> Result<usize, RuntimeError> {
+        self.nodes.iter().position(|n| n.id == id).ok_or(RuntimeError::UnknownNode(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_fresh_ids() {
+        let mut r = Registry::new();
+        let a = r.register(1.0).unwrap();
+        let b = r.register(2.0).unwrap();
+        assert_ne!(a, b);
+        r.deregister(a).unwrap();
+        let c = r.register(3.0).unwrap();
+        assert_ne!(c, a, "ids must not be reused");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn register_rejects_bad_rates() {
+        let mut r = Registry::new();
+        assert!(r.register(0.0).is_err());
+        assert!(r.register(-1.0).is_err());
+        assert!(r.register(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn health_transitions_gate_serving() {
+        let mut r = Registry::new();
+        let a = r.register(1.0).unwrap();
+        let b = r.register(2.0).unwrap();
+        assert_eq!(r.serving().count(), 2);
+        assert_eq!(r.set_health(a, Health::Suspect).unwrap(), Health::Up);
+        assert_eq!(r.serving().count(), 2, "suspect nodes still serve");
+        r.set_health(a, Health::Down).unwrap();
+        assert_eq!(r.serving().count(), 1);
+        r.set_health(b, Health::Draining).unwrap();
+        assert_eq!(r.serving().count(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_fail_loudly() {
+        let mut r = Registry::new();
+        let ghost = NodeId::from_raw(99);
+        assert_eq!(r.set_health(ghost, Health::Down), Err(RuntimeError::UnknownNode(ghost)));
+        assert!(r.deregister(ghost).is_err());
+        assert!(r.node(ghost).is_none());
+    }
+
+    #[test]
+    fn serving_cluster_snapshots_in_order() {
+        let mut r = Registry::new();
+        let a = r.register(4.0).unwrap();
+        let b = r.register(2.0).unwrap();
+        let c = r.register(1.0).unwrap();
+        r.set_health(b, Health::Down).unwrap();
+        let (ids, cluster) = r.serving_cluster(|n| n.nominal_rate()).unwrap();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(cluster.rates(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_serving_set_is_an_error() {
+        let mut r = Registry::new();
+        assert!(matches!(
+            r.serving_cluster(|n| n.nominal_rate()),
+            Err(RuntimeError::NoServingNodes)
+        ));
+        let a = r.register(1.0).unwrap();
+        r.set_health(a, Health::Down).unwrap();
+        assert!(matches!(
+            r.serving_cluster(|n| n.nominal_rate()),
+            Err(RuntimeError::NoServingNodes)
+        ));
+    }
+}

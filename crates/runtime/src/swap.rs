@@ -1,0 +1,93 @@
+//! Epoch-swapped shared state: readers take an `Arc` snapshot, writers
+//! publish a whole new value.
+//!
+//! The dispatch hot path must never block behind a re-solve. We get that
+//! with read-copy-update at the granularity of the whole routing table: a
+//! published table is immutable, readers clone an `Arc` to it (a brief
+//! read lock plus one atomic increment — the lock is only ever held for
+//! the duration of the clone, so contention is negligible), and the
+//! re-solver replaces the `Arc` under the write lock. In-flight readers
+//! keep dispatching on the epoch they snapshotted; the old table is freed
+//! when the last reader drops it.
+
+use std::sync::{Arc, RwLock};
+
+/// A slot holding an `Arc<T>` that is swapped wholesale on publish.
+#[derive(Debug)]
+pub struct EpochSwap<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> EpochSwap<T> {
+    /// Creates the slot with an initial value.
+    pub fn new(value: T) -> Self {
+        Self { slot: RwLock::new(Arc::new(value)) }
+    }
+
+    /// Snapshots the current value. The returned `Arc` stays valid (and
+    /// immutable) across any number of subsequent publishes.
+    pub fn load(&self) -> Arc<T> {
+        // A poisoned lock only means a panic elsewhere while holding it;
+        // the Arc inside is still structurally sound, so read through it.
+        Arc::clone(&self.slot.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Publishes a new value, returning the previous one.
+    pub fn publish(&self, value: T) -> Arc<T> {
+        self.publish_arc(Arc::new(value))
+    }
+
+    /// Publishes an already-wrapped value, returning the previous one.
+    pub fn publish_arc(&self, value: Arc<T>) -> Arc<T> {
+        let mut slot = self.slot.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::replace(&mut slot, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_publish() {
+        let swap = EpochSwap::new(1u32);
+        assert_eq!(*swap.load(), 1);
+        let old = swap.publish(2);
+        assert_eq!(*old, 1);
+        assert_eq!(*swap.load(), 2);
+    }
+
+    #[test]
+    fn snapshots_survive_publishes() {
+        let swap = EpochSwap::new(vec![1, 2, 3]);
+        let snapshot = swap.load();
+        swap.publish(vec![9]);
+        assert_eq!(*snapshot, vec![1, 2, 3], "old snapshot is immutable");
+        assert_eq!(*swap.load(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let swap = Arc::new(EpochSwap::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let swap = Arc::clone(&swap);
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..10_000 {
+                        let v = *swap.load();
+                        assert!(v >= last, "published values are monotone");
+                        last = v;
+                    }
+                });
+            }
+            let writer = Arc::clone(&swap);
+            s.spawn(move || {
+                for v in 1..=1000 {
+                    writer.publish(v);
+                }
+            });
+        });
+        assert_eq!(*swap.load(), 1000);
+    }
+}

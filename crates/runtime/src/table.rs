@@ -1,0 +1,252 @@
+//! Probabilistic routing tables: the immutable artifact the re-solver
+//! publishes and the dispatcher reads.
+//!
+//! A table maps a uniform draw `u ∈ [0,1)` to a node by inverse-CDF
+//! lookup over the routing probabilities `p_i = λ_i / Φ` of the current
+//! allocation. Tables are immutable once built; every change (re-solve,
+//! node failure) produces a new table with a larger epoch, published
+//! through [`EpochSwap`](crate::swap::EpochSwap).
+
+use gtlb_core::allocation::Allocation;
+use gtlb_core::error::CoreError;
+
+use crate::error::RuntimeError;
+use crate::registry::NodeId;
+
+/// An immutable routing table: node ids, routing probabilities, and the
+/// cumulative distribution used by the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    epoch: u64,
+    nodes: Vec<NodeId>,
+    probs: Vec<f64>,
+    cum: Vec<f64>,
+}
+
+impl RoutingTable {
+    /// A placeholder with no nodes: every dispatch fails with
+    /// `NoServingNodes` until a real table lands. Published before the
+    /// first resolve, and again when the last serving node goes down.
+    /// [`RoutingTable::route`] must not be called on it.
+    #[must_use]
+    pub fn empty(epoch: u64) -> Self {
+        Self { epoch, nodes: Vec::new(), probs: Vec::new(), cum: Vec::new() }
+    }
+
+    /// Whether this is the empty placeholder.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Builds a table from per-node routing weights (not necessarily
+    /// normalized — loads `λ_i` work directly).
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] when `nodes` is empty or the
+    /// weights sum to zero; [`RuntimeError::Core`] when lengths mismatch
+    /// or any weight is negative or non-finite.
+    pub fn new(epoch: u64, nodes: Vec<NodeId>, weights: &[f64]) -> Result<Self, RuntimeError> {
+        if nodes.len() != weights.len() {
+            return Err(CoreError::BadInput(format!(
+                "routing table has {} nodes but {} weights",
+                nodes.len(),
+                weights.len()
+            ))
+            .into());
+        }
+        if nodes.is_empty() {
+            return Err(RuntimeError::NoServingNodes);
+        }
+        if let Some((i, &w)) =
+            weights.iter().enumerate().find(|&(_, &w)| !(w.is_finite() && w >= 0.0))
+        {
+            return Err(CoreError::BadInput(format!(
+                "routing weight for {} must be nonnegative and finite, got {w}",
+                nodes[i]
+            ))
+            .into());
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(RuntimeError::NoServingNodes);
+        }
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cum.push(acc);
+        }
+        // Pin the last cumulative value so u arbitrarily close to 1 still
+        // lands on a node despite rounding in the partial sums.
+        *cum.last_mut().expect("nonempty") = 1.0;
+        Ok(Self { epoch, nodes, probs, cum })
+    }
+
+    /// Builds a table from an [`Allocation`] over the same nodes (in
+    /// order). Zero-total allocations (Φ = 0) fall back to capacity
+    /// weights supplied in `fallback_weights`, keeping an idle system
+    /// routable.
+    ///
+    /// # Errors
+    /// As [`RoutingTable::new`].
+    pub fn from_allocation(
+        epoch: u64,
+        nodes: Vec<NodeId>,
+        allocation: &Allocation,
+        fallback_weights: &[f64],
+    ) -> Result<Self, RuntimeError> {
+        if allocation.total() > 0.0 {
+            Self::new(epoch, nodes, allocation.loads())
+        } else {
+            Self::new(epoch, nodes, fallback_weights)
+        }
+    }
+
+    /// The publish epoch: strictly increasing across the tables a runtime
+    /// publishes.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Node ids, in table order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Normalized routing probabilities, in table order.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Routing probability of one node, if present.
+    #[must_use]
+    pub fn prob_of(&self, id: NodeId) -> Option<f64> {
+        self.nodes.iter().position(|&n| n == id).map(|i| self.probs[i])
+    }
+
+    /// Routes one uniform draw `u ∈ [0,1)` to a node: inverse-CDF lookup,
+    /// `O(log n)`.
+    #[must_use]
+    pub fn route(&self, u: f64) -> NodeId {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let i = self.cum.partition_point(|&c| c <= u).min(self.nodes.len() - 1);
+        self.nodes[i]
+    }
+
+    /// The failure path: a new table (stamped `epoch`) with `id` removed
+    /// and its probability mass redistributed proportionally over the
+    /// survivors. This is the cheap immediate response to a node going
+    /// down; the full re-solve follows asynchronously.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] when `id` is not in the table;
+    /// [`RuntimeError::NoServingNodes`] when it was the last node (or
+    /// held all the mass).
+    pub fn without_node(&self, id: NodeId, epoch: u64) -> Result<Self, RuntimeError> {
+        if !self.nodes.contains(&id) {
+            return Err(RuntimeError::UnknownNode(id));
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len() - 1);
+        let mut weights = Vec::with_capacity(self.nodes.len() - 1);
+        for (&n, &p) in self.nodes.iter().zip(&self.probs) {
+            if n != id {
+                nodes.push(n);
+                weights.push(p);
+            }
+        }
+        Self::new(epoch, nodes, &weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raws: &[u64]) -> Vec<NodeId> {
+        raws.iter().map(|&r| NodeId::from_raw(r)).collect()
+    }
+
+    #[test]
+    fn normalizes_weights() {
+        let t = RoutingTable::new(1, ids(&[0, 1, 2]), &[2.0, 1.0, 1.0]).unwrap();
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.probs(), &[0.5, 0.25, 0.25]);
+        assert_eq!(t.prob_of(NodeId::from_raw(1)), Some(0.25));
+        assert_eq!(t.prob_of(NodeId::from_raw(9)), None);
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(matches!(RoutingTable::new(0, vec![], &[]), Err(RuntimeError::NoServingNodes)));
+        assert!(matches!(
+            RoutingTable::new(0, ids(&[0]), &[0.0]),
+            Err(RuntimeError::NoServingNodes)
+        ));
+        assert!(RoutingTable::new(0, ids(&[0, 1]), &[1.0]).is_err());
+        assert!(RoutingTable::new(0, ids(&[0, 1]), &[1.0, -0.1]).is_err());
+        assert!(RoutingTable::new(0, ids(&[0, 1]), &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn route_respects_the_cdf() {
+        let t = RoutingTable::new(0, ids(&[10, 20, 30]), &[0.5, 0.25, 0.25]).unwrap();
+        assert_eq!(t.route(0.0), NodeId::from_raw(10));
+        assert_eq!(t.route(0.49), NodeId::from_raw(10));
+        assert_eq!(t.route(0.5), NodeId::from_raw(20));
+        assert_eq!(t.route(0.74), NodeId::from_raw(20));
+        assert_eq!(t.route(0.75), NodeId::from_raw(30));
+        assert_eq!(t.route(0.999_999), NodeId::from_raw(30));
+        // Out-of-range draws clamp instead of panicking.
+        assert_eq!(t.route(1.0), NodeId::from_raw(30));
+        assert_eq!(t.route(-0.5), NodeId::from_raw(10));
+    }
+
+    #[test]
+    fn zero_probability_nodes_are_never_routed() {
+        let t = RoutingTable::new(0, ids(&[0, 1, 2]), &[0.5, 0.0, 0.5]).unwrap();
+        for k in 0..1000 {
+            let u = k as f64 / 1000.0;
+            assert_ne!(t.route(u), NodeId::from_raw(1));
+        }
+    }
+
+    #[test]
+    fn without_node_renormalizes_proportionally() {
+        let t = RoutingTable::new(5, ids(&[0, 1, 2]), &[0.5, 0.3, 0.2]).unwrap();
+        let t2 = t.without_node(NodeId::from_raw(1), 6).unwrap();
+        assert_eq!(t2.epoch(), 6);
+        assert_eq!(t2.nodes(), &ids(&[0, 2])[..]);
+        assert!((t2.probs()[0] - 0.5 / 0.7).abs() < 1e-12);
+        assert!((t2.probs()[1] - 0.2 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_node_edge_cases() {
+        let t = RoutingTable::new(0, ids(&[0]), &[1.0]).unwrap();
+        assert!(matches!(
+            t.without_node(NodeId::from_raw(0), 1),
+            Err(RuntimeError::NoServingNodes)
+        ));
+        assert!(matches!(
+            t.without_node(NodeId::from_raw(7), 1),
+            Err(RuntimeError::UnknownNode(_))
+        ));
+        assert!(RoutingTable::empty(2).is_empty());
+        assert_eq!(RoutingTable::empty(2).epoch(), 2);
+    }
+
+    #[test]
+    fn from_allocation_falls_back_when_idle() {
+        let alloc = Allocation::new(vec![0.0, 0.0]);
+        let t = RoutingTable::from_allocation(3, ids(&[0, 1]), &alloc, &[3.0, 1.0]).unwrap();
+        assert_eq!(t.probs(), &[0.75, 0.25]);
+        let alloc = Allocation::new(vec![0.2, 0.6]);
+        let t = RoutingTable::from_allocation(4, ids(&[0, 1]), &alloc, &[3.0, 1.0]).unwrap();
+        assert!((t.probs()[0] - 0.25).abs() < 1e-12);
+    }
+}

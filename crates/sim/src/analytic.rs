@@ -11,10 +11,9 @@ use gtlb_core::model::Cluster;
 use gtlb_core::noncoop::{MultiUserScheme, UserSystem};
 use gtlb_core::schemes::SingleClassScheme;
 use gtlb_core::CoreError;
-use serde::Serialize;
 
 /// One point of a utilization sweep (one line segment of Figure 3.1).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Scheme display name.
     pub scheme: String,
@@ -118,14 +117,11 @@ mod tests {
     #[test]
     fn figure_3_1_shape() {
         let cluster = table31();
-        let schemes: [&dyn SingleClassScheme; 4] =
-            [&Coop, &Prop, &Wardrop::default(), &Optim];
+        let schemes: [&dyn SingleClassScheme; 4] = [&Coop, &Prop, &Wardrop::default(), &Optim];
         let pts = sweep_single_class(&cluster, &schemes, &UTILIZATION_GRID).unwrap();
         assert_eq!(pts.len(), 36);
         let get = |name: &str, rho: f64| {
-            pts.iter()
-                .find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12)
-                .unwrap()
+            pts.iter().find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12).unwrap()
         };
         // Paper: at ρ=50%, COOP ≈ 19% below PROP and ≈ 20% above OPTIM.
         let coop = get("COOP", 0.5).response_time;
@@ -158,12 +154,9 @@ mod tests {
         let ios = IndividualOptimalScheme::new();
         let schemes: [&dyn MultiUserScheme; 4] =
             [&nash, &GlobalOptimalScheme, &ios, &ProportionalScheme];
-        let pts =
-            sweep_multi_user(&cluster, &user_shares(10), &schemes, &[0.3, 0.5, 0.9]).unwrap();
+        let pts = sweep_multi_user(&cluster, &user_shares(10), &schemes, &[0.3, 0.5, 0.9]).unwrap();
         let get = |name: &str, rho: f64| {
-            pts.iter()
-                .find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12)
-                .unwrap()
+            pts.iter().find(|p| p.scheme == name && (p.utilization - rho).abs() < 1e-12).unwrap()
         };
         // Medium load: GOS <= NASH < PS; NASH close to GOS.
         let gos = get("GOS", 0.5).response_time;

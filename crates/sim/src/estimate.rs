@@ -68,11 +68,7 @@ impl RateEstimate {
             )));
         }
         Cluster::new(
-            self.rates
-                .iter()
-                .zip(priors)
-                .map(|(est, &prior)| est.unwrap_or(prior))
-                .collect(),
+            self.rates.iter().zip(priors).map(|(est, &prior)| est.unwrap_or(prior)).collect(),
         )
     }
 
@@ -91,10 +87,10 @@ impl RateEstimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtlb_core::schemes::{Prop, SingleClassScheme};
-    use gtlb_desim::farm::{run, RunConfig};
     use crate::runner::{single_class_spec, ArrivalLaw};
     use crate::scenario::table41;
+    use gtlb_core::schemes::{Prop, SingleClassScheme};
+    use gtlb_desim::farm::{run, RunConfig};
 
     fn observe(measured_jobs: u64, seed: u64) -> (RateEstimate, Cluster) {
         // PROP routing keeps every computer busy, so every rate is

@@ -10,10 +10,10 @@
 //!   utilization sweep: instant, exact, used for the Poisson-arrival
 //!   figures;
 //! * [`runner`] — discrete-event evaluation with independent
-//!   replications fanned out across cores with rayon (results are
-//!   bit-identical to sequential runs: seeds are derived per
-//!   replication); required for the hyper-exponential-arrival figures
-//!   where no closed form exists;
+//!   replications fanned out across cores with the deterministic
+//!   [`gtlb_desim::par`] pool (results are bit-identical to sequential
+//!   runs: seeds are derived per replication); required for the
+//!   hyper-exponential-arrival figures where no closed form exists;
 //! * [`report`] — fixed-width tables and CSV output matching the rows
 //!   and series the paper reports;
 //! * [`estimate`] — service-rate estimation from simulation

@@ -85,9 +85,14 @@ impl Table {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| csv_cell(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

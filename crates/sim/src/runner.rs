@@ -1,19 +1,20 @@
 //! Discrete-event evaluation with parallel replications.
 //!
 //! Builds `gtlb-desim` farm models from allocations/strategy profiles and
-//! replicates them in parallel with rayon. Replication `r` of base seed
-//! `s` always runs with `replication_seed(s, r)`, so the parallel results
-//! are bit-identical to sequential ones regardless of thread scheduling —
-//! the determinism contract of the simulation engine survives the
-//! fan-out.
+//! replicates them in parallel with [`gtlb_desim::par`]. Replication `r`
+//! of base seed `s` always runs with `replication_seed(s, r)`, so the
+//! parallel results are bit-identical to sequential ones regardless of
+//! thread count or scheduling — the determinism contract of the
+//! simulation engine survives the fan-out (`RAYON_NUM_THREADS=1` and the
+//! default pool produce the same bits; a test asserts this).
 
 use gtlb_core::model::Cluster;
 use gtlb_core::noncoop::{StrategyProfile, UserSystem};
 use gtlb_desim::farm::{run, FarmResult, FarmSpec, RunConfig, SourceSpec};
+use gtlb_desim::par::par_map;
 use gtlb_desim::replication::{replication_seed, ReplicatedResult};
 use gtlb_desim::stats::ConfidenceInterval;
 use gtlb_queueing::dist::Law;
-use rayon::prelude::*;
 
 /// Arrival-process family for the sources.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,17 +117,14 @@ pub fn multi_user_spec(
 #[must_use]
 pub fn replicate_parallel(spec: &FarmSpec, budget: &SimBudget) -> ReplicatedResult {
     assert!(budget.replications > 0, "need at least one replication");
-    let raw: Vec<FarmResult> = (0..budget.replications)
-        .into_par_iter()
-        .map(|r| {
-            let cfg = RunConfig {
-                seed: replication_seed(budget.seed, r),
-                warmup_jobs: budget.warmup_jobs,
-                measured_jobs: budget.measured_jobs,
-            };
-            run(spec, &cfg)
-        })
-        .collect();
+    let raw: Vec<FarmResult> = par_map((0..budget.replications).collect(), |r| {
+        let cfg = RunConfig {
+            seed: replication_seed(budget.seed, r),
+            warmup_jobs: budget.warmup_jobs,
+            measured_jobs: budget.measured_jobs,
+        };
+        run(spec, &cfg)
+    });
     aggregate(raw)
 }
 
@@ -195,13 +193,11 @@ mod tests {
         let phi = cluster.arrival_rate_for_utilization(0.5);
         let loads = Coop.allocate(&cluster, phi).unwrap();
         let spec = single_class_spec(&cluster, loads.loads(), phi, ArrivalLaw::Poisson);
-        let budget = SimBudget { replications: 3, warmup_jobs: 500, measured_jobs: 10_000, seed: 7 };
+        let budget =
+            SimBudget { replications: 3, warmup_jobs: 500, measured_jobs: 10_000, seed: 7 };
         let par = replicate_parallel(&spec, &budget);
-        let seq = replicate(
-            &spec,
-            &RunConfig { seed: 7, warmup_jobs: 500, measured_jobs: 10_000 },
-            3,
-        );
+        let seq =
+            replicate(&spec, &RunConfig { seed: 7, warmup_jobs: 500, measured_jobs: 10_000 }, 3);
         assert_eq!(par.overall.mean, seq.overall.mean);
         assert_eq!(par.overall.half_width, seq.overall.half_width);
     }

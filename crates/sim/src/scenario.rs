@@ -71,9 +71,7 @@ pub const USER_SHARES_10: [f64; 10] = [0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.
 #[must_use]
 pub fn user_shares(m: usize) -> Vec<f64> {
     assert!(m >= 1, "need at least one user");
-    let mut q: Vec<f64> = (0..m)
-        .map(|j| if j < 10 { USER_SHARES_10[j] } else { 0.04 })
-        .collect();
+    let mut q: Vec<f64> = (0..m).map(|j| if j < 10 { USER_SHARES_10[j] } else { 0.04 }).collect();
     let total: f64 = q.iter().sum();
     for v in &mut q {
         *v /= total;

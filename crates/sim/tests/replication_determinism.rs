@@ -1,0 +1,74 @@
+//! Replication fan-out must be bit-identical regardless of thread count:
+//! `RAYON_NUM_THREADS=1` and the machine default must produce the same
+//! `ReplicatedResult`, bit for bit. The contract has two halves —
+//! per-replication seeding fixes each item's randomness, `par_map` fixes
+//! the aggregation order — and this test pins both at once.
+
+use gtlb_core::model::Cluster;
+use gtlb_core::schemes::{Coop, SingleClassScheme};
+use gtlb_desim::par::{par_map_with_threads, thread_count};
+use gtlb_desim::replication::ReplicatedResult;
+use gtlb_sim::runner::{replicate_parallel, single_class_spec, ArrivalLaw, SimBudget};
+
+fn scenario() -> (gtlb_desim::farm::FarmSpec, SimBudget) {
+    let cluster = Cluster::from_groups(&[(1, 4.0), (3, 1.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.7);
+    let loads = Coop.allocate(&cluster, phi).unwrap();
+    let spec = single_class_spec(&cluster, loads.loads(), phi, ArrivalLaw::Poisson);
+    let budget =
+        SimBudget { seed: 0xD15C, replications: 4, warmup_jobs: 1_000, measured_jobs: 10_000 };
+    (spec, budget)
+}
+
+/// Every f64 a downstream consumer can observe, as raw bits.
+fn fingerprint(res: &ReplicatedResult) -> Vec<u64> {
+    let mut bits = vec![res.overall.mean.to_bits(), res.overall.half_width.to_bits()];
+    for ci in res.per_user.iter().chain(&res.per_computer).chain(&res.utilization) {
+        bits.push(ci.mean.to_bits());
+        bits.push(ci.half_width.to_bits());
+    }
+    for rep in &res.raw {
+        bits.push(rep.overall.mean().to_bits());
+        for w in &rep.per_computer {
+            bits.push(w.mean().to_bits());
+            bits.push(w.count());
+        }
+        for &u in &rep.utilization {
+            bits.push(u.to_bits());
+        }
+    }
+    bits
+}
+
+#[test]
+fn runner_is_bit_identical_across_thread_counts() {
+    let (spec, budget) = scenario();
+
+    // Sequential baseline: force one worker for the first run, then let
+    // the second run use whatever the environment picks. set_var is
+    // process-global, so both runs happen inside this one test, in order.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let sequential = replicate_parallel(&spec, &budget);
+    assert_eq!(thread_count(), 1);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let default_threads = replicate_parallel(&spec, &budget);
+
+    assert_eq!(
+        fingerprint(&sequential),
+        fingerprint(&default_threads),
+        "replicate_parallel must not depend on RAYON_NUM_THREADS"
+    );
+}
+
+#[test]
+fn par_map_matches_sequential_map_for_any_worker_count() {
+    // The aggregation-order half of the contract, checked directly on
+    // par_map with explicit worker counts (no environment involved).
+    let items: Vec<u64> = (0..97).collect();
+    let f = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    let sequential: Vec<u64> = items.iter().copied().map(f).collect();
+    for threads in [1, 2, 3, 8, 64] {
+        let parallel = par_map_with_threads(threads, items.clone(), f);
+        assert_eq!(parallel, sequential, "{threads} workers reordered the output");
+    }
+}

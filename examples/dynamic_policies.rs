@@ -23,8 +23,14 @@ fn main() {
     let policies: Vec<(String, Policy)> = vec![
         ("no balancing".into(), Policy::NoBalancing),
         ("static COOP routing".into(), Policy::StaticRouting),
-        ("sender threshold(2), 3 probes".into(), Policy::SenderThreshold { threshold: 2, probe_limit: 3 }),
-        ("receiver threshold(1), 3 probes".into(), Policy::Receiver { threshold: 1, probe_limit: 3 }),
+        (
+            "sender threshold(2), 3 probes".into(),
+            Policy::SenderThreshold { threshold: 2, probe_limit: 3 },
+        ),
+        (
+            "receiver threshold(1), 3 probes".into(),
+            Policy::Receiver { threshold: 1, probe_limit: 3 },
+        ),
         ("symmetric".into(), Policy::Symmetric { threshold: 2, probe_limit: 3 }),
         ("central JSQ".into(), Policy::CentralJsq),
     ];
@@ -52,7 +58,10 @@ fn main() {
         cells.push(fmt_num(tf));
         t.push_row(cells);
     }
-    println!("analytic COOP response time (free central dispatcher): {} s\n", fmt_num(coop.mean_response_time(&cluster)));
+    println!(
+        "analytic COOP response time (free central dispatcher): {} s\n",
+        fmt_num(coop.mean_response_time(&cluster))
+    );
     println!("{t}");
     println!("dynamic policies exploit live queue state and win when transfers are cheap;");
     println!("the static NBS needs no state at all and ages gracefully as they get dear.");

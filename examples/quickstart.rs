@@ -20,11 +20,12 @@ fn main() {
         fmt_num(phi)
     );
 
-    let schemes: [&dyn SingleClassScheme; 4] =
-        [&Coop, &Optim, &Prop, &Wardrop::default()];
+    let schemes: [&dyn SingleClassScheme; 4] = [&Coop, &Optim, &Prop, &Wardrop::default()];
 
-    let mut summary =
-        Table::new("scheme comparison", &["scheme", "mean response (s)", "fairness", "idle computers"]);
+    let mut summary = Table::new(
+        "scheme comparison",
+        &["scheme", "mean response (s)", "fairness", "idle computers"],
+    );
     for scheme in schemes {
         let alloc = scheme.allocate(&cluster, phi).unwrap();
         // Every scheme's output satisfies the feasibility conditions of
@@ -46,7 +47,11 @@ fn main() {
     println!("COOP per-computer response times (None = computer left idle):");
     for (i, t) in nbs.response_times(&cluster).iter().enumerate() {
         match t {
-            Some(t) => println!("  computer {i}: {:>8} s  (load {} jobs/s)", fmt_num(*t), fmt_num(nbs.loads()[i])),
+            Some(t) => println!(
+                "  computer {i}: {:>8} s  (load {} jobs/s)",
+                fmt_num(*t),
+                fmt_num(nbs.loads()[i])
+            ),
             None => println!("  computer {i}:     idle"),
         }
     }

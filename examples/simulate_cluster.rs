@@ -17,7 +17,8 @@ fn main() {
     let alloc = Coop.allocate(&cluster, phi).unwrap();
     let analytic = alloc.mean_response_time(&cluster);
 
-    let budget = SimBudget { replications: 5, warmup_jobs: 20_000, measured_jobs: 200_000, seed: 42 };
+    let budget =
+        SimBudget { replications: 5, warmup_jobs: 20_000, measured_jobs: 200_000, seed: 42 };
 
     let mut t = Table::new(
         "COOP on a 2-fast/6-slow cluster at 75% utilization",

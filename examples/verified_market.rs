@@ -14,10 +14,7 @@ fn main() {
     // Three providers with per-job latencies 1, 2 and 4 s (linear
     // load-dependent latency model), 12 jobs/s to place.
     let mech = VerifiedMechanism::new(vec![1.0, 2.0, 4.0], 12.0).unwrap();
-    println!(
-        "honest total latency (PR allocation): {}\n",
-        fmt_num(mech.honest_latency())
-    );
+    println!("honest total latency (PR allocation): {}\n", fmt_num(mech.honest_latency()));
 
     let mut t = Table::new(
         "provider 1 under different behaviors (others honest)",

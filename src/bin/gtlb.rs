@@ -44,7 +44,9 @@ fn main() {
 fn usage() {
     eprintln!("gtlb — game-theoretic load balancing");
     eprintln!();
-    eprintln!("  gtlb allocate --rates R1,R2,... (--phi X | --rho U) [--scheme coop|optim|prop|wardrop]");
+    eprintln!(
+        "  gtlb allocate --rates R1,R2,... (--phi X | --rho U) [--scheme coop|optim|prop|wardrop]"
+    );
     eprintln!("  gtlb nash     --rates R1,R2,... (--phi X | --rho U) [--shares S1,S2,...]");
     eprintln!("  gtlb payments --rates R1,R2,... (--phi X | --rho U) [--max-bid B]");
     eprintln!("  gtlb simulate --rates R1,R2,... (--phi X | --rho U) [--scheme S] [--cv C]");
@@ -76,10 +78,9 @@ fn parse_list(flags: &Flags, key: &str) -> Result<Vec<f64>, String> {
 fn parse_num(flags: &Flags, key: &str) -> Result<Option<f64>, String> {
     match flags.get(key) {
         None => Ok(None),
-        Some(raw) => raw
-            .parse::<f64>()
-            .map(Some)
-            .map_err(|e| format!("--{key}: bad number `{raw}`: {e}")),
+        Some(raw) => {
+            raw.parse::<f64>().map(Some).map_err(|e| format!("--{key}: bad number `{raw}`: {e}"))
+        }
     }
 }
 
@@ -116,8 +117,12 @@ fn allocate(flags: &Flags) -> Result<(), String> {
     let scheme = scheme_by_name(flags.get("scheme").map_or("coop", String::as_str))?;
     let alloc = scheme.allocate(&cluster, phi).map_err(|e| e.to_string())?;
     let mut t = Table::new(
-        format!("{} allocation (phi = {}, rho = {:.1}%)", scheme.name(), fmt_num(phi),
-            100.0 * cluster.utilization(phi)),
+        format!(
+            "{} allocation (phi = {}, rho = {:.1}%)",
+            scheme.name(),
+            fmt_num(phi),
+            100.0 * cluster.utilization(phi)
+        ),
         &["computer", "rate", "load", "utilization", "response time"],
     );
     let times = alloc.response_times(&cluster);
@@ -145,8 +150,7 @@ fn run_nash(flags: &Flags) -> Result<(), String> {
         Some(_) => parse_list(flags, "shares")?,
         None => vec![1.0],
     };
-    let system =
-        UserSystem::with_shares(cluster, phi, &shares).map_err(|e| e.to_string())?;
+    let system = UserSystem::with_shares(cluster, phi, &shares).map_err(|e| e.to_string())?;
     let out = nash::solve(&system, &NashInit::Proportional, &NashOptions::default())
         .map_err(|e| e.to_string())?;
     nash::verify_equilibrium(&system, &out.profile, 1e-6).map_err(|e| e.to_string())?;
@@ -156,11 +160,7 @@ fn run_nash(flags: &Flags) -> Result<(), String> {
     );
     let times = out.profile.user_times(&system);
     for (j, &time) in times.iter().enumerate() {
-        t.push_row(vec![
-            format!("{j}"),
-            fmt_num(system.user_rates()[j]),
-            fmt_num(time),
-        ]);
+        t.push_row(vec![format!("{j}"), fmt_num(system.user_rates()[j]), fmt_num(time)]);
     }
     println!("{t}");
     println!(
@@ -238,11 +238,8 @@ fn simulate(flags: &Flags) -> Result<(), String> {
     let scheme = scheme_by_name(flags.get("scheme").map_or("coop", String::as_str))?;
     let alloc = scheme.allocate(&cluster, phi).map_err(|e| e.to_string())?;
     let cv = parse_num(flags, "cv")?.unwrap_or(1.0);
-    let arrivals = if (cv - 1.0).abs() < 1e-12 {
-        ArrivalLaw::Poisson
-    } else {
-        ArrivalLaw::HyperExp { cv }
-    };
+    let arrivals =
+        if (cv - 1.0).abs() < 1e-12 { ArrivalLaw::Poisson } else { ArrivalLaw::HyperExp { cv } };
     let budget = SimBudget {
         seed: parse_num(flags, "seed")?.map_or(0x6A0B, |s| s as u64),
         replications: parse_num(flags, "reps")?.map_or(5, |r| r as u32),
@@ -260,9 +257,6 @@ fn simulate(flags: &Flags) -> Result<(), String> {
         budget.measured_jobs,
         fmt_num(cv),
     );
-    println!(
-        "analytic M/M/1 value: {} s",
-        fmt_num(alloc.mean_response_time(&cluster))
-    );
+    println!("analytic M/M/1 value: {} s", fmt_num(alloc.mean_response_time(&cluster)));
     Ok(())
 }

@@ -18,7 +18,10 @@
 //! * [`dynamic`] — the survey chapter's dynamic policies
 //!   (sender-/receiver-initiated, JSQ) on the simulation engine;
 //! * [`sim`] — paper scenarios and the analytic/DES experiment pipelines;
-//! * [`numerics`] — the numerical kernels.
+//! * [`numerics`] — the numerical kernels;
+//! * [`runtime`] — the online dispatch runtime: node registry, rate
+//!   estimators, background re-solver, and an epoch-swapped routing table
+//!   serving live job streams from the allocators above.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use gtlb_dynamic as dynamic;
 pub use gtlb_mechanism as mechanism;
 pub use gtlb_numerics as numerics;
 pub use gtlb_queueing as queueing;
+pub use gtlb_runtime as runtime;
 pub use gtlb_sim as sim;
 
 /// The most commonly used items, importable in one line.
@@ -63,4 +67,7 @@ pub mod prelude {
     pub use gtlb_mechanism::payment::TruthfulMechanism;
     pub use gtlb_mechanism::verification::VerifiedMechanism;
     pub use gtlb_queueing::Mm1;
+    pub use gtlb_runtime::{
+        Health, NodeId, Runtime, RuntimeBuilder, RuntimeError, SchemeKind, TraceConfig, TraceDriver,
+    };
 }

@@ -26,10 +26,8 @@ fn both_simulators_agree_on_coop_routing() {
 
     // Farm model: one central source, probabilistic split.
     let farm_spec = single_class_spec(&cluster, alloc.loads(), phi, ArrivalLaw::Poisson);
-    let farm = run_farm(
-        &farm_spec,
-        &RunConfig { seed: 71, warmup_jobs: 20_000, measured_jobs: 250_000 },
-    );
+    let farm =
+        run_farm(&farm_spec, &RunConfig { seed: 71, warmup_jobs: 20_000, measured_jobs: 250_000 });
 
     // Dynamic model: all jobs enter at computer 0 and are statically
     // re-routed with zero transfer delay — physically the same system.

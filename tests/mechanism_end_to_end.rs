@@ -45,9 +45,8 @@ fn slow_computers_enter_when_c1_overbids() {
     let mech = TruthfulMechanism::new(phi);
     let order = cluster.order_by_rate_desc();
     let slow: Vec<usize> = order[10..].to_vec();
-    let slow_load = |payments: &[PaymentBreakdown]| -> f64 {
-        slow.iter().map(|&i| payments[i].load).sum()
-    };
+    let slow_load =
+        |payments: &[PaymentBreakdown]| -> f64 { slow.iter().map(|&i| payments[i].load).sum() };
     // Under truthful bids the slow tail is (essentially) unused: OPTIM
     // keeps the 0.013-rate computers marginally active with ~2.3% busy
     // time — the paper's bar chart rounds this to "not utilized".

@@ -67,12 +67,10 @@ fn claim_high_load_spreads() {
     let cluster = table31();
     let order = cluster.order_by_rate_desc();
     let prop = per_computer_times(&cluster, &Prop, 0.8).unwrap();
-    let spread_prop =
-        prop[*order.last().unwrap()].unwrap() - prop[order[0]].unwrap();
+    let spread_prop = prop[*order.last().unwrap()].unwrap() - prop[order[0]].unwrap();
     assert!((spread_prop - 350.0).abs() < 15.0, "PROP spread {spread_prop}");
     let optim = per_computer_times(&cluster, &Optim, 0.8).unwrap();
-    let spread_optim =
-        optim[*order.last().unwrap()].unwrap() - optim[order[0]].unwrap();
+    let spread_optim = optim[*order.last().unwrap()].unwrap() - optim[order[0]].unwrap();
     assert!((spread_optim - 130.0).abs() < 15.0, "OPTIM spread {spread_optim}");
     // COOP uses every computer at high load, with zero spread.
     let coop = per_computer_times(&cluster, &Coop, 0.9).unwrap();
@@ -110,7 +108,8 @@ fn claim_heterogeneity_helps_coop_and_optim() {
 fn claim_hyperexp_preserves_ordering() {
     let cluster = table31();
     let phi = cluster.arrival_rate_for_utilization(0.5);
-    let budget = SimBudget { seed: 2211, replications: 3, warmup_jobs: 5_000, measured_jobs: 80_000 };
+    let budget =
+        SimBudget { seed: 2211, replications: 3, warmup_jobs: 5_000, measured_jobs: 80_000 };
     let mut means = Vec::new();
     for s in [&Coop as &dyn SingleClassScheme, &Prop, &Optim] {
         let alloc = s.allocate(&cluster, phi).unwrap();
@@ -128,10 +127,7 @@ fn claim_hyperexp_preserves_ordering() {
 #[test]
 fn claim_nash_between_gos_and_ps() {
     let system = table41_system(0.5, 10);
-    let nash_t = NashScheme::default()
-        .profile(&system)
-        .unwrap()
-        .overall_response_time(&system);
+    let nash_t = NashScheme::default().profile(&system).unwrap().overall_response_time(&system);
     let gos_t = GlobalOptimalScheme.profile(&system).unwrap().overall_response_time(&system);
     let ps_t = ProportionalScheme.profile(&system).unwrap().overall_response_time(&system);
     let below_ps = 100.0 * (ps_t - nash_t) / ps_t;

@@ -1,0 +1,158 @@
+//! End-to-end test of the online runtime: register a cluster, serve a
+//! live job stream, fail a node mid-run, and hold the closed-loop mean
+//! response time against the allocator's analytic prediction — the same
+//! scenario `examples/online_runtime.rs` narrates.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gtlb::prelude::*;
+use gtlb::runtime::{RoutingTable, TraceStats};
+
+/// Analytic mean response of the system the driver actually runs: the
+/// true arrival rate `phi` split over the published table, each node an
+/// M/M/1 at its true rate. The solver's own `predicted_mean_response`
+/// uses the noisy Φ̂ instead and is hyper-sensitive to it near
+/// saturation; this reference is exact for the simulated queues.
+fn closed_loop_analytic(table: &RoutingTable, rates: &[(NodeId, f64)], phi: f64) -> f64 {
+    table
+        .nodes()
+        .iter()
+        .zip(table.probs())
+        .filter(|&(_, &p)| p > 0.0)
+        .map(|(id, &p)| {
+            let mu = rates.iter().find(|&&(n, _)| n == *id).unwrap().1;
+            p / (mu - p * phi)
+        })
+        .sum()
+}
+
+fn assert_matches_analytic(stats: &TraceStats, analytic: f64, label: &str) {
+    let ci = stats.ci.as_ref().unwrap_or_else(|| panic!("{label}: too few batches"));
+    let tol = (3.0 * ci.half_width).max(0.05 * analytic);
+    assert!(
+        (stats.mean_response - analytic).abs() < tol,
+        "{label}: observed {} vs analytic {analytic} (tol {tol})",
+        stats.mean_response
+    );
+}
+
+#[test]
+fn coop_closed_loop_with_mid_run_failure() {
+    // 1-fast/3-slow cluster at 55% design utilization — low enough that
+    // the survivors still carry the stream after the fast node dies
+    // (Φ = 9.9 vs survivor capacity 12, ρ = 0.825).
+    let rates = [6.0, 4.0, 4.0, 4.0];
+    let phi = 0.55 * rates.iter().sum::<f64>();
+    let rt = Runtime::builder().seed(99).scheme(SchemeKind::Coop).nominal_arrival_rate(phi).build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+
+    let outcome = rt.resolve_now().unwrap();
+    let analytic_full = outcome.predicted_mean_response;
+    assert_eq!(outcome.nodes, ids);
+    assert!(analytic_full.is_finite() && analytic_full > 0.0);
+
+    // Healthy phase: warm up, measure, compare.
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 17, batch_size: 1_000 });
+    driver.run_jobs(&rt, 15_000).unwrap();
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 80_000).unwrap();
+    assert_matches_analytic(&driver.stats(), analytic_full, "healthy");
+
+    // Failure: the fast node goes down. The renormalized table must land
+    // immediately (new epoch, victim gone) before any re-solve.
+    let epoch_before = rt.current_table().epoch();
+    rt.mark_down(ids[0]).unwrap();
+    let renormalized = rt.current_table();
+    assert!(renormalized.epoch() > epoch_before);
+    assert_eq!(renormalized.prob_of(ids[0]), None);
+    assert_eq!(renormalized.nodes().len(), 3);
+
+    // Dispatch keeps working between the failure and the re-solve.
+    for _ in 0..100 {
+        assert_ne!(rt.dispatch().unwrap().node, ids[0]);
+    }
+
+    // Full re-solve over the survivors, then the degraded phase. The
+    // solve ran off measured Φ̂/μ̂; the closed-loop reference is the
+    // analytic value of the table it actually published.
+    let resolved = rt.resolve_now().unwrap();
+    assert_eq!(resolved.nodes, ids[1..]);
+    let true_rates: Vec<(NodeId, f64)> = ids.iter().copied().zip(rates).collect();
+    let analytic_degraded = closed_loop_analytic(&rt.current_table(), &true_rates, phi);
+    assert!(analytic_degraded > analytic_full, "losing the fast node must hurt");
+
+    driver.run_jobs(&rt, 20_000).unwrap();
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 100_000).unwrap();
+    let degraded = driver.stats();
+    assert_matches_analytic(&degraded, analytic_degraded, "degraded");
+    assert!(degraded.per_node.iter().all(|&(id, _)| id != ids[0]));
+}
+
+#[test]
+fn background_resolver_follows_measured_rates() {
+    // Nominal design says 0.8 jobs/s; the actual stream runs at 2.4. The
+    // background re-solver must converge the published table onto the
+    // measured rate.
+    let rt = Arc::new(
+        Runtime::builder()
+            .seed(3)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(0.8)
+            .ewma_alpha(0.2)
+            .min_observations(32, 8)
+            .build(),
+    );
+    rt.register_node(4.0).unwrap();
+    rt.register_node(2.0).unwrap();
+    rt.resolve_now().unwrap();
+
+    let handle = rt.spawn_resolver(Duration::from_millis(2));
+    let mut driver = TraceDriver::new(2.4, TraceConfig { seed: 5, batch_size: 500 });
+    driver.run_jobs(&rt, 30_000).unwrap();
+    let solves = handle.stop();
+    assert!(solves >= 1, "background loop never solved");
+
+    // An EWMA snapshot at α = 0.2 is noisy (σ ≈ 33 %); assert it moved
+    // decisively off the 0.8 nominal toward the measured 2.4, not a tight
+    // match.
+    let phi_hat = rt.estimated_arrival_rate().expect("estimator is warm");
+    assert!(phi_hat > 1.5 && phi_hat < 4.0, "Φ̂ = {phi_hat}, expected ≈ 2.4");
+    // A final synchronous solve off the warm estimators reflects Φ̂.
+    let outcome = rt.resolve_now().unwrap();
+    assert!((outcome.phi - phi_hat).abs() < 1e-9);
+}
+
+#[test]
+fn all_schemes_serve_the_same_stream() {
+    // Every allocator must serve the stream end to end; COOP/OPTIM/NASH
+    // at the same load should order as the paper predicts (OPTIM fastest).
+    let rates = [5.0, 1.0, 1.0];
+    let phi = 0.6 * rates.iter().sum::<f64>();
+    let mut means = Vec::new();
+    for scheme in [
+        SchemeKind::Coop,
+        SchemeKind::Optim,
+        SchemeKind::Prop,
+        SchemeKind::Wardrop,
+        SchemeKind::Nash { users: 2 },
+    ] {
+        let rt = Runtime::builder().seed(1).scheme(scheme).nominal_arrival_rate(phi).build();
+        for &r in &rates {
+            rt.register_node(r).unwrap();
+        }
+        let outcome = rt.resolve_now().unwrap();
+        let mut driver = TraceDriver::new(phi, TraceConfig { seed: 23, batch_size: 1_000 });
+        driver.run_jobs(&rt, 10_000).unwrap();
+        driver.reset_measurements();
+        driver.run_jobs(&rt, 40_000).unwrap();
+        let stats = driver.stats();
+        assert_eq!(stats.jobs, 40_000);
+        assert!(stats.mean_response.is_finite() && stats.mean_response > 0.0);
+        means.push((scheme, stats.mean_response, outcome.predicted_mean_response));
+    }
+    let get = |k: SchemeKind| means.iter().find(|(s, _, _)| *s == k).unwrap().1;
+    assert!(get(SchemeKind::Optim) <= get(SchemeKind::Coop) + 0.05);
+    assert!(get(SchemeKind::Coop) <= get(SchemeKind::Prop) + 0.05);
+}

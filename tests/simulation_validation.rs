@@ -80,7 +80,8 @@ fn replication_protocol_meets_paper_quality_bar() {
     let phi = cluster.arrival_rate_for_utilization(0.6);
     let alloc = Coop.allocate(&cluster, phi).unwrap();
     let spec = FarmSpec::single_class_mm1(cluster.rates(), alloc.loads(), phi);
-    let rep = replicate(&spec, &RunConfig { seed: 99, warmup_jobs: 10_000, measured_jobs: 120_000 }, 5);
+    let rep =
+        replicate(&spec, &RunConfig { seed: 99, warmup_jobs: 10_000, measured_jobs: 120_000 }, 5);
     assert!(rep.overall.relative_half_width() < 0.05);
     let analytic = alloc.mean_response_time(&cluster);
     assert!(
@@ -162,10 +163,7 @@ fn mg1_lognormal_service() {
     let res = run(&spec, &RunConfig { seed: 51, warmup_jobs: 50_000, measured_jobs: 600_000 });
     let theory = Mg1::new(lambda, &service).mean_response_time();
     let got = res.mean_response_time();
-    assert!(
-        (got - theory).abs() / theory < 0.08,
-        "simulated {got}, theory {theory}"
-    );
+    assert!((got - theory).abs() / theory < 0.08, "simulated {got}, theory {theory}");
 }
 
 #[test]
@@ -181,8 +179,5 @@ fn mg1_bounded_pareto_service() {
     let theory = Mg1::new(lambda, &service).mean_response_time();
     let got = res.mean_response_time();
     // Heavy tails converge slowly; accept a wider Monte-Carlo band.
-    assert!(
-        (got - theory).abs() / theory < 0.15,
-        "simulated {got}, theory {theory}"
-    );
+    assert!((got - theory).abs() / theory < 0.15, "simulated {got}, theory {theory}");
 }
