@@ -1,12 +1,14 @@
 //! Online runtime hot paths: dispatch throughput (one uniform draw plus
-//! an inverse-CDF lookup behind the epoch swap) and the cost of
-//! publishing a fresh table under reader load.
+//! an inverse-CDF lookup behind the epoch swap), the cost of publishing
+//! a fresh table under reader load, and the sharding payoff — N threads
+//! contending on one `Mutex<Dispatcher>` versus the same N threads each
+//! pinned to their own shard of a `ShardedDispatcher`.
 
 use std::hint::black_box;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gtlb_runtime::{EpochSwap, Runtime, SchemeKind};
+use gtlb_runtime::{Dispatcher, EpochSwap, Runtime, SchemeKind, ShardedDispatcher};
 
 fn serving_runtime(n_nodes: usize) -> Runtime {
     let rt = Runtime::builder()
@@ -80,6 +82,58 @@ fn bench_publish(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_vs_mutex(c: &mut Criterion) {
+    // The tentpole comparison: four producer threads routing jobs
+    // through (a) one dispatcher behind a global mutex — every dispatch
+    // locks it, because holding it across a batch would starve the other
+    // producers — versus (b) four shards of a ShardedDispatcher, one per
+    // thread, each holding its ShardGuard (lock + pinned table snapshot)
+    // across its whole batch, which nothing else contends for. Both read
+    // the same epoch-swapped table; the CI perf gate asserts (b) is at
+    // least twice as fast.
+    const THREADS: usize = 4;
+    const JOBS_PER_THREAD: u64 = 10_000;
+
+    let rt = serving_runtime(8);
+    let mut group = c.benchmark_group("runtime_sharding");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(THREADS as u64 * JOBS_PER_THREAD));
+
+    let mutexed = Arc::new(Mutex::new(Dispatcher::new(rt.table_handle(), 42)));
+    group.bench_function(BenchmarkId::new("mutex", THREADS), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let d = Arc::clone(&mutexed);
+                    s.spawn(move || {
+                        for _ in 0..JOBS_PER_THREAD {
+                            black_box(d.lock().unwrap().dispatch().unwrap());
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    let sharded = Arc::new(ShardedDispatcher::new(rt.table_handle(), 42, THREADS));
+    group.bench_function(BenchmarkId::new("sharded", THREADS), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let d = Arc::clone(&sharded);
+                    s.spawn(move || {
+                        let mut guard = d.shard(t);
+                        for _ in 0..JOBS_PER_THREAD {
+                            black_box(guard.dispatch().unwrap());
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_resolve(c: &mut Criterion) {
     // The full periodic re-solve: snapshot, COOP solve, build, publish.
     let mut group = c.benchmark_group("runtime_resolve");
@@ -110,6 +164,7 @@ criterion_group!(
     bench_dispatch,
     bench_table_load,
     bench_publish,
+    bench_sharded_vs_mutex,
     bench_resolve,
     bench_failure_path
 );

@@ -18,10 +18,20 @@
 //! Like upstream, running a harness-less bench binary without the
 //! `--bench` flag (which is what `cargo test` does) executes each
 //! benchmark body exactly once as a smoke test instead of timing it.
+//!
+//! Two environment variables adapt the harness to CI:
+//!
+//! * `GTLB_BENCH_QUICK=1` — quick mode: smaller calibration targets and
+//!   at most [`QUICK_SAMPLE_SIZE`] samples per benchmark, trading
+//!   precision for wall-clock time (the bench-smoke job's setting);
+//! * `GTLB_BENCH_JSON=<path>` — after all groups run, write every
+//!   measurement as a JSON array (`name`, `mean_ns`, `min_ns`,
+//!   `elements`) to `<path>`, machine-readable for perf gates.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Identifies one benchmark within a group, `function_name/parameter`.
@@ -71,6 +81,15 @@ struct SampleStats {
     min_ns: f64,
 }
 
+/// Samples per benchmark in quick mode (`GTLB_BENCH_QUICK=1`).
+pub const QUICK_SAMPLE_SIZE: usize = 10;
+
+/// Whether quick mode is on (read once; see the module docs).
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("GTLB_BENCH_QUICK").is_ok_and(|v| v == "1"))
+}
+
 impl Bencher {
     /// Times `routine`, or runs it once in test mode.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
@@ -78,8 +97,13 @@ impl Bencher {
             std::hint::black_box(routine());
             return;
         }
-        // Calibrate: double the batch size until one batch takes >= 5 ms,
-        // so per-sample timing error from `Instant` resolution is small.
+        let (calib_ms, sample_ns, samples) = if quick_mode() {
+            (1.0, 2.0e6, self.sample_size.min(QUICK_SAMPLE_SIZE))
+        } else {
+            (5.0, 10.0e6, self.sample_size)
+        };
+        // Calibrate: double the batch size until one batch is long enough
+        // that per-sample timing error from `Instant` resolution is small.
         let mut batch: u64 = 1;
         let per_iter_ns = loop {
             let start = Instant::now();
@@ -87,17 +111,17 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || batch >= 1 << 30 {
+            if elapsed >= Duration::from_micros((calib_ms * 1e3) as u64) || batch >= 1 << 30 {
                 break elapsed.as_nanos() as f64 / batch as f64;
             }
             batch *= 2;
         };
-        // Aim for ~10 ms per sample, bounded so the whole benchmark stays
-        // in the hundreds of milliseconds.
-        let iters = ((10.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+        // Fixed time budget per sample, bounded so the whole benchmark
+        // stays in the hundreds of milliseconds.
+        let iters = ((sample_ns / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
         let mut mean_acc = 0.0;
         let mut min_ns = f64::INFINITY;
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(routine());
@@ -106,7 +130,7 @@ impl Bencher {
             mean_acc += ns;
             min_ns = min_ns.min(ns);
         }
-        self.result = Some(SampleStats { mean_ns: mean_acc / self.sample_size as f64, min_ns });
+        self.result = Some(SampleStats { mean_ns: mean_acc / samples as f64, min_ns });
     }
 }
 
@@ -199,6 +223,23 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One finished measurement, as serialized by [`write_json_report`].
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    /// Elements per iteration when the group declared
+    /// [`Throughput::Elements`] (1 otherwise), so rates are computable
+    /// downstream.
+    elements: u64,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 fn run_one<F>(
     test_mode: bool,
     name: &str,
@@ -230,8 +271,62 @@ fn run_one<F>(
                 si(stats.mean_ns * 1e-9),
                 rate.unwrap_or_default(),
             );
+            let elements = match throughput {
+                Some(Throughput::Elements(n)) => n,
+                _ => 1,
+            };
+            records().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Record {
+                name: name.to_string(),
+                mean_ns: stats.mean_ns,
+                min_ns: stats.min_ns,
+                elements,
+            });
         }
         None => println!("{name}: no measurement (body never called Bencher::iter)"),
+    }
+}
+
+/// Serializes `recs` as a JSON array (no external serializer: names are
+/// escaped by hand, numbers printed with full precision).
+fn render_json(recs: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in recs.iter().enumerate() {
+        let mut name = String::with_capacity(r.name.len());
+        for ch in r.name.chars() {
+            match ch {
+                '"' => name.push_str("\\\""),
+                '\\' => name.push_str("\\\\"),
+                c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
+                c => name.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{name}\", \"mean_ns\": {}, \"min_ns\": {}, \"elements\": {}}}{}\n",
+            r.mean_ns,
+            r.min_ns,
+            r.elements,
+            if i + 1 < recs.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes the accumulated measurements to the path named by
+/// `GTLB_BENCH_JSON`, if set. Called by `criterion_main!` after all
+/// groups finish; a no-op without the variable (or in test mode, which
+/// records nothing).
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("GTLB_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let recs = records().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Err(e) = std::fs::write(&path, render_json(&recs)) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    } else {
+        println!("wrote {} benchmark records to {path}", recs.len());
     }
 }
 
@@ -267,13 +362,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given groups.
+/// Generates `main` running the given groups, then flushing the JSON
+/// report when `GTLB_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             let mut c = $crate::Criterion::default();
             $($group(&mut c);)+
+            $crate::write_json_report();
         }
     };
 }
@@ -293,6 +390,22 @@ mod tests {
         assert_eq!(si(1.234e6), "1.23 M");
         assert_eq!(si(456.0e-9), "456 n");
         assert_eq!(si(12.5e-3), "12.5 m");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let recs = vec![
+            Record { name: "g/a".into(), mean_ns: 12.5, min_ns: 11.0, elements: 1 },
+            Record { name: "quo\"te\\p".into(), mean_ns: 3.0, min_ns: 2.0, elements: 40_000 },
+        ];
+        let json = render_json(&recs);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains(r#""name": "g/a", "mean_ns": 12.5, "min_ns": 11, "elements": 1"#));
+        assert!(json.contains(r#""quo\"te\\p""#), "quotes and backslashes escape: {json}");
+        assert_eq!(json.matches('{').count(), 2);
+        // Exactly one separating comma between objects, none trailing.
+        assert!(json.contains("},\n") && !json.contains("},\n]"));
+        assert_eq!(render_json(&[]), "[\n]\n");
     }
 
     #[test]

@@ -179,9 +179,11 @@ fn validated_cum_routing(spec: &FarmSpec) -> Result<Vec<Vec<f64>>, CoreError> {
             )));
         }
         let total: f64 = src.routing.iter().sum();
-        if (total - 1.0).abs() > ROUTING_SUM_TOL {
+        let deviation = (total - 1.0).abs();
+        if deviation > ROUTING_SUM_TOL {
             return Err(CoreError::BadInput(format!(
-                "farm: routing row {j} sums to {total}, expected 1 (tolerance {ROUTING_SUM_TOL})"
+                "farm: routing row {j} sums to {total}, expected 1 \
+                 (deviation {deviation:.3e} exceeds tolerance {ROUTING_SUM_TOL:.0e})"
             )));
         }
         let mut cum = Vec::with_capacity(n);
@@ -509,6 +511,28 @@ mod tests {
                 "routing {routing:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn row_sum_error_names_the_row_and_the_sum() {
+        use gtlb_core::error::CoreError;
+        let cfg = RunConfig { seed: 1, warmup_jobs: 0, measured_jobs: 10 };
+        // Row 1 of 2 is the bad one; the message must let the caller find
+        // it without re-deriving the arithmetic: row index, the actual
+        // sum, and how far past the tolerance it lies.
+        let spec = FarmSpec {
+            services: vec![Law::exponential(1.0); 2],
+            sources: vec![
+                SourceSpec { interarrival: Law::exponential(0.4), routing: vec![0.5, 0.5] },
+                SourceSpec { interarrival: Law::exponential(0.4), routing: vec![0.3, 0.3] },
+            ],
+        };
+        let err = try_run(&spec, &cfg).unwrap_err();
+        let CoreError::BadInput(msg) = err else { panic!("expected BadInput, got {err:?}") };
+        assert!(msg.contains("routing row 1"), "row index missing: {msg}");
+        assert!(msg.contains("sums to 0.6"), "offending sum missing: {msg}");
+        assert!(msg.contains("deviation 4.000e-1"), "deviation missing: {msg}");
+        assert!(msg.contains("tolerance 1e-6"), "tolerance missing: {msg}");
     }
 
     #[test]

@@ -136,6 +136,18 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
 }
 
 /// Asserts inequality inside a `proptest!` body.

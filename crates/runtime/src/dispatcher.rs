@@ -6,6 +6,11 @@
 //! for the same reason it does in the simulator: a trace replayed with
 //! the same seed and the same sequence of published tables makes exactly
 //! the same routing decisions.
+//!
+//! One `Dispatcher` serves one logical stream of decisions; concurrent
+//! producers that would otherwise serialize on a `Mutex<Dispatcher>`
+//! should use [`ShardedDispatcher`](crate::shard::ShardedDispatcher),
+//! whose shard 0 replays this type's stream exactly.
 
 use std::sync::Arc;
 

@@ -1,5 +1,5 @@
 //! The trace driver: a closed-loop harness replaying a synthetic job
-//! stream through a [`Runtime`](crate::Runtime).
+//! stream through a [`Runtime`].
 //!
 //! The driver plays two roles at once:
 //!
@@ -50,16 +50,40 @@ impl Default for TraceConfig {
 }
 
 /// Measurements accumulated since the last reset.
+///
+/// The admission counters satisfy the conservation invariant
+/// `accepted + rejected + deferred == submitted`; without admission
+/// control every submitted job is accepted.
 #[derive(Debug, Clone)]
 pub struct TraceStats {
-    /// Jobs completed.
+    /// Jobs completed (accepted jobs that ran to completion).
     pub jobs: u64,
+    /// Jobs offered to the runtime.
+    pub submitted: u64,
+    /// Jobs admitted and dispatched.
+    pub accepted: u64,
+    /// Jobs shed outright by admission control.
+    pub rejected: u64,
+    /// Jobs shed with retry-later semantics by admission control.
+    pub deferred: u64,
     /// Mean observed response time.
     pub mean_response: f64,
     /// 95 % batch-means confidence interval (needs ≥ 2 full batches).
     pub ci: Option<ConfidenceInterval>,
     /// Jobs per node, in node-id order.
     pub per_node: Vec<(NodeId, u64)>,
+}
+
+impl TraceStats {
+    /// Fraction of submitted jobs rejected (0 when nothing submitted).
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.submitted as f64
+        }
+    }
 }
 
 /// Replays a synthetic arrival stream against a runtime.
@@ -75,6 +99,10 @@ pub struct TraceDriver {
     responses: Welford,
     batches: BatchMeans,
     per_node: HashMap<NodeId, u64>,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    deferred: u64,
 }
 
 impl TraceDriver {
@@ -96,6 +124,10 @@ impl TraceDriver {
             responses: Welford::new(),
             batches: BatchMeans::new(cfg.batch_size),
             per_node: HashMap::new(),
+            submitted: 0,
+            accepted: 0,
+            rejected: 0,
+            deferred: 0,
         }
     }
 
@@ -106,15 +138,19 @@ impl TraceDriver {
     }
 
     /// Pushes `jobs` jobs through the runtime: generate arrival →
-    /// dispatch → queue at the chosen node → record the response time and
-    /// feed the estimators.
+    /// admission → dispatch → queue at the chosen node → record the
+    /// response time and feed the estimators. Jobs shed by admission
+    /// control are counted ([`TraceStats::rejected`] /
+    /// [`TraceStats::deferred`]) and leave no queueing footprint; every
+    /// arrival still feeds `Φ̂`, because admission reacts to *offered*
+    /// load.
     ///
     /// Resumable: queues, clocks and RNG streams persist across calls, so
     /// callers can inject control-plane events between chunks.
     ///
     /// # Errors
-    /// [`RuntimeError::NoServingNodes`] when dispatch has nowhere to
-    /// route; [`RuntimeError::UnknownNode`] when a chosen node was
+    /// [`RuntimeError::NoServingNodes`] when an admitted job has nowhere
+    /// to route; [`RuntimeError::UnknownNode`] when a chosen node was
     /// deregistered mid-flight.
     pub fn run_jobs(&mut self, runtime: &Runtime, jobs: u64) -> Result<(), RuntimeError> {
         for _ in 0..jobs {
@@ -123,7 +159,19 @@ impl TraceDriver {
             let arrived = self.clock;
             runtime.record_arrival(arrived);
 
-            let decision = runtime.dispatch()?;
+            self.submitted += 1;
+            let decision = match runtime.submit()? {
+                crate::Submission::Dispatched(decision) => decision,
+                crate::Submission::Rejected => {
+                    self.rejected += 1;
+                    continue;
+                }
+                crate::Submission::Deferred => {
+                    self.deferred += 1;
+                    continue;
+                }
+            };
+            self.accepted += 1;
             let node = decision.node;
             let mu = runtime.node_rate(node).ok_or(RuntimeError::UnknownNode(node))?;
 
@@ -154,6 +202,10 @@ impl TraceDriver {
         self.responses = Welford::new();
         self.batches = BatchMeans::new(self.batch_size);
         self.per_node.clear();
+        self.submitted = 0;
+        self.accepted = 0;
+        self.rejected = 0;
+        self.deferred = 0;
     }
 
     /// Measurements since construction or the last reset.
@@ -164,6 +216,10 @@ impl TraceDriver {
         per_node.sort_by_key(|&(id, _)| id);
         TraceStats {
             jobs: self.responses.count(),
+            submitted: self.submitted,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            deferred: self.deferred,
             mean_response: self.responses.mean(),
             ci: (self.batches.batches() >= 2).then(|| self.batches.confidence_interval()),
             per_node,
@@ -220,6 +276,53 @@ mod tests {
         let (b, tb) = run();
         assert_eq!(a.to_bits(), b.to_bits(), "same seed ⇒ bit-identical trace");
         assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    #[test]
+    fn stats_count_submissions_without_admission() {
+        let (rt, _) = runtime(&[1.0], 0.5);
+        let mut driver = TraceDriver::new(0.5, TraceConfig { seed: 2, batch_size: 100 });
+        driver.run_jobs(&rt, 1_000).unwrap();
+        let stats = driver.stats();
+        assert_eq!(stats.submitted, 1_000);
+        assert_eq!(stats.accepted, 1_000, "no admission control: everything admitted");
+        assert_eq!(stats.rejected + stats.deferred, 0);
+        assert_eq!(stats.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn admission_counts_are_conserved_and_surface_in_stats() {
+        // Capacity 2, design load 1.8 ⇒ ρ = 0.9 against a 0.6 target.
+        let rt = RuntimeBuilder::new()
+            .seed(2)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(1.8)
+            .admission(crate::AdmissionConfig { target_utilization: 0.6, defer_band: 0.0 })
+            .build();
+        rt.register_node(1.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+
+        let mut driver = TraceDriver::new(1.8, TraceConfig { seed: 6, batch_size: 500 });
+        driver.run_jobs(&rt, 10_000).unwrap();
+        let stats = driver.stats();
+        assert_eq!(stats.submitted, 10_000);
+        assert_eq!(stats.accepted + stats.rejected + stats.deferred, stats.submitted);
+        assert_eq!(stats.jobs, stats.accepted, "every admitted job completes");
+        let expected = 1.0 - 0.6 / 0.9;
+        assert!(
+            (stats.rejection_rate() - expected).abs() < 0.05,
+            "rejection rate {} vs thinning prediction {expected}",
+            stats.rejection_rate()
+        );
+        // The runtime's own counters agree with the driver's view.
+        let rt_stats = rt.admission_stats().unwrap();
+        assert_eq!(rt_stats.submitted, stats.submitted);
+        assert_eq!(rt_stats.rejected, stats.rejected);
+
+        // reset_measurements clears the admission window too.
+        driver.reset_measurements();
+        assert_eq!(driver.stats().submitted, 0);
     }
 
     #[test]

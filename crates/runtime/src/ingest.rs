@@ -1,0 +1,285 @@
+//! Bounded ingestion: the front door between bursty producers and the
+//! dispatch shards.
+//!
+//! Producers and the dispatcher run at different speeds; an unbounded
+//! buffer between them turns a burst into unbounded memory growth and
+//! unbounded latency. [`IngestQueue`] is a fixed-depth MPMC queue with
+//! two submission paths:
+//!
+//! * [`try_submit`](IngestQueue::try_submit) — non-blocking: a full
+//!   queue returns the job to the caller immediately
+//!   ([`IngestError::Full`]), which is the signal admission control and
+//!   load-shedding act on;
+//! * [`submit`](IngestQueue::submit) — blocking backpressure: the
+//!   producer parks until a consumer makes room (or the queue closes).
+//!
+//! Consumers drain with [`try_pop`](IngestQueue::try_pop) /
+//! [`pop`](IngestQueue::pop); [`close`](IngestQueue::close) wakes every
+//! parked thread and lets the queue drain without accepting new work —
+//! the shutdown path.
+//!
+//! The implementation is a `Mutex<VecDeque>` plus two condvars (`std`
+//! only — the workspace is hermetic). The lock is held for a push or a
+//! pop, never across a dispatch, so the queue adds a constant handoff
+//! cost in front of whatever consumes it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission did not enter the queue. The job is handed back so
+/// the caller can defer, retry, or count it as shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError<T> {
+    /// The queue is at depth; non-blocking submission sheds the job.
+    Full(T),
+    /// The queue is closed for new work (shutdown in progress).
+    Closed(T),
+}
+
+impl<T> IngestError<T> {
+    /// Recovers the job that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(job) | Self::Closed(job) => job,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct IngestState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue length, for capacity planning.
+    peak: usize,
+}
+
+/// A bounded MPMC job queue. See the [module docs](self).
+#[derive(Debug)]
+pub struct IngestQueue<T> {
+    depth: usize,
+    state: Mutex<IngestState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> IngestQueue<T> {
+    /// A queue holding at most `depth` jobs.
+    ///
+    /// # Panics
+    /// If `depth` is zero — a zero-depth queue can never accept work.
+    #[must_use]
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(depth > 0, "ingest queue depth must be positive");
+        Self {
+            depth,
+            state: Mutex::new(IngestState {
+                queue: VecDeque::with_capacity(depth),
+                closed: false,
+                peak: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configured depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().queue.is_empty()
+    }
+
+    /// The deepest the queue has ever been.
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.lock().peak
+    }
+
+    /// Non-blocking submission: enqueues `job`, or hands it back when
+    /// the queue is full or closed.
+    ///
+    /// # Errors
+    /// [`IngestError::Full`] at depth, [`IngestError::Closed`] after
+    /// [`close`](IngestQueue::close).
+    pub fn try_submit(&self, job: T) -> Result<(), IngestError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(IngestError::Closed(job));
+        }
+        if state.queue.len() >= self.depth {
+            return Err(IngestError::Full(job));
+        }
+        state.queue.push_back(job);
+        state.peak = state.peak.max(state.queue.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submission: parks until the queue has room, then
+    /// enqueues `job`. Returns the job when the queue closes first.
+    ///
+    /// # Errors
+    /// [`IngestError::Closed`] when the queue closed while waiting.
+    pub fn submit(&self, job: T) -> Result<(), IngestError<T>> {
+        let mut state = self.lock();
+        while !state.closed && state.queue.len() >= self.depth {
+            state = self.not_full.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(IngestError::Closed(job));
+        }
+        state.queue.push_back(job);
+        state.peak = state.peak.max(state.queue.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking drain: the oldest queued job, if any.
+    #[must_use]
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        let job = state.queue.pop_front();
+        if job.is_some() {
+            drop(state);
+            self.not_full.notify_one();
+        }
+        job
+    }
+
+    /// Blocking drain: parks until a job arrives. Returns `None` only
+    /// when the queue is closed *and* fully drained — consumers loop on
+    /// `while let Some(job) = queue.pop()` for a clean shutdown.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: no new submissions, queued jobs stay drainable,
+    /// every parked producer and consumer wakes.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](IngestQueue::close) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, IngestState<T>> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_depth() {
+        let q = IngestQueue::with_depth(4);
+        for job in 0..4 {
+            q.try_submit(job).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for job in 0..4 {
+            assert_eq!(q.try_pop(), Some(job));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_submit_sheds_at_depth() {
+        let q = IngestQueue::with_depth(2);
+        q.try_submit(1).unwrap();
+        q.try_submit(2).unwrap();
+        assert_eq!(q.try_submit(3), Err(IngestError::Full(3)));
+        assert_eq!(q.peak_depth(), 2);
+        // Draining one makes room for exactly one.
+        assert_eq!(q.try_pop(), Some(1));
+        q.try_submit(3).unwrap();
+        assert_eq!(q.try_submit(4), Err(IngestError::Full(4)));
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_old() {
+        let q = IngestQueue::with_depth(4);
+        q.try_submit("a").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_submit("b"), Err(IngestError::Closed("b")));
+        assert_eq!(q.submit("c"), Err(IngestError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn into_inner_recovers_the_job() {
+        assert_eq!(IngestError::Full(7).into_inner(), 7);
+        assert_eq!(IngestError::Closed(9).into_inner(), 9);
+    }
+
+    #[test]
+    fn blocking_handoff_across_threads() {
+        let q = Arc::new(IngestQueue::with_depth(2));
+        let producer_q = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // 64 jobs through a depth-2 queue: must block and resume.
+            for job in 0..64u64 {
+                producer_q.submit(job).unwrap();
+            }
+            producer_q.close();
+        });
+        let mut received = Vec::new();
+        while let Some(job) = q.pop() {
+            received.push(job);
+        }
+        producer.join().unwrap();
+        assert_eq!(received, (0..64).collect::<Vec<_>>());
+        assert!(q.peak_depth() <= 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(IngestQueue::<u32>::with_depth(1));
+        let consumer_q = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || consumer_q.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = IngestQueue::<u8>::with_depth(0);
+    }
+}

@@ -24,8 +24,16 @@
 //! * [`table`] / [`swap`] — immutable routing tables behind an
 //!   epoch-swapped `Arc`, so the dispatch hot path never blocks on a
 //!   re-solve;
-//! * [`dispatcher`] — the hot path: one deterministic uniform draw, one
-//!   inverse-CDF lookup;
+//! * [`dispatcher`] — the single-stream hot path: one deterministic
+//!   uniform draw, one inverse-CDF lookup;
+//! * [`shard`] — N per-core dispatchers over the same table, each with
+//!   its own RNG stream (seed `base ^ shard_id`) and local counters
+//!   merged on read — the dispatch path without a global lock;
+//! * [`admission`] — target-utilization admission control in front of
+//!   the shards: accept/defer/reject verdicts that keep the admitted
+//!   load at the design point once `Φ̂` nears capacity;
+//! * [`ingest`] — a bounded MPMC queue decoupling bursty producers from
+//!   the dispatch shards (`try_submit` sheds, `submit` backpressures);
 //! * [`driver`] — a closed-loop trace harness validating observed mean
 //!   response times against the allocator's analytic prediction.
 //!
@@ -33,12 +41,15 @@
 //! to share across threads; [`Runtime::spawn_resolver`] runs the
 //! re-solve loop in the background.
 
+pub mod admission;
 pub mod dispatcher;
 pub mod driver;
 pub mod error;
 pub mod estimator;
+pub mod ingest;
 pub mod registry;
 pub mod resolver;
+pub mod shard;
 pub mod swap;
 pub mod table;
 
@@ -46,12 +57,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+pub use admission::{
+    AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmissionStats, AdmissionVerdict,
+};
 pub use dispatcher::{Decision, Dispatcher};
 pub use driver::{TraceConfig, TraceDriver, TraceStats};
 pub use error::RuntimeError;
 pub use estimator::EstimatorBank;
+pub use ingest::{IngestError, IngestQueue};
 pub use registry::{Health, Node, NodeId, Registry};
 pub use resolver::{ResolveOutcome, SchemeKind};
+pub use shard::{ShardGuard, ShardedDispatcher};
 pub use swap::EpochSwap;
 pub use table::RoutingTable;
 
@@ -74,6 +90,13 @@ pub struct RuntimeConfig {
     pub min_arrival_obs: u64,
     /// Per-node services required before `μ̂ᵢ` is trusted.
     pub min_service_obs: usize,
+    /// Dispatch shards. `1` reproduces the single-dispatcher decision
+    /// stream exactly (shard 0's RNG is seeded `seed ^ 0 = seed`);
+    /// larger counts give per-core dispatchers that never contend.
+    pub shards: usize,
+    /// Admission control in front of the shards; `None` admits
+    /// everything (the default).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -86,6 +109,8 @@ impl Default for RuntimeConfig {
             service_window: 256,
             min_arrival_obs: 64,
             min_service_obs: 16,
+            shards: 1,
+            admission: None,
         }
     }
 }
@@ -146,7 +171,25 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the number of dispatch shards (clamped to at least 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards.max(1);
+        self
+    }
+
+    /// Enables admission control with the given policy configuration.
+    #[must_use]
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.cfg.admission = Some(cfg);
+        self
+    }
+
     /// Builds the runtime (no nodes, empty routing table).
+    ///
+    /// # Panics
+    /// If the admission configuration is invalid (target utilization
+    /// outside `(0, 1)`, negative defer band).
     #[must_use]
     pub fn build(self) -> Runtime {
         Runtime::with_config(self.cfg)
@@ -158,13 +201,37 @@ struct State {
     bank: EstimatorBank,
 }
 
+/// What happened to one job offered through [`Runtime::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// Admitted and routed.
+    Dispatched(Decision),
+    /// Shed with retry-later semantics (offered load inside the defer
+    /// band above target).
+    Deferred,
+    /// Shed outright (offered load beyond the defer band).
+    Rejected,
+}
+
+impl Submission {
+    /// The routing decision, if the job was admitted.
+    #[must_use]
+    pub fn decision(self) -> Option<Decision> {
+        match self {
+            Self::Dispatched(d) => Some(d),
+            Self::Deferred | Self::Rejected => None,
+        }
+    }
+}
+
 /// The online dispatch runtime: registry + estimators + re-solver +
-/// dispatcher behind one shareable handle.
+/// sharded dispatcher behind one shareable handle.
 pub struct Runtime {
     cfg: RuntimeConfig,
     state: Mutex<State>,
     table: Arc<EpochSwap<RoutingTable>>,
-    dispatcher: Mutex<Dispatcher>,
+    sharded: ShardedDispatcher,
+    admission: Option<AdmissionControl>,
     epoch: AtomicU64,
 }
 
@@ -176,10 +243,18 @@ impl Runtime {
     }
 
     /// Builds a runtime from an explicit configuration.
+    ///
+    /// # Panics
+    /// If `cfg.admission` is invalid (see [`AdmissionPolicy::new`]).
     #[must_use]
     pub fn with_config(cfg: RuntimeConfig) -> Self {
         let table = Arc::new(EpochSwap::new(RoutingTable::empty(0)));
-        let dispatcher = Mutex::new(Dispatcher::new(Arc::clone(&table), cfg.seed));
+        let sharded = ShardedDispatcher::new(Arc::clone(&table), cfg.seed, cfg.shards.max(1));
+        let admission = cfg.admission.map(|a| {
+            AdmissionControl::new(
+                AdmissionPolicy::new(a).unwrap_or_else(|e| panic!("invalid admission config: {e}")),
+            )
+        });
         let bank = EstimatorBank::new(
             cfg.ewma_alpha,
             cfg.service_window,
@@ -190,7 +265,8 @@ impl Runtime {
             cfg,
             state: Mutex::new(State { registry: Registry::new(), bank }),
             table,
-            dispatcher,
+            sharded,
+            admission,
             epoch: AtomicU64::new(0),
         }
     }
@@ -325,29 +401,116 @@ impl Runtime {
         // Estimated Φ is clamped below capacity (transient overshoot must
         // not wedge the solver); the configured nominal rate is not — an
         // impossible design load should fail loudly.
+        let phi_offered = bank.arrival_rate().unwrap_or(self.cfg.nominal_arrival_rate);
         let phi = match bank.arrival_rate() {
             Some(est) => resolver::clamp_phi(est, &cluster),
             None => self.cfg.nominal_arrival_rate,
         };
+        // Admission sees the *unclamped* offered utilization: shedding
+        // must react to the overload the solver is protected from.
+        if let Some(control) = &self.admission {
+            control.publish_offered_utilization(phi_offered / cluster.total_rate());
+        }
         let epoch = self.next_epoch();
         let (table, outcome) = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
         self.table.publish(table);
         Ok(outcome)
     }
 
-    /// Routes one job via the published table.
+    /// Routes one job via the published table, on the next shard in
+    /// round-robin order. With one shard (the default) this replays the
+    /// single-dispatcher decision stream exactly.
     ///
     /// # Errors
     /// [`RuntimeError::NoServingNodes`] before the first resolve or after
     /// the last node went down.
     pub fn dispatch(&self) -> Result<Decision, RuntimeError> {
-        self.dispatcher.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dispatch()
+        self.sharded.dispatch()
     }
 
-    /// Jobs dispatched so far.
+    /// Routes one job on shard `shard` — the per-core path: workers that
+    /// pin a shard never contend with each other.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] as [`Runtime::dispatch`].
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    pub fn dispatch_on(&self, shard: usize) -> Result<Decision, RuntimeError> {
+        self.sharded.dispatch_on(shard)
+    }
+
+    /// Offers one job: admission control first (when configured), then
+    /// dispatch, all on the next round-robin shard. Without admission
+    /// this is [`Runtime::dispatch`] wrapped in
+    /// [`Submission::Dispatched`].
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] when an *admitted* job has
+    /// nowhere to route (shed verdicts return `Ok`).
+    pub fn submit(&self) -> Result<Submission, RuntimeError> {
+        self.submit_on(self.sharded.next_shard())
+    }
+
+    /// Offers one job on shard `shard`: the pinned-worker variant of
+    /// [`Runtime::submit`]. The admission draw comes from the shard's
+    /// dedicated admission stream, so the routing decision sequence is
+    /// the same whether or not admission is enabled.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] as [`Runtime::submit`].
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    pub fn submit_on(&self, shard: usize) -> Result<Submission, RuntimeError> {
+        let mut guard = self.sharded.shard(shard);
+        if let Some(control) = &self.admission {
+            let u = guard.next_admission_draw();
+            match control.decide(u) {
+                AdmissionVerdict::Accept => {}
+                AdmissionVerdict::Defer => return Ok(Submission::Deferred),
+                AdmissionVerdict::Reject => return Ok(Submission::Rejected),
+            }
+        }
+        guard.dispatch().map(Submission::Dispatched)
+    }
+
+    /// Number of dispatch shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
+    }
+
+    /// Jobs dispatched so far, merged over all shards.
     #[must_use]
     pub fn dispatched(&self) -> u64 {
-        self.dispatcher.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dispatched()
+        self.sharded.dispatched()
+    }
+
+    /// Per-node dispatch counts merged over all shards, sorted by id.
+    #[must_use]
+    pub fn hit_counts(&self) -> Vec<(NodeId, u64)> {
+        self.sharded.hit_counts()
+    }
+
+    /// The sharded dispatcher itself (benchmarks, pinned-worker loops
+    /// that batch via [`ShardedDispatcher::shard`]).
+    #[must_use]
+    pub fn sharded_dispatcher(&self) -> &ShardedDispatcher {
+        &self.sharded
+    }
+
+    /// Admission counters, when admission control is configured.
+    #[must_use]
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(AdmissionControl::stats)
+    }
+
+    /// The offered utilization the admission policy currently acts on
+    /// (refreshed by every resolve), when admission is configured.
+    #[must_use]
+    pub fn offered_utilization(&self) -> Option<f64> {
+        self.admission.as_ref().map(AdmissionControl::offered_utilization)
     }
 
     /// Snapshot of the currently published routing table.
@@ -566,6 +729,132 @@ mod tests {
         }
         let outcome = rt.resolve_now().unwrap();
         assert!(outcome.phi < 1.0, "estimate clamped below capacity, got {}", outcome.phi);
+    }
+
+    #[test]
+    fn single_shard_replays_the_unsharded_stream() {
+        // shards = 1 (the default) must reproduce the decision sequence
+        // of a bare Dispatcher on the same table and seed — the
+        // backwards-compatibility half of the seed-derivation rule.
+        let rt = coop_runtime(0.9);
+        rt.register_node(2.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert_eq!(rt.shard_count(), 1);
+        let mut reference = Dispatcher::new(rt.table_handle(), rt.config().seed);
+        for _ in 0..256 {
+            assert_eq!(rt.dispatch().unwrap(), reference.dispatch().unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_round_robin_spreads_and_counts() {
+        let rt = Runtime::builder().seed(8).nominal_arrival_rate(1.5).shards(4).build();
+        let a = rt.register_node(2.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        for _ in 0..4000 {
+            rt.dispatch().unwrap();
+        }
+        assert_eq!(rt.dispatched(), 4000);
+        let hits = rt.hit_counts();
+        assert_eq!(hits.iter().map(|&(_, c)| c).sum::<u64>(), 4000);
+        let p_a = rt.current_table().prob_of(a).unwrap();
+        let f_a = hits.iter().find(|&&(id, _)| id == a).map_or(0, |&(_, c)| c) as f64 / 4000.0;
+        assert!((f_a - p_a).abs() < 0.05, "merged freq {f_a} vs p {p_a}");
+    }
+
+    #[test]
+    fn submit_without_admission_always_dispatches() {
+        let rt = coop_runtime(0.5);
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        for _ in 0..64 {
+            assert!(matches!(rt.submit().unwrap(), Submission::Dispatched(_)));
+        }
+        assert!(rt.admission_stats().is_none());
+    }
+
+    #[test]
+    fn overloaded_runtime_sheds_and_conserves_counts() {
+        // Capacity 1, design load 0.9 ⇒ ρ = 0.9 against a 0.5 target:
+        // shed probability 1 − 0.5/0.9 ≈ 0.44, all rejected (no band).
+        let rt = Runtime::builder()
+            .seed(4)
+            .nominal_arrival_rate(0.9)
+            .admission(AdmissionConfig { target_utilization: 0.5, defer_band: 0.0 })
+            .shards(2)
+            .build();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert!((rt.offered_utilization().unwrap() - 0.9).abs() < 1e-12);
+        let mut dispatched = 0u64;
+        for _ in 0..5_000 {
+            match rt.submit().unwrap() {
+                Submission::Dispatched(_) => dispatched += 1,
+                Submission::Deferred => panic!("defer band is zero"),
+                Submission::Rejected => {}
+            }
+        }
+        let stats = rt.admission_stats().unwrap();
+        assert_eq!(stats.submitted, 5_000);
+        assert_eq!(stats.accepted + stats.deferred + stats.rejected, stats.submitted);
+        assert_eq!(stats.accepted, dispatched);
+        let rate = stats.rejection_rate();
+        assert!((rate - (1.0 - 0.5 / 0.9)).abs() < 0.05, "rejection rate {rate}");
+    }
+
+    #[test]
+    fn defer_band_turns_rejects_into_defers() {
+        let rt = Runtime::builder()
+            .seed(4)
+            .nominal_arrival_rate(0.9)
+            .admission(AdmissionConfig { target_utilization: 0.5, defer_band: 0.5 })
+            .build();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        for _ in 0..2_000 {
+            assert_ne!(rt.submit().unwrap(), Submission::Rejected, "ρ is inside the band");
+        }
+        let stats = rt.admission_stats().unwrap();
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.deferred > 0, "overload inside the band must defer");
+    }
+
+    #[test]
+    fn below_target_admission_is_transparent() {
+        let rt = Runtime::builder()
+            .seed(6)
+            .nominal_arrival_rate(0.3)
+            .admission(AdmissionConfig::default())
+            .build();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        for _ in 0..1_000 {
+            assert!(matches!(rt.submit().unwrap(), Submission::Dispatched(_)));
+        }
+        let stats = rt.admission_stats().unwrap();
+        assert_eq!(stats.accepted, 1_000);
+        assert_eq!(stats.rejected + stats.deferred, 0);
+    }
+
+    #[test]
+    fn admission_draws_leave_routing_stream_untouched() {
+        // Same seed, admission on vs off: the *routing* decisions of
+        // admitted jobs must be identical (admission draws come from a
+        // disjoint stream).
+        let run = |admit: bool| {
+            let mut b = Runtime::builder().seed(12).nominal_arrival_rate(0.4);
+            if admit {
+                b = b.admission(AdmissionConfig { target_utilization: 0.99, defer_band: 0.0 });
+            }
+            let rt = b.build();
+            rt.register_node(2.0).unwrap();
+            rt.register_node(1.0).unwrap();
+            rt.resolve_now().unwrap();
+            (0..128).map(|_| rt.submit().unwrap().decision().unwrap().node).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

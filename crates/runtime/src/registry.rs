@@ -203,6 +203,14 @@ impl Registry {
         self.nodes.iter().filter(|n| n.health.serves())
     }
 
+    /// Total declared capacity of the serving nodes (`Σμᵢ` over
+    /// [`Registry::serving`]) — the denominator of the offered
+    /// utilization admission control acts on. Zero when nothing serves.
+    #[must_use]
+    pub fn serving_capacity(&self) -> f64 {
+        self.serving().map(Node::nominal_rate).sum()
+    }
+
     /// Snapshots the serving nodes as an allocation-layer [`Cluster`],
     /// using `rate_of(node)` for each capacity (callers substitute
     /// measured rates where available, nominal rates otherwise).
@@ -289,6 +297,17 @@ mod tests {
         let (ids, cluster) = r.serving_cluster(|n| n.nominal_rate()).unwrap();
         assert_eq!(ids, vec![a, c]);
         assert_eq!(cluster.rates(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn serving_capacity_tracks_health() {
+        let mut r = Registry::new();
+        assert_eq!(r.serving_capacity(), 0.0);
+        let a = r.register(4.0).unwrap();
+        r.register(2.0).unwrap();
+        assert_eq!(r.serving_capacity(), 6.0);
+        r.set_health(a, Health::Draining).unwrap();
+        assert_eq!(r.serving_capacity(), 2.0);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Sharded dispatch: N per-core dispatchers over one epoch-swapped table.
+//!
+//! A single [`Dispatcher`](crate::dispatcher::Dispatcher) behind a mutex
+//! serializes every routing decision on one RNG — fine for one producer,
+//! a bottleneck for many. A [`ShardedDispatcher`] removes the global
+//! lock from the hot path by giving each shard its **own** deterministic
+//! RNG stream and its own hit counters; shards share nothing but the
+//! immutable routing-table snapshot, so concurrent dispatch on distinct
+//! shards never contends. Counters are merged only when read.
+//!
+//! ## Seed derivation
+//!
+//! Shard `k` of base seed `s` draws from
+//! `Xoshiro256PlusPlus::stream(s ^ k, DISPATCH_STREAM)` — the base seed
+//! XOR the shard id, fed to the same stream family the unsharded
+//! dispatcher uses. Two consequences worth relying on:
+//!
+//! * **shard 0 ≡ unsharded** — `s ^ 0 = s`, so shard 0 replays exactly
+//!   the decision sequence of `Dispatcher::new(table, s)`;
+//! * **determinism** — for a fixed `(seed, shard count)` the per-shard
+//!   decision sequences, and therefore any fixed interleaving of them
+//!   (e.g. round-robin by job index), are reproducible regardless of
+//!   which OS threads executed which shards.
+//!
+//! Each shard sits behind its own mutex purely to make the type `Sync`;
+//! in the intended deployment (one shard per core/worker) that mutex is
+//! uncontended and costs one CAS per lock. Workers that dispatch in
+//! batches can hold a [`ShardGuard`] across the whole batch and pay the
+//! lock — and the epoch-swap table load, which the guard pins at
+//! acquisition — once, leaving one RNG draw, one CDF lookup, and one
+//! array increment per job on the hot path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+
+use crate::dispatcher::{Decision, DISPATCH_STREAM};
+use crate::error::RuntimeError;
+use crate::registry::NodeId;
+use crate::swap::EpochSwap;
+use crate::table::RoutingTable;
+
+/// RNG stream id of per-shard admission draws — disjoint from dispatch
+/// (0x0400) and the driver's streams (0x0500/0x0600), so toggling
+/// admission control never perturbs the routing decision sequence.
+pub const ADMISSION_STREAM: u64 = 0x0700;
+
+/// Per-shard mutable state: the RNG streams and the local counters.
+/// Hit counts are a dense vector indexed by raw node id (ids are
+/// assigned sequentially and never reused), so counting a hit is an
+/// array increment, not a hash lookup.
+#[derive(Debug)]
+struct ShardCore {
+    rng: Xoshiro256PlusPlus,
+    admission_rng: Xoshiro256PlusPlus,
+    dispatched: u64,
+    hits: Vec<u64>,
+}
+
+impl ShardCore {
+    #[inline]
+    fn count_hit(&mut self, node: NodeId) {
+        let idx = node.raw() as usize;
+        if idx >= self.hits.len() {
+            self.hits.resize(idx + 1, 0);
+        }
+        self.hits[idx] += 1;
+    }
+}
+
+/// N independent dispatchers over one shared routing table.
+///
+/// See the [module docs](self) for the seed-derivation rule and the
+/// determinism contract.
+#[derive(Debug)]
+pub struct ShardedDispatcher {
+    table: Arc<EpochSwap<RoutingTable>>,
+    shards: Vec<Mutex<ShardCore>>,
+    round_robin: AtomicUsize,
+}
+
+impl ShardedDispatcher {
+    /// `shards` dispatchers reading `table`; shard `k` draws from stream
+    /// `DISPATCH_STREAM` of seed `base_seed ^ k`.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    #[must_use]
+    pub fn new(table: Arc<EpochSwap<RoutingTable>>, base_seed: u64, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded dispatcher needs at least one shard");
+        let shards = (0..shards as u64)
+            .map(|k| {
+                Mutex::new(ShardCore {
+                    rng: Xoshiro256PlusPlus::stream(base_seed ^ k, DISPATCH_STREAM),
+                    admission_rng: Xoshiro256PlusPlus::stream(base_seed ^ k, ADMISSION_STREAM),
+                    dispatched: 0,
+                    hits: Vec::new(),
+                })
+            })
+            .collect();
+        Self { table, shards, round_robin: AtomicUsize::new(0) }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Locks shard `shard` for a batch of dispatches. The lock is
+    /// uncontended when each worker owns one shard; holding the guard
+    /// across a batch amortizes it to nothing.
+    ///
+    /// The guard pins the routing-table snapshot current at acquisition:
+    /// every dispatch through it routes on that one table (a consistent
+    /// epoch per batch). Re-acquire the guard to observe a newer publish
+    /// — per-job paths like [`dispatch_on`](Self::dispatch_on) do so
+    /// implicitly.
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> ShardGuard<'_> {
+        let core = self.shards[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        ShardGuard { table: self.table.load(), core }
+    }
+
+    /// Routes one job on shard `shard`.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] while the published table is
+    /// empty.
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    pub fn dispatch_on(&self, shard: usize) -> Result<Decision, RuntimeError> {
+        self.shard(shard).dispatch()
+    }
+
+    /// Routes one job on the next shard in round-robin order — the
+    /// drop-in replacement for a single mutex dispatcher when callers do
+    /// not pin shards to workers. A single-threaded caller sees a
+    /// deterministic shard sequence `0, 1, …, N-1, 0, …`.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] while the published table is
+    /// empty.
+    pub fn dispatch(&self) -> Result<Decision, RuntimeError> {
+        self.dispatch_on(self.next_shard())
+    }
+
+    /// Claims the next shard in round-robin order (the selection
+    /// [`dispatch`](Self::dispatch) uses); callers that need admission
+    /// and dispatch on the *same* shard claim once and reuse the index.
+    #[must_use]
+    pub fn next_shard(&self) -> usize {
+        self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Total jobs routed, merged over all shards.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).dispatched)
+            .sum()
+    }
+
+    /// Per-node hit counts merged over all shards, sorted by node id
+    /// (nodes that were never hit are omitted). This is the read-side
+    /// merge: shards never synchronize on the dispatch path, so the
+    /// merge is a point-in-time sum.
+    #[must_use]
+    pub fn hit_counts(&self) -> Vec<(NodeId, u64)> {
+        let mut merged: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            let core = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if core.hits.len() > merged.len() {
+                merged.resize(core.hits.len(), 0);
+            }
+            for (m, &c) in merged.iter_mut().zip(&core.hits) {
+                *m += c;
+            }
+        }
+        merged
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, count)| count > 0)
+            .map(|(raw, count)| (NodeId::from_raw(raw as u64), count))
+            .collect()
+    }
+
+    /// The shared table slot (benchmarks, custom publish loops).
+    #[must_use]
+    pub fn table_handle(&self) -> Arc<EpochSwap<RoutingTable>> {
+        Arc::clone(&self.table)
+    }
+}
+
+/// Exclusive access to one shard, for batched dispatch. Routes on the
+/// table snapshot taken when the guard was acquired (see
+/// [`ShardedDispatcher::shard`]).
+#[derive(Debug)]
+pub struct ShardGuard<'a> {
+    table: Arc<RoutingTable>,
+    core: MutexGuard<'a, ShardCore>,
+}
+
+impl ShardGuard<'_> {
+    /// Routes one job on this shard, on the guard's pinned table
+    /// snapshot: one RNG draw, one inverse-CDF lookup, one counter
+    /// increment — no lock, no table load.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] while the pinned table is empty.
+    pub fn dispatch(&mut self) -> Result<Decision, RuntimeError> {
+        if self.table.is_empty() {
+            return Err(RuntimeError::NoServingNodes);
+        }
+        let u = self.core.rng.next_open01();
+        let node = self.table.route(u);
+        self.core.dispatched += 1;
+        self.core.count_hit(node);
+        Ok(Decision { node, epoch: self.table.epoch() })
+    }
+
+    /// A uniform draw from this shard's [`ADMISSION_STREAM`] — a stream
+    /// disjoint from the routing stream, so probabilistic admission stays
+    /// deterministic per shard without perturbing the decision sequence.
+    pub fn next_admission_draw(&mut self) -> f64 {
+        self.core.admission_rng.next_open01()
+    }
+
+    /// Jobs routed by this shard so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.core.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::Dispatcher;
+
+    fn table(epoch: u64, probs: &[f64]) -> RoutingTable {
+        let ids = (0..probs.len() as u64).map(NodeId::from_raw).collect();
+        RoutingTable::new(epoch, ids, probs).unwrap()
+    }
+
+    fn swap(probs: &[f64]) -> Arc<EpochSwap<RoutingTable>> {
+        Arc::new(EpochSwap::new(table(1, probs)))
+    }
+
+    #[test]
+    fn shard_zero_matches_the_unsharded_dispatcher() {
+        let probs = [0.5, 0.3, 0.2];
+        let sharded = ShardedDispatcher::new(swap(&probs), 42, 4);
+        let mut single = Dispatcher::new(swap(&probs), 42);
+        let mut guard = sharded.shard(0);
+        for _ in 0..256 {
+            assert_eq!(guard.dispatch().unwrap(), single.dispatch().unwrap());
+        }
+    }
+
+    #[test]
+    fn shards_draw_independent_streams() {
+        let sharded = ShardedDispatcher::new(swap(&[0.5, 0.5]), 7, 2);
+        let a: Vec<NodeId> = (0..128).map(|_| sharded.dispatch_on(0).unwrap().node).collect();
+        let b: Vec<NodeId> = (0..128).map(|_| sharded.dispatch_on(1).unwrap().node).collect();
+        assert_ne!(a, b, "distinct shards must not replay the same stream");
+    }
+
+    #[test]
+    fn merged_sequence_is_reproducible_for_fixed_seed_and_shards() {
+        let run = || {
+            let sharded = ShardedDispatcher::new(swap(&[0.6, 0.4]), 99, 4);
+            // Round-robin job placement: job j runs on shard j % 4.
+            (0..1000).map(|j| sharded.dispatch_on(j % 4).unwrap().node).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merged_sequence_is_independent_of_execution_interleaving() {
+        // Dispatch shard-by-shard (as parallel workers would, in some
+        // arbitrary thread order) and compare against the round-robin
+        // merge of a job-by-job run: per-shard streams make the merged
+        // sequence a pure function of (seed, shard count, placement).
+        let n_shards = 4usize;
+        let jobs = 1024usize;
+        let per_shard = jobs / n_shards;
+
+        let sharded = ShardedDispatcher::new(swap(&[0.3, 0.3, 0.4]), 5, n_shards);
+        let mut by_shard: Vec<Vec<NodeId>> = Vec::new();
+        // Worst-case interleaving: entire shards run back to back, in
+        // reverse order.
+        for k in (0..n_shards).rev() {
+            let mut guard = sharded.shard(k);
+            by_shard.push((0..per_shard).map(|_| guard.dispatch().unwrap().node).collect());
+        }
+        by_shard.reverse(); // index by shard id again
+        let merged: Vec<NodeId> = (0..jobs).map(|j| by_shard[j % n_shards][j / n_shards]).collect();
+
+        let reference = ShardedDispatcher::new(swap(&[0.3, 0.3, 0.4]), 5, n_shards);
+        let sequential: Vec<NodeId> =
+            (0..jobs).map(|j| reference.dispatch_on(j % n_shards).unwrap().node).collect();
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn counters_merge_on_read() {
+        let sharded = ShardedDispatcher::new(swap(&[0.8, 0.2]), 3, 3);
+        for j in 0..3000usize {
+            sharded.dispatch_on(j % 3).unwrap();
+        }
+        assert_eq!(sharded.dispatched(), 3000);
+        let counts = sharded.hit_counts();
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3000);
+        // Frequencies follow the table across the merge.
+        let n0 = counts.iter().find(|&&(id, _)| id == NodeId::from_raw(0)).unwrap().1;
+        let f0 = n0 as f64 / 3000.0;
+        assert!((f0 - 0.8).abs() < 0.05, "merged frequency {f0} vs p 0.8");
+    }
+
+    #[test]
+    fn round_robin_dispatch_covers_all_shards() {
+        let sharded = ShardedDispatcher::new(swap(&[1.0]), 0, 4);
+        for _ in 0..40 {
+            sharded.dispatch().unwrap();
+        }
+        assert_eq!(sharded.dispatched(), 40);
+        let per_shard: Vec<u64> = (0..4).map(|k| sharded.shard(k).dispatched()).collect();
+        assert_eq!(per_shard, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn empty_table_fails_dispatch() {
+        let slot = Arc::new(EpochSwap::new(RoutingTable::empty(0)));
+        let sharded = ShardedDispatcher::new(slot, 1, 2);
+        assert_eq!(sharded.dispatch(), Err(RuntimeError::NoServingNodes));
+    }
+
+    #[test]
+    fn shards_follow_a_publish() {
+        let slot = swap(&[1.0, 0.0]);
+        let sharded = ShardedDispatcher::new(Arc::clone(&slot), 11, 2);
+        for j in 0..20usize {
+            assert_eq!(sharded.dispatch_on(j % 2).unwrap().node, NodeId::from_raw(0));
+        }
+        slot.publish(table(2, &[0.0, 1.0]));
+        for j in 0..20usize {
+            let d = sharded.dispatch_on(j % 2).unwrap();
+            assert_eq!(d.node, NodeId::from_raw(1));
+            assert_eq!(d.epoch, 2);
+        }
+    }
+
+    #[test]
+    fn guard_pins_the_snapshot_at_acquisition() {
+        let slot = swap(&[1.0, 0.0]);
+        let sharded = ShardedDispatcher::new(Arc::clone(&slot), 3, 1);
+        let mut guard = sharded.shard(0);
+        slot.publish(table(2, &[0.0, 1.0]));
+        // The held guard keeps routing on the epoch-1 snapshot...
+        for _ in 0..10 {
+            let d = guard.dispatch().unwrap();
+            assert_eq!((d.node, d.epoch), (NodeId::from_raw(0), 1));
+        }
+        drop(guard);
+        // ...and a re-acquired guard observes the publish.
+        let d = sharded.shard(0).dispatch().unwrap();
+        assert_eq!((d.node, d.epoch), (NodeId::from_raw(1), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedDispatcher::new(swap(&[1.0]), 0, 0);
+    }
+}

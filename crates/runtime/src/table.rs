@@ -117,6 +117,12 @@ impl RoutingTable {
         &self.nodes
     }
 
+    /// Number of nodes in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Normalized routing probabilities, in table order.
     #[must_use]
     pub fn probs(&self) -> &[f64] {

@@ -1,0 +1,111 @@
+//! Print determinism fingerprints for the CI matrix to diff.
+//!
+//! Two contracts claim that worker count never leaks into results:
+//!
+//! * **replication** — `replicate_parallel` fans simulation replications
+//!   out over `RAYON_NUM_THREADS` workers, and the aggregated result is
+//!   bit-identical to the sequential run;
+//! * **sharded dispatch** — the merged decision sequence of a
+//!   `ShardedDispatcher` is a pure function of (seed, shard count, job
+//!   placement), regardless of which threads executed which shards.
+//!
+//! This example condenses both into one stable hex line each on stdout
+//! (environment details go to stderr). CI runs it under
+//! `RAYON_NUM_THREADS={1,2,4}` and diffs the outputs: any divergence is
+//! a determinism regression.
+//!
+//! ```text
+//! RAYON_NUM_THREADS=2 cargo run --release --example determinism_fingerprint
+//! ```
+
+use gtlb::balancing::model::Cluster;
+use gtlb::balancing::schemes::{Coop, SingleClassScheme};
+use gtlb::desim::par::{par_map, thread_count};
+use gtlb::desim::replication::ReplicatedResult;
+use gtlb::prelude::*;
+use gtlb::sim::runner::{replicate_parallel, single_class_spec, ArrivalLaw, SimBudget};
+
+/// FNV-1a over little-endian words: stable across platforms and runs.
+fn fold(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Every f64 a downstream consumer can observe from a replicated run,
+/// folded as raw bits (mirrors the replication determinism test).
+fn replication_fingerprint(res: &ReplicatedResult) -> u64 {
+    let mut h = FNV_OFFSET;
+    fold(&mut h, res.overall.mean.to_bits());
+    fold(&mut h, res.overall.half_width.to_bits());
+    for ci in res.per_user.iter().chain(&res.per_computer).chain(&res.utilization) {
+        fold(&mut h, ci.mean.to_bits());
+        fold(&mut h, ci.half_width.to_bits());
+    }
+    for rep in &res.raw {
+        fold(&mut h, rep.overall.mean().to_bits());
+        for w in &rep.per_computer {
+            fold(&mut h, w.mean().to_bits());
+            fold(&mut h, w.count());
+        }
+        for &u in &rep.utilization {
+            fold(&mut h, u.to_bits());
+        }
+    }
+    h
+}
+
+/// The merged sharded-dispatch decision sequence (node id and epoch of
+/// every decision), executed by however many workers the environment
+/// grants, folded to one word.
+fn sharded_dispatch_fingerprint() -> u64 {
+    const SHARDS: usize = 4;
+    const JOBS: usize = 8_192;
+    let rt = Runtime::builder()
+        .seed(0xF1A6)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(4.2)
+        .shards(SHARDS)
+        .build();
+    for &rate in &[4.0, 2.0, 1.0] {
+        rt.register_node(rate).unwrap();
+    }
+    rt.resolve_now().unwrap();
+    let sharded = rt.sharded_dispatcher();
+    // Workers claim whole shards in arbitrary real-time order; the
+    // round-robin merge below is fixed by job index, not by timing.
+    let per_shard: Vec<Vec<(u64, u64)>> = par_map((0..SHARDS).collect(), |k| {
+        let mut guard = sharded.shard(k);
+        (0..JOBS / SHARDS)
+            .map(|_| {
+                let d = guard.dispatch().unwrap();
+                (d.node.raw(), d.epoch)
+            })
+            .collect()
+    });
+    let mut h = FNV_OFFSET;
+    for j in 0..JOBS {
+        let (node, epoch) = per_shard[j % SHARDS][j / SHARDS];
+        fold(&mut h, node);
+        fold(&mut h, epoch);
+    }
+    h
+}
+
+fn main() {
+    eprintln!("workers: {}", thread_count());
+
+    let cluster = Cluster::from_groups(&[(1, 4.0), (3, 1.0)]).unwrap();
+    let phi = cluster.arrival_rate_for_utilization(0.7);
+    let loads = Coop.allocate(&cluster, phi).unwrap();
+    let spec = single_class_spec(&cluster, loads.loads(), phi, ArrivalLaw::Poisson);
+    let budget =
+        SimBudget { seed: 0xD15C, replications: 4, warmup_jobs: 1_000, measured_jobs: 10_000 };
+    let replicated = replicate_parallel(&spec, &budget);
+
+    println!("replication_fingerprint {:016x}", replication_fingerprint(&replicated));
+    println!("sharded_dispatch_fingerprint {:016x}", sharded_dispatch_fingerprint());
+}

@@ -21,7 +21,9 @@
 //! * [`numerics`] — the numerical kernels;
 //! * [`runtime`] — the online dispatch runtime: node registry, rate
 //!   estimators, background re-solver, and an epoch-swapped routing table
-//!   serving live job streams from the allocators above.
+//!   serving live job streams from the allocators above, dispatched
+//!   through per-core shards behind admission control and a bounded
+//!   ingest queue.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +70,8 @@ pub mod prelude {
     pub use gtlb_mechanism::verification::VerifiedMechanism;
     pub use gtlb_queueing::Mm1;
     pub use gtlb_runtime::{
-        Health, NodeId, Runtime, RuntimeBuilder, RuntimeError, SchemeKind, TraceConfig, TraceDriver,
+        AdmissionConfig, AdmissionStats, AdmissionVerdict, Health, IngestQueue, NodeId, Runtime,
+        RuntimeBuilder, RuntimeError, SchemeKind, ShardedDispatcher, Submission, TraceConfig,
+        TraceDriver,
     };
 }

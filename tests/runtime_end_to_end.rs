@@ -1,13 +1,18 @@
 //! End-to-end test of the online runtime: register a cluster, serve a
 //! live job stream, fail a node mid-run, and hold the closed-loop mean
 //! response time against the allocator's analytic prediction — the same
-//! scenario `examples/online_runtime.rs` narrates.
+//! scenario `examples/online_runtime.rs` narrates. Also pins the sharded
+//! dispatch determinism contract (merged decision sequence invariant
+//! under `RAYON_NUM_THREADS`-style worker counts), the admission-control
+//! closed loop, and the bounded ingest handoff.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use gtlb::desim::par::par_map_with_threads;
 use gtlb::prelude::*;
-use gtlb::runtime::{RoutingTable, TraceStats};
+use gtlb::runtime::{IngestError, RoutingTable, TraceStats};
 
 /// Analytic mean response of the system the driver actually runs: the
 /// true arrival rate `phi` split over the published table, each node an
@@ -155,4 +160,138 @@ fn all_schemes_serve_the_same_stream() {
     let get = |k: SchemeKind| means.iter().find(|(s, _, _)| *s == k).unwrap().1;
     assert!(get(SchemeKind::Optim) <= get(SchemeKind::Coop) + 0.05);
     assert!(get(SchemeKind::Coop) <= get(SchemeKind::Prop) + 0.05);
+}
+
+#[test]
+fn sharded_dispatch_is_invariant_across_thread_counts() {
+    // The determinism contract of the sharded dispatcher: for a fixed
+    // (seed, shard count, job placement), the merged decision sequence is
+    // a pure function of those inputs — the worker count that physically
+    // executed the shards (the knob the CI matrix turns via
+    // RAYON_NUM_THREADS) must not appear in the output.
+    const SHARDS: usize = 4;
+    const JOBS: usize = 4_096;
+    let run = |threads: usize| -> Vec<NodeId> {
+        let rt = Runtime::builder()
+            .seed(77)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(4.0)
+            .shards(SHARDS)
+            .build();
+        for &r in &[4.0, 2.0, 1.0] {
+            rt.register_node(r).unwrap();
+        }
+        rt.resolve_now().unwrap();
+        let sharded = rt.sharded_dispatcher();
+        // Each worker claims whole shards in arbitrary real-time order;
+        // per-shard RNG streams make the round-robin merge exact anyway.
+        let per_shard: Vec<Vec<NodeId>> =
+            par_map_with_threads(threads, (0..SHARDS).collect(), |k| {
+                let mut guard = sharded.shard(k);
+                (0..JOBS / SHARDS).map(|_| guard.dispatch().unwrap().node).collect()
+            });
+        (0..JOBS).map(|j| per_shard[j % SHARDS][j / SHARDS]).collect()
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(2), "2 workers changed the merged sequence");
+    assert_eq!(sequential, run(4), "4 workers changed the merged sequence");
+}
+
+#[test]
+fn admission_keeps_the_closed_loop_at_the_target() {
+    // Two unit-rate nodes, offered load 1.8 ⇒ ρ = 0.9 against a 0.6
+    // target: admission thins the stream by 0.6/0.9, and thinning a
+    // Poisson stream leaves a Poisson stream — so the observed response
+    // times must match the published table's analytic value at the
+    // *admitted* rate Φ = target · Σμ = 1.2.
+    let rates = [1.0, 1.0];
+    let phi = 1.8;
+    let target = 0.6;
+    let rt = Runtime::builder()
+        .seed(31)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(phi)
+        .admission(AdmissionConfig { target_utilization: target, defer_band: 0.0 })
+        .shards(2)
+        .build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 41, batch_size: 1_000 });
+    driver.run_jobs(&rt, 15_000).unwrap();
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 60_000).unwrap();
+    let stats = driver.stats();
+    assert_eq!(stats.submitted, 60_000);
+    assert_eq!(stats.accepted + stats.rejected + stats.deferred, stats.submitted);
+    let expected_rejection = 1.0 - target / 0.9;
+    assert!(
+        (stats.rejection_rate() - expected_rejection).abs() < 0.02,
+        "rejection rate {} vs thinning prediction {expected_rejection}",
+        stats.rejection_rate()
+    );
+    let true_rates: Vec<(NodeId, f64)> = ids.iter().copied().zip(rates).collect();
+    let phi_admitted = target * rates.iter().sum::<f64>();
+    let analytic = closed_loop_analytic(&rt.current_table(), &true_rates, phi_admitted);
+    assert_matches_analytic(&stats, analytic, "admitted stream");
+}
+
+#[test]
+fn ingest_queue_feeds_the_shards_across_threads() {
+    // Producers push job tokens through a bounded IngestQueue; a consumer
+    // drains them onto the dispatch shards. The handoff must conserve
+    // jobs (every push is eventually dispatched) and respect the depth
+    // bound under backpressure.
+    const PRODUCERS: usize = 2;
+    const PER_PRODUCER: usize = 5_000;
+    const DEPTH: usize = 64;
+
+    let rt = Arc::new(Runtime::builder().seed(13).nominal_arrival_rate(1.0).shards(2).build());
+    rt.register_node(2.0).unwrap();
+    rt.resolve_now().unwrap();
+
+    let queue = Arc::new(IngestQueue::with_depth(DEPTH));
+    let dispatched = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let consumer = {
+            let q = Arc::clone(&queue);
+            let rt = Arc::clone(&rt);
+            let dispatched = &dispatched;
+            s.spawn(move || {
+                // The popped token doubles as the shard hint.
+                while let Some(token) = q.pop() {
+                    rt.dispatch_on(token % 2).unwrap();
+                    dispatched.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&queue);
+                s.spawn(move || {
+                    for j in 0..PER_PRODUCER {
+                        // Non-blocking first; fall back to blocking
+                        // backpressure when the consumer lags.
+                        if let Err(e) = q.try_submit(p * PER_PRODUCER + j) {
+                            match e {
+                                IngestError::Full(v) => q.submit(v).unwrap(),
+                                IngestError::Closed(_) => unreachable!("queue is open"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        queue.close();
+        consumer.join().unwrap();
+    });
+
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    assert_eq!(dispatched.load(Ordering::Relaxed), total, "handoff lost jobs");
+    assert_eq!(rt.dispatched(), total);
+    assert!(queue.is_empty(), "consumer drained everything");
+    assert!(queue.peak_depth() <= DEPTH, "depth bound violated");
 }
