@@ -88,6 +88,55 @@ impl Welford {
     }
 }
 
+/// Exponentially weighted moving average: `v ← (1−α)·v + α·x`. The
+/// cheap constant-memory smoother for streams whose recent history
+/// matters more than their past (inter-heartbeat gaps in a failure
+/// detector, drifting rates). The first observation initializes the
+/// average directly, so a cold accumulator is unbiased.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    n: u64,
+}
+
+impl Ewma {
+    /// Empty accumulator with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    /// If `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "Ewma: smoothing factor must lie in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: 0.0, n: 0 }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.n == 0 {
+            self.value = x;
+        } else {
+            self.value += self.alpha * (x - self.value);
+        }
+        self.n += 1;
+    }
+
+    /// The smoothed value, once at least one observation landed.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.value)
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
 /// Time-weighted average of a piecewise-constant state variable (queue
 /// length, number in system). `update(t, v)` declares that the variable
 /// takes value `v` from time `t` onward.
@@ -313,6 +362,32 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-12);
         assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ewma_first_observation_initializes() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.observe(0.0);
+        assert_eq!(e.value(), Some(5.0));
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_stream() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.observe(3.0);
+        }
+        assert!((e.value().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
     }
 
     #[test]

@@ -24,8 +24,10 @@ use gtlb_desim::rng::Xoshiro256PlusPlus;
 use gtlb_desim::stats::{BatchMeans, ConfidenceInterval, Welford};
 
 use crate::error::RuntimeError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::registry::NodeId;
-use crate::Runtime;
+use crate::retry::{RetryPolicy, RETRY_STREAM};
+use crate::{Runtime, Submission};
 
 /// RNG stream id of the driver's arrival process.
 pub const DRIVER_ARRIVAL_STREAM: u64 = 0x0500;
@@ -51,26 +53,38 @@ impl Default for TraceConfig {
 
 /// Measurements accumulated since the last reset.
 ///
-/// The admission counters satisfy the conservation invariant
-/// `accepted + rejected + deferred == submitted`; without admission
-/// control every submitted job is accepted.
+/// The per-job counters satisfy the conservation invariant
+/// `accepted + rejected + deferred + failed == submitted` — every
+/// offered job ends in exactly one of: completed (`accepted`, and
+/// `jobs == accepted`), shed at first admission (`rejected` /
+/// `deferred`), or abandoned with its retry budget exhausted
+/// (`failed`). Without faults and retries, `failed` stays zero and the
+/// invariant reduces to PR 2's admission partition.
 #[derive(Debug, Clone)]
 pub struct TraceStats {
     /// Jobs completed (accepted jobs that ran to completion).
     pub jobs: u64,
     /// Jobs offered to the runtime.
     pub submitted: u64,
-    /// Jobs admitted and dispatched.
+    /// Jobs eventually dispatched to a node that served them.
     pub accepted: u64,
-    /// Jobs shed outright by admission control.
+    /// Jobs shed outright by admission control (first attempt).
     pub rejected: u64,
-    /// Jobs shed with retry-later semantics by admission control.
+    /// Jobs shed with retry-later semantics by admission control
+    /// (first attempt).
     pub deferred: u64,
-    /// Mean observed response time.
+    /// Jobs abandoned after their last attempt dropped or was shed
+    /// (retry budget exhausted). Zero without fault injection.
+    pub failed: u64,
+    /// Redispatch attempts made (count of backoff waits, not jobs; one
+    /// job can contribute up to `max_attempts − 1`).
+    pub retried: u64,
+    /// Mean observed response time (arrival → completion, retry delays
+    /// included).
     pub mean_response: f64,
     /// 95 % batch-means confidence interval (needs ≥ 2 full batches).
     pub ci: Option<ConfidenceInterval>,
-    /// Jobs per node, in node-id order.
+    /// Jobs per node, in node-id order (the node that completed them).
     pub per_node: Vec<(NodeId, u64)>,
 }
 
@@ -84,6 +98,31 @@ impl TraceStats {
             self.rejected as f64 / self.submitted as f64
         }
     }
+
+    /// Fraction of submitted jobs abandoned with an exhausted retry
+    /// budget (0 when nothing submitted).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Checks the conservation invariant; `true` when every submitted
+    /// job is accounted for exactly once.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.accepted + self.rejected + self.deferred + self.failed == self.submitted
+            && self.jobs == self.accepted
+    }
+}
+
+#[derive(Debug)]
+struct Heartbeat {
+    interval: f64,
+    next: f64,
 }
 
 /// Replays a synthetic arrival stream against a runtime.
@@ -103,6 +142,11 @@ pub struct TraceDriver {
     accepted: u64,
     rejected: u64,
     deferred: u64,
+    failed: u64,
+    retried: u64,
+    faults: Option<FaultInjector>,
+    retry: Option<(RetryPolicy, Xoshiro256PlusPlus)>,
+    heartbeat: Option<Heartbeat>,
 }
 
 impl TraceDriver {
@@ -128,7 +172,51 @@ impl TraceDriver {
             accepted: 0,
             rejected: 0,
             deferred: 0,
+            failed: 0,
+            retried: 0,
+            faults: None,
+            retry: None,
+            heartbeat: None,
         }
+    }
+
+    /// Enacts a scripted fault plan: dispatch attempts against crashed
+    /// or flaky nodes drop, slow windows degrade the true service rate
+    /// the driver simulates with, and every drop/ack feeds the
+    /// runtime's failure detector. Flaky draws come from the plan's own
+    /// stream family, so the arrival/service/routing/admission
+    /// sequences are untouched.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// Enables retry/timeout/backoff on dropped attempts. Backoff draws
+    /// come from the driver seed's [`RETRY_STREAM`], disjoint from every
+    /// other stream family.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        let rng = Xoshiro256PlusPlus::stream(self.seed, RETRY_STREAM);
+        self.retry = Some((policy, rng));
+        self
+    }
+
+    /// Probes every registered node each `interval` virtual seconds
+    /// (Down nodes included — that is the probation path), feeding the
+    /// runtime's failure detector. Without heartbeats the detector only
+    /// sees dispatch outcomes, so an idle dead node is never noticed.
+    ///
+    /// # Panics
+    /// If `interval` is nonpositive or non-finite.
+    #[must_use]
+    pub fn with_heartbeats(mut self, interval: f64) -> Self {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "heartbeat interval must be positive and finite"
+        );
+        self.heartbeat = Some(Heartbeat { interval, next: self.clock + interval });
+        self
     }
 
     /// Current virtual time.
@@ -148,51 +236,166 @@ impl TraceDriver {
     /// Resumable: queues, clocks and RNG streams persist across calls, so
     /// callers can inject control-plane events between chunks.
     ///
+    /// With a fault plan ([`TraceDriver::with_faults`]) attempts against
+    /// sick nodes drop; with a retry policy ([`TraceDriver::with_retry`])
+    /// a dropped attempt waits out its timeout, backs off with
+    /// decorrelated jitter, and redispatches through the *current*
+    /// routing snapshot — which the detector has typically already
+    /// renormalized away from the sick node. A job whose budget runs out
+    /// counts as [`TraceStats::failed`].
+    ///
     /// # Errors
     /// [`RuntimeError::NoServingNodes`] when an admitted job has nowhere
-    /// to route; [`RuntimeError::UnknownNode`] when a chosen node was
-    /// deregistered mid-flight.
+    /// to route and no faults are being injected (with faults on, a
+    /// transiently empty table is a retryable condition, not an error);
+    /// [`RuntimeError::UnknownNode`] when a chosen node was deregistered
+    /// mid-flight.
     pub fn run_jobs(&mut self, runtime: &Runtime, jobs: u64) -> Result<(), RuntimeError> {
         for _ in 0..jobs {
             let gap = -self.arrivals.next_open01().ln() / self.phi;
             self.clock += gap;
             let arrived = self.clock;
+            self.run_heartbeats(runtime, arrived)?;
             runtime.record_arrival(arrived);
 
             self.submitted += 1;
-            let decision = match runtime.submit()? {
-                crate::Submission::Dispatched(decision) => decision,
-                crate::Submission::Rejected => {
-                    self.rejected += 1;
-                    continue;
+            self.offer_job(runtime, arrived)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers all heartbeat ticks due at or before `upto`: every
+    /// registered node is probed in registration order (Down nodes too —
+    /// the probation path runs on probes), and the outcome feeds the
+    /// runtime's failure detector.
+    fn run_heartbeats(&mut self, runtime: &Runtime, upto: f64) -> Result<(), RuntimeError> {
+        let Some(hb) = &mut self.heartbeat else { return Ok(()) };
+        while hb.next <= upto {
+            let t = hb.next;
+            hb.next += hb.interval;
+            for node in runtime.node_ids() {
+                let dropped = self.faults.as_mut().is_some_and(|f| f.attempt_drops(node, t));
+                if dropped {
+                    runtime.observe_failure(node, t)?;
+                } else {
+                    runtime.observe_success(node, t)?;
                 }
-                crate::Submission::Deferred => {
-                    self.deferred += 1;
-                    continue;
+            }
+        }
+        Ok(())
+    }
+
+    /// Offers one job through admission/dispatch, simulating drops and
+    /// the retry loop. Exactly one terminal counter is bumped per call
+    /// (`accepted`, `rejected`, `deferred`, or `failed`) — the
+    /// conservation invariant [`TraceStats::is_conserved`] checks.
+    fn offer_job(&mut self, runtime: &Runtime, arrived: f64) -> Result<(), RuntimeError> {
+        let budget = self.retry.as_ref().map_or(1, |(p, _)| p.max_attempts());
+        let timeout = self.retry.as_ref().map_or(0.0, |(p, _)| p.timeout());
+        let chaos = self.faults.is_some();
+        let mut t_attempt = arrived;
+        let mut prev_backoff = 0.0;
+        for attempt in 1..=budget {
+            let submission = match runtime.submit() {
+                Ok(s) => s,
+                // With faults on, an empty table is transient (the last
+                // serving node just went Down; recovery or probation will
+                // repopulate it) — retryable, not fatal.
+                Err(RuntimeError::NoServingNodes) if chaos => {
+                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                        continue;
+                    }
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            let decision = match submission {
+                Submission::Dispatched(d) => d,
+                Submission::Rejected => {
+                    if attempt == 1 {
+                        self.rejected += 1;
+                        return Ok(());
+                    }
+                    // Shed mid-retry: consumes budget like a drop.
+                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                        continue;
+                    }
+                    return Ok(());
+                }
+                Submission::Deferred => {
+                    if attempt == 1 {
+                        self.deferred += 1;
+                        return Ok(());
+                    }
+                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                        continue;
+                    }
+                    return Ok(());
                 }
             };
-            self.accepted += 1;
             let node = decision.node;
             let mu = runtime.node_rate(node).ok_or(RuntimeError::UnknownNode(node))?;
 
+            if self.faults.as_mut().is_some_and(|f| f.attempt_drops(node, t_attempt)) {
+                // The attempt times out against the sick node; the
+                // detector hears about it at the deadline.
+                runtime.observe_failure(node, t_attempt + timeout)?;
+                t_attempt += timeout;
+                if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                    continue;
+                }
+                return Ok(());
+            }
+
+            // Served. Slow windows degrade the *true* rate the service
+            // time is drawn with — the estimator's μ̂ then lags reality,
+            // exactly the mismatch the re-solver must absorb.
+            let factor = self.faults.as_ref().map_or(1.0, |f| f.service_factor(node, t_attempt));
             let seed = self.seed;
             let rng = self.services.entry(node).or_insert_with(|| {
                 Xoshiro256PlusPlus::stream(seed, DRIVER_SERVICE_STREAM_BASE + node.raw())
             });
-            let service = -rng.next_open01().ln() / mu;
+            let service = -rng.next_open01().ln() / (mu * factor);
 
             let free = self.next_free.entry(node).or_insert(0.0);
-            let start = arrived.max(*free);
+            let start = t_attempt.max(*free);
             let done = start + service;
             *free = done;
 
             runtime.record_service(node, service);
+            if chaos {
+                runtime.observe_success(node, done)?;
+            }
+            self.accepted += 1;
             let response = done - arrived;
             self.responses.add(response);
             self.batches.add(response);
             *self.per_node.entry(node).or_insert(0) += 1;
+            return Ok(());
         }
-        Ok(())
+        unreachable!("every attempt either returns or schedules a retry");
+    }
+
+    /// After a dropped or shed attempt: waits a decorrelated-jitter
+    /// backoff and reports `true` when budget remains; otherwise charges
+    /// the job to `failed` and reports `false`.
+    fn schedule_retry(
+        &mut self,
+        attempt: u32,
+        budget: u32,
+        t_attempt: &mut f64,
+        prev_backoff: &mut f64,
+    ) -> bool {
+        if attempt >= budget {
+            self.failed += 1;
+            return false;
+        }
+        let (policy, rng) = self.retry.as_mut().expect("budget > 1 implies a retry policy");
+        let u = rng.next_open01();
+        *prev_backoff = policy.backoff(*prev_backoff, u);
+        *t_attempt += *prev_backoff;
+        self.retried += 1;
+        true
     }
 
     /// Drops accumulated measurements (warm-up deletion, or isolating a
@@ -206,6 +409,8 @@ impl TraceDriver {
         self.accepted = 0;
         self.rejected = 0;
         self.deferred = 0;
+        self.failed = 0;
+        self.retried = 0;
     }
 
     /// Measurements since construction or the last reset.
@@ -220,6 +425,8 @@ impl TraceDriver {
             accepted: self.accepted,
             rejected: self.rejected,
             deferred: self.deferred,
+            failed: self.failed,
+            retried: self.retried,
             mean_response: self.responses.mean(),
             ci: (self.batches.batches() >= 2).then(|| self.batches.confidence_interval()),
             per_node,
@@ -323,6 +530,85 @@ mod tests {
         // reset_measurements clears the admission window too.
         driver.reset_measurements();
         assert_eq!(driver.stats().submitted, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_trace() {
+        // Chaos machinery enabled but idle must not perturb the trace:
+        // the fault and retry streams are only drawn on actual drops.
+        let base = || {
+            let (rt, _) = runtime(&[1.0, 0.5], 0.6);
+            let mut driver = TraceDriver::new(0.6, TraceConfig { seed: 9, batch_size: 100 });
+            driver.run_jobs(&rt, 2_000).unwrap();
+            (driver.stats().mean_response, driver.clock())
+        };
+        let chaos = || {
+            let (rt, _) = runtime(&[1.0, 0.5], 0.6);
+            let mut driver = TraceDriver::new(0.6, TraceConfig { seed: 9, batch_size: 100 })
+                .with_faults(FaultPlan::new(77))
+                .with_retry(RetryPolicy::new(crate::RetryConfig::default()).unwrap())
+                .with_heartbeats(0.5);
+            driver.run_jobs(&rt, 2_000).unwrap();
+            (driver.stats().mean_response, driver.clock())
+        };
+        let (a, ta) = base();
+        let (b, tb) = chaos();
+        assert_eq!(a.to_bits(), b.to_bits(), "idle chaos must be invisible");
+        assert_eq!(ta.to_bits(), tb.to_bits());
+    }
+
+    #[test]
+    fn crash_with_retry_conserves_and_redispatches() {
+        let (rt, ids) = runtime(&[1.0, 1.0], 0.8);
+        let plan = FaultPlan::new(21).crash(ids[0], 50.0);
+        let mut driver = TraceDriver::new(0.8, TraceConfig { seed: 13, batch_size: 500 })
+            .with_faults(plan)
+            .with_retry(RetryPolicy::new(crate::RetryConfig::default()).unwrap())
+            .with_heartbeats(1.0);
+        driver.run_jobs(&rt, 8_000).unwrap();
+        let stats = driver.stats();
+        assert!(stats.is_conserved(), "conservation violated: {stats:?}");
+        assert!(stats.retried > 0, "attempts against the corpse must retry");
+        assert_eq!(rt.node_health(ids[0]), Some(crate::Health::Down), "detector caught the crash");
+        // After the detector downs node 0, everything lands on node 1.
+        let survivors = stats.per_node.iter().find(|&&(n, _)| n == ids[1]).unwrap().1;
+        assert!(survivors > stats.jobs / 2);
+        assert!(stats.failure_rate() < 0.05, "retries should save nearly every job");
+    }
+
+    #[test]
+    fn crash_without_retry_exhausts_budget_immediately() {
+        let (rt, ids) = runtime(&[1.0, 1.0], 0.8);
+        // No heartbeats: the detector only hears dispatch outcomes, so it
+        // needs several dropped jobs before it downs the node — each one
+        // a budget-1 failure.
+        let plan = FaultPlan::new(5).crash(ids[0], 10.0);
+        let mut driver =
+            TraceDriver::new(0.8, TraceConfig { seed: 13, batch_size: 500 }).with_faults(plan);
+        driver.run_jobs(&rt, 4_000).unwrap();
+        let stats = driver.stats();
+        assert!(stats.is_conserved(), "conservation violated: {stats:?}");
+        assert_eq!(stats.retried, 0, "no retry policy, no retries");
+        assert!(stats.failed >= 3, "attempts at the corpse before detection are lost: {stats:?}");
+        assert_eq!(rt.node_health(ids[0]), Some(crate::Health::Down));
+        assert_eq!(stats.jobs + stats.failed, stats.submitted);
+    }
+
+    #[test]
+    fn chaos_trace_is_reproducible() {
+        let run = || {
+            let (rt, ids) = runtime(&[1.0, 0.5], 0.6);
+            let plan =
+                FaultPlan::new(3).crash_recover(ids[0], 40.0, 30.0).flaky(ids[1], 10.0, 20.0, 0.4);
+            let mut driver = TraceDriver::new(0.6, TraceConfig { seed: 9, batch_size: 100 })
+                .with_faults(plan)
+                .with_retry(RetryPolicy::new(crate::RetryConfig::default()).unwrap())
+                .with_heartbeats(1.0);
+            driver.run_jobs(&rt, 4_000).unwrap();
+            let s = driver.stats();
+            (s.mean_response.to_bits(), s.failed, s.retried, driver.clock().to_bits())
+        };
+        assert_eq!(run(), run(), "same seed and plan ⇒ bit-identical chaos trace");
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Deterministic fault injection: scripted node failures the closed loop
+//! can be driven through, reproducibly.
+//!
+//! A [`FaultPlan`] is a seeded script of per-node fault events on the
+//! driver's virtual clock — crash, crash-and-recover, slow-node (degraded
+//! `μ`), and flaky (intermittent drops). A [`FaultInjector`] evaluates
+//! the plan: "is this node crashed at time `t`?", "by what factor is its
+//! service rate degraded?", "does this particular attempt drop?".
+//!
+//! ## Determinism contract
+//!
+//! The crash/recover/slow schedule is pure data — a function of the plan
+//! alone, identical for every shard count and thread count. The only
+//! randomness is the flaky drop draw, taken from the **fault stream
+//! family** ([`FAULT_STREAM`]`+ node id`), disjoint from dispatch
+//! (`0x0400`), admission (`0x0700`), the driver's arrival/service streams
+//! (`0x0500`/`0x0600`), and retry backoff (`0x0900`). Consequences:
+//!
+//! * enabling a fault plan never perturbs the routing or admission
+//!   decision sequence of the jobs that don't hit a fault — toggling
+//!   faults off reproduces the fault-free trace bit for bit;
+//! * per-node drop draws are consumed in attempt order, which the
+//!   single-threaded trace driver fixes, so a chaos trace is a pure
+//!   function of `(seed, plan, shard count)`.
+
+use std::collections::HashMap;
+
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+
+use crate::registry::NodeId;
+
+/// Base RNG stream id of the fault family: node `i`'s flaky-drop draws
+/// come from stream `FAULT_STREAM + i` of the plan seed. Disjoint from
+/// every routing/admission/driver/retry family, so chaos is
+/// routing-invariant.
+pub const FAULT_STREAM: u64 = 0x0800;
+
+/// One kind of injected fault. Durations are in the driver's virtual
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node stops serving at the event time and never recovers:
+    /// every attempt (job or heartbeat) against it drops.
+    Crash,
+    /// As [`FaultKind::Crash`], but the node comes back `down_for`
+    /// seconds later.
+    CrashRecover {
+        /// How long the node stays dead.
+        down_for: f64,
+    },
+    /// The node keeps serving but its service rate is scaled by `factor`
+    /// (`0 < factor ≤ 1`) for `lasts` seconds — a brownout/overheat
+    /// model the `μ̂` estimator should catch.
+    Slow {
+        /// Multiplier applied to the node's true service rate.
+        factor: f64,
+        /// Window length.
+        lasts: f64,
+    },
+    /// Each attempt against the node independently drops with
+    /// probability `drop_probability` for `lasts` seconds — the
+    /// intermittent, hysteresis-exercising failure mode.
+    Flaky {
+        /// Per-attempt drop probability in `(0, 1]`.
+        drop_probability: f64,
+        /// Window length.
+        lasts: f64,
+    },
+}
+
+/// One scheduled fault: `kind` strikes `node` at virtual time `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// The victim.
+    pub node: NodeId,
+    /// Virtual time the fault begins.
+    pub at: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, scripted schedule of fault events. Build with the chaining
+/// constructors; hand to [`FaultInjector::new`] (or
+/// `TraceDriver::with_faults`) to enact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+fn assert_time(at: f64, what: &str) {
+    assert!(at.is_finite() && at >= 0.0, "fault plan: {what} must be finite and nonnegative");
+}
+
+impl FaultPlan {
+    /// An empty plan whose flaky draws (if any are scheduled later) come
+    /// from the [`FAULT_STREAM`] family of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed, events: Vec::new() }
+    }
+
+    /// Schedules a permanent crash of `node` at time `at`.
+    ///
+    /// # Panics
+    /// If `at` is negative or non-finite.
+    #[must_use]
+    pub fn crash(mut self, node: NodeId, at: f64) -> Self {
+        assert_time(at, "crash time");
+        self.events.push(FaultEvent { node, at, kind: FaultKind::Crash });
+        self
+    }
+
+    /// Schedules a crash of `node` at `at` that heals `down_for` seconds
+    /// later.
+    ///
+    /// # Panics
+    /// If `at` or `down_for` is invalid (`down_for` must be positive).
+    #[must_use]
+    pub fn crash_recover(mut self, node: NodeId, at: f64, down_for: f64) -> Self {
+        assert_time(at, "crash time");
+        assert!(down_for.is_finite() && down_for > 0.0, "fault plan: down_for must be positive");
+        self.events.push(FaultEvent { node, at, kind: FaultKind::CrashRecover { down_for } });
+        self
+    }
+
+    /// Schedules a slow-node window: `node`'s service rate is multiplied
+    /// by `factor` on `[at, at + lasts)`.
+    ///
+    /// # Panics
+    /// If `factor` is outside `(0, 1]` or a time is invalid.
+    #[must_use]
+    pub fn slow(mut self, node: NodeId, at: f64, lasts: f64, factor: f64) -> Self {
+        assert_time(at, "slow-window start");
+        assert!(lasts.is_finite() && lasts > 0.0, "fault plan: slow window must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "fault plan: slow factor must lie in (0, 1], got {factor}"
+        );
+        self.events.push(FaultEvent { node, at, kind: FaultKind::Slow { factor, lasts } });
+        self
+    }
+
+    /// Schedules a flaky window: attempts against `node` drop with
+    /// probability `drop_probability` on `[at, at + lasts)`.
+    ///
+    /// # Panics
+    /// If `drop_probability` is outside `(0, 1]` or a time is invalid.
+    #[must_use]
+    pub fn flaky(mut self, node: NodeId, at: f64, lasts: f64, drop_probability: f64) -> Self {
+        assert_time(at, "flaky-window start");
+        assert!(lasts.is_finite() && lasts > 0.0, "fault plan: flaky window must be positive");
+        assert!(
+            drop_probability.is_finite() && drop_probability > 0.0 && drop_probability <= 1.0,
+            "fault plan: drop probability must lie in (0, 1], got {drop_probability}"
+        );
+        self.events.push(FaultEvent {
+            node,
+            at,
+            kind: FaultKind::Flaky { drop_probability, lasts },
+        });
+        self
+    }
+
+    /// The plan seed (flaky draws use its [`FAULT_STREAM`] family).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a fingerprint of the schedule (seed + every event). Because
+    /// the crash/slow/flaky schedule is pure data, this fingerprint is
+    /// invariant across shard counts and thread counts — the chaos CI
+    /// job diffs it alongside the decision-stream fingerprints.
+    #[must_use]
+    pub fn schedule_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(self.seed);
+        for e in &self.events {
+            fold(e.node.raw());
+            fold(e.at.to_bits());
+            match e.kind {
+                FaultKind::Crash => fold(1),
+                FaultKind::CrashRecover { down_for } => {
+                    fold(2);
+                    fold(down_for.to_bits());
+                }
+                FaultKind::Slow { factor, lasts } => {
+                    fold(3);
+                    fold(factor.to_bits());
+                    fold(lasts.to_bits());
+                }
+                FaultKind::Flaky { drop_probability, lasts } => {
+                    fold(4);
+                    fold(drop_probability.to_bits());
+                    fold(lasts.to_bits());
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Evaluates a [`FaultPlan`] against the virtual clock. Stateless for
+/// crash/slow queries; flaky drop draws advance the per-node fault
+/// streams (hence `&mut` on [`FaultInjector::attempt_drops`]).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    flaky_rng: HashMap<u64, Xoshiro256PlusPlus>,
+}
+
+impl FaultInjector {
+    /// An injector enacting `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, flaky_rng: HashMap::new() }
+    }
+
+    /// The plan being enacted.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `node` is dead at time `t` (inside a crash, or a
+    /// crash-recover window that has not healed yet).
+    #[must_use]
+    pub fn crashed(&self, node: NodeId, t: f64) -> bool {
+        self.plan.events.iter().any(|e| {
+            e.node == node
+                && match e.kind {
+                    FaultKind::Crash => t >= e.at,
+                    FaultKind::CrashRecover { down_for } => t >= e.at && t < e.at + down_for,
+                    _ => false,
+                }
+        })
+    }
+
+    /// The service-rate multiplier active on `node` at `t`: the product
+    /// of all overlapping slow windows, `1.0` when none.
+    #[must_use]
+    pub fn service_factor(&self, node: NodeId, t: f64) -> f64 {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Slow { factor, lasts }
+                    if e.node == node && t >= e.at && t < e.at + lasts =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The per-attempt drop probability active on `node` at `t` (the
+    /// maximum over overlapping flaky windows; `1.0` while crashed).
+    #[must_use]
+    pub fn drop_probability(&self, node: NodeId, t: f64) -> f64 {
+        if self.crashed(node, t) {
+            return 1.0;
+        }
+        self.plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Flaky { drop_probability, lasts }
+                    if e.node == node && t >= e.at && t < e.at + lasts =>
+                {
+                    Some(drop_probability)
+                }
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Decides one attempt (job dispatch or heartbeat) against `node` at
+    /// time `t`: `true` means the attempt drops. Crashed nodes drop
+    /// everything without consuming randomness; flaky windows draw from
+    /// the node's [`FAULT_STREAM`] stream, so the draw sequence is
+    /// per-node and independent of every other stream family.
+    pub fn attempt_drops(&mut self, node: NodeId, t: f64) -> bool {
+        if self.crashed(node, t) {
+            return true;
+        }
+        let p = self.drop_probability(node, t);
+        if p <= 0.0 {
+            return false;
+        }
+        let seed = self.plan.seed;
+        let rng = self
+            .flaky_rng
+            .entry(node.raw())
+            .or_insert_with(|| Xoshiro256PlusPlus::stream(seed, FAULT_STREAM + node.raw()));
+        rng.next_open01() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(raw: u64) -> NodeId {
+        NodeId::from_raw(raw)
+    }
+
+    #[test]
+    fn crash_is_permanent_and_crash_recover_heals() {
+        let plan = FaultPlan::new(1).crash(node(0), 10.0).crash_recover(node(1), 5.0, 3.0);
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.crashed(node(0), 9.9));
+        assert!(inj.crashed(node(0), 10.0));
+        assert!(inj.crashed(node(0), 1e9));
+        assert!(!inj.crashed(node(1), 4.9));
+        assert!(inj.crashed(node(1), 5.0));
+        assert!(inj.crashed(node(1), 7.9));
+        assert!(!inj.crashed(node(1), 8.0), "recovered");
+        assert!(!inj.crashed(node(2), 50.0), "bystander untouched");
+    }
+
+    #[test]
+    fn slow_windows_scale_and_compose() {
+        let plan = FaultPlan::new(2).slow(node(0), 2.0, 4.0, 0.5).slow(node(0), 4.0, 4.0, 0.5);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.service_factor(node(0), 1.0), 1.0);
+        assert_eq!(inj.service_factor(node(0), 3.0), 0.5);
+        assert_eq!(inj.service_factor(node(0), 5.0), 0.25, "overlap multiplies");
+        assert_eq!(inj.service_factor(node(0), 7.0), 0.5);
+        assert_eq!(inj.service_factor(node(0), 8.0), 1.0);
+        assert_eq!(inj.service_factor(node(1), 3.0), 1.0);
+    }
+
+    #[test]
+    fn flaky_drops_at_the_configured_rate() {
+        let plan = FaultPlan::new(3).flaky(node(0), 0.0, 1e6, 0.3);
+        let mut inj = FaultInjector::new(plan);
+        let drops = (0..10_000).filter(|_| inj.attempt_drops(node(0), 1.0)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate} vs p 0.3");
+        // Outside the window (or for other nodes) nothing drops and no
+        // randomness is consumed.
+        assert!(!inj.attempt_drops(node(1), 1.0));
+    }
+
+    #[test]
+    fn flaky_draw_sequence_is_reproducible_and_per_node() {
+        let run = |probe_other: bool| {
+            let plan =
+                FaultPlan::new(9).flaky(node(0), 0.0, 100.0, 0.5).flaky(node(1), 0.0, 100.0, 0.5);
+            let mut inj = FaultInjector::new(plan);
+            (0..64)
+                .map(|k| {
+                    if probe_other {
+                        // Interleave draws on node 1; node 0's sequence
+                        // must not shift.
+                        let _ = inj.attempt_drops(node(1), k as f64);
+                    }
+                    inj.attempt_drops(node(0), k as f64)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "per-node streams are independent");
+    }
+
+    #[test]
+    fn crashed_attempts_drop_without_consuming_draws() {
+        let plan = FaultPlan::new(4).crash(node(0), 0.0).flaky(node(0), 0.0, 100.0, 0.5);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..16 {
+            assert!(inj.attempt_drops(node(0), 1.0));
+        }
+        assert!(inj.flaky_rng.is_empty(), "crash short-circuits the flaky draw");
+        assert_eq!(inj.drop_probability(node(0), 1.0), 1.0);
+    }
+
+    #[test]
+    fn schedule_fingerprint_is_stable_and_sensitive() {
+        let a = FaultPlan::new(7).crash(node(0), 10.0).slow(node(1), 2.0, 3.0, 0.5);
+        let b = FaultPlan::new(7).crash(node(0), 10.0).slow(node(1), 2.0, 3.0, 0.5);
+        assert_eq!(a.schedule_fingerprint(), b.schedule_fingerprint());
+        let c = FaultPlan::new(7).crash(node(0), 10.5).slow(node(1), 2.0, 3.0, 0.5);
+        assert_ne!(a.schedule_fingerprint(), c.schedule_fingerprint());
+        let d = FaultPlan::new(8).crash(node(0), 10.0).slow(node(1), 2.0, 3.0, 0.5);
+        assert_ne!(a.schedule_fingerprint(), d.schedule_fingerprint());
+        assert!(FaultPlan::new(0).is_empty());
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn flaky_rejects_bad_probability() {
+        let _ = FaultPlan::new(0).flaky(node(0), 0.0, 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn slow_rejects_bad_factor() {
+        let _ = FaultPlan::new(0).slow(node(0), 0.0, 1.0, 0.0);
+    }
+}

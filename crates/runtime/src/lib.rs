@@ -42,13 +42,16 @@
 //! re-solve loop in the background.
 
 pub mod admission;
+pub mod detector;
 pub mod dispatcher;
 pub mod driver;
 pub mod error;
 pub mod estimator;
+pub mod fault;
 pub mod ingest;
 pub mod registry;
 pub mod resolver;
+pub mod retry;
 pub mod shard;
 pub mod swap;
 pub mod table;
@@ -60,13 +63,16 @@ use std::time::Duration;
 pub use admission::{
     AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmissionStats, AdmissionVerdict,
 };
+pub use detector::{AccrualDetector, DetectorConfig, HealthTransition};
 pub use dispatcher::{Decision, Dispatcher};
 pub use driver::{TraceConfig, TraceDriver, TraceStats};
 pub use error::RuntimeError;
 pub use estimator::EstimatorBank;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FAULT_STREAM};
 pub use ingest::{IngestError, IngestQueue};
 pub use registry::{Health, Node, NodeId, Registry};
 pub use resolver::{ResolveOutcome, SchemeKind};
+pub use retry::{RetryConfig, RetryPolicy, RETRY_STREAM};
 pub use shard::{ShardGuard, ShardedDispatcher};
 pub use swap::EpochSwap;
 pub use table::RoutingTable;
@@ -97,6 +103,9 @@ pub struct RuntimeConfig {
     /// Admission control in front of the shards; `None` admits
     /// everything (the default).
     pub admission: Option<AdmissionConfig>,
+    /// Tuning of the accrual failure detector behind
+    /// [`Runtime::observe_success`] / [`Runtime::observe_failure`].
+    pub detector: DetectorConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -111,6 +120,7 @@ impl Default for RuntimeConfig {
             min_service_obs: 16,
             shards: 1,
             admission: None,
+            detector: DetectorConfig::default(),
         }
     }
 }
@@ -185,11 +195,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Tunes the accrual failure detector (defaults apply otherwise).
+    #[must_use]
+    pub fn detector(mut self, cfg: DetectorConfig) -> Self {
+        self.cfg.detector = cfg;
+        self
+    }
+
     /// Builds the runtime (no nodes, empty routing table).
     ///
     /// # Panics
     /// If the admission configuration is invalid (target utilization
-    /// outside `(0, 1)`, negative defer band).
+    /// outside `(0, 1)`, negative defer band) or the detector
+    /// configuration is inconsistent (see [`DetectorConfig`]).
     #[must_use]
     pub fn build(self) -> Runtime {
         Runtime::with_config(self.cfg)
@@ -199,6 +217,11 @@ impl RuntimeBuilder {
 struct State {
     registry: Registry,
     bank: EstimatorBank,
+}
+
+struct DetectorState {
+    detector: AccrualDetector,
+    log: Vec<HealthTransition>,
 }
 
 /// What happened to one job offered through [`Runtime::submit`].
@@ -229,6 +252,10 @@ impl Submission {
 pub struct Runtime {
     cfg: RuntimeConfig,
     state: Mutex<State>,
+    // Separate lock, never held together with `state` (each method
+    // acquires them strictly in sequence), so detector bookkeeping can't
+    // deadlock against the dispatch/telemetry paths.
+    detector: Mutex<DetectorState>,
     table: Arc<EpochSwap<RoutingTable>>,
     sharded: ShardedDispatcher,
     admission: Option<AdmissionControl>,
@@ -245,7 +272,8 @@ impl Runtime {
     /// Builds a runtime from an explicit configuration.
     ///
     /// # Panics
-    /// If `cfg.admission` is invalid (see [`AdmissionPolicy::new`]).
+    /// If `cfg.admission` is invalid (see [`AdmissionPolicy::new`]) or
+    /// `cfg.detector` is inconsistent (see [`DetectorConfig`]).
     #[must_use]
     pub fn with_config(cfg: RuntimeConfig) -> Self {
         let table = Arc::new(EpochSwap::new(RoutingTable::empty(0)));
@@ -264,6 +292,10 @@ impl Runtime {
         Self {
             cfg,
             state: Mutex::new(State { registry: Registry::new(), bank }),
+            detector: Mutex::new(DetectorState {
+                detector: AccrualDetector::new(cfg.detector),
+                log: Vec::new(),
+            }),
             table,
             sharded,
             admission,
@@ -299,51 +331,58 @@ impl Runtime {
             state.registry.deregister(id)?;
             state.bank.forget(id);
         }
+        self.detector_state().detector.forget(id);
         self.republish_without(id);
+        self.refresh_offered_utilization();
         Ok(())
     }
 
     /// Starts draining a node: it finishes queued work but stops
     /// receiving new jobs, immediately and at every future resolve.
+    /// Returns the previous health.
     ///
     /// # Errors
     /// [`RuntimeError::UnknownNode`] for unregistered ids.
-    pub fn drain_node(&self, id: NodeId) -> Result<(), RuntimeError> {
-        self.state().registry.set_health(id, Health::Draining)?;
+    pub fn drain_node(&self, id: NodeId) -> Result<Health, RuntimeError> {
+        let prev = self.set_health_synced(id, Health::Draining)?;
         self.republish_without(id);
-        Ok(())
+        self.refresh_offered_utilization();
+        Ok(prev)
     }
 
     /// Marks a node suspect (still serving, flagged for demotion).
+    /// Returns the previous health.
     ///
     /// # Errors
     /// [`RuntimeError::UnknownNode`] for unregistered ids.
-    pub fn mark_suspect(&self, id: NodeId) -> Result<(), RuntimeError> {
-        self.state().registry.set_health(id, Health::Suspect)?;
-        Ok(())
+    pub fn mark_suspect(&self, id: NodeId) -> Result<Health, RuntimeError> {
+        self.set_health_synced(id, Health::Suspect)
     }
 
     /// Marks a node up. It rejoins the routing table at the next resolve
     /// (rejoining needs a real allocation, not a renormalization).
+    /// Returns the previous health.
     ///
     /// # Errors
     /// [`RuntimeError::UnknownNode`] for unregistered ids.
-    pub fn mark_up(&self, id: NodeId) -> Result<(), RuntimeError> {
-        self.state().registry.set_health(id, Health::Up)?;
-        Ok(())
+    pub fn mark_up(&self, id: NodeId) -> Result<Health, RuntimeError> {
+        let prev = self.set_health_synced(id, Health::Up)?;
+        self.refresh_offered_utilization();
+        Ok(prev)
     }
 
     /// Marks a node down. Its probability mass is redistributed over the
     /// survivors **immediately** (renormalized table, next epoch); the
     /// full re-solve that rebalances everyone follows separately —
-    /// "renormalize, then re-solve".
+    /// "renormalize, then re-solve". Returns the previous health.
     ///
     /// # Errors
     /// [`RuntimeError::UnknownNode`] for unregistered ids.
-    pub fn mark_down(&self, id: NodeId) -> Result<(), RuntimeError> {
-        self.state().registry.set_health(id, Health::Down)?;
+    pub fn mark_down(&self, id: NodeId) -> Result<Health, RuntimeError> {
+        let prev = self.set_health_synced(id, Health::Down)?;
         self.republish_without(id);
-        Ok(())
+        self.refresh_offered_utilization();
+        Ok(prev)
     }
 
     /// A node's declared capacity, if registered.
@@ -356,6 +395,64 @@ impl Runtime {
     #[must_use]
     pub fn node_health(&self, id: NodeId) -> Option<Health> {
         self.state().registry.node(id).map(Node::health)
+    }
+
+    /// Ids of all registered nodes (any health), in registration order.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.state().registry.nodes().iter().map(Node::id).collect()
+    }
+
+    // ---- failure detection ---------------------------------------------
+
+    /// Feeds the failure detector one successful observation (heartbeat
+    /// ack or completed response) of `node` at virtual time `t`, and
+    /// applies any health transition it decides on: Suspect→Up past the
+    /// hysteresis band, Down→Up after the probation window (which also
+    /// triggers a best-effort re-solve so the node regains routing
+    /// mass). Unknown or draining nodes are ignored (`Ok(None)`) —
+    /// observations may race deregistration, and drains are
+    /// administrative, not health.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] when the node vanishes between the
+    /// detector's decision and its application.
+    pub fn observe_success(
+        &self,
+        node: NodeId,
+        t: f64,
+    ) -> Result<Option<HealthTransition>, RuntimeError> {
+        self.observe(node, t, true)
+    }
+
+    /// Feeds the failure detector one failed observation (dropped
+    /// attempt, missed heartbeat) of `node` at virtual time `t`, and
+    /// applies any transition: Up→Suspect once suspicion crosses the
+    /// suspect threshold, →Down once it crosses the down threshold
+    /// (which renormalizes the routing table away from the node
+    /// immediately and refreshes the brownout coupling).
+    ///
+    /// # Errors
+    /// As [`Runtime::observe_success`].
+    pub fn observe_failure(
+        &self,
+        node: NodeId,
+        t: f64,
+    ) -> Result<Option<HealthTransition>, RuntimeError> {
+        self.observe(node, t, false)
+    }
+
+    /// Every health transition the detector has driven, in order.
+    #[must_use]
+    pub fn health_transitions(&self) -> Vec<HealthTransition> {
+        self.detector_state().log.clone()
+    }
+
+    /// The detector's current suspicion level φ for `node` at time
+    /// `now` (zero for unobserved nodes).
+    #[must_use]
+    pub fn suspicion(&self, node: NodeId, now: f64) -> f64 {
+        self.detector_state().detector.phi(node, now)
     }
 
     // ---- telemetry ------------------------------------------------------
@@ -557,6 +654,100 @@ impl Runtime {
 
     fn state(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn detector_state(&self) -> MutexGuard<'_, DetectorState> {
+        self.detector.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Sets a node's health in the registry *and* forces the detector's
+    /// view to match, so a manual mark and the detector never fight
+    /// (without the sync, a manually-downed node would stay down forever:
+    /// the detector, still believing it Up, would never emit the Up
+    /// transition that readmits it).
+    fn set_health_synced(&self, id: NodeId, health: Health) -> Result<Health, RuntimeError> {
+        let prev = self.state().registry.set_health(id, health)?;
+        self.detector_state().detector.set_view(id, health);
+        Ok(prev)
+    }
+
+    /// Shared body of the `observe_*` pair: run the detector, log and
+    /// apply whatever transition it decides on.
+    fn observe(
+        &self,
+        node: NodeId,
+        t: f64,
+        success: bool,
+    ) -> Result<Option<HealthTransition>, RuntimeError> {
+        match self.node_health(node) {
+            None | Some(Health::Draining) => return Ok(None),
+            Some(_) => {}
+        }
+        let transition = {
+            let mut det = self.detector_state();
+            let tr = if success {
+                det.detector.observe_success(node, t)
+            } else {
+                det.detector.observe_failure(node, t)
+            };
+            if let Some(tr) = tr {
+                det.log.push(tr);
+            }
+            tr
+        };
+        if let Some(tr) = transition {
+            self.apply_transition(tr)?;
+        }
+        Ok(transition)
+    }
+
+    /// Applies a detector-decided transition to the registry and the
+    /// routing/admission layers.
+    fn apply_transition(&self, tr: HealthTransition) -> Result<(), RuntimeError> {
+        self.state().registry.set_health(tr.node, tr.to)?;
+        match tr.to {
+            Health::Down => {
+                self.republish_without(tr.node);
+                self.refresh_offered_utilization();
+            }
+            Health::Up => {
+                // Rejoining needs a real allocation; a failed re-solve
+                // (e.g. Φ transiently at capacity) is retried by the
+                // resolver loop, so best-effort here.
+                let _ = self.resolve_now();
+                self.refresh_offered_utilization();
+            }
+            Health::Suspect | Health::Draining => {}
+        }
+        Ok(())
+    }
+
+    /// Re-publishes the offered utilization `ρ = Φ / Σμ(serving)` to the
+    /// admission policy from the *current* serving set — the brownout
+    /// coupling: when failures shrink surviving capacity below demand, ρ
+    /// rises and Poisson thinning sheds the excess instead of letting
+    /// queues diverge. No-op without admission control. With nothing
+    /// serving and positive demand, ρ is published as `f64::MAX`
+    /// (reject everything).
+    fn refresh_offered_utilization(&self) {
+        let Some(control) = &self.admission else { return };
+        let (capacity, phi) = {
+            let state = self.state();
+            let State { ref registry, ref bank } = *state;
+            let capacity: f64 = registry
+                .serving()
+                .map(|n| bank.service_rate(n.id()).unwrap_or(n.nominal_rate()))
+                .sum();
+            (capacity, bank.arrival_rate().unwrap_or(self.cfg.nominal_arrival_rate))
+        };
+        let rho = if capacity > 0.0 {
+            phi / capacity
+        } else if phi > 0.0 {
+            f64::MAX
+        } else {
+            0.0
+        };
+        control.publish_offered_utilization(rho);
     }
 
     fn next_epoch(&self) -> u64 {
@@ -855,6 +1046,93 @@ mod tests {
             (0..128).map(|_| rt.submit().unwrap().decision().unwrap().node).collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn manual_marks_return_previous_health() {
+        let rt = coop_runtime(0.5);
+        let a = rt.register_node(1.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert_eq!(rt.mark_suspect(a).unwrap(), Health::Up);
+        assert_eq!(rt.mark_down(a).unwrap(), Health::Suspect);
+        assert_eq!(rt.mark_up(a).unwrap(), Health::Down);
+        assert_eq!(rt.drain_node(a).unwrap(), Health::Up);
+        let ghost = NodeId::from_raw(99);
+        assert_eq!(rt.mark_down(ghost), Err(RuntimeError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn detector_drives_down_and_renormalizes() {
+        let rt = coop_runtime(0.9);
+        let a = rt.register_node(2.0).unwrap();
+        let b = rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        // Warm the cadence, then drop three observations in a row.
+        for k in 0..5 {
+            assert_eq!(rt.observe_success(a, f64::from(k)).unwrap(), None);
+        }
+        let tr = rt.observe_failure(a, 5.0).unwrap().expect("Up→Suspect");
+        assert_eq!((tr.from, tr.to), (Health::Up, Health::Suspect));
+        assert_eq!(rt.node_health(a), Some(Health::Suspect));
+        rt.observe_failure(a, 5.1).unwrap();
+        let tr = rt.observe_failure(a, 5.2).unwrap().expect("Suspect→Down");
+        assert_eq!(tr.to, Health::Down);
+        assert_eq!(rt.node_health(a), Some(Health::Down));
+        // Down applied the renormalization path: a left the table.
+        let table = rt.current_table();
+        assert_eq!(table.prob_of(a), None);
+        assert!((table.prob_of(b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(rt.health_transitions().len(), 2);
+        // Probation: three clean successes readmit the node via a solve.
+        for k in 0..3 {
+            rt.observe_success(a, 6.0 + f64::from(k)).unwrap();
+        }
+        assert_eq!(rt.node_health(a), Some(Health::Up));
+        assert!(rt.current_table().prob_of(a).is_some(), "re-solved back in");
+        assert_eq!(rt.health_transitions().len(), 3, "Down→Up logged");
+    }
+
+    #[test]
+    fn observations_on_unknown_or_draining_nodes_are_ignored() {
+        let rt = coop_runtime(0.5);
+        let a = rt.register_node(1.0).unwrap();
+        rt.drain_node(a).unwrap();
+        for k in 0..16 {
+            assert_eq!(rt.observe_failure(a, f64::from(k)).unwrap(), None);
+        }
+        assert_eq!(rt.node_health(a), Some(Health::Draining));
+        assert_eq!(rt.observe_success(NodeId::from_raw(42), 1.0).unwrap(), None);
+        assert!(rt.health_transitions().is_empty());
+    }
+
+    #[test]
+    fn node_loss_refreshes_offered_utilization() {
+        // Two unit-rate nodes at design load 0.8: ρ = 0.4 with both up,
+        // 0.8 after one dies — the brownout coupling admission acts on.
+        let rt = Runtime::builder()
+            .seed(3)
+            .nominal_arrival_rate(0.8)
+            .admission(AdmissionConfig { target_utilization: 0.9, defer_band: 0.0 })
+            .build();
+        let a = rt.register_node(1.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert!((rt.offered_utilization().unwrap() - 0.4).abs() < 1e-12);
+        rt.mark_down(a).unwrap();
+        assert!((rt.offered_utilization().unwrap() - 0.8).abs() < 1e-12);
+        rt.mark_up(a).unwrap();
+        assert!((rt.offered_utilization().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_ids_lists_registration_order() {
+        let rt = coop_runtime(0.5);
+        let a = rt.register_node(1.0).unwrap();
+        let b = rt.register_node(2.0).unwrap();
+        assert_eq!(rt.node_ids(), vec![a, b]);
+        rt.mark_down(a).unwrap();
+        assert_eq!(rt.node_ids(), vec![a, b], "health does not affect membership");
     }
 
     #[test]

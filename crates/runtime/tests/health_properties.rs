@@ -1,0 +1,193 @@
+//! Property tests over arbitrary health-transition sequences (vendored
+//! proptest shim): whatever order marks arrive in —
+//!
+//! 1. `serving()` never yields a Down (or Draining) node, and the
+//!    registry's view always matches the last mark applied;
+//! 2. Draining nodes receive no new dispatches (the routing table and
+//!    the dispatch stream both exclude them), while previously queued
+//!    work is untouched;
+//! 3. transition counts are conserved: every mark returns the previous
+//!    health, so chaining them reconstructs the full history — the
+//!    number of observed state *changes* equals the number of marks
+//!    that actually changed state.
+
+use gtlb_runtime::{Health, NodeId, Runtime, RuntimeError, SchemeKind};
+use proptest::prelude::*;
+
+/// One health mark a caller can issue.
+#[derive(Debug, Clone, Copy)]
+enum Mark {
+    Up,
+    Suspect,
+    Down,
+    Drain,
+}
+
+fn arb_mark() -> impl Strategy<Value = Mark> {
+    prop_oneof![Just(Mark::Up), Just(Mark::Suspect), Just(Mark::Down), Just(Mark::Drain)]
+}
+
+fn apply(rt: &Runtime, id: NodeId, mark: Mark) -> Result<Health, RuntimeError> {
+    match mark {
+        Mark::Up => rt.mark_up(id),
+        Mark::Suspect => rt.mark_suspect(id),
+        Mark::Down => rt.mark_down(id),
+        Mark::Drain => rt.drain_node(id),
+    }
+}
+
+fn target_of(mark: Mark) -> Health {
+    match mark {
+        Mark::Up => Health::Up,
+        Mark::Suspect => Health::Suspect,
+        Mark::Down => Health::Down,
+        Mark::Drain => Health::Draining,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serving_never_yields_a_down_or_draining_node(
+        rates in prop::collection::vec(0.5f64..4.0, 2..6),
+        marks in prop::collection::vec((0usize..6, arb_mark()), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let capacity: f64 = rates.iter().sum();
+        let rt = Runtime::builder()
+            .seed(seed)
+            .scheme(SchemeKind::Prop)
+            .nominal_arrival_rate(0.5 * capacity)
+            .build();
+        let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+        rt.resolve_now().unwrap();
+
+        for &(pick, mark) in &marks {
+            let id = ids[pick % ids.len()];
+            apply(&rt, id, mark).unwrap();
+
+            // The mark landed: the node's health is exactly the target.
+            prop_assert_eq!(rt.node_health(id), Some(target_of(mark)));
+
+            // The published table never routes to Down/Draining nodes.
+            let table = rt.current_table();
+            for &nid in &ids {
+                let health = rt.node_health(nid).unwrap();
+                if matches!(health, Health::Down | Health::Draining) {
+                    prop_assert_eq!(
+                        table.prob_of(nid), None,
+                        "{} is {} but still routable", nid, health.name()
+                    );
+                }
+            }
+
+            // A re-solve allocates only over serving nodes.
+            match rt.resolve_now() {
+                Ok(outcome) => {
+                    for nid in &outcome.nodes {
+                        let health = rt.node_health(*nid).unwrap();
+                        prop_assert!(
+                            health.serves(),
+                            "{} allocated while {}", nid, health.name()
+                        );
+                    }
+                }
+                Err(RuntimeError::NoServingNodes) => {
+                    prop_assert!(
+                        ids.iter().all(|&nid| !rt.node_health(nid).unwrap().serves())
+                    );
+                }
+                // Survivors can't carry the nominal design load: the
+                // solver refuses (the renormalized table stays up, and
+                // its exclusions were already checked above).
+                Err(RuntimeError::Core(_)) => {}
+                Err(e) => return Err(TestCaseError::Fail(format!("unexpected error {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn draining_nodes_receive_no_new_dispatches(
+        rates in prop::collection::vec(1.0f64..4.0, 2..5),
+        drain_pick in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let capacity: f64 = rates.iter().sum();
+        let rt = Runtime::builder()
+            .seed(seed)
+            .scheme(SchemeKind::Prop)
+            .nominal_arrival_rate(0.6 * capacity)
+            .build();
+        let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+        rt.resolve_now().unwrap();
+
+        // Dispatch a first wave so the drained node has "queued work"
+        // (hit counts it must keep).
+        for _ in 0..200 {
+            rt.dispatch().unwrap();
+        }
+        let victim = ids[drain_pick % ids.len()];
+        let queued_before =
+            rt.hit_counts().iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+
+        prop_assert_eq!(rt.drain_node(victim).unwrap(), Health::Up);
+        // New dispatches avoid the drained node, immediately and after a
+        // full re-solve.
+        for _ in 0..200 {
+            prop_assert_ne!(rt.dispatch().unwrap().node, victim);
+        }
+        // The re-solve may refuse if the survivors can't carry the
+        // design load; either way the published table excludes the
+        // drained node.
+        let _ = rt.resolve_now();
+        for _ in 0..200 {
+            prop_assert_ne!(rt.dispatch().unwrap().node, victim);
+        }
+        // The queued work was not clawed back.
+        let queued_after =
+            rt.hit_counts().iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+        prop_assert_eq!(queued_after, queued_before, "drain must not touch queued work");
+    }
+
+    #[test]
+    fn transition_counts_are_conserved(
+        rates in prop::collection::vec(0.5f64..4.0, 1..4),
+        marks in prop::collection::vec((0usize..4, arb_mark()), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let capacity: f64 = rates.iter().sum();
+        let rt = Runtime::builder()
+            .seed(seed)
+            .scheme(SchemeKind::Prop)
+            .nominal_arrival_rate(0.4 * capacity)
+            .build();
+        let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+        rt.resolve_now().unwrap();
+
+        // Shadow state machine: every mark's returned previous health
+        // must equal our local view — i.e. the chain of returns replays
+        // the exact history, with no transition lost or invented.
+        let mut shadow: Vec<Health> = vec![Health::Up; ids.len()];
+        let mut changes_expected = 0u64;
+        let mut changes_observed = 0u64;
+        for &(pick, mark) in &marks {
+            let k = pick % ids.len();
+            let target = target_of(mark);
+            if shadow[k] != target {
+                changes_expected += 1;
+            }
+            let prev = apply(&rt, ids[k], mark).unwrap();
+            prop_assert_eq!(prev, shadow[k], "returned previous health diverged from history");
+            if prev != target {
+                changes_observed += 1;
+            }
+            shadow[k] = target;
+        }
+        prop_assert_eq!(changes_observed, changes_expected);
+        // Final states agree too.
+        for (k, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(rt.node_health(id), Some(shadow[k]));
+        }
+    }
+}

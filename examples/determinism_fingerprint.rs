@@ -58,6 +58,57 @@ fn replication_fingerprint(res: &ReplicatedResult) -> u64 {
     h
 }
 
+/// A closed-loop chaos trace: scripted crash-recover + flaky faults, an
+/// accrual detector on heartbeats, and retry/backoff dispatch, folded
+/// into one word (stats, counters, queue clock, and every health
+/// transition). The fault and retry draws live on their own stream
+/// families, so this trace is a pure function of (seed, plan, shard
+/// count) — CI diffs it across the thread matrix with faults *enabled*.
+fn chaos_trace_fingerprint(shards: usize) -> u64 {
+    let rt = Runtime::builder()
+        .seed(0xF1A6)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(2.1)
+        .shards(shards)
+        .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
+        .build();
+    let ids: Vec<NodeId> =
+        [4.0, 2.0, 1.0].iter().map(|&rate| rt.register_node(rate).unwrap()).collect();
+    rt.resolve_now().unwrap();
+
+    let plan = FaultPlan::new(0xC4A05)
+        .crash_recover(ids[0], 40.0, 60.0)
+        .flaky(ids[2], 100.0, 50.0, 0.35)
+        .slow(ids[1], 160.0, 40.0, 0.5);
+    let mut driver = TraceDriver::new(2.1, TraceConfig { seed: 0xBEEF, batch_size: 500 })
+        .with_faults(plan.clone())
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+    driver.run_jobs(&rt, 6_000).unwrap();
+
+    let stats = driver.stats();
+    assert!(stats.is_conserved(), "chaos trace lost jobs: {stats:?}");
+    let mut h = FNV_OFFSET;
+    fold(&mut h, plan.schedule_fingerprint());
+    fold(&mut h, stats.mean_response.to_bits());
+    fold(&mut h, stats.submitted);
+    fold(&mut h, stats.accepted);
+    fold(&mut h, stats.rejected);
+    fold(&mut h, stats.deferred);
+    fold(&mut h, stats.failed);
+    fold(&mut h, stats.retried);
+    fold(&mut h, driver.clock().to_bits());
+    for (id, count) in &stats.per_node {
+        fold(&mut h, id.raw());
+        fold(&mut h, *count);
+    }
+    for tr in rt.health_transitions() {
+        fold(&mut h, tr.node.raw());
+        fold(&mut h, tr.at.to_bits());
+    }
+    h
+}
+
 /// The merged sharded-dispatch decision sequence (node id and epoch of
 /// every decision), executed by however many workers the environment
 /// grants, folded to one word.
@@ -108,4 +159,6 @@ fn main() {
 
     println!("replication_fingerprint {:016x}", replication_fingerprint(&replicated));
     println!("sharded_dispatch_fingerprint {:016x}", sharded_dispatch_fingerprint());
+    println!("chaos_trace_fingerprint {:016x}", chaos_trace_fingerprint(1));
+    println!("chaos_trace_sharded_fingerprint {:016x}", chaos_trace_fingerprint(4));
 }

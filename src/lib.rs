@@ -23,7 +23,9 @@
 //!   estimators, background re-solver, and an epoch-swapped routing table
 //!   serving live job streams from the allocators above, dispatched
 //!   through per-core shards behind admission control and a bounded
-//!   ingest queue.
+//!   ingest queue, with deterministic fault injection, an accrual
+//!   failure detector, and retry/timeout dispatch hardening the loop
+//!   against node churn.
 //!
 //! ## Quickstart
 //!
@@ -70,8 +72,8 @@ pub mod prelude {
     pub use gtlb_mechanism::verification::VerifiedMechanism;
     pub use gtlb_queueing::Mm1;
     pub use gtlb_runtime::{
-        AdmissionConfig, AdmissionStats, AdmissionVerdict, Health, IngestQueue, NodeId, Runtime,
-        RuntimeBuilder, RuntimeError, SchemeKind, ShardedDispatcher, Submission, TraceConfig,
-        TraceDriver,
+        AdmissionConfig, AdmissionStats, AdmissionVerdict, DetectorConfig, FaultPlan, Health,
+        HealthTransition, IngestQueue, NodeId, RetryConfig, RetryPolicy, Runtime, RuntimeBuilder,
+        RuntimeError, SchemeKind, ShardedDispatcher, Submission, TraceConfig, TraceDriver,
     };
 }
