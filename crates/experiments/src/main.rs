@@ -12,6 +12,8 @@
 //! ablate_nash_init ablate_wardrop_tol`, or the groups `ch3 ch4 ch5 ch6
 //! ablations all`.
 
+#![forbid(unsafe_code)]
+
 mod ablations;
 mod ch3;
 mod ch4;

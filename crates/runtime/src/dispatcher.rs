@@ -1,8 +1,8 @@
-//! The dispatch hot path: one uniform draw, one CDF lookup.
+//! The dispatch hot path: one uniform draw, one O(1) alias lookup.
 //!
 //! The dispatcher owns a deterministic RNG stream and reads the current
-//! routing table through [`EpochSwap`], so dispatching never contends
-//! with the re-solver beyond an `Arc` clone. Determinism matters here
+//! routing table through the lock-free [`EpochSwap`], so dispatching
+//! never contends with the re-solver beyond an `Arc` clone. Determinism matters here
 //! for the same reason it does in the simulator: a trace replayed with
 //! the same seed and the same sequence of published tables makes exactly
 //! the same routing decisions.

@@ -21,11 +21,12 @@
 //! * [`estimator`] — online `Φ̂` / `μ̂ᵢ` estimates feeding the solver;
 //! * [`resolver`] — the scheme ([`SchemeKind`]) and the solve/publish
 //!   step, plus the immediate renormalize-on-failure path;
-//! * [`table`] / [`swap`] — immutable routing tables behind an
-//!   epoch-swapped `Arc`, so the dispatch hot path never blocks on a
-//!   re-solve;
+//! * [`table`] / [`alias`] / [`swap`] — immutable routing tables (with a
+//!   prebuilt Walker alias table for O(1) sampling) behind a lock-free
+//!   epoch-swapped `Arc`, so the dispatch hot path never blocks on — or
+//!   even takes a lock against — a re-solve;
 //! * [`dispatcher`] — the single-stream hot path: one deterministic
-//!   uniform draw, one inverse-CDF lookup;
+//!   uniform draw, one O(1) alias lookup;
 //! * [`shard`] — N per-core dispatchers over the same table, each with
 //!   its own RNG stream (seed `base ^ shard_id`) and local counters
 //!   merged on read — the dispatch path without a global lock;
@@ -41,7 +42,10 @@
 //! to share across threads; [`Runtime::spawn_resolver`] runs the
 //! re-solve loop in the background.
 
+#![deny(unsafe_code)] // `swap` opts back in; see its safety argument.
+
 pub mod admission;
+pub mod alias;
 pub mod detector;
 pub mod dispatcher;
 pub mod driver;
@@ -63,6 +67,7 @@ use std::time::Duration;
 pub use admission::{
     AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmissionStats, AdmissionVerdict,
 };
+pub use alias::{AliasTable, MAX_BELOW_ONE};
 pub use detector::{AccrualDetector, DetectorConfig, HealthTransition};
 pub use dispatcher::{Decision, Dispatcher};
 pub use driver::{TraceConfig, TraceDriver, TraceStats};
@@ -244,6 +249,33 @@ impl Submission {
             Self::Dispatched(d) => Some(d),
             Self::Deferred | Self::Rejected => None,
         }
+    }
+}
+
+/// Outcome of a batch offered through [`Runtime::submit_batch`]: the
+/// decisions of the admitted jobs (in submission order) plus how many
+/// were shed either way.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchSubmission {
+    /// Routing decisions of the admitted jobs, in submission order.
+    pub decisions: Vec<Decision>,
+    /// Jobs shed with retry-later semantics.
+    pub deferred: u64,
+    /// Jobs shed outright.
+    pub rejected: u64,
+}
+
+impl BatchSubmission {
+    /// Jobs admitted and routed.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.decisions.len() as u64
+    }
+
+    /// Jobs offered in total (dispatched + deferred + rejected).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dispatched() + self.deferred + self.rejected
     }
 }
 
@@ -570,6 +602,58 @@ impl Runtime {
             }
         }
         guard.dispatch().map(Submission::Dispatched)
+    }
+
+    /// Offers `count` jobs as one batch on the next round-robin shard:
+    /// the guard (and its pinned table snapshot) is acquired once and
+    /// the jobs route in a tight loop. See
+    /// [`Runtime::submit_batch_on`] for the exact semantics.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] as [`Runtime::submit`].
+    pub fn submit_batch(&self, count: usize) -> Result<BatchSubmission, RuntimeError> {
+        self.submit_batch_on(self.sharded.next_shard(), count)
+    }
+
+    /// Offers `count` jobs as one batch on shard `shard`.
+    ///
+    /// Draw-for-draw equivalent to `count` successive
+    /// [`Runtime::submit_on`] calls on the same shard — per job, one
+    /// admission draw (when admission is configured) and one routing
+    /// draw for each admitted job, in the same order — so batching
+    /// never perturbs the decision sequence; it only amortizes the
+    /// shard lock, the table load, and the counter merges. Without
+    /// admission the whole batch goes through
+    /// [`ShardGuard::route_batch`]'s dense-counting loop.
+    ///
+    /// # Errors
+    /// [`RuntimeError::NoServingNodes`] when an admitted job has
+    /// nowhere to route (shed verdicts are counted, not errors).
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    pub fn submit_batch_on(
+        &self,
+        shard: usize,
+        count: usize,
+    ) -> Result<BatchSubmission, RuntimeError> {
+        let mut guard = self.sharded.shard(shard);
+        let mut batch =
+            BatchSubmission { decisions: Vec::with_capacity(count), deferred: 0, rejected: 0 };
+        match &self.admission {
+            None => guard.route_batch(count, &mut batch.decisions)?,
+            Some(control) => {
+                for _ in 0..count {
+                    let u = guard.next_admission_draw();
+                    match control.decide(u) {
+                        AdmissionVerdict::Accept => batch.decisions.push(guard.dispatch()?),
+                        AdmissionVerdict::Defer => batch.deferred += 1,
+                        AdmissionVerdict::Reject => batch.rejected += 1,
+                    }
+                }
+            }
+        }
+        Ok(batch)
     }
 
     /// Number of dispatch shards.
@@ -1046,6 +1130,73 @@ mod tests {
             (0..128).map(|_| rt.submit().unwrap().decision().unwrap().node).collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn submit_batch_replays_per_job_submissions() {
+        // Without admission: a batch on a pinned shard must equal the
+        // per-job decision sequence on the same shard, draw for draw.
+        let make = || {
+            let rt = Runtime::builder().seed(17).nominal_arrival_rate(0.9).shards(2).build();
+            rt.register_node(2.0).unwrap();
+            rt.register_node(1.0).unwrap();
+            rt.resolve_now().unwrap();
+            rt
+        };
+        let batched = make();
+        let batch = batched.submit_batch_on(1, 256).unwrap();
+        assert_eq!(batch.dispatched(), 256);
+        assert_eq!(batch.total(), 256);
+        let reference = make();
+        for d in &batch.decisions {
+            assert_eq!(reference.submit_on(1).unwrap(), Submission::Dispatched(*d));
+        }
+        assert_eq!(batched.dispatched(), reference.dispatched());
+        assert_eq!(batched.hit_counts(), reference.hit_counts());
+    }
+
+    #[test]
+    fn submit_batch_with_admission_matches_per_job_and_conserves() {
+        // ρ = 0.9 against a 0.5 target: band 0.0 rejects the sheds, band
+        // 0.5 defers them — both modes must replay the per-job sequence.
+        for band in [0.0, 0.5] {
+            let make = || {
+                let rt = Runtime::builder()
+                    .seed(4)
+                    .nominal_arrival_rate(0.9)
+                    .admission(AdmissionConfig { target_utilization: 0.5, defer_band: band })
+                    .build();
+                rt.register_node(1.0).unwrap();
+                rt.resolve_now().unwrap();
+                rt
+            };
+            let batched = make();
+            let batch = batched.submit_batch_on(0, 2_000).unwrap();
+            assert_eq!(batch.total(), 2_000);
+            assert!(batch.rejected + batch.deferred > 0, "overload must shed");
+            let reference = make();
+            let mut iter = batch.decisions.iter();
+            let (mut deferred, mut rejected) = (0u64, 0u64);
+            for _ in 0..2_000 {
+                match reference.submit_on(0).unwrap() {
+                    Submission::Dispatched(d) => assert_eq!(Some(&d), iter.next()),
+                    Submission::Deferred => deferred += 1,
+                    Submission::Rejected => rejected += 1,
+                }
+            }
+            assert_eq!(iter.next(), None);
+            assert_eq!((deferred, rejected), (batch.deferred, batch.rejected));
+            let stats = batched.admission_stats().unwrap();
+            assert_eq!(stats.submitted, 2_000);
+            assert_eq!(stats.accepted, batch.dispatched());
+        }
+    }
+
+    #[test]
+    fn submit_batch_before_resolve_fails() {
+        let rt = coop_runtime(0.5);
+        rt.register_node(1.0).unwrap();
+        assert_eq!(rt.submit_batch(8), Err(RuntimeError::NoServingNodes));
     }
 
     #[test]

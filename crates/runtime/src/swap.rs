@@ -1,35 +1,140 @@
 //! Epoch-swapped shared state: readers take an `Arc` snapshot, writers
-//! publish a whole new value.
+//! publish a whole new value — with a **lock-free read path**.
 //!
-//! The dispatch hot path must never block behind a re-solve. We get that
-//! with read-copy-update at the granularity of the whole routing table: a
-//! published table is immutable, readers clone an `Arc` to it (a brief
-//! read lock plus one atomic increment — the lock is only ever held for
-//! the duration of the clone, so contention is negligible), and the
-//! re-solver replaces the `Arc` under the write lock. In-flight readers
-//! keep dispatching on the epoch they snapshotted; the old table is freed
-//! when the last reader drops it.
+//! The dispatch hot path must never block behind a re-solve, and (since
+//! PR 4) it must not acquire a lock at all: under many reader threads
+//! even an uncontended `RwLock` read costs a futex-word RMW that all
+//! readers serialize on, and a single stalled writer can wedge every
+//! dispatcher. [`EpochSwap`] instead vendors an ArcSwap-style slot: a
+//! generation-counted double buffer over `UnsafeCell<Arc<T>>` with
+//! per-slot reader lease counters. Readers are lock-free (they retry
+//! only while a publish is racing them, and a publish is rare); writers
+//! serialize among themselves on a `Mutex` that readers never touch.
+//!
+//! ## Protocol
+//!
+//! The slot keeps two buffers and a monotone generation counter `gen`;
+//! `gen & 1` indexes the buffer holding the current value. Each buffer
+//! carries a lease counter of in-flight readers.
+//!
+//! * **Read** (`load`): read `gen` → pick buffer `gen & 1` → increment
+//!   that buffer's lease counter → **re-read `gen`**. If it is
+//!   unchanged, the buffer is still current and the lease is visible to
+//!   any future writer, so cloning the `Arc` inside is safe; release
+//!   the lease and return the clone. If `gen` moved, release the lease
+//!   and retry — the buffer may be mid-replacement.
+//! * **Write** (`publish`/`publish_arc`): take the writer mutex (writers
+//!   only), snapshot the live buffer's `Arc` (the "previous value" the
+//!   caller gets back), pick the *stale* buffer `(gen + 1) & 1` —
+//!   unreachable to every reader that validates against the current
+//!   `gen` — wait for its lease count to drain to zero, replace the
+//!   `Arc` inside (dropping the value from two publishes ago), then
+//!   advance `gen`. In-flight snapshots hold their own clones, so a
+//!   retired table is freed when the last one drops; the slot itself
+//!   keeps the previous value alive for exactly one more publish (the
+//!   recycling lag of a double buffer).
+//!
+//! ## Memory-ordering argument
+//!
+//! Three orderings carry the proof:
+//!
+//! 1. The reader's lease increment and its validating re-read of `gen`
+//!    are both `SeqCst`, and the writer's `gen` advance and its lease
+//!    poll are both `SeqCst`. In the single total order of those four
+//!    operations, either the reader's increment precedes the writer's
+//!    poll — the writer sees the lease and waits — or the writer's
+//!    `gen` advance precedes the reader's re-read — validation fails
+//!    and the reader never touches the cell. There is no interleaving
+//!    in which a reader dereferences a buffer a writer is replacing.
+//! 2. The writer stores `gen` with `SeqCst` (release semantics) *after*
+//!    writing the cell; a reader's first `Acquire` load of `gen`
+//!    therefore sees a fully-written `Arc` in the buffer it picks.
+//! 3. The reader releases its lease with a `Release` decrement and the
+//!    writer polls with `Acquire` loads, so the reader's clone of the
+//!    `Arc` happens-before any subsequent replacement of that buffer.
+//!
+//! The unsafe core is the pair of `UnsafeCell` accesses guarded by this
+//! protocol (one clone under a validated lease, one replace under the
+//! writer mutex after the lease drain); everything else is safe code.
+//! `cargo test -p gtlb-runtime --test swap_stress` hammers the protocol
+//! with racing readers and writers, and the scheme contains no
+//! `&`-to-`&mut` aliasing, so the core is Miri-clean by construction.
 
-use std::sync::{Arc, RwLock};
+// The one module in the workspace allowed to use `unsafe`: the two
+// `UnsafeCell` accesses guarded by the protocol above.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One buffer of the double-buffered slot: the value plus the count of
+/// readers currently holding a lease on it.
+struct Buffer<T> {
+    leases: AtomicU64,
+    value: UnsafeCell<Arc<T>>,
+}
 
 /// A slot holding an `Arc<T>` that is swapped wholesale on publish.
-#[derive(Debug)]
+///
+/// [`load`](Self::load) is lock-free: no mutex, no `RwLock`, only a
+/// lease increment, a generation validation, an `Arc` clone, and a
+/// lease release. See the [module docs](self) for the protocol and the
+/// memory-ordering argument.
 pub struct EpochSwap<T> {
-    slot: RwLock<Arc<T>>,
+    /// Monotone generation counter; `gen & 1` indexes the live buffer.
+    gen: AtomicU64,
+    buffers: [Buffer<T>; 2],
+    /// Serializes writers only; never touched by `load`.
+    writer: Mutex<()>,
 }
+
+// Safety: the slot hands out `Arc<T>` clones across threads and drops
+// replaced values on whichever thread published, so both bounds are
+// required; the protocol above makes the interior `UnsafeCell` accesses
+// data-race-free.
+unsafe impl<T: Send + Sync> Send for EpochSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochSwap<T> {}
 
 impl<T> EpochSwap<T> {
     /// Creates the slot with an initial value.
     pub fn new(value: T) -> Self {
-        Self { slot: RwLock::new(Arc::new(value)) }
+        let value = Arc::new(value);
+        Self {
+            gen: AtomicU64::new(0),
+            buffers: [
+                Buffer { leases: AtomicU64::new(0), value: UnsafeCell::new(Arc::clone(&value)) },
+                // The stale buffer starts as a second handle on the same
+                // value; the first publish replaces it.
+                Buffer { leases: AtomicU64::new(0), value: UnsafeCell::new(value) },
+            ],
+            writer: Mutex::new(()),
+        }
     }
 
-    /// Snapshots the current value. The returned `Arc` stays valid (and
-    /// immutable) across any number of subsequent publishes.
+    /// Snapshots the current value without acquiring any lock. The
+    /// returned `Arc` stays valid (and immutable) across any number of
+    /// subsequent publishes.
+    ///
+    /// Retries only while a publish races this exact read; with
+    /// publishes many orders of magnitude rarer than loads, the loop is
+    /// morally one iteration.
     pub fn load(&self) -> Arc<T> {
-        // A poisoned lock only means a panic elsewhere while holding it;
-        // the Arc inside is still structurally sound, so read through it.
-        Arc::clone(&self.slot.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+        loop {
+            let gen = self.gen.load(Ordering::Acquire);
+            let buffer = &self.buffers[(gen & 1) as usize];
+            buffer.leases.fetch_add(1, Ordering::SeqCst);
+            if self.gen.load(Ordering::SeqCst) == gen {
+                // Safety: the lease was taken while `buffer` was the
+                // live buffer and is visible to any writer that could
+                // replace it (ordering point 1 in the module docs), so
+                // the cell holds a valid `Arc` for the whole clone.
+                let value = unsafe { (*buffer.value.get()).clone() };
+                buffer.leases.fetch_sub(1, Ordering::Release);
+                return value;
+            }
+            buffer.leases.fetch_sub(1, Ordering::Release);
+        }
     }
 
     /// Publishes a new value, returning the previous one.
@@ -38,9 +143,50 @@ impl<T> EpochSwap<T> {
     }
 
     /// Publishes an already-wrapped value, returning the previous one.
+    ///
+    /// Writers serialize on an internal mutex and wait (spinning) for
+    /// straggling readers of the buffer being recycled; readers are
+    /// never blocked.
     pub fn publish_arc(&self, value: Arc<T>) -> Arc<T> {
-        let mut slot = self.slot.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-        std::mem::replace(&mut slot, value)
+        let guard = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Only writers store `gen`, and we hold the writer mutex.
+        let gen = self.gen.load(Ordering::Relaxed);
+        // Safety: only the (mutex-serialized) writer ever mutates a
+        // cell, and never the live one — this shared read races only
+        // with readers' shared clones of the same `Arc`.
+        let previous = unsafe { (*self.buffers[(gen & 1) as usize].value.get()).clone() };
+        let stale = &self.buffers[((gen + 1) & 1) as usize];
+        // The stale buffer is unreachable to readers validating against
+        // the current `gen`; drain the stragglers that raced an older
+        // generation (they will fail validation and release promptly).
+        let mut spins = 0u32;
+        while stale.leases.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Safety: the writer mutex excludes other writers, the lease
+        // drain excludes readers (ordering points 1 and 3), so we have
+        // exclusive access to the cell; the value from two publishes
+        // ago is dropped here.
+        unsafe {
+            *stale.value.get() = value;
+        }
+        self.gen.store(gen.wrapping_add(1), Ordering::SeqCst);
+        drop(guard);
+        previous
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for EpochSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochSwap")
+            .field("gen", &self.gen.load(Ordering::Acquire))
+            .field("value", &self.load())
+            .finish()
     }
 }
 
@@ -67,6 +213,15 @@ mod tests {
     }
 
     #[test]
+    fn publish_returns_previous_in_order() {
+        let swap = EpochSwap::new(0u32);
+        for v in 1..=100u32 {
+            assert_eq!(*swap.publish(v), v - 1, "double buffer must recycle in order");
+        }
+        assert_eq!(*swap.load(), 100);
+    }
+
+    #[test]
     fn concurrent_readers_and_writers() {
         let swap = Arc::new(EpochSwap::new(0u64));
         std::thread::scope(|s| {
@@ -89,5 +244,33 @@ mod tests {
             });
         });
         assert_eq!(*swap.load(), 1000);
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        // Two writer threads each publish their own tagged sequence; the
+        // set of returned "previous" values must be exactly the set of
+        // published values minus the final one plus the initial one —
+        // i.e. every value leaves the slot exactly once.
+        let swap = Arc::new(EpochSwap::new(0u64));
+        let mut returned: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2u64)
+                .map(|w| {
+                    let swap = Arc::clone(&swap);
+                    s.spawn(move || {
+                        (0..500).map(|k| *swap.publish((w + 1) << 32 | k)).collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        returned.push(*swap.load());
+        returned.sort_unstable();
+        let mut expected: Vec<u64> = (0..2u64)
+            .flat_map(|w| (0..500).map(move |k| (w + 1) << 32 | k))
+            .chain(std::iter::once(0))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(returned, expected);
     }
 }

@@ -1,26 +1,31 @@
 //! Probabilistic routing tables: the immutable artifact the re-solver
 //! publishes and the dispatcher reads.
 //!
-//! A table maps a uniform draw `u ∈ [0,1)` to a node by inverse-CDF
-//! lookup over the routing probabilities `p_i = λ_i / Φ` of the current
-//! allocation. Tables are immutable once built; every change (re-solve,
-//! node failure) produces a new table with a larger epoch, published
-//! through [`EpochSwap`](crate::swap::EpochSwap).
+//! A table maps a uniform draw `u ∈ [0,1)` to a node with probability
+//! `p_i = λ_i / Φ` of the current allocation, in O(1) per draw via a
+//! Walker [`AliasTable`] built once at construction (the inverse-CDF
+//! path is retained as [`RoutingTable::route_cdf`] for comparison and
+//! benchmarking). Tables are immutable once built; every change
+//! (re-solve, node failure) produces a new table with a larger epoch,
+//! published through [`EpochSwap`](crate::swap::EpochSwap).
 
 use gtlb_core::allocation::Allocation;
 use gtlb_core::error::CoreError;
 
+use crate::alias::{AliasTable, MAX_BELOW_ONE};
 use crate::error::RuntimeError;
 use crate::registry::NodeId;
 
-/// An immutable routing table: node ids, routing probabilities, and the
-/// cumulative distribution used by the hot path.
+/// An immutable routing table: node ids, routing probabilities, the
+/// alias table used by the hot path, and the cumulative distribution
+/// kept for the reference CDF path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingTable {
     epoch: u64,
     nodes: Vec<NodeId>,
     probs: Vec<f64>,
     cum: Vec<f64>,
+    alias: AliasTable,
 }
 
 impl RoutingTable {
@@ -30,7 +35,13 @@ impl RoutingTable {
     /// [`RoutingTable::route`] must not be called on it.
     #[must_use]
     pub fn empty(epoch: u64) -> Self {
-        Self { epoch, nodes: Vec::new(), probs: Vec::new(), cum: Vec::new() }
+        Self {
+            epoch,
+            nodes: Vec::new(),
+            probs: Vec::new(),
+            cum: Vec::new(),
+            alias: AliasTable::empty(),
+        }
     }
 
     /// Whether this is the empty placeholder.
@@ -78,10 +89,17 @@ impl RoutingTable {
             acc += p;
             cum.push(acc);
         }
-        // Pin the last cumulative value so u arbitrarily close to 1 still
-        // lands on a node despite rounding in the partial sums.
-        *cum.last_mut().expect("nonempty") = 1.0;
-        Ok(Self { epoch, nodes, probs, cum })
+        // Pin the cumulative values from the last positive-probability
+        // node onward to exactly 1.0: draws arbitrarily close to 1 land
+        // on a node despite rounding in the partial sums, and trailing
+        // zero-probability nodes can never capture the rounding sliver
+        // below 1 (their pinned cum is never `<= u` for `u < 1`).
+        let last_positive = probs.iter().rposition(|&p| p > 0.0).expect("total > 0");
+        for c in cum.iter_mut().skip(last_positive) {
+            *c = 1.0;
+        }
+        let alias = AliasTable::new(&probs);
+        Ok(Self { epoch, nodes, probs, cum, alias })
     }
 
     /// Builds a table from an [`Allocation`] over the same nodes (in
@@ -135,11 +153,38 @@ impl RoutingTable {
         self.nodes.iter().position(|&n| n == id).map(|i| self.probs[i])
     }
 
-    /// Routes one uniform draw `u ∈ [0,1)` to a node: inverse-CDF lookup,
-    /// `O(log n)`.
+    /// Routes one uniform draw `u ∈ [0,1)` to a node: one alias-table
+    /// lookup, `O(1)` regardless of the node count. Consumes exactly
+    /// the one draw it is given; out-of-range draws clamp into `[0,1)`.
+    ///
+    /// The mapping `u → node` differs from
+    /// [`route_cdf`](Self::route_cdf) draw-by-draw but agrees with it
+    /// in distribution: both select node `i` with probability `p_i`.
     #[must_use]
+    #[inline]
     pub fn route(&self, u: f64) -> NodeId {
-        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        self.nodes[self.alias.sample(u)]
+    }
+
+    /// Routes by table *position* instead of id — the batch hot path,
+    /// which counts hits densely before resolving ids.
+    #[must_use]
+    #[inline]
+    pub fn route_index(&self, u: f64) -> usize {
+        self.alias.sample(u)
+    }
+
+    /// The reference inverse-CDF path: `O(log n)` `partition_point`
+    /// over the cumulative distribution. Kept for the cdf-vs-alias
+    /// benchmark and for distribution-agreement tests; the dispatchers
+    /// use [`route`](Self::route).
+    ///
+    /// Draws are clamped to the largest `f64` below one (not
+    /// `1.0 - f64::EPSILON`, which is two ulps down and unreachable
+    /// from above anyway), so `u = 1.0` lands on the last node.
+    #[must_use]
+    pub fn route_cdf(&self, u: f64) -> NodeId {
+        let u = u.clamp(0.0, MAX_BELOW_ONE);
         let i = self.cum.partition_point(|&c| c <= u).min(self.nodes.len() - 1);
         self.nodes[i]
     }
@@ -154,16 +199,23 @@ impl RoutingTable {
     /// [`RuntimeError::NoServingNodes`] when it was the last node (or
     /// held all the mass).
     pub fn without_node(&self, id: NodeId, epoch: u64) -> Result<Self, RuntimeError> {
-        if !self.nodes.contains(&id) {
-            return Err(RuntimeError::UnknownNode(id));
-        }
-        let mut nodes = Vec::with_capacity(self.nodes.len() - 1);
-        let mut weights = Vec::with_capacity(self.nodes.len() - 1);
+        // One pass: collect the survivors and notice the victim on the
+        // way through, instead of a `contains` scan followed by a
+        // second filtering loop.
+        let survivors = self.nodes.len().saturating_sub(1);
+        let mut nodes = Vec::with_capacity(survivors);
+        let mut weights = Vec::with_capacity(survivors);
+        let mut found = false;
         for (&n, &p) in self.nodes.iter().zip(&self.probs) {
-            if n != id {
+            if n == id {
+                found = true;
+            } else {
                 nodes.push(n);
                 weights.push(p);
             }
+        }
+        if !found {
+            return Err(RuntimeError::UnknownNode(id));
         }
         Self::new(epoch, nodes, &weights)
     }
@@ -199,17 +251,56 @@ mod tests {
     }
 
     #[test]
-    fn route_respects_the_cdf() {
+    fn route_cdf_respects_the_cdf() {
         let t = RoutingTable::new(0, ids(&[10, 20, 30]), &[0.5, 0.25, 0.25]).unwrap();
-        assert_eq!(t.route(0.0), NodeId::from_raw(10));
-        assert_eq!(t.route(0.49), NodeId::from_raw(10));
-        assert_eq!(t.route(0.5), NodeId::from_raw(20));
-        assert_eq!(t.route(0.74), NodeId::from_raw(20));
-        assert_eq!(t.route(0.75), NodeId::from_raw(30));
-        assert_eq!(t.route(0.999_999), NodeId::from_raw(30));
+        assert_eq!(t.route_cdf(0.0), NodeId::from_raw(10));
+        assert_eq!(t.route_cdf(0.49), NodeId::from_raw(10));
+        assert_eq!(t.route_cdf(0.5), NodeId::from_raw(20));
+        assert_eq!(t.route_cdf(0.74), NodeId::from_raw(20));
+        assert_eq!(t.route_cdf(0.75), NodeId::from_raw(30));
+        assert_eq!(t.route_cdf(0.999_999), NodeId::from_raw(30));
         // Out-of-range draws clamp instead of panicking.
-        assert_eq!(t.route(1.0), NodeId::from_raw(30));
-        assert_eq!(t.route(-0.5), NodeId::from_raw(10));
+        assert_eq!(t.route_cdf(1.0), NodeId::from_raw(30));
+        assert_eq!(t.route_cdf(-0.5), NodeId::from_raw(10));
+    }
+
+    #[test]
+    fn route_agrees_with_cdf_in_distribution() {
+        // Alias and inverse-CDF routing differ draw-by-draw but must
+        // produce the same per-node frequencies over a fine grid.
+        let probs = [0.5, 0.25, 0.25];
+        let t = RoutingTable::new(0, ids(&[10, 20, 30]), &probs).unwrap();
+        let draws = 200_000;
+        let mut alias_counts = [0u64; 3];
+        let mut cdf_counts = [0u64; 3];
+        let slot = |id: NodeId| (id.raw() / 10 - 1) as usize;
+        for k in 0..draws {
+            let u = k as f64 / draws as f64;
+            alias_counts[slot(t.route(u))] += 1;
+            cdf_counts[slot(t.route_cdf(u))] += 1;
+        }
+        for i in 0..3 {
+            let (a, c) = (alias_counts[i] as f64, cdf_counts[i] as f64);
+            assert!((a - c).abs() / (draws as f64) < 1e-3, "node {i}: alias {a} vs cdf {c}");
+            assert!((a / draws as f64 - probs[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn draws_rounding_to_one_land_on_a_node() {
+        // Regression: 1.0 − 1e-17 rounds to exactly 1.0 in f64; both
+        // paths must clamp it below one instead of indexing past the
+        // table (the CDF path used 1.0 − ε, two ulps down — the new
+        // clamp is the largest f64 strictly below one).
+        let u: f64 = 1.0 - 1e-17;
+        assert_eq!(u.to_bits(), 1.0f64.to_bits());
+        let t = RoutingTable::new(0, ids(&[10, 20]), &[0.5, 0.5]).unwrap();
+        assert_eq!(t.route_cdf(u), NodeId::from_raw(20));
+        let routed = t.route(u);
+        assert!(t.prob_of(routed).unwrap() > 0.0);
+        let single = RoutingTable::new(0, ids(&[7]), &[1.0]).unwrap();
+        assert_eq!(single.route(u), NodeId::from_raw(7));
+        assert_eq!(single.route_cdf(u), NodeId::from_raw(7));
     }
 
     #[test]
@@ -218,6 +309,16 @@ mod tests {
         for k in 0..1000 {
             let u = k as f64 / 1000.0;
             assert_ne!(t.route(u), NodeId::from_raw(1));
+            assert_ne!(t.route_cdf(u), NodeId::from_raw(1));
+        }
+    }
+
+    #[test]
+    fn route_index_matches_route() {
+        let t = RoutingTable::new(0, ids(&[5, 9, 12]), &[0.2, 0.5, 0.3]).unwrap();
+        for k in 0..4096 {
+            let u = k as f64 / 4096.0;
+            assert_eq!(t.nodes()[t.route_index(u)], t.route(u));
         }
     }
 

@@ -1,0 +1,146 @@
+//! Property tests for the routing hot path (vendored proptest shim):
+//!
+//! 1. alias-method routing agrees **in distribution** with the reference
+//!    inverse-CDF path — a chi-square statistic of each path's sample
+//!    counts against the expected counts stays far below any plausible
+//!    rejection threshold, for random weight vectors;
+//! 2. neither path ever returns a zero-probability node, for weight
+//!    vectors with zeros injected at random positions;
+//! 3. batch routing replays the per-job decision sequence draw for draw,
+//!    for random weights, seeds, and batch splits.
+
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+use gtlb_runtime::{EpochSwap, NodeId, RoutingTable, ShardedDispatcher};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Weights bounded away from zero (so chi-square expected counts are
+/// healthy), 1–11 nodes.
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..1.0, 1..12)
+}
+
+/// Weights where each node is zeroed with probability ~1/4 — at least
+/// one survivor is enforced by construction.
+fn arb_weights_with_zeros() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0.05f64..1.0, 0u32..4), 1..12).prop_map(|pairs| {
+        let mut weights: Vec<f64> =
+            pairs.iter().map(|&(w, keep)| if keep == 0 { 0.0 } else { w }).collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            weights[0] = pairs[0].0;
+        }
+        weights
+    })
+}
+
+fn table_from(weights: &[f64]) -> RoutingTable {
+    let ids = (0..weights.len() as u64).map(NodeId::from_raw).collect();
+    RoutingTable::new(1, ids, weights).unwrap()
+}
+
+/// Pearson chi-square statistic of observed counts against `n·pᵢ`,
+/// over positive-probability buckets only.
+fn chi_square(counts: &[u64], probs: &[f64], draws: u64) -> f64 {
+    counts
+        .iter()
+        .zip(probs)
+        .filter(|&(_, &p)| p > 0.0)
+        .map(|(&c, &p)| {
+            let expected = draws as f64 * p;
+            let diff = c as f64 - expected;
+            diff * diff / expected
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alias_and_cdf_agree_in_distribution(
+        weights in arb_weights(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let table = table_from(&weights);
+        let probs = table.probs().to_vec();
+        let n = probs.len();
+        let draws = 20_000u64;
+        let mut rng = Xoshiro256PlusPlus::stream(seed, 0x0400);
+        let mut alias_counts = vec![0u64; n];
+        let mut cdf_counts = vec![0u64; n];
+        for _ in 0..draws {
+            let u = rng.next_open01();
+            alias_counts[table.route_index(u)] += 1;
+            cdf_counts[table.route_cdf(u).raw() as usize] += 1;
+        }
+        // df ≤ 10; the 1−10⁻⁹ quantile of χ²(10) is ≈ 62. A bound of
+        // 120 on both paths (with expected counts ≥ 80 per bucket) makes
+        // a false failure astronomically unlikely while still catching a
+        // path that samples the wrong distribution outright.
+        let chi_alias = chi_square(&alias_counts, &probs, draws);
+        let chi_cdf = chi_square(&cdf_counts, &probs, draws);
+        prop_assert!(chi_alias < 120.0, "alias chi-square {chi_alias} for {weights:?}");
+        prop_assert!(chi_cdf < 120.0, "cdf chi-square {chi_cdf} for {weights:?}");
+        // And the two paths agree with each other at least as tightly.
+        for i in 0..n {
+            let (a, c) = (alias_counts[i] as f64, cdf_counts[i] as f64);
+            prop_assert!(
+                (a - c).abs() / (draws as f64) < 0.05,
+                "bucket {i}: alias {a} vs cdf {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_nodes_are_never_routed(
+        weights in arb_weights_with_zeros(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let table = table_from(&weights);
+        let zero_ids: Vec<NodeId> = table
+            .nodes()
+            .iter()
+            .zip(table.probs())
+            .filter(|&(_, &p)| p == 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut rng = Xoshiro256PlusPlus::stream(seed, 0x0400);
+        for _ in 0..2_000 {
+            let u = rng.next_open01();
+            prop_assert!(!zero_ids.contains(&table.route(u)));
+            prop_assert!(!zero_ids.contains(&table.route_cdf(u)));
+        }
+        // Boundary draws included.
+        for u in [0.0, 0.5, 1.0 - 1e-17, 1.0] {
+            prop_assert!(!zero_ids.contains(&table.route(u)));
+            prop_assert!(!zero_ids.contains(&table.route_cdf(u)));
+        }
+    }
+
+    #[test]
+    fn batch_routing_replays_the_per_job_sequence(
+        weights in arb_weights(),
+        seed in 0u64..u64::MAX,
+        first in 0usize..96,
+        second in 0usize..96,
+    ) {
+        let swap = || Arc::new(EpochSwap::new(table_from(&weights)));
+        let batched = ShardedDispatcher::new(swap(), seed, 2);
+        let reference = ShardedDispatcher::new(swap(), seed, 2);
+        let mut decisions = Vec::new();
+        {
+            let mut guard = batched.shard(1);
+            guard.route_batch(first, &mut decisions).unwrap();
+            guard.route_batch(second, &mut decisions).unwrap();
+        }
+        {
+            let mut guard = reference.shard(1);
+            for d in &decisions {
+                prop_assert_eq!(*d, guard.dispatch().unwrap());
+            }
+        }
+        prop_assert_eq!(decisions.len(), first + second);
+        prop_assert_eq!(batched.hit_counts(), reference.hit_counts());
+        prop_assert_eq!(batched.dispatched(), (first + second) as u64);
+    }
+}

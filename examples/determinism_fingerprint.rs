@@ -7,7 +7,8 @@
 //!   bit-identical to the sequential run;
 //! * **sharded dispatch** — the merged decision sequence of a
 //!   `ShardedDispatcher` is a pure function of (seed, shard count, job
-//!   placement), regardless of which threads executed which shards.
+//!   placement), regardless of which threads executed which shards —
+//!   and batch routing (`route_batch`) replays that exact sequence.
 //!
 //! This example condenses both into one stable hex line each on stdout
 //! (environment details go to stderr). CI runs it under
@@ -146,6 +147,50 @@ fn sharded_dispatch_fingerprint() -> u64 {
     h
 }
 
+/// The batch-dispatch decision sequence: every shard routes its jobs
+/// through `route_batch`, and the merged stream is asserted identical
+/// to the per-job merge before being folded — batching must be
+/// invisible to the decision sequence, not just deterministic.
+fn batch_dispatch_fingerprint() -> u64 {
+    const SHARDS: usize = 4;
+    const JOBS: usize = 8_192;
+    let make = || {
+        let rt = Runtime::builder()
+            .seed(0xF1A6)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(4.2)
+            .shards(SHARDS)
+            .build();
+        for &rate in &[4.0, 2.0, 1.0] {
+            rt.register_node(rate).unwrap();
+        }
+        rt.resolve_now().unwrap();
+        rt
+    };
+    let rt = make();
+    let sharded = rt.sharded_dispatcher();
+    let per_shard: Vec<Vec<(u64, u64)>> = par_map((0..SHARDS).collect(), |k| {
+        let mut guard = sharded.shard(k);
+        let mut decisions = Vec::new();
+        guard.route_batch(JOBS / SHARDS, &mut decisions).unwrap();
+        decisions.into_iter().map(|d| (d.node.raw(), d.epoch)).collect()
+    });
+    let reference = make();
+    let mut h = FNV_OFFSET;
+    for j in 0..JOBS {
+        let (node, epoch) = per_shard[j % SHARDS][j / SHARDS];
+        let d = reference.dispatch_on(j % SHARDS).unwrap();
+        assert_eq!(
+            (node, epoch),
+            (d.node.raw(), d.epoch),
+            "batch dispatch diverged from the per-job stream at job {j}"
+        );
+        fold(&mut h, node);
+        fold(&mut h, epoch);
+    }
+    h
+}
+
 fn main() {
     eprintln!("workers: {}", thread_count());
 
@@ -159,6 +204,7 @@ fn main() {
 
     println!("replication_fingerprint {:016x}", replication_fingerprint(&replicated));
     println!("sharded_dispatch_fingerprint {:016x}", sharded_dispatch_fingerprint());
+    println!("batch_dispatch_fingerprint {:016x}", batch_dispatch_fingerprint());
     println!("chaos_trace_fingerprint {:016x}", chaos_trace_fingerprint(1));
     println!("chaos_trace_sharded_fingerprint {:016x}", chaos_trace_fingerprint(4));
 }

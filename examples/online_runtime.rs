@@ -52,8 +52,17 @@ fn main() {
     let capacity = 2.0 * fast + 4.0 * slow;
     let phi = 0.55 * capacity;
 
-    let rt =
-        Runtime::builder().seed(2026).scheme(SchemeKind::Coop).nominal_arrival_rate(phi).build();
+    // Wide estimator windows: the post-failure re-solve runs off Φ̂/μ̂,
+    // and the closed-loop check below evaluates that allocation at the
+    // *true* rates — at ρ = 0.825 a few percent of estimation noise on a
+    // survivor moves the analytic M/M/1 value a lot, so keep μ̂ tight.
+    let rt = Runtime::builder()
+        .seed(2026)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(phi)
+        .service_window(4096)
+        .ewma_alpha(0.005)
+        .build();
     let fast_ids: Vec<NodeId> = (0..2).map(|_| rt.register_node(fast).unwrap()).collect();
     let slow_ids: Vec<NodeId> = (0..4).map(|_| rt.register_node(slow).unwrap()).collect();
     let true_rates: HashMap<NodeId, f64> = fast_ids
