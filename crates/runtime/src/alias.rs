@@ -133,8 +133,9 @@ impl AliasTable {
     }
 
     /// Samples a bucket from one uniform draw: `u` is clamped into
-    /// `[0, 1)`, split into `bucket = ⌊u·n⌋` and its leftover fraction,
-    /// and resolved through the threshold/alias pair — O(1).
+    /// `[0, 1)` (non-finite draws pin to `0.0`), split into
+    /// `bucket = ⌊u·n⌋` and its leftover fraction, and resolved through
+    /// the threshold/alias pair — O(1).
     ///
     /// # Panics
     /// If the table is empty (debug builds; release indexing panics).
@@ -143,7 +144,10 @@ impl AliasTable {
     pub fn sample(&self, u: f64) -> usize {
         debug_assert!(!self.is_empty(), "sample on an empty alias table");
         let n = self.prob.len();
-        let u = u.clamp(0.0, MAX_BELOW_ONE);
+        // NaN defeats `clamp` (NaN.clamp is NaN); pin non-finite draws
+        // to 0.0 so arbitrary caller input keeps every invariant —
+        // in particular "zero-probability buckets are never sampled".
+        let u = if u.is_finite() { u.clamp(0.0, MAX_BELOW_ONE) } else { 0.0 };
         let scaled = u * n as f64;
         // `u < 1` bounds `⌊u·n⌋ ≤ n−1` in exact arithmetic, but the
         // product can round up to exactly `n` — clamp defensively.
@@ -205,8 +209,24 @@ mod tests {
     #[test]
     fn extreme_draws_clamp_into_range() {
         let table = AliasTable::new(&[0.2, 0.8]);
-        for u in [0.0, -1.0, 1.0, 2.5, 1.0 - 1e-17, MAX_BELOW_ONE] {
+        for u in [
+            0.0,
+            -1.0,
+            1.0,
+            2.5,
+            1.0 - 1e-17,
+            MAX_BELOW_ONE,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
             assert!(table.sample(u) < 2);
+        }
+        // A non-finite draw pins to 0.0 and must still respect the
+        // zero-probability invariant, even with a zero-weight bucket 0.
+        let leading_zero = AliasTable::new(&[0.0, 1.0]);
+        for u in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0] {
+            assert_eq!(leading_zero.sample(u), 1);
         }
         // u = 1.0 − 1e-17 rounds to exactly 1.0; it must land in the
         // last bucket's range, not index out of bounds.

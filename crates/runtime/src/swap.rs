@@ -50,15 +50,26 @@
 //!    writing the cell; a reader's first `Acquire` load of `gen`
 //!    therefore sees a fully-written `Arc` in the buffer it picks.
 //! 3. The reader releases its lease with a `Release` decrement and the
-//!    writer polls with `Acquire` loads, so the reader's clone of the
-//!    `Arc` happens-before any subsequent replacement of that buffer.
+//!    writer's `SeqCst` poll has acquire semantics, so the reader's
+//!    clone of the `Arc` happens-before any subsequent replacement of
+//!    that buffer. Note the poll **must** be `SeqCst`, not merely
+//!    `Acquire`: point 1's total-order argument covers the poll itself,
+//!    and with a weaker load there is no happens-before edge from a
+//!    straggler's `fetch_add` to the poll — the writer could read a
+//!    stale zero on a weakly-ordered target and replace the `Arc` under
+//!    a live lease. (x86 compiles both the same way; only the `SeqCst`
+//!    poll is correct on ARM and under Miri.)
 //!
 //! The unsafe core is the pair of `UnsafeCell` accesses guarded by this
 //! protocol (one clone under a validated lease, one replace under the
 //! writer mutex after the lease drain); everything else is safe code.
 //! `cargo test -p gtlb-runtime --test swap_stress` hammers the protocol
 //! with racing readers and writers, and the scheme contains no
-//! `&`-to-`&mut` aliasing, so the core is Miri-clean by construction.
+//! `&`-to-`&mut` aliasing. The stress tests cannot catch a weakened
+//! ordering on x86 (hardware TSO hides it), so CI additionally runs
+//! this module's tests and the stress suite under Miri, which checks
+//! the protocol against the abstract memory model rather than the
+//! host's.
 
 // The one module in the workspace allowed to use `unsafe`: the two
 // `UnsafeCell` accesses guarded by the protocol above.
@@ -144,9 +155,15 @@ impl<T> EpochSwap<T> {
 
     /// Publishes an already-wrapped value, returning the previous one.
     ///
-    /// Writers serialize on an internal mutex and wait (spinning) for
-    /// straggling readers of the buffer being recycled; readers are
-    /// never blocked.
+    /// Writers serialize on an internal mutex and wait for straggling
+    /// readers of the buffer being recycled; readers are never blocked.
+    /// A reader holds a lease only for the handful of instructions
+    /// between its increment and its (failed) revalidation, so the wait
+    /// is normally nanoseconds — but a reader *preempted* in that window
+    /// holds the drain open until it is rescheduled, so publish latency
+    /// is bounded by scheduler delay, not by a constant. The wait
+    /// escalates spin → yield → sleep so a stalled publisher burns no
+    /// CPU while it waits the straggler out.
     pub fn publish_arc(&self, value: Arc<T>) -> Arc<T> {
         let guard = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Only writers store `gen`, and we hold the writer mutex.
@@ -159,13 +176,21 @@ impl<T> EpochSwap<T> {
         // The stale buffer is unreachable to readers validating against
         // the current `gen`; drain the stragglers that raced an older
         // generation (they will fail validation and release promptly).
+        // The poll must be SeqCst — see ordering points 1 and 3 in the
+        // module docs; an Acquire load here would let the writer miss a
+        // straggler's lease on weakly-ordered hardware.
         let mut spins = 0u32;
-        while stale.leases.load(Ordering::Acquire) != 0 {
-            spins += 1;
-            if spins % 64 == 0 {
+        while stale.leases.load(Ordering::SeqCst) != 0 {
+            spins = spins.saturating_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 1024 {
                 std::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                // A straggler preempted between its increment and its
+                // failed revalidation can hold the lease for a whole
+                // scheduling quantum; park instead of burning a core.
+                std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
         // Safety: the writer mutex excludes other writers, the lease
@@ -193,6 +218,13 @@ impl<T: std::fmt::Debug> std::fmt::Debug for EpochSwap<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Miri executes ~1000x slower than native; shrink the concurrent
+    // workloads so the interpreted run still finishes, while native
+    // runs keep the full hammering.
+    const READS: usize = if cfg!(miri) { 200 } else { 10_000 };
+    const PUBLISHES: u64 = if cfg!(miri) { 50 } else { 1000 };
+    const PER_WRITER: u64 = if cfg!(miri) { 25 } else { 500 };
 
     #[test]
     fn load_sees_latest_publish() {
@@ -229,7 +261,7 @@ mod tests {
                 let swap = Arc::clone(&swap);
                 s.spawn(move || {
                     let mut last = 0;
-                    for _ in 0..10_000 {
+                    for _ in 0..READS {
                         let v = *swap.load();
                         assert!(v >= last, "published values are monotone");
                         last = v;
@@ -238,12 +270,12 @@ mod tests {
             }
             let writer = Arc::clone(&swap);
             s.spawn(move || {
-                for v in 1..=1000 {
+                for v in 1..=PUBLISHES {
                     writer.publish(v);
                 }
             });
         });
-        assert_eq!(*swap.load(), 1000);
+        assert_eq!(*swap.load(), PUBLISHES);
     }
 
     #[test]
@@ -258,7 +290,9 @@ mod tests {
                 .map(|w| {
                     let swap = Arc::clone(&swap);
                     s.spawn(move || {
-                        (0..500).map(|k| *swap.publish((w + 1) << 32 | k)).collect::<Vec<u64>>()
+                        (0..PER_WRITER)
+                            .map(|k| *swap.publish((w + 1) << 32 | k))
+                            .collect::<Vec<u64>>()
                     })
                 })
                 .collect();
@@ -267,7 +301,7 @@ mod tests {
         returned.push(*swap.load());
         returned.sort_unstable();
         let mut expected: Vec<u64> = (0..2u64)
-            .flat_map(|w| (0..500).map(move |k| (w + 1) << 32 | k))
+            .flat_map(|w| (0..PER_WRITER).map(move |k| (w + 1) << 32 | k))
             .chain(std::iter::once(0))
             .collect();
         expected.sort_unstable();

@@ -181,10 +181,16 @@ impl RoutingTable {
     ///
     /// Draws are clamped to the largest `f64` below one (not
     /// `1.0 - f64::EPSILON`, which is two ulps down and unreachable
-    /// from above anyway), so `u = 1.0` lands on the last node.
+    /// from above anyway), so `u = 1.0` lands on the last node;
+    /// non-finite draws pin to `0.0`, as in the alias path.
     #[must_use]
     pub fn route_cdf(&self, u: f64) -> NodeId {
-        let u = u.clamp(0.0, MAX_BELOW_ONE);
+        // NaN defeats `clamp` (NaN.clamp is NaN) and would make
+        // `partition_point` return index 0 — possibly a leading
+        // zero-probability node; pin non-finite draws to 0.0 instead
+        // (a zero-prob leading node has `cum == 0.0 <= u`, so it is
+        // still skipped).
+        let u = if u.is_finite() { u.clamp(0.0, MAX_BELOW_ONE) } else { 0.0 };
         let i = self.cum.partition_point(|&c| c <= u).min(self.nodes.len() - 1);
         self.nodes[i]
     }
@@ -310,6 +316,20 @@ mod tests {
             let u = k as f64 / 1000.0;
             assert_ne!(t.route(u), NodeId::from_raw(1));
             assert_ne!(t.route_cdf(u), NodeId::from_raw(1));
+        }
+    }
+
+    #[test]
+    fn non_finite_draws_never_route_zero_probability_nodes() {
+        // Regression: NaN defeats `clamp` (NaN.clamp is NaN), and a NaN
+        // reaching `partition_point` returns index 0 — the *leading*
+        // zero-probability node here. Both public paths must pin
+        // non-finite draws to 0.0 instead.
+        let t = RoutingTable::new(0, ids(&[0, 1]), &[0.0, 1.0]).unwrap();
+        for u in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(t.route(u), NodeId::from_raw(1));
+            assert_eq!(t.route_cdf(u), NodeId::from_raw(1));
+            assert_eq!(t.route_index(u), 1);
         }
     }
 

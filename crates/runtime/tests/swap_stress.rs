@@ -16,6 +16,13 @@ use std::sync::Arc;
 
 use gtlb_runtime::EpochSwap;
 
+/// Publish counts for the stress runs. Miri interprets ~1000x slower
+/// than native and checks the abstract memory model rather than the
+/// host's, so a far shorter run still exercises every interleaving
+/// class; native runs keep the full hammering.
+const SINGLE_WRITER_PUBLISHES: u64 = if cfg!(miri) { 300 } else { 20_000 };
+const PER_WRITER_PUBLISHES: u64 = if cfg!(miri) { 100 } else { 8_000 };
+
 /// A value whose payload is a pure function of its version: any
 /// mixed-generation read trips `check`.
 #[derive(Debug)]
@@ -46,7 +53,7 @@ impl Tagged {
 fn one_writer_many_readers_monotone_and_untorn() {
     let swap = Arc::new(EpochSwap::new(Tagged::new(0)));
     let stop = Arc::new(AtomicBool::new(false));
-    let publishes = 20_000u64;
+    let publishes = SINGLE_WRITER_PUBLISHES;
     std::thread::scope(|s| {
         for _ in 0..8 {
             let swap = Arc::clone(&swap);
@@ -78,7 +85,7 @@ fn many_writers_many_readers_untorn() {
     let swap = Arc::new(EpochSwap::new(Tagged::new(0)));
     let stop = Arc::new(AtomicBool::new(false));
     let writers = 3u64;
-    let per_writer = 8_000u64;
+    let per_writer = PER_WRITER_PUBLISHES;
     let mut returned: Vec<u64> = std::thread::scope(|s| {
         for _ in 0..4 {
             let swap = Arc::clone(&swap);
