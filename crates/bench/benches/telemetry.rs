@@ -1,0 +1,114 @@
+//! The PR-5 observability overhead benchmarks. The headline gate:
+//! dispatching through a shard with telemetry **enabled** must cost
+//! ≤ 1.03× the disabled path on the n = 1024 alias table
+//! (`telemetry_route/{disabled,enabled}/1024`; CI compares medians of
+//! three quick runs from `BENCH_telemetry.json`). The instrument
+//! microbenches ride along to keep the primitive costs visible:
+//! counter add, histogram record, event-ring push, and a full
+//! registry scrape.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gtlb_runtime::telemetry::TELEMETRY_EVENT_CAPACITY;
+use gtlb_runtime::{EpochSwap, NodeId, RoutingTable, ShardedDispatcher, Telemetry};
+use gtlb_telemetry::{Counter, EventRing, Histogram, Registry, TaggedEvent};
+
+/// The same mildly skewed table shape the routing bench gates on.
+fn skewed_table(n: usize) -> RoutingTable {
+    let ids = (0..n as u64).map(NodeId::from_raw).collect();
+    let weights: Vec<f64> = (0..n).map(|i| if i < n / 4 + 1 { 4.0 } else { 1.0 }).collect();
+    RoutingTable::new(1, ids, &weights).unwrap()
+}
+
+fn dispatcher(n: usize, telemetry: Telemetry) -> ShardedDispatcher {
+    let swap = Arc::new(EpochSwap::new(skewed_table(n)));
+    ShardedDispatcher::with_telemetry(swap, 0xBE9C, 1, telemetry)
+}
+
+/// The gated comparison: the identical decision stream, drawn through
+/// the alias table at n = 1024, with the facade disabled vs enabled
+/// (sampled ring pushes every 1024th dispatch). Both sides route the
+/// same 4096-job block per iteration.
+fn bench_route_overhead(c: &mut Criterion) {
+    const JOBS: usize = 4096;
+    let mut group = c.benchmark_group("telemetry_route");
+    group.throughput(Throughput::Elements(JOBS as u64));
+    for &n in &[64usize, 1024] {
+        for (label, telemetry) in
+            [("disabled", Telemetry::disabled()), ("enabled", Telemetry::enabled(1))]
+        {
+            let sharded = dispatcher(n, telemetry);
+            group.bench_with_input(BenchmarkId::new(label, n), &sharded, |b, s| {
+                b.iter(|| {
+                    let mut guard = s.shard(0);
+                    let mut sink = 0u64;
+                    for _ in 0..JOBS {
+                        sink = sink.wrapping_add(guard.dispatch().unwrap().node.raw());
+                    }
+                    black_box(sink)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Primitive write costs: one sharded counter add, one histogram
+/// record, one ring push (at wraparound, the worst case).
+fn bench_instruments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_instrument");
+    let counter = Counter::new(1);
+    group.bench_function("counter_add", |b| b.iter(|| counter.add(black_box(0), black_box(1))));
+    let histogram = Histogram::new();
+    group.bench_function("histogram_record", |b| {
+        let mut x = 0.001f64;
+        b.iter(|| {
+            histogram.record(black_box(x));
+            x = if x > 100.0 { 0.001 } else { x * 1.01 };
+        })
+    });
+    let ring: EventRing<u64> = EventRing::new(1, TELEMETRY_EVENT_CAPACITY);
+    for k in 0..TELEMETRY_EVENT_CAPACITY as u64 {
+        ring.push(0, TaggedEvent { time: k as f64, shard: 0, stream: 0, event: k });
+    }
+    group.bench_function("ring_push_wrapped", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            ring.push(0, TaggedEvent { time: k as f64, shard: 0, stream: 0, event: k });
+            k += 1;
+        })
+    });
+    group.finish();
+}
+
+/// A full scrape of a registry shaped like the runtime's (the reader
+/// side; never on the hot path, but it bounds dashboard poll cost).
+fn bench_scrape(c: &mut Criterion) {
+    let registry = Registry::new();
+    for name in ["gtlb_dispatches_total", "gtlb_retries_total", "gtlb_fault_drops_total"] {
+        let counter = registry.counter(name, 4);
+        for shard in 0..4 {
+            counter.add(shard, 1_000 + shard as u64);
+        }
+    }
+    registry.gauge("gtlb_offered_utilization", 1).set(0.83);
+    for name in ["gtlb_response_seconds", "gtlb_queue_wait_seconds"] {
+        let h = registry.histogram(name);
+        let mut x = 0.0005f64;
+        for _ in 0..10_000 {
+            h.record(x);
+            x = if x > 500.0 { 0.0005 } else { x * 1.003 };
+        }
+    }
+    let mut group = c.benchmark_group("telemetry_scrape");
+    group.bench_function("snapshot", |b| b.iter(|| black_box(registry.snapshot())));
+    let snap = registry.snapshot();
+    group.bench_function("prometheus", |b| b.iter(|| black_box(snap.to_prometheus())));
+    group.bench_function("json", |b| b.iter(|| black_box(snap.to_json())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_overhead, bench_instruments, bench_scrape);
+criterion_main!(benches);

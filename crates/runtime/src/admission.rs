@@ -171,6 +171,20 @@ impl AdmissionStats {
     }
 }
 
+impl std::fmt::Display for AdmissionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission: {} submitted, {} accepted, {} deferred, {} rejected ({:.1}% rejection)",
+            self.submitted,
+            self.accepted,
+            self.deferred,
+            self.rejected,
+            100.0 * self.rejection_rate()
+        )
+    }
+}
+
 /// Shared admission state: the policy, the latest offered-utilization
 /// estimate, and the verdict counters. One instance serves every shard;
 /// the hot path touches only relaxed atomics.

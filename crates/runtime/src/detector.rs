@@ -112,6 +112,12 @@ pub struct HealthTransition {
     pub at: f64,
 }
 
+impl std::fmt::Display for HealthTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} -> {} at t={:.3}", self.node, self.from, self.to, self.at)
+    }
+}
+
 #[derive(Debug)]
 struct Track {
     intervals: Ewma,

@@ -19,6 +19,7 @@ use gtlb_desim::rng::Xoshiro256PlusPlus;
 use crate::error::RuntimeError;
 use crate::swap::EpochSwap;
 use crate::table::RoutingTable;
+use crate::telemetry::{Telemetry, ROUTE_SAMPLE_EVERY};
 
 /// RNG stream id for dispatch draws — disjoint from the simulator's
 /// arrival (0x0100), routing (0x0200) and service (0x0300) stream
@@ -41,14 +42,34 @@ pub struct Dispatcher {
     table: Arc<EpochSwap<RoutingTable>>,
     rng: Xoshiro256PlusPlus,
     dispatched: u64,
+    telemetry: Telemetry,
 }
 
 impl Dispatcher {
     /// Dispatcher reading from `table`, drawing from stream
-    /// [`DISPATCH_STREAM`] of `seed`.
+    /// [`DISPATCH_STREAM`] of `seed`. Telemetry is disabled; use
+    /// [`with_telemetry`](Self::with_telemetry) to record sampled
+    /// routing events.
     #[must_use]
     pub fn new(table: Arc<EpochSwap<RoutingTable>>, seed: u64) -> Self {
-        Self { table, rng: Xoshiro256PlusPlus::stream(seed, DISPATCH_STREAM), dispatched: 0 }
+        Self::with_telemetry(table, seed, Telemetry::disabled())
+    }
+
+    /// Like [`new`](Self::new), with a telemetry facade (this dispatcher
+    /// records as shard 0). Telemetry consumes no RNG draws and never
+    /// alters a decision.
+    #[must_use]
+    pub fn with_telemetry(
+        table: Arc<EpochSwap<RoutingTable>>,
+        seed: u64,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self {
+            table,
+            rng: Xoshiro256PlusPlus::stream(seed, DISPATCH_STREAM),
+            dispatched: 0,
+            telemetry,
+        }
     }
 
     /// Routes one job.
@@ -63,7 +84,11 @@ impl Dispatcher {
         }
         let u = self.rng.next_open01();
         self.dispatched += 1;
-        Ok(Decision { node: table.route(u), epoch: table.epoch() })
+        let node = table.route(u);
+        if self.dispatched & (ROUTE_SAMPLE_EVERY - 1) == 0 && self.telemetry.is_enabled() {
+            self.telemetry.record_routed(0, node, table.epoch());
+        }
+        Ok(Decision { node, epoch: table.epoch() })
     }
 
     /// Jobs routed so far.

@@ -19,6 +19,7 @@
 //! re-solves) to exercise mid-run transitions.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use gtlb_desim::rng::Xoshiro256PlusPlus;
 use gtlb_desim::stats::{BatchMeans, ConfidenceInterval, Welford};
@@ -86,6 +87,11 @@ pub struct TraceStats {
     pub ci: Option<ConfidenceInterval>,
     /// Jobs per node, in node-id order (the node that completed them).
     pub per_node: Vec<(NodeId, u64)>,
+    /// Terminal-attempt distribution: `attempts[k]` is the number of
+    /// jobs that ended (completed, shed, or abandoned) on attempt
+    /// `k + 1`. Without retries everything lands in `attempts[0]`; the
+    /// vector's length is the deepest attempt any job reached.
+    pub attempts: Vec<u64>,
 }
 
 impl TraceStats {
@@ -119,6 +125,30 @@ impl TraceStats {
     }
 }
 
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} submitted: {} completed, {} rejected, {} deferred, {} failed ({} retries)",
+            self.submitted, self.jobs, self.rejected, self.deferred, self.failed, self.retried
+        )?;
+        write!(f, "\nmean response {:.4}s", self.mean_response)?;
+        if let Some(ci) = self.ci {
+            write!(f, " ± {:.4} (95% CI)", ci.half_width)?;
+        }
+        if self.attempts.len() > 1 {
+            write!(f, "\nattempts:")?;
+            for (k, &count) in self.attempts.iter().enumerate() {
+                write!(f, " {}×{count}", k + 1)?;
+            }
+        }
+        for &(node, count) in &self.per_node {
+            write!(f, "\n  {node}: {count} jobs")?;
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 struct Heartbeat {
     interval: f64,
@@ -144,6 +174,7 @@ pub struct TraceDriver {
     deferred: u64,
     failed: u64,
     retried: u64,
+    attempts: Vec<u64>,
     faults: Option<FaultInjector>,
     retry: Option<(RetryPolicy, Xoshiro256PlusPlus)>,
     heartbeat: Option<Heartbeat>,
@@ -174,6 +205,7 @@ impl TraceDriver {
             deferred: 0,
             failed: 0,
             retried: 0,
+            attempts: Vec::new(),
             faults: None,
             retry: None,
             heartbeat: None,
@@ -255,6 +287,8 @@ impl TraceDriver {
             let gap = -self.arrivals.next_open01().ln() / self.phi;
             self.clock += gap;
             let arrived = self.clock;
+            // Publish the virtual clock so telemetry events carry it.
+            runtime.telemetry().set_clock(arrived);
             self.run_heartbeats(runtime, arrived)?;
             runtime.record_arrival(arrived);
 
@@ -302,7 +336,13 @@ impl TraceDriver {
                 // serving node just went Down; recovery or probation will
                 // repopulate it) — retryable, not fatal.
                 Err(RuntimeError::NoServingNodes) if chaos => {
-                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                    if self.schedule_retry(
+                        runtime,
+                        attempt,
+                        budget,
+                        &mut t_attempt,
+                        &mut prev_backoff,
+                    ) {
                         continue;
                     }
                     return Ok(());
@@ -314,10 +354,17 @@ impl TraceDriver {
                 Submission::Rejected => {
                     if attempt == 1 {
                         self.rejected += 1;
+                        self.note_terminal(1);
                         return Ok(());
                     }
                     // Shed mid-retry: consumes budget like a drop.
-                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                    if self.schedule_retry(
+                        runtime,
+                        attempt,
+                        budget,
+                        &mut t_attempt,
+                        &mut prev_backoff,
+                    ) {
                         continue;
                     }
                     return Ok(());
@@ -325,9 +372,16 @@ impl TraceDriver {
                 Submission::Deferred => {
                     if attempt == 1 {
                         self.deferred += 1;
+                        self.note_terminal(1);
                         return Ok(());
                     }
-                    if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                    if self.schedule_retry(
+                        runtime,
+                        attempt,
+                        budget,
+                        &mut t_attempt,
+                        &mut prev_backoff,
+                    ) {
                         continue;
                     }
                     return Ok(());
@@ -339,9 +393,11 @@ impl TraceDriver {
             if self.faults.as_mut().is_some_and(|f| f.attempt_drops(node, t_attempt)) {
                 // The attempt times out against the sick node; the
                 // detector hears about it at the deadline.
+                runtime.telemetry().record_fault_drop(0, node, t_attempt);
                 runtime.observe_failure(node, t_attempt + timeout)?;
                 t_attempt += timeout;
-                if self.schedule_retry(attempt, budget, &mut t_attempt, &mut prev_backoff) {
+                if self.schedule_retry(runtime, attempt, budget, &mut t_attempt, &mut prev_backoff)
+                {
                     continue;
                 }
                 return Ok(());
@@ -367,7 +423,10 @@ impl TraceDriver {
                 runtime.observe_success(node, done)?;
             }
             self.accepted += 1;
+            self.note_terminal(attempt);
             let response = done - arrived;
+            runtime.telemetry().record_queue_wait(start - t_attempt);
+            runtime.telemetry().record_response(response);
             self.responses.add(response);
             self.batches.add(response);
             *self.per_node.entry(node).or_insert(0) += 1;
@@ -376,11 +435,22 @@ impl TraceDriver {
         unreachable!("every attempt either returns or schedules a retry");
     }
 
+    /// Records a job ending (completed, shed, or abandoned) on attempt
+    /// `attempt` in the terminal-attempt distribution.
+    fn note_terminal(&mut self, attempt: u32) {
+        let idx = attempt as usize - 1;
+        if idx >= self.attempts.len() {
+            self.attempts.resize(idx + 1, 0);
+        }
+        self.attempts[idx] += 1;
+    }
+
     /// After a dropped or shed attempt: waits a decorrelated-jitter
     /// backoff and reports `true` when budget remains; otherwise charges
     /// the job to `failed` and reports `false`.
     fn schedule_retry(
         &mut self,
+        runtime: &Runtime,
         attempt: u32,
         budget: u32,
         t_attempt: &mut f64,
@@ -388,6 +458,7 @@ impl TraceDriver {
     ) -> bool {
         if attempt >= budget {
             self.failed += 1;
+            self.note_terminal(attempt);
             return false;
         }
         let (policy, rng) = self.retry.as_mut().expect("budget > 1 implies a retry policy");
@@ -395,6 +466,7 @@ impl TraceDriver {
         *prev_backoff = policy.backoff(*prev_backoff, u);
         *t_attempt += *prev_backoff;
         self.retried += 1;
+        runtime.telemetry().record_retry(0, *prev_backoff);
         true
     }
 
@@ -411,6 +483,7 @@ impl TraceDriver {
         self.deferred = 0;
         self.failed = 0;
         self.retried = 0;
+        self.attempts.clear();
     }
 
     /// Measurements since construction or the last reset.
@@ -430,6 +503,7 @@ impl TraceDriver {
             mean_response: self.responses.mean(),
             ci: (self.batches.batches() >= 2).then(|| self.batches.confidence_interval()),
             per_node,
+            attempts: self.attempts.clone(),
         }
     }
 }

@@ -26,6 +26,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use crate::telemetry::Telemetry;
+
 /// Why a submission did not enter the queue. The job is handed back so
 /// the caller can defer, retry, or count it as shed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,15 +62,27 @@ pub struct IngestQueue<T> {
     state: Mutex<IngestState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    telemetry: Telemetry,
 }
 
 impl<T> IngestQueue<T> {
-    /// A queue holding at most `depth` jobs.
+    /// A queue holding at most `depth` jobs, with telemetry disabled
+    /// (see [`with_telemetry`](Self::with_telemetry)).
     ///
     /// # Panics
     /// If `depth` is zero — a zero-depth queue can never accept work.
     #[must_use]
     pub fn with_depth(depth: usize) -> Self {
+        Self::with_telemetry(depth, Telemetry::disabled())
+    }
+
+    /// Like [`with_depth`](Self::with_depth), mirroring queue depth,
+    /// peak depth, and shed counts into `telemetry`'s instruments.
+    ///
+    /// # Panics
+    /// If `depth` is zero.
+    #[must_use]
+    pub fn with_telemetry(depth: usize, telemetry: Telemetry) -> Self {
         assert!(depth > 0, "ingest queue depth must be positive");
         Self {
             depth,
@@ -79,6 +93,7 @@ impl<T> IngestQueue<T> {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            telemetry,
         }
     }
 
@@ -118,11 +133,15 @@ impl<T> IngestQueue<T> {
             return Err(IngestError::Closed(job));
         }
         if state.queue.len() >= self.depth {
+            drop(state);
+            self.telemetry.record_ingest_shed();
             return Err(IngestError::Full(job));
         }
         state.queue.push_back(job);
         state.peak = state.peak.max(state.queue.len());
+        let depth = state.queue.len();
         drop(state);
+        self.telemetry.record_ingest_push(depth);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -142,7 +161,9 @@ impl<T> IngestQueue<T> {
         }
         state.queue.push_back(job);
         state.peak = state.peak.max(state.queue.len());
+        let depth = state.queue.len();
         drop(state);
+        self.telemetry.record_ingest_push(depth);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -154,6 +175,7 @@ impl<T> IngestQueue<T> {
         let job = state.queue.pop_front();
         if job.is_some() {
             drop(state);
+            self.telemetry.record_ingest_pop();
             self.not_full.notify_one();
         }
         job
@@ -168,6 +190,7 @@ impl<T> IngestQueue<T> {
         loop {
             if let Some(job) = state.queue.pop_front() {
                 drop(state);
+                self.telemetry.record_ingest_pop();
                 self.not_full.notify_one();
                 return Some(job);
             }
@@ -281,5 +304,20 @@ mod tests {
     #[should_panic(expected = "depth must be positive")]
     fn zero_depth_panics() {
         let _ = IngestQueue::<u8>::with_depth(0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_depth_peak_and_sheds() {
+        use crate::telemetry::names;
+        let tel = Telemetry::enabled(1);
+        let q = IngestQueue::with_telemetry(2, tel.clone());
+        q.try_submit(1).unwrap();
+        q.try_submit(2).unwrap();
+        assert!(q.try_submit(3).is_err());
+        assert_eq!(q.try_pop(), Some(1));
+        let snap = tel.inner().unwrap().snapshot();
+        assert_eq!(snap.counter(names::INGEST_SHED), Some(1));
+        assert_eq!(snap.gauge(names::INGEST_DEPTH), Some(1.0));
+        assert_eq!(snap.gauge(names::INGEST_PEAK_DEPTH), Some(2.0));
     }
 }

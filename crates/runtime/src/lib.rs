@@ -59,6 +59,7 @@ pub mod retry;
 pub mod shard;
 pub mod swap;
 pub mod table;
+pub mod telemetry;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -79,8 +80,9 @@ pub use registry::{Health, Node, NodeId, Registry};
 pub use resolver::{ResolveOutcome, SchemeKind};
 pub use retry::{RetryConfig, RetryPolicy, RETRY_STREAM};
 pub use shard::{ShardGuard, ShardedDispatcher};
-pub use swap::EpochSwap;
+pub use swap::{EpochSwap, SwapStats};
 pub use table::RoutingTable;
+pub use telemetry::{RuntimeEvent, Telemetry, TelemetryHandle};
 
 /// Tunables of a [`Runtime`]; built through [`RuntimeBuilder`].
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +113,10 @@ pub struct RuntimeConfig {
     /// Tuning of the accrual failure detector behind
     /// [`Runtime::observe_success`] / [`Runtime::observe_failure`].
     pub detector: DetectorConfig,
+    /// Whether the runtime records telemetry (metrics + event ring).
+    /// Off by default. Telemetry consumes no RNG draws and leaves every
+    /// decision sequence bit-identical; it only adds instruments.
+    pub telemetry: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -126,6 +132,7 @@ impl Default for RuntimeConfig {
             shards: 1,
             admission: None,
             detector: DetectorConfig::default(),
+            telemetry: false,
         }
     }
 }
@@ -204,6 +211,14 @@ impl RuntimeBuilder {
     #[must_use]
     pub fn detector(mut self, cfg: DetectorConfig) -> Self {
         self.cfg.detector = cfg;
+        self
+    }
+
+    /// Enables or disables telemetry (metrics + event ring). Disabled by
+    /// default; enabling it never perturbs a decision sequence.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.cfg.telemetry = enabled;
         self
     }
 
@@ -292,6 +307,7 @@ pub struct Runtime {
     sharded: ShardedDispatcher,
     admission: Option<AdmissionControl>,
     epoch: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl Runtime {
@@ -309,7 +325,17 @@ impl Runtime {
     #[must_use]
     pub fn with_config(cfg: RuntimeConfig) -> Self {
         let table = Arc::new(EpochSwap::new(RoutingTable::empty(0)));
-        let sharded = ShardedDispatcher::new(Arc::clone(&table), cfg.seed, cfg.shards.max(1));
+        let telemetry = if cfg.telemetry {
+            Telemetry::enabled(cfg.shards.max(1))
+        } else {
+            Telemetry::disabled()
+        };
+        let sharded = ShardedDispatcher::with_telemetry(
+            Arc::clone(&table),
+            cfg.seed,
+            cfg.shards.max(1),
+            telemetry.clone(),
+        );
         let admission = cfg.admission.map(|a| {
             AdmissionControl::new(
                 AdmissionPolicy::new(a).unwrap_or_else(|e| panic!("invalid admission config: {e}")),
@@ -332,6 +358,7 @@ impl Runtime {
             sharded,
             admission,
             epoch: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -542,7 +569,7 @@ impl Runtime {
         }
         let epoch = self.next_epoch();
         let (table, outcome) = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
-        self.table.publish(table);
+        self.publish_table(table);
         Ok(outcome)
     }
 
@@ -597,8 +624,13 @@ impl Runtime {
             let u = guard.next_admission_draw();
             match control.decide(u) {
                 AdmissionVerdict::Accept => {}
-                AdmissionVerdict::Defer => return Ok(Submission::Deferred),
-                AdmissionVerdict::Reject => return Ok(Submission::Rejected),
+                verdict @ (AdmissionVerdict::Defer | AdmissionVerdict::Reject) => {
+                    self.telemetry.record_admission_shed(shard, verdict);
+                    return Ok(match verdict {
+                        AdmissionVerdict::Defer => Submission::Deferred,
+                        _ => Submission::Rejected,
+                    });
+                }
             }
         }
         guard.dispatch().map(Submission::Dispatched)
@@ -645,10 +677,17 @@ impl Runtime {
             Some(control) => {
                 for _ in 0..count {
                     let u = guard.next_admission_draw();
-                    match control.decide(u) {
+                    let verdict = control.decide(u);
+                    match verdict {
                         AdmissionVerdict::Accept => batch.decisions.push(guard.dispatch()?),
-                        AdmissionVerdict::Defer => batch.deferred += 1,
-                        AdmissionVerdict::Reject => batch.rejected += 1,
+                        AdmissionVerdict::Defer => {
+                            batch.deferred += 1;
+                            self.telemetry.record_admission_shed(shard, verdict);
+                        }
+                        AdmissionVerdict::Reject => {
+                            batch.rejected += 1;
+                            self.telemetry.record_admission_shed(shard, verdict);
+                        }
                     }
                 }
             }
@@ -692,6 +731,43 @@ impl Runtime {
     #[must_use]
     pub fn offered_utilization(&self) -> Option<f64> {
         self.admission.as_ref().map(AdmissionControl::offered_utilization)
+    }
+
+    /// The telemetry facade (disabled unless [`RuntimeBuilder::telemetry`]
+    /// turned it on). Drivers use it to publish the virtual clock and to
+    /// record per-job observations.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Scrapes every telemetry instrument into one snapshot, after
+    /// syncing the derived totals (merged dispatch counter, epoch-swap
+    /// publish stats, admission counters, offered ρ, ring drops).
+    /// `None` when telemetry is disabled.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<gtlb_telemetry::Snapshot> {
+        let inner = self.telemetry.inner()?;
+        inner.sync(
+            self.sharded.dispatched(),
+            self.table.stats(),
+            self.admission.as_ref().map(|c| (c.stats(), c.offered_utilization())),
+        );
+        Some(inner.snapshot())
+    }
+
+    /// A polling handle a dashboard thread can scrape mid-run while the
+    /// driver keeps submitting through the same shared runtime.
+    #[must_use]
+    pub fn telemetry_handle(self: &Arc<Self>) -> TelemetryHandle {
+        TelemetryHandle::new(Arc::clone(self))
+    }
+
+    /// Writer-side statistics of the routing-table epoch swap: publish
+    /// count and how far lease drains escalated.
+    #[must_use]
+    pub fn swap_stats(&self) -> SwapStats {
+        self.table.stats()
     }
 
     /// Snapshot of the currently published routing table.
@@ -752,6 +828,16 @@ impl Runtime {
     fn set_health_synced(&self, id: NodeId, health: Health) -> Result<Health, RuntimeError> {
         let prev = self.state().registry.set_health(id, health)?;
         self.detector_state().detector.set_view(id, health);
+        if prev != health {
+            // Manual marks are health transitions too; tag them with the
+            // driver's published virtual clock (0 when no driver runs).
+            self.telemetry.record_health(HealthTransition {
+                node: id,
+                from: prev,
+                to: health,
+                at: self.telemetry.clock(),
+            });
+        }
         Ok(prev)
     }
 
@@ -776,6 +862,7 @@ impl Runtime {
             };
             if let Some(tr) = tr {
                 det.log.push(tr);
+                self.telemetry.record_health(tr);
             }
             tr
         };
@@ -860,7 +947,21 @@ impl Runtime {
             }
         };
         let table = current.without_node(id, epoch).unwrap_or_else(|_| fallback(epoch));
+        self.publish_table(table);
+    }
+
+    /// Publishes a table through the epoch swap, recording the publish
+    /// (and its wall-clock lease-drain wait) when telemetry is enabled.
+    /// The wait is measured only with telemetry on — the value feeds one
+    /// histogram and nothing else, so enabling it cannot perturb any
+    /// deterministic output.
+    fn publish_table(&self, table: RoutingTable) {
+        let epoch = table.epoch();
+        let timer = self.telemetry.is_enabled().then(std::time::Instant::now);
         self.table.publish(table);
+        if let Some(start) = timer {
+            self.telemetry.record_publish(epoch, start.elapsed().as_secs_f64());
+        }
     }
 }
 

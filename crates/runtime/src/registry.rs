@@ -76,6 +76,12 @@ impl Health {
     }
 }
 
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One registered node.
 #[derive(Debug, Clone)]
 pub struct Node {

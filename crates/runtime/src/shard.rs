@@ -46,6 +46,7 @@ use crate::error::RuntimeError;
 use crate::registry::NodeId;
 use crate::swap::EpochSwap;
 use crate::table::RoutingTable;
+use crate::telemetry::{Telemetry, ROUTE_SAMPLE_EVERY};
 
 /// RNG stream id of per-shard admission draws — disjoint from dispatch
 /// (0x0400) and the driver's streams (0x0500/0x0600), so toggling
@@ -84,16 +85,35 @@ pub struct ShardedDispatcher {
     table: Arc<EpochSwap<RoutingTable>>,
     shards: Vec<Mutex<ShardCore>>,
     round_robin: AtomicUsize,
+    telemetry: Telemetry,
 }
 
 impl ShardedDispatcher {
     /// `shards` dispatchers reading `table`; shard `k` draws from stream
-    /// `DISPATCH_STREAM` of seed `base_seed ^ k`.
+    /// `DISPATCH_STREAM` of seed `base_seed ^ k`. Telemetry is disabled;
+    /// use [`with_telemetry`](Self::with_telemetry) to record sampled
+    /// routing events.
     ///
     /// # Panics
     /// If `shards` is zero.
     #[must_use]
     pub fn new(table: Arc<EpochSwap<RoutingTable>>, base_seed: u64, shards: usize) -> Self {
+        Self::with_telemetry(table, base_seed, shards, Telemetry::disabled())
+    }
+
+    /// Like [`new`](Self::new), with a telemetry facade. Telemetry
+    /// consumes no RNG draws and never alters a decision: the sequences
+    /// are bit-identical whether `telemetry` is enabled or not.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    #[must_use]
+    pub fn with_telemetry(
+        table: Arc<EpochSwap<RoutingTable>>,
+        base_seed: u64,
+        shards: usize,
+        telemetry: Telemetry,
+    ) -> Self {
         assert!(shards > 0, "a sharded dispatcher needs at least one shard");
         let shards = (0..shards as u64)
             .map(|k| {
@@ -105,7 +125,7 @@ impl ShardedDispatcher {
                 })
             })
             .collect();
-        Self { table, shards, round_robin: AtomicUsize::new(0) }
+        Self { table, shards, round_robin: AtomicUsize::new(0), telemetry }
     }
 
     /// Number of shards.
@@ -129,7 +149,7 @@ impl ShardedDispatcher {
     #[must_use]
     pub fn shard(&self, shard: usize) -> ShardGuard<'_> {
         let core = self.shards[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        ShardGuard { table: self.table.load(), core }
+        ShardGuard { table: self.table.load(), core, telemetry: &self.telemetry, shard }
     }
 
     /// Routes one job on shard `shard`.
@@ -211,12 +231,18 @@ impl ShardedDispatcher {
 pub struct ShardGuard<'a> {
     table: Arc<RoutingTable>,
     core: MutexGuard<'a, ShardCore>,
+    telemetry: &'a Telemetry,
+    shard: usize,
 }
 
 impl ShardGuard<'_> {
     /// Routes one job on this shard, on the guard's pinned table
     /// snapshot: one RNG draw, one O(1) alias lookup, one counter
-    /// increment — no lock, no table load.
+    /// increment — no lock, no table load. With telemetry enabled, every
+    /// [`ROUTE_SAMPLE_EVERY`]-th decision of this shard is additionally
+    /// pushed to the event ring (the dispatch counter doubles as the
+    /// sample clock, so sampling adds no per-dispatch state and no RNG
+    /// draw).
     ///
     /// # Errors
     /// [`RuntimeError::NoServingNodes`] while the pinned table is empty.
@@ -228,6 +254,9 @@ impl ShardGuard<'_> {
         let node = self.table.route(u);
         self.core.dispatched += 1;
         self.core.count_hit(node);
+        if self.core.dispatched & (ROUTE_SAMPLE_EVERY - 1) == 0 && self.telemetry.is_enabled() {
+            self.telemetry.record_routed(self.shard, node, self.table.epoch());
+        }
         Ok(Decision { node, epoch: self.table.epoch() })
     }
 
@@ -267,6 +296,17 @@ impl ShardGuard<'_> {
             out.push(Decision { node: nodes[idx], epoch });
         }
         self.core.dispatched += count as u64;
+        // Batch equivalent of the per-dispatch sample: if this batch
+        // crossed a sample boundary, record its last decision.
+        if self.telemetry.is_enabled() {
+            let after = self.core.dispatched;
+            let before = after - count as u64;
+            if before / ROUTE_SAMPLE_EVERY != after / ROUTE_SAMPLE_EVERY {
+                if let Some(last) = out.last() {
+                    self.telemetry.record_routed(self.shard, last.node, epoch);
+                }
+            }
+        }
         for (idx, &c) in local.iter().enumerate() {
             if c > 0 {
                 let raw = nodes[idx].raw() as usize;

@@ -86,6 +86,21 @@ struct Buffer<T> {
     value: UnsafeCell<Arc<T>>,
 }
 
+/// Writer-side publish statistics: how many tables were published and
+/// how far the lease drain had to escalate (spin → yield → sleep). A
+/// publish appears in at most one drain tier — the deepest it reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Total publishes through this slot.
+    pub publishes: u64,
+    /// Publishes that waited in the spin tier (but never yielded).
+    pub drains_spin: u64,
+    /// Publishes that escalated to `yield_now` (but never slept).
+    pub drains_yield: u64,
+    /// Publishes that escalated to a parked sleep.
+    pub drains_sleep: u64,
+}
+
 /// A slot holding an `Arc<T>` that is swapped wholesale on publish.
 ///
 /// [`load`](Self::load) is lock-free: no mutex, no `RwLock`, only a
@@ -98,6 +113,12 @@ pub struct EpochSwap<T> {
     buffers: [Buffer<T>; 2],
     /// Serializes writers only; never touched by `load`.
     writer: Mutex<()>,
+    /// Publish count + drain escalation tiers; written only on the
+    /// mutex-serialized writer path, so `Relaxed` suffices.
+    publishes: AtomicU64,
+    drains_spin: AtomicU64,
+    drains_yield: AtomicU64,
+    drains_sleep: AtomicU64,
 }
 
 // Safety: the slot hands out `Arc<T>` clones across threads and drops
@@ -120,6 +141,22 @@ impl<T> EpochSwap<T> {
                 Buffer { leases: AtomicU64::new(0), value: UnsafeCell::new(value) },
             ],
             writer: Mutex::new(()),
+            publishes: AtomicU64::new(0),
+            drains_spin: AtomicU64::new(0),
+            drains_yield: AtomicU64::new(0),
+            drains_sleep: AtomicU64::new(0),
+        }
+    }
+
+    /// Writer-side publish statistics (publish count and drain
+    /// escalation tiers). Cheap; safe to poll from any thread.
+    #[must_use]
+    pub fn stats(&self) -> SwapStats {
+        SwapStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            drains_spin: self.drains_spin.load(Ordering::Relaxed),
+            drains_yield: self.drains_yield.load(Ordering::Relaxed),
+            drains_sleep: self.drains_sleep.load(Ordering::Relaxed),
         }
     }
 
@@ -201,6 +238,16 @@ impl<T> EpochSwap<T> {
             *stale.value.get() = value;
         }
         self.gen.store(gen.wrapping_add(1), Ordering::SeqCst);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        // Record the deepest escalation tier the drain reached; the
+        // thresholds mirror the drain loop above.
+        if spins >= 1024 {
+            self.drains_sleep.fetch_add(1, Ordering::Relaxed);
+        } else if spins >= 64 {
+            self.drains_yield.fetch_add(1, Ordering::Relaxed);
+        } else if spins > 0 {
+            self.drains_spin.fetch_add(1, Ordering::Relaxed);
+        }
         drop(guard);
         previous
     }
@@ -276,6 +323,19 @@ mod tests {
             });
         });
         assert_eq!(*swap.load(), PUBLISHES);
+    }
+
+    #[test]
+    fn stats_count_publishes() {
+        let swap = EpochSwap::new(0u32);
+        assert_eq!(swap.stats(), SwapStats::default());
+        for v in 1..=5u32 {
+            swap.publish(v);
+        }
+        let stats = swap.stats();
+        assert_eq!(stats.publishes, 5);
+        // Uncontended publishes never escalate past the zero-spin path.
+        assert_eq!(stats.drains_spin + stats.drains_yield + stats.drains_sleep, 0);
     }
 
     #[test]

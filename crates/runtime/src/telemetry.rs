@@ -1,0 +1,548 @@
+//! Runtime observability: a [`Telemetry`] facade over the
+//! `gtlb-telemetry` instruments, threaded through every subsystem.
+//!
+//! The facade is an `Option<Arc<_>>`: [`Telemetry::disabled`] (the
+//! default) carries `None` and every record method compiles to a plain
+//! branch on it, so the instrumented paths cost one predictable
+//! never-taken branch when telemetry is off. [`Telemetry::enabled`]
+//! allocates the instrument set and the per-shard event ring.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry consumes **no RNG draws** and owns **no clock**: every
+//! event is tagged with the virtual time the [`TraceDriver`] publishes
+//! through [`Telemetry::set_clock`] (wall-clock enters exactly one
+//! instrument — the publish-wait histogram, which measures real
+//! lease-drain latency and is never folded into any fingerprint). The
+//! `stream` tag on an event names the seed-stream family of the
+//! subsystem that emitted it ([`DISPATCH_STREAM`], [`FAULT_STREAM`], …,
+//! or `0` for subsystems that draw nothing); telemetry itself has no
+//! entry in the stream-family map because it never draws. Enabling
+//! telemetry therefore leaves every determinism fingerprint
+//! bit-identical — CI's `telemetry-invariance` job diffs them.
+//!
+//! ## Hot-path budget
+//!
+//! The alias-routing hot path gains only the enabled-check branch plus,
+//! every [`ROUTE_SAMPLE_EVERY`]-th dispatch of a shard, one sampled
+//! [`RuntimeEvent::Routed`] ring push (amortized to well under a
+//! nanosecond). Everything else (histograms, admission/fault/health
+//! events) records on paths that are already cold or lock-bound. CI
+//! gates the enabled/disabled ratio at ≤ 1.03× on the n=1024 route
+//! bench.
+//!
+//! [`TraceDriver`]: crate::driver::TraceDriver
+//! [`DISPATCH_STREAM`]: crate::dispatcher::DISPATCH_STREAM
+//! [`FAULT_STREAM`]: crate::fault::FAULT_STREAM
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gtlb_telemetry::{
+    Counter, EventRing, Gauge, Histogram, Registry as MetricRegistry, Snapshot, TaggedEvent,
+    Watermark,
+};
+
+use crate::admission::{AdmissionStats, AdmissionVerdict};
+use crate::detector::HealthTransition;
+use crate::dispatcher::DISPATCH_STREAM;
+use crate::fault::FAULT_STREAM;
+use crate::registry::{Health, NodeId};
+use crate::shard::ADMISSION_STREAM;
+use crate::swap::SwapStats;
+use crate::Runtime;
+
+/// Events per event-ring lane (one lane per shard).
+pub const TELEMETRY_EVENT_CAPACITY: usize = 1024;
+
+/// A shard pushes one sampled [`RuntimeEvent::Routed`] event every this
+/// many dispatches (a power of two, so the check is one mask). Routing
+/// *counts* are exact regardless — they come from the shard counters —
+/// only the per-decision event stream is sampled.
+pub const ROUTE_SAMPLE_EVERY: u64 = 1024;
+
+/// Canonical metric names, as they appear in [`Snapshot`] and both
+/// exposition formats. The README's metric table documents each.
+pub mod names {
+    /// Jobs routed, merged over all shards (synced from shard counters).
+    pub const DISPATCHES: &str = "gtlb_dispatches_total";
+    /// Jobs that asked admission for a verdict.
+    pub const ADMISSION_SUBMITTED: &str = "gtlb_admission_submitted_total";
+    /// Jobs admitted to dispatch.
+    pub const ADMISSION_ACCEPTED: &str = "gtlb_admission_accepted_total";
+    /// Jobs shed with retry-later semantics.
+    pub const ADMISSION_DEFERRED: &str = "gtlb_admission_deferred_total";
+    /// Jobs shed outright.
+    pub const ADMISSION_REJECTED: &str = "gtlb_admission_rejected_total";
+    /// Redispatch attempts made by the trace driver.
+    pub const RETRIES: &str = "gtlb_retries_total";
+    /// Dispatch attempts dropped by injected faults.
+    pub const FAULT_DROPS: &str = "gtlb_fault_drops_total";
+    /// Health transitions applied (detector-driven and manual).
+    pub const HEALTH_TRANSITIONS: &str = "gtlb_health_transitions_total";
+    /// Routing tables published through the epoch swap.
+    pub const TABLE_PUBLISHES: &str = "gtlb_table_publishes_total";
+    /// Publishes whose lease drain needed a spin wait.
+    pub const SWAP_DRAIN_SPIN: &str = "gtlb_swap_drain_spin_total";
+    /// Publishes whose lease drain escalated to `yield_now`.
+    pub const SWAP_DRAIN_YIELD: &str = "gtlb_swap_drain_yield_total";
+    /// Publishes whose lease drain escalated to a parked sleep.
+    pub const SWAP_DRAIN_SLEEP: &str = "gtlb_swap_drain_sleep_total";
+    /// Jobs shed by a full ingest queue.
+    pub const INGEST_SHED: &str = "gtlb_ingest_shed_total";
+    /// Events overwritten in the ring (drop-oldest).
+    pub const EVENTS_DROPPED: &str = "gtlb_events_dropped_total";
+    /// Offered utilization `ρ = Φ̂ / Σμ̂` admission acts on.
+    pub const OFFERED_UTILIZATION: &str = "gtlb_offered_utilization";
+    /// The driver's virtual clock, in seconds.
+    pub const VIRTUAL_CLOCK: &str = "gtlb_virtual_clock_seconds";
+    /// Jobs currently queued in the ingest queue.
+    pub const INGEST_DEPTH: &str = "gtlb_ingest_depth";
+    /// High-water mark of the ingest queue depth.
+    pub const INGEST_PEAK_DEPTH: &str = "gtlb_ingest_peak_depth";
+    /// Response time, arrival → completion (virtual seconds).
+    pub const RESPONSE_SECONDS: &str = "gtlb_response_seconds";
+    /// Queue wait at the chosen node (virtual seconds).
+    pub const QUEUE_WAIT_SECONDS: &str = "gtlb_queue_wait_seconds";
+    /// Retry backoff waits (virtual seconds).
+    pub const RETRY_BACKOFF_SECONDS: &str = "gtlb_retry_backoff_seconds";
+    /// Table-publish lease-drain wait (wall-clock seconds; the one
+    /// wall-clock instrument).
+    pub const PUBLISH_WAIT_SECONDS: &str = "gtlb_publish_wait_seconds";
+}
+
+/// A structured happening recorded in the event ring, tagged (by
+/// [`TaggedEvent`]) with virtual time, shard, and seed-stream family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuntimeEvent {
+    /// A sampled routing decision (every [`ROUTE_SAMPLE_EVERY`]-th
+    /// dispatch per shard).
+    Routed {
+        /// The chosen node.
+        node: NodeId,
+        /// Epoch of the table that chose it.
+        epoch: u64,
+    },
+    /// A health transition was applied.
+    HealthChanged {
+        /// The node that moved.
+        node: NodeId,
+        /// Health before.
+        from: Health,
+        /// Health after.
+        to: Health,
+    },
+    /// An injected fault dropped a dispatch attempt.
+    FaultDropped {
+        /// The node whose attempt dropped.
+        node: NodeId,
+    },
+    /// Admission shed a job.
+    AdmissionShed {
+        /// `true` for defer (retry-later), `false` for reject.
+        deferred: bool,
+    },
+    /// A routing table was published.
+    EpochPublished {
+        /// The new table's epoch.
+        epoch: u64,
+    },
+}
+
+impl std::fmt::Display for RuntimeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Routed { node, epoch } => write!(f, "routed {node} (epoch {epoch})"),
+            Self::HealthChanged { node, from, to } => write!(f, "health {node} {from} -> {to}"),
+            Self::FaultDropped { node } => write!(f, "fault dropped attempt at {node}"),
+            Self::AdmissionShed { deferred: true } => write!(f, "admission deferred a job"),
+            Self::AdmissionShed { deferred: false } => write!(f, "admission rejected a job"),
+            Self::EpochPublished { epoch } => write!(f, "published table epoch {epoch}"),
+        }
+    }
+}
+
+/// The instrument set behind an enabled [`Telemetry`].
+#[derive(Debug)]
+pub(crate) struct TelemetryInner {
+    registry: MetricRegistry,
+    ring: EventRing<RuntimeEvent>,
+    /// `f64` bits of the driver-published virtual clock.
+    clock_bits: AtomicU64,
+    dispatches: Arc<Counter>,
+    admission_submitted: Arc<Counter>,
+    admission_accepted: Arc<Counter>,
+    admission_deferred: Arc<Counter>,
+    admission_rejected: Arc<Counter>,
+    retries: Arc<Counter>,
+    fault_drops: Arc<Counter>,
+    health_transitions: Arc<Counter>,
+    table_publishes: Arc<Counter>,
+    drain_spin: Arc<Counter>,
+    drain_yield: Arc<Counter>,
+    drain_sleep: Arc<Counter>,
+    ingest_shed: Arc<Counter>,
+    events_dropped: Arc<Counter>,
+    offered_utilization: Arc<Gauge>,
+    virtual_clock: Arc<Gauge>,
+    ingest_depth: Arc<Gauge>,
+    ingest_peak: Arc<Watermark>,
+    response: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    backoff: Arc<Histogram>,
+    publish_wait: Arc<Histogram>,
+}
+
+impl TelemetryInner {
+    fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let registry = MetricRegistry::new();
+        Self {
+            ring: EventRing::new(shards, TELEMETRY_EVENT_CAPACITY),
+            clock_bits: AtomicU64::new(0f64.to_bits()),
+            dispatches: registry.counter(names::DISPATCHES, 1),
+            admission_submitted: registry.counter(names::ADMISSION_SUBMITTED, 1),
+            admission_accepted: registry.counter(names::ADMISSION_ACCEPTED, 1),
+            admission_deferred: registry.counter(names::ADMISSION_DEFERRED, 1),
+            admission_rejected: registry.counter(names::ADMISSION_REJECTED, 1),
+            retries: registry.counter(names::RETRIES, shards),
+            fault_drops: registry.counter(names::FAULT_DROPS, shards),
+            health_transitions: registry.counter(names::HEALTH_TRANSITIONS, shards),
+            table_publishes: registry.counter(names::TABLE_PUBLISHES, 1),
+            drain_spin: registry.counter(names::SWAP_DRAIN_SPIN, 1),
+            drain_yield: registry.counter(names::SWAP_DRAIN_YIELD, 1),
+            drain_sleep: registry.counter(names::SWAP_DRAIN_SLEEP, 1),
+            ingest_shed: registry.counter(names::INGEST_SHED, shards),
+            events_dropped: registry.counter(names::EVENTS_DROPPED, 1),
+            offered_utilization: registry.gauge(names::OFFERED_UTILIZATION, 1),
+            virtual_clock: registry.gauge(names::VIRTUAL_CLOCK, 1),
+            ingest_depth: registry.gauge(names::INGEST_DEPTH, shards),
+            ingest_peak: registry.watermark(names::INGEST_PEAK_DEPTH, shards),
+            response: registry.histogram(names::RESPONSE_SECONDS),
+            queue_wait: registry.histogram(names::QUEUE_WAIT_SECONDS),
+            backoff: registry.histogram(names::RETRY_BACKOFF_SECONDS),
+            publish_wait: registry.histogram(names::PUBLISH_WAIT_SECONDS),
+            registry,
+        }
+    }
+
+    fn clock(&self) -> f64 {
+        f64::from_bits(self.clock_bits.load(Ordering::Relaxed))
+    }
+
+    fn push(&self, shard: usize, stream: u64, event: RuntimeEvent) {
+        self.push_at(self.clock(), shard, stream, event);
+    }
+
+    fn push_at(&self, time: f64, shard: usize, stream: u64, event: RuntimeEvent) {
+        self.ring.push(shard, TaggedEvent { time, shard: shard as u32, stream, event });
+    }
+
+    /// Mirrors externally-maintained totals into the registry so a
+    /// scrape sees them; called by [`Runtime::telemetry_snapshot`].
+    pub(crate) fn sync(
+        &self,
+        dispatched: u64,
+        swap: SwapStats,
+        admission: Option<(AdmissionStats, f64)>,
+    ) {
+        self.dispatches.set_total(dispatched);
+        self.table_publishes.set_total(swap.publishes);
+        self.drain_spin.set_total(swap.drains_spin);
+        self.drain_yield.set_total(swap.drains_yield);
+        self.drain_sleep.set_total(swap.drains_sleep);
+        if let Some((stats, rho)) = admission {
+            self.admission_submitted.set_total(stats.submitted);
+            self.admission_accepted.set_total(stats.accepted);
+            self.admission_deferred.set_total(stats.deferred);
+            self.admission_rejected.set_total(stats.rejected);
+            self.offered_utilization.set(rho);
+        }
+        self.events_dropped.set_total(self.ring.dropped());
+        self.virtual_clock.set(self.clock());
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// The runtime's telemetry facade: either a no-op
+/// ([`Telemetry::disabled`]) or a shared instrument set
+/// ([`Telemetry::enabled`]). Cloning shares the instruments.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op facade: every record method is a never-taken branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled facade with one event-ring lane and one set of metric
+    /// cells per shard.
+    #[must_use]
+    pub fn enabled(shards: usize) -> Self {
+        Self { inner: Some(Arc::new(TelemetryInner::new(shards))) }
+    }
+
+    /// Whether this facade records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    pub(crate) fn inner(&self) -> Option<&TelemetryInner> {
+        self.inner.as_deref()
+    }
+
+    /// Publishes the driver's virtual clock; subsequent events are
+    /// tagged with it.
+    #[inline]
+    pub fn set_clock(&self, t: f64) {
+        if let Some(inner) = self.inner() {
+            inner.clock_bits.store(t.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The last published virtual time (0 when disabled).
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.inner().map_or(0.0, TelemetryInner::clock)
+    }
+
+    /// Records a sampled routing decision from `shard`.
+    #[inline]
+    pub(crate) fn record_routed(&self, shard: usize, node: NodeId, epoch: u64) {
+        if let Some(inner) = self.inner() {
+            inner.push(shard, DISPATCH_STREAM, RuntimeEvent::Routed { node, epoch });
+        }
+    }
+
+    /// Records an admission shed verdict (accepts are counted via the
+    /// synced [`AdmissionStats`], not per-event).
+    #[inline]
+    pub(crate) fn record_admission_shed(&self, shard: usize, verdict: AdmissionVerdict) {
+        if let Some(inner) = self.inner() {
+            let deferred = match verdict {
+                AdmissionVerdict::Accept => return,
+                AdmissionVerdict::Defer => true,
+                AdmissionVerdict::Reject => false,
+            };
+            inner.push(shard, ADMISSION_STREAM, RuntimeEvent::AdmissionShed { deferred });
+        }
+    }
+
+    /// Records a completed job's response time (virtual seconds).
+    #[inline]
+    pub fn record_response(&self, seconds: f64) {
+        if let Some(inner) = self.inner() {
+            inner.response.record(seconds);
+        }
+    }
+
+    /// Records a completed job's queue wait (virtual seconds).
+    #[inline]
+    pub fn record_queue_wait(&self, seconds: f64) {
+        if let Some(inner) = self.inner() {
+            inner.queue_wait.record(seconds);
+        }
+    }
+
+    /// Records one retry and the backoff it waited (virtual seconds).
+    #[inline]
+    pub fn record_retry(&self, shard: usize, backoff_seconds: f64) {
+        if let Some(inner) = self.inner() {
+            inner.retries.incr(shard);
+            inner.backoff.record(backoff_seconds);
+        }
+    }
+
+    /// Records a dispatch attempt dropped by an injected fault at
+    /// virtual time `t`.
+    #[inline]
+    pub fn record_fault_drop(&self, shard: usize, node: NodeId, t: f64) {
+        if let Some(inner) = self.inner() {
+            inner.fault_drops.incr(shard);
+            inner.push_at(t, shard, FAULT_STREAM, RuntimeEvent::FaultDropped { node });
+        }
+    }
+
+    /// Records an applied health transition.
+    #[inline]
+    pub(crate) fn record_health(&self, tr: HealthTransition) {
+        if let Some(inner) = self.inner() {
+            inner.health_transitions.incr(0);
+            inner.push_at(
+                tr.at,
+                0,
+                0,
+                RuntimeEvent::HealthChanged { node: tr.node, from: tr.from, to: tr.to },
+            );
+        }
+    }
+
+    /// Records a table publish and its lease-drain wait (wall-clock
+    /// seconds — the one wall-clock instrument; see the module docs).
+    #[inline]
+    pub(crate) fn record_publish(&self, epoch: u64, wait_seconds: f64) {
+        if let Some(inner) = self.inner() {
+            inner.publish_wait.record(wait_seconds);
+            inner.push(0, 0, RuntimeEvent::EpochPublished { epoch });
+        }
+    }
+
+    /// Records the ingest queue reaching `depth` after a push.
+    #[inline]
+    pub(crate) fn record_ingest_push(&self, depth: usize) {
+        if let Some(inner) = self.inner() {
+            inner.ingest_depth.add(0, 1.0);
+            inner.ingest_peak.observe(0, depth as f64);
+        }
+    }
+
+    /// Records a pop from the ingest queue.
+    #[inline]
+    pub(crate) fn record_ingest_pop(&self) {
+        if let Some(inner) = self.inner() {
+            inner.ingest_depth.add(0, -1.0);
+        }
+    }
+
+    /// Records a job shed by a full ingest queue.
+    #[inline]
+    pub(crate) fn record_ingest_shed(&self) {
+        if let Some(inner) = self.inner() {
+            inner.ingest_shed.incr(0);
+        }
+    }
+
+    /// The most recent `n` ring events in virtual-time order (empty
+    /// when disabled).
+    #[must_use]
+    pub fn recent_events(&self, n: usize) -> Vec<TaggedEvent<RuntimeEvent>> {
+        self.inner().map_or_else(Vec::new, |inner| inner.ring.recent(n))
+    }
+
+    /// Events overwritten in the ring so far (0 when disabled).
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.inner().map_or(0, |inner| inner.ring.dropped())
+    }
+}
+
+/// A polling handle over a shared [`Runtime`]'s telemetry: scrape
+/// snapshots and exposition formats mid-run, e.g. from a dashboard
+/// thread while the [`TraceDriver`](crate::driver::TraceDriver) pushes
+/// jobs elsewhere.
+#[derive(Clone)]
+pub struct TelemetryHandle {
+    runtime: Arc<Runtime>,
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl TelemetryHandle {
+    pub(crate) fn new(runtime: Arc<Runtime>) -> Self {
+        Self { runtime }
+    }
+
+    /// Whether the underlying runtime records telemetry.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.runtime.telemetry().is_enabled()
+    }
+
+    /// A merged snapshot of every instrument (`None` when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.runtime.telemetry_snapshot()
+    }
+
+    /// The snapshot rendered as Prometheus text exposition.
+    #[must_use]
+    pub fn prometheus(&self) -> Option<String> {
+        self.snapshot().map(|s| s.to_prometheus())
+    }
+
+    /// The snapshot rendered as JSON.
+    #[must_use]
+    pub fn json(&self) -> Option<String> {
+        self.snapshot().map(|s| s.to_json())
+    }
+
+    /// The most recent `n` structured events.
+    #[must_use]
+    pub fn recent_events(&self, n: usize) -> Vec<TaggedEvent<RuntimeEvent>> {
+        self.runtime.telemetry().recent_events(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.set_clock(5.0);
+        tel.record_response(1.0);
+        tel.record_retry(0, 0.1);
+        assert_eq!(tel.clock(), 0.0);
+        assert!(tel.recent_events(8).is_empty());
+        assert_eq!(tel.events_dropped(), 0);
+    }
+
+    #[test]
+    fn enabled_records_and_tags_with_virtual_time() {
+        let tel = Telemetry::enabled(2);
+        tel.set_clock(3.5);
+        tel.record_routed(1, NodeId::from_raw(7), 4);
+        let events = tel.recent_events(8);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time, 3.5);
+        assert_eq!(events[0].shard, 1);
+        assert_eq!(events[0].stream, DISPATCH_STREAM);
+        assert_eq!(events[0].event, RuntimeEvent::Routed { node: NodeId::from_raw(7), epoch: 4 });
+    }
+
+    #[test]
+    fn sync_mirrors_external_totals() {
+        let tel = Telemetry::enabled(1);
+        let inner = tel.inner().unwrap();
+        inner.sync(
+            42,
+            SwapStats { publishes: 7, drains_spin: 2, drains_yield: 1, drains_sleep: 0 },
+            Some((AdmissionStats { submitted: 10, accepted: 8, deferred: 1, rejected: 1 }, 0.75)),
+        );
+        let snap = inner.snapshot();
+        assert_eq!(snap.counter(names::DISPATCHES), Some(42));
+        assert_eq!(snap.counter(names::TABLE_PUBLISHES), Some(7));
+        assert_eq!(snap.counter(names::SWAP_DRAIN_SPIN), Some(2));
+        assert_eq!(snap.counter(names::ADMISSION_ACCEPTED), Some(8));
+        assert_eq!(snap.gauge(names::OFFERED_UTILIZATION), Some(0.75));
+    }
+
+    #[test]
+    fn event_display_is_readable() {
+        let e = RuntimeEvent::HealthChanged {
+            node: NodeId::from_raw(3),
+            from: Health::Up,
+            to: Health::Suspect,
+        };
+        assert_eq!(e.to_string(), "health node-3 up -> suspect");
+        assert_eq!(
+            RuntimeEvent::EpochPublished { epoch: 9 }.to_string(),
+            "published table epoch 9"
+        );
+    }
+}

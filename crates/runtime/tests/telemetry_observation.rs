@@ -1,0 +1,132 @@
+//! Telemetry is observation-only: the same chaos trace run with
+//! telemetry enabled and disabled produces bit-identical outputs
+//! (stats, decision totals, health timelines) — and the enabled run's
+//! snapshot actually contains the data.
+
+use std::sync::Arc;
+
+use gtlb_runtime::telemetry::names;
+use gtlb_runtime::{
+    AdmissionConfig, FaultPlan, NodeId, RetryConfig, RetryPolicy, Runtime, RuntimeEvent,
+    SchemeKind, TraceConfig, TraceDriver, TraceStats,
+};
+
+/// One chaos trace: crash-recover + flaky faults, retries, heartbeats,
+/// admission pressure, across 2 shards.
+fn chaos_run(telemetry: bool) -> (Arc<Runtime>, TraceStats, f64) {
+    let rt = Arc::new(
+        Runtime::builder()
+            .seed(0x0B5E)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(2.8)
+            .shards(2)
+            .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.05 })
+            .telemetry(telemetry)
+            .build(),
+    );
+    let ids: Vec<NodeId> = [4.0, 2.0, 1.0].iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+    let plan =
+        FaultPlan::new(0xFA57).crash_recover(ids[0], 30.0, 40.0).flaky(ids[2], 60.0, 40.0, 0.35);
+    let mut driver = TraceDriver::new(2.8, TraceConfig { seed: 99, batch_size: 400 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+    driver.run_jobs(&rt, 3_000).unwrap();
+    let stats = driver.stats();
+    let clock = driver.clock();
+    (rt, stats, clock)
+}
+
+#[test]
+fn enabled_and_disabled_traces_are_bit_identical() {
+    let (rt_off, stats_off, clock_off) = chaos_run(false);
+    let (rt_on, stats_on, clock_on) = chaos_run(true);
+
+    assert_eq!(clock_off.to_bits(), clock_on.to_bits(), "virtual clocks diverged");
+    assert_eq!(stats_off.submitted, stats_on.submitted);
+    assert_eq!(stats_off.jobs, stats_on.jobs);
+    assert_eq!(stats_off.accepted, stats_on.accepted);
+    assert_eq!(stats_off.rejected, stats_on.rejected);
+    assert_eq!(stats_off.deferred, stats_on.deferred);
+    assert_eq!(stats_off.failed, stats_on.failed);
+    assert_eq!(stats_off.retried, stats_on.retried);
+    assert_eq!(
+        stats_off.mean_response.to_bits(),
+        stats_on.mean_response.to_bits(),
+        "mean response diverged"
+    );
+    assert_eq!(stats_off.per_node, stats_on.per_node);
+    assert_eq!(stats_off.attempts, stats_on.attempts);
+    assert_eq!(rt_off.dispatched(), rt_on.dispatched());
+    assert_eq!(rt_off.hit_counts(), rt_on.hit_counts());
+
+    let offs: Vec<_> = rt_off.health_transitions();
+    let ons: Vec<_> = rt_on.health_transitions();
+    assert_eq!(offs.len(), ons.len(), "health timelines diverged in length");
+    for (a, b) in offs.iter().zip(&ons) {
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.from, b.from);
+        assert_eq!(a.to, b.to);
+        assert_eq!(a.at.to_bits(), b.at.to_bits());
+    }
+}
+
+#[test]
+fn disabled_runtime_scrapes_nothing() {
+    let (rt, _, _) = chaos_run(false);
+    assert!(!rt.telemetry().is_enabled());
+    assert!(rt.telemetry_snapshot().is_none());
+    let handle = rt.telemetry_handle();
+    assert!(!handle.is_enabled());
+    assert!(handle.snapshot().is_none());
+    assert!(handle.prometheus().is_none());
+    assert!(handle.json().is_none());
+    assert!(handle.recent_events(8).is_empty());
+}
+
+#[test]
+fn enabled_snapshot_is_populated_and_consistent() {
+    let (rt, stats, clock) = chaos_run(true);
+    let snap = rt.telemetry_snapshot().expect("telemetry enabled");
+
+    // Synced totals mirror the exact books.
+    assert_eq!(snap.counter(names::DISPATCHES), Some(rt.dispatched()));
+    // Admission sees every dispatch attempt (retries ask again), so its
+    // submitted total dominates the driver's first-offer count.
+    assert!(snap.counter(names::ADMISSION_SUBMITTED).unwrap() >= stats.submitted);
+    assert_eq!(snap.counter(names::RETRIES), Some(stats.retried));
+    assert_eq!(snap.gauge(names::VIRTUAL_CLOCK), Some(clock));
+    let publishes = snap.counter(names::TABLE_PUBLISHES).unwrap();
+    assert_eq!(publishes, rt.swap_stats().publishes);
+    assert!(publishes >= 1, "resolve_now published at least once");
+
+    // The chaos plan guarantees drops, retries, and transitions.
+    assert!(snap.counter(names::FAULT_DROPS).unwrap() > 0);
+    assert!(snap.counter(names::HEALTH_TRANSITIONS).unwrap() > 0);
+
+    // Histograms hold the trace's latencies.
+    let response = snap.histogram(names::RESPONSE_SECONDS).unwrap();
+    assert_eq!(response.count(), stats.jobs);
+    assert!(response.p99() >= response.p50());
+    let backoff = snap.histogram(names::RETRY_BACKOFF_SECONDS).unwrap();
+    assert_eq!(backoff.count(), stats.retried);
+
+    // The event ring saw sampled routing plus the chaos events, tagged
+    // with virtual times within the trace.
+    let events = rt.telemetry().recent_events(64);
+    assert!(!events.is_empty());
+    assert!(events.iter().any(|e| matches!(e.event, RuntimeEvent::HealthChanged { .. })));
+    for ev in &events {
+        assert!(ev.time.is_finite() && ev.time <= clock, "event tagged after the clock");
+    }
+
+    // Both exposition formats render every catalog metric they should.
+    let handle = rt.telemetry_handle();
+    let prom = handle.prometheus().unwrap();
+    assert!(prom.contains(names::DISPATCHES));
+    assert!(prom.contains("gtlb_response_seconds_count"));
+    let json = handle.json().unwrap();
+    assert!(json.contains(names::DISPATCHES));
+    assert!(json.contains(names::RESPONSE_SECONDS));
+}

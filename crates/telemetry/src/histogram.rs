@@ -1,0 +1,399 @@
+//! A log-linear HDR-style histogram with a fixed, mergeable bucket
+//! layout.
+//!
+//! The value axis is split into powers of two (octaves) from
+//! [`MIN_TRACKED`] = 2⁻³² up to [`MAX_TRACKED`] = 2³², and each octave
+//! into 2^[`SUB_BUCKET_BITS`] = 16 linear sub-buckets, giving a
+//! relative bucket width of 1/16 ≈ 6.25 % across ~19 decades — ample
+//! for latencies measured in seconds. Values below the tracked range
+//! (including zero and non-finite junk) land in [`UNDERFLOW_BUCKET`];
+//! values at or above [`MAX_TRACKED`] land in [`OVERFLOW_BUCKET`].
+//!
+//! Bucket selection reads the exponent and top mantissa bits straight
+//! out of the IEEE 754 representation, so classification is a few
+//! integer ops with no floating-point comparisons or loops, and the
+//! boundaries are exactly reconstructible ([`bucket_lower_bound`] /
+//! [`bucket_upper_bound`]) — a property the test-suite round-trips.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sub-bucket bits per octave (16 linear sub-buckets).
+pub const SUB_BUCKET_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BUCKET_BITS;
+/// Smallest tracked exponent: values below 2^MIN_EXP underflow.
+const MIN_EXP: i32 = -32;
+/// One past the largest tracked exponent: values at or above
+/// 2^(MAX_EXP+1) overflow.
+const MAX_EXP: i32 = 31;
+/// Number of octaves in the tracked range.
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// Index of the underflow bucket (zero, negative, sub-range, and
+/// non-finite values).
+pub const UNDERFLOW_BUCKET: usize = 0;
+/// Index of the overflow bucket (values `>=` [`MAX_TRACKED`]).
+pub const OVERFLOW_BUCKET: usize = 1 + OCTAVES * SUB;
+/// Total number of buckets including underflow and overflow.
+pub const BUCKET_COUNT: usize = OVERFLOW_BUCKET + 1;
+
+/// Smallest value classified into a regular bucket: 2⁻³².
+pub const MIN_TRACKED: f64 = 1.0 / (4_294_967_296.0);
+/// Smallest value classified as overflow: 2³².
+pub const MAX_TRACKED: f64 = 4_294_967_296.0;
+
+/// Maps a value to its bucket index in `0..BUCKET_COUNT`.
+///
+/// `NaN`, negatives, zero, and values below [`MIN_TRACKED`] map to
+/// [`UNDERFLOW_BUCKET`]; values at or above [`MAX_TRACKED`] map to
+/// [`OVERFLOW_BUCKET`].
+#[must_use]
+pub fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value < MIN_TRACKED {
+        return UNDERFLOW_BUCKET;
+    }
+    if value >= MAX_TRACKED {
+        return OVERFLOW_BUCKET;
+    }
+    // The tracked range is entirely normal, so the biased exponent and
+    // top mantissa bits identify the (octave, sub-bucket) pair.
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> (52 - SUB_BUCKET_BITS)) & (SUB as u64 - 1)) as usize;
+    1 + (((exp - MIN_EXP) as usize) << SUB_BUCKET_BITS) + sub
+}
+
+/// Inclusive lower bound of bucket `index`.
+///
+/// The underflow bucket starts at `0.0`; the overflow bucket starts at
+/// [`MAX_TRACKED`]. For every value `v` in the tracked range,
+/// `bucket_lower_bound(bucket_index(v)) <= v`.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> f64 {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    if index == UNDERFLOW_BUCKET {
+        return 0.0;
+    }
+    if index == OVERFLOW_BUCKET {
+        return MAX_TRACKED;
+    }
+    let j = index - 1;
+    let exp = MIN_EXP + (j >> SUB_BUCKET_BITS) as i32;
+    let sub = (j & (SUB - 1)) as u64;
+    f64::from_bits((((exp + 1023) as u64) << 52) | (sub << (52 - SUB_BUCKET_BITS)))
+}
+
+/// Exclusive upper bound of bucket `index` (`f64::INFINITY` for the
+/// overflow bucket). For every tracked value `v`,
+/// `v < bucket_upper_bound(bucket_index(v))`.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> f64 {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    if index == OVERFLOW_BUCKET {
+        return f64::INFINITY;
+    }
+    bucket_lower_bound(index + 1)
+}
+
+/// A concurrent log-linear histogram.
+///
+/// Recording is one relaxed `fetch_add` on the bucket plus a CAS loop
+/// for the running sum and an integer `fetch_max` for the maximum.
+/// Reads go through [`Histogram::snapshot`], which produces an
+/// immutable, mergeable [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    /// `f64::to_bits` image of the running sum of recorded values.
+    sum_bits: AtomicU64,
+    /// `f64::to_bits` image of the maximum recorded value (bit order
+    /// matches value order for non-negative doubles).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation of `value`.
+    ///
+    /// Non-finite and negative values count toward the underflow
+    /// bucket and contribute `0.0` to the sum and maximum, so a junk
+    /// sample can inflate the count but never corrupt the statistics.
+    pub fn record(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let clamped = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + clamped).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max_bits.fetch_max(clamped.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot of the current bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable histogram snapshot: dense bucket counts plus the exact
+/// running sum and maximum. Snapshots [`merge`](Self::merge) by bucket
+/// and answer quantile queries.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a histogram snapshot carries the data; query or merge it"]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub fn empty() -> Self {
+        Self { buckets: vec![0; BUCKET_COUNT], sum: 0.0, max: 0.0 }
+    }
+
+    /// Builds a snapshot directly from sample values; convenient in
+    /// tests and for offline aggregation.
+    pub fn from_values(values: &[f64]) -> Self {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucket-quantized).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// Raw count of bucket `index`.
+    #[must_use]
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, quantized to the upper bound
+    /// of the bucket holding the q-th observation (clamped to the
+    /// exact maximum so granularity never reports a value above the
+    /// largest sample). Returns `0.0` for an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let v = if i == UNDERFLOW_BUCKET {
+                    0.0
+                } else if i == OVERFLOW_BUCKET {
+                    self.max
+                } else {
+                    bucket_upper_bound(i)
+                };
+                return if self.max > 0.0 { v.min(self.max) } else { v };
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges two snapshots bucket-by-bucket. Merging is associative
+    /// and commutative up to floating-point addition order in `sum`.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            buckets: self.buckets.iter().zip(&other.buckets).map(|(a, b)| a + b).collect(),
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Bucket-wise difference `self - prev`, for scrape deltas. Counts
+    /// saturate at zero; `max` is kept from `self` (it is a
+    /// since-start maximum, not a windowed one).
+    pub fn delta(&self, prev: &Self) -> Self {
+        Self {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&prev.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: (self.sum - prev.sum).max(0.0),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_constants_are_consistent() {
+        assert_eq!(BUCKET_COUNT, 1 + 64 * 16 + 1);
+        assert_eq!(bucket_index(MIN_TRACKED), 1);
+        assert_eq!(bucket_index(MAX_TRACKED), OVERFLOW_BUCKET);
+        assert_eq!(bucket_lower_bound(1), MIN_TRACKED);
+        assert_eq!(bucket_lower_bound(OVERFLOW_BUCKET), MAX_TRACKED);
+        assert_eq!(bucket_upper_bound(OVERFLOW_BUCKET), f64::INFINITY);
+    }
+
+    #[test]
+    fn junk_values_underflow() {
+        for v in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY, MIN_TRACKED / 2.0] {
+            assert_eq!(bucket_index(v), UNDERFLOW_BUCKET, "value {v}");
+        }
+        assert_eq!(bucket_index(f64::INFINITY), OVERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn bounds_bracket_the_value() {
+        for &v in &[1e-9, 3.7e-6, 0.001, 0.5, 1.0, 1.5, 2.0, 123.456, 1e9] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "lower({i}) <= {v}");
+            assert!(v < bucket_upper_bound(i), "{v} < upper({i})");
+        }
+    }
+
+    #[test]
+    fn lower_bounds_round_trip() {
+        for i in 1..OVERFLOW_BUCKET {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn relative_width_is_about_six_percent() {
+        for &v in &[1e-6, 1.0, 1e6] {
+            let i = bucket_index(v);
+            let (lo, hi) = (bucket_lower_bound(i), bucket_upper_bound(i));
+            let rel = (hi - lo) / lo;
+            assert!(rel <= 1.0 / 16.0 + 1e-12, "relative width {rel} at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_and_stats() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 ..= 1.000
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert!((s.sum() - 500.5).abs() < 1e-9);
+        assert_eq!(s.max(), 1.0);
+        assert!((s.mean() - 0.5005).abs() < 1e-9);
+        // 6.25% bucket quantization, quantized to upper bounds.
+        assert!((s.p50() - 0.5).abs() / 0.5 < 0.10, "p50 {}", s.p50());
+        assert!((s.p90() - 0.9).abs() / 0.9 < 0.10, "p90 {}", s.p90());
+        assert!((s.p99() - 0.99).abs() / 0.99 < 0.10, "p99 {}", s.p99());
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        assert!(s.p99() <= s.max());
+    }
+
+    #[test]
+    fn empty_snapshot_queries_are_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = HistogramSnapshot::from_values(&[0.1, 0.2, 0.3]);
+        let b = HistogramSnapshot::from_values(&[0.4, 0.5]);
+        let both = HistogramSnapshot::from_values(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(a.merge(&b), both);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn delta_recovers_the_window() {
+        let early = HistogramSnapshot::from_values(&[0.1, 0.2]);
+        let late = HistogramSnapshot::from_values(&[0.1, 0.2, 0.4]);
+        let d = late.delta(&early);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.bucket(bucket_index(0.4)), 1);
+        assert!((d.sum() - 0.4).abs() < 1e-12);
+    }
+}

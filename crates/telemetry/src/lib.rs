@@ -1,0 +1,41 @@
+//! Dependency-free observability core for the gtlb runtime.
+//!
+//! The crate provides four building blocks, all safe Rust over `std`
+//! atomics with no external dependencies:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Watermark`] — sharded metric cells.
+//!   Each writer thread (shard) updates its own cache-line-padded
+//!   atomic, and readers merge the cells on scrape, so the write path
+//!   is a single uncontended `fetch_add` (or CAS for float gauges).
+//! * [`Histogram`] — a log-linear HDR-style latency histogram with a
+//!   fixed bucket layout (16 sub-buckets per power of two across
+//!   2⁻³² … 2³², ~6.25 % relative error). Snapshots are mergeable and
+//!   answer p50/p90/p99/max queries.
+//! * [`EventRing`] — a bounded, structured, drop-oldest event buffer
+//!   with one lane per shard and an exact per-lane dropped counter,
+//!   for recording discrete happenings (routing decisions, health
+//!   transitions, faults) tagged with virtual time and provenance.
+//! * [`Registry`] + [`Snapshot`] — a scrape surface that merges every
+//!   registered instrument into an immutable snapshot, supports
+//!   snapshot deltas, and renders Prometheus text or JSON exposition.
+//!
+//! The crate is deliberately free of clocks and randomness: every
+//! timestamp is supplied by the caller (the runtime tags events with
+//! its deterministic virtual clock) and no code path draws from any
+//! RNG, so instrumenting a deterministic simulation cannot perturb it.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod metrics;
+mod registry;
+mod ring;
+
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
+    BUCKET_COUNT, MAX_TRACKED, MIN_TRACKED, OVERFLOW_BUCKET, SUB_BUCKET_BITS, UNDERFLOW_BUCKET,
+};
+pub use metrics::{CachePadded, Counter, Gauge, Watermark};
+pub use registry::{Registry, Snapshot};
+pub use ring::{EventRing, TaggedEvent};

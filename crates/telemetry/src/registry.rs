@@ -1,0 +1,317 @@
+//! Instrument registry and scrape snapshots.
+//!
+//! A [`Registry`] hands out shared instruments
+//! ([`Counter`]/[`Gauge`]/[`Watermark`]/[`Histogram`]) under stable
+//! names and merges them all into an immutable [`Snapshot`] on scrape.
+//! Snapshots support deltas against an earlier snapshot and render to
+//! Prometheus text exposition or a small JSON document.
+
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, Watermark};
+
+/// A named-instrument registry. Registration takes a short lock;
+/// instrument updates after registration are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    watermarks: Mutex<Vec<(String, Arc<Watermark>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) a sharded counter under `name`.
+    pub fn counter(&self, name: &str, shards: usize) -> Arc<Counter> {
+        let mut list = self.counters.lock().unwrap();
+        if let Some((_, c)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new(shards));
+        list.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Registers (or retrieves) a sharded gauge under `name`.
+    pub fn gauge(&self, name: &str, shards: usize) -> Arc<Gauge> {
+        let mut list = self.gauges.lock().unwrap();
+        if let Some((_, g)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new(shards));
+        list.push((name.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// Registers (or retrieves) a high-watermark under `name`. It is
+    /// exposed as a gauge in snapshots.
+    pub fn watermark(&self, name: &str, shards: usize) -> Arc<Watermark> {
+        let mut list = self.watermarks.lock().unwrap();
+        if let Some((_, w)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(w);
+        }
+        let w = Arc::new(Watermark::new(shards));
+        list.push((name.to_string(), Arc::clone(&w)));
+        w
+    }
+
+    /// Registers (or retrieves) a histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut list = self.histograms.lock().unwrap();
+        if let Some((_, h)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        list.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Merges every registered instrument into an immutable snapshot.
+    /// Watermarks are folded into the gauge section.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters =
+            self.counters.lock().unwrap().iter().map(|(n, c)| (n.clone(), c.value())).collect();
+        let mut gauges: Vec<(String, f64)> =
+            self.gauges.lock().unwrap().iter().map(|(n, g)| (n.clone(), g.value())).collect();
+        gauges.extend(self.watermarks.lock().unwrap().iter().map(|(n, w)| (n.clone(), w.value())));
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+/// An immutable scrape of every instrument in a [`Registry`]:
+/// counters, gauges (including watermarks), and histogram snapshots,
+/// each under its registered name.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a snapshot carries the scraped data; query, diff, or render it"]
+pub struct Snapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter registered under `name`, if any.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge (or watermark) registered under `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Snapshot of the histogram registered under `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All counter names and values, in registration order.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All gauge names and values (watermarks included), in
+    /// registration order.
+    #[must_use]
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// All histogram names and snapshots, in registration order.
+    pub fn histograms(&self) -> &[(String, HistogramSnapshot)] {
+        &self.histograms
+    }
+
+    /// The change since `prev`: counter and histogram counts are
+    /// subtracted (saturating at zero; instruments absent from `prev`
+    /// keep their full value), gauges keep their current reading.
+    pub fn delta(&self, prev: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(prev.counter(n).unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let d = match prev.histogram(n) {
+                        Some(p) => h.delta(p),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Histograms render as summaries (p50/p90/p99 quantiles plus
+    /// `_sum`/`_count`/`_max` samples).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (label, q) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                out.push_str(&format!("{name}{{quantile=\"{label}\"}} {q}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_max {}\n", h.max()));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a small JSON document with `counters`,
+    /// `gauges`, and `histograms` objects (histograms carry count,
+    /// sum, mean, max, and the three standard percentiles).
+    /// Non-finite gauge values render as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{n}\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{n}\":{}", num(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (n, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{n}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count(),
+                num(h.sum()),
+                num(h.mean()),
+                num(h.max()),
+                num(h.p50()),
+                num(h.p90()),
+                num(h.p99()),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let c = r.counter("gtlb_jobs_total", 2);
+        c.add(0, 5);
+        c.add(1, 7);
+        let g = r.gauge("gtlb_depth", 1);
+        g.set(3.5);
+        let w = r.watermark("gtlb_peak_depth", 1);
+        w.observe(0, 9.0);
+        let h = r.histogram("gtlb_response_seconds");
+        for v in [0.1, 0.2, 0.4] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn snapshot_merges_every_instrument() {
+        let s = sample_registry().snapshot();
+        assert_eq!(s.counter("gtlb_jobs_total"), Some(12));
+        assert_eq!(s.gauge("gtlb_depth"), Some(3.5));
+        assert_eq!(s.gauge("gtlb_peak_depth"), Some(9.0));
+        assert_eq!(s.histogram("gtlb_response_seconds").unwrap().count(), 3);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("c", 1);
+        let b = r.counter("c", 1);
+        a.add(0, 1);
+        b.add(0, 1);
+        assert_eq!(r.snapshot().counter("c"), Some(2));
+        assert_eq!(r.snapshot().counters().len(), 1);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let r = sample_registry();
+        let before = r.snapshot();
+        r.counter("gtlb_jobs_total", 2).add(0, 3);
+        r.histogram("gtlb_response_seconds").record(0.8);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("gtlb_jobs_total"), Some(3));
+        assert_eq!(d.histogram("gtlb_response_seconds").unwrap().count(), 1);
+        // Gauges keep their current reading in a delta.
+        assert_eq!(d.gauge("gtlb_depth"), Some(3.5));
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_samples() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE gtlb_jobs_total counter"));
+        assert!(text.contains("gtlb_jobs_total 12"));
+        assert!(text.contains("# TYPE gtlb_depth gauge"));
+        assert!(text.contains("# TYPE gtlb_response_seconds summary"));
+        assert!(text.contains("gtlb_response_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("gtlb_response_seconds_count 3"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"gtlb_jobs_total\":12"));
+        assert!(json.contains("\"count\":3"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces in {json}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the telemetry core (vendored proptest shim):
+//!
+//! 1. **bucket round-trip** — every tracked value lands in a bucket
+//!    whose `[lower, upper)` bounds contain it, and every bucket lower
+//!    bound indexes back to its own bucket (the log-linear grid has no
+//!    cracks and no overlaps);
+//! 2. **merge algebra** — histogram merge is commutative and
+//!    associative on everything quantiles are computed from (bucket
+//!    counts, count, max; sums agree to f64 rounding), so scrape-side
+//!    aggregation over shards can combine snapshots in any order;
+//! 3. **ring wraparound** — after any push pattern across lanes, the
+//!    drop-oldest ring retains exactly `min(pushed, capacity)` events
+//!    per lane, the newest survive, and `dropped()` counts exactly the
+//!    overwritten ones.
+
+use gtlb_telemetry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, EventRing, HistogramSnapshot,
+    TaggedEvent, BUCKET_COUNT, MAX_TRACKED, MIN_TRACKED, OVERFLOW_BUCKET, UNDERFLOW_BUCKET,
+};
+use proptest::prelude::*;
+
+/// Values spanning the full tracked range (and a little beyond):
+/// mantissa in [1, 2), exponent in [-34, 34] — overflow/underflow
+/// buckets get exercised too.
+fn arb_value() -> impl Strategy<Value = f64> {
+    (1.0f64..2.0, 0u32..69).prop_map(|(m, e)| m * f64::from(e as i32 - 34).exp2())
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(arb_value(), 0..64)
+}
+
+/// Two snapshots agree on everything a scrape consumer can observe.
+/// Bucket counts, totals, and max compare exactly; sums are f64
+/// accumulations, so they compare to rounding.
+fn assert_same(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.count(), b.count(), "counts differ");
+    assert_eq!(a.max().to_bits(), b.max().to_bits(), "max differs");
+    for i in 0..BUCKET_COUNT {
+        assert_eq!(a.bucket(i), b.bucket(i), "bucket {i} differs");
+    }
+    let tol = 1e-9 * (1.0 + a.sum().abs());
+    assert!((a.sum() - b.sum()).abs() <= tol, "sums differ: {} vs {}", a.sum(), b.sum());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// value → bucket → bounds round-trip: the bucket that claims a
+    /// value must actually contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in arb_value()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT);
+        if v < MIN_TRACKED {
+            prop_assert_eq!(i, UNDERFLOW_BUCKET);
+        } else if v >= MAX_TRACKED {
+            prop_assert_eq!(i, OVERFLOW_BUCKET);
+        } else {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            prop_assert!(
+                lo <= v && v < hi,
+                "value {} escaped bucket {} = [{}, {})", v, i, lo, hi
+            );
+        }
+    }
+
+    /// bucket → lower bound → bucket round-trip, over every regular
+    /// bucket: boundaries belong to the bucket they open.
+    #[test]
+    fn bucket_lower_bounds_index_home(i in 1usize..OVERFLOW_BUCKET) {
+        prop_assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+    }
+
+    /// Merging shard snapshots is order-independent: a ⊎ b = b ⊎ a.
+    #[test]
+    fn merge_is_commutative(xs in arb_values(), ys in arb_values()) {
+        let a = HistogramSnapshot::from_values(&xs);
+        let b = HistogramSnapshot::from_values(&ys);
+        assert_same(&a.merge(&b), &b.merge(&a));
+    }
+
+    /// ...and grouping-independent: (a ⊎ b) ⊎ c = a ⊎ (b ⊎ c).
+    #[test]
+    fn merge_is_associative(
+        xs in arb_values(),
+        ys in arb_values(),
+        zs in arb_values(),
+    ) {
+        let a = HistogramSnapshot::from_values(&xs);
+        let b = HistogramSnapshot::from_values(&ys);
+        let c = HistogramSnapshot::from_values(&zs);
+        assert_same(&a.merge(&b).merge(&c), &a.merge(&b.merge(&c)));
+    }
+
+    /// A sharded counter's scraped value is the sum of its cells —
+    /// independent of which shard received which increment and of the
+    /// interleaving order (commutative, associative merge by
+    /// construction).
+    #[test]
+    fn counter_merge_is_order_and_shard_independent(
+        increments in prop::collection::vec((0usize..8, 1u64..1_000), 0..64),
+        rotation in 0usize..64,
+    ) {
+        let shards = 8;
+        let direct = Counter::new(shards);
+        for &(shard, n) in &increments {
+            direct.add(shard, n);
+        }
+        // Same increments, rotated order, arbitrary reassignment of
+        // each increment to a different shard.
+        let scrambled = Counter::new(shards);
+        let len = increments.len().max(1);
+        for (k, &(shard, n)) in increments.iter().enumerate() {
+            let (moved_shard, _) = increments[(k + rotation) % len];
+            let _ = shard;
+            scrambled.add(moved_shard, n);
+        }
+        prop_assert_eq!(direct.value(), scrambled.value());
+        prop_assert_eq!(direct.value(), increments.iter().map(|&(_, n)| n).sum::<u64>());
+    }
+
+    /// Drop-oldest wraparound: push `n` events round-robin over `lanes`
+    /// lanes of capacity `cap`; each lane keeps its newest
+    /// `min(pushed, cap)`, and the global dropped counter equals the
+    /// exact number of overwritten events.
+    #[test]
+    fn ring_wraparound_counts_drops_exactly(
+        lanes in 1usize..5,
+        cap in 1usize..17,
+        n in 0u64..200,
+    ) {
+        let ring = EventRing::new(lanes, cap);
+        for k in 0..n {
+            let lane = (k as usize) % lanes;
+            let tagged = TaggedEvent { time: k as f64, shard: lane as u32, stream: 0, event: k };
+            ring.push(lane, tagged);
+        }
+        let mut expect_dropped = 0u64;
+        let mut expect_len = 0usize;
+        for lane in 0..lanes {
+            // Events `lane, lane + lanes, lane + 2·lanes, …` below `n`.
+            let pushed = (n.saturating_sub(lane as u64)).div_ceil(lanes as u64);
+            expect_dropped += pushed.saturating_sub(cap as u64);
+            expect_len += pushed.min(cap as u64) as usize;
+            prop_assert_eq!(ring.lane_dropped(lane), pushed.saturating_sub(cap as u64));
+        }
+        prop_assert_eq!(ring.recorded(), n);
+        prop_assert_eq!(ring.dropped(), expect_dropped);
+        prop_assert_eq!(ring.len(), expect_len);
+
+        // The survivors are exactly the newest per lane, time-ordered.
+        let snap = ring.snapshot();
+        prop_assert_eq!(snap.len(), expect_len);
+        for w in snap.windows(2) {
+            prop_assert!(w[0].time <= w[1].time, "snapshot out of time order");
+        }
+        for ev in &snap {
+            let lane = ev.shard as usize;
+            let pushed = (n.saturating_sub(lane as u64)).div_ceil(lanes as u64);
+            let dropped = pushed.saturating_sub(cap as u64);
+            // The oldest surviving event of this lane is its
+            // `dropped`-th push: id = lane + dropped·lanes.
+            prop_assert!(
+                ev.event >= lane as u64 + dropped * lanes as u64,
+                "overwritten event {} resurfaced in lane {}", ev.event, lane
+            );
+        }
+    }
+}

@@ -15,8 +15,15 @@
 //! `RAYON_NUM_THREADS={1,2,4}` and diffs the outputs: any divergence is
 //! a determinism regression.
 //!
+//! A third contract rides along: telemetry is observation-only. With
+//! `GTLB_TELEMETRY=1` every runtime here records metrics and events,
+//! and every fingerprint must still be bit-identical — telemetry draws
+//! no RNG and never feeds a deterministic output. CI diffs the enabled
+//! and disabled outputs (the `telemetry-invariance` job).
+//!
 //! ```text
 //! RAYON_NUM_THREADS=2 cargo run --release --example determinism_fingerprint
+//! GTLB_TELEMETRY=1 cargo run --release --example determinism_fingerprint
 //! ```
 
 use gtlb::balancing::model::Cluster;
@@ -35,6 +42,13 @@ fn fold(hash: &mut u64, word: u64) {
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Whether this run records telemetry (`GTLB_TELEMETRY=1`). Either way
+/// the printed fingerprints must be identical — that is the invariance
+/// CI checks.
+fn telemetry_on() -> bool {
+    std::env::var("GTLB_TELEMETRY").is_ok_and(|v| v == "1")
+}
 
 /// Every f64 a downstream consumer can observe from a replicated run,
 /// folded as raw bits (mirrors the replication determinism test).
@@ -72,6 +86,7 @@ fn chaos_trace_fingerprint(shards: usize) -> u64 {
         .nominal_arrival_rate(2.1)
         .shards(shards)
         .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
+        .telemetry(telemetry_on())
         .build();
     let ids: Vec<NodeId> =
         [4.0, 2.0, 1.0].iter().map(|&rate| rt.register_node(rate).unwrap()).collect();
@@ -121,6 +136,7 @@ fn sharded_dispatch_fingerprint() -> u64 {
         .scheme(SchemeKind::Coop)
         .nominal_arrival_rate(4.2)
         .shards(SHARDS)
+        .telemetry(telemetry_on())
         .build();
     for &rate in &[4.0, 2.0, 1.0] {
         rt.register_node(rate).unwrap();
@@ -160,6 +176,7 @@ fn batch_dispatch_fingerprint() -> u64 {
             .scheme(SchemeKind::Coop)
             .nominal_arrival_rate(4.2)
             .shards(SHARDS)
+            .telemetry(telemetry_on())
             .build();
         for &rate in &[4.0, 2.0, 1.0] {
             rt.register_node(rate).unwrap();

@@ -13,14 +13,13 @@ use std::collections::HashMap;
 
 use gtlb::prelude::*;
 use gtlb::runtime::RoutingTable;
-use gtlb::sim::report::fmt_num;
 
 fn print_table(label: &str, rt: &Runtime, names: &HashMap<NodeId, String>) {
     let table: std::sync::Arc<RoutingTable> = rt.current_table();
     println!("{label} (epoch {}):", table.epoch());
     for (id, name) in names.iter().collect::<std::collections::BTreeMap<_, _>>() {
         let share = table.prob_of(*id).unwrap_or(0.0);
-        let health = rt.node_health(*id).map_or("gone", Health::name);
+        let health = rt.node_health(*id).map_or_else(|| "gone".to_string(), |h| h.to_string());
         let bar = "#".repeat((share * 40.0).round() as usize);
         println!("  {name:<8} {health:<9} {share:>6.3}  {bar}");
     }
@@ -72,11 +71,7 @@ fn main() {
     println!();
     print_table("after the crash — detector downed node-0*, table renormalized", &rt, &names);
     let mid = driver.stats();
-    println!(
-        "\n  through the outage: {} submitted, {} completed, {} retries, {} failed \
-         (budget exhausted)",
-        mid.submitted, mid.jobs, mid.retried, mid.failed
-    );
+    println!("\nthrough the outage:\n{mid}");
     assert!(mid.is_conserved(), "job conservation violated");
     assert_eq!(rt.node_health(ids[0]), Some(Health::Down), "detector missed the crash");
 
@@ -89,29 +84,16 @@ fn main() {
     print_table("after recovery — probation passed, re-solved", &rt, &names);
     assert_eq!(rt.node_health(ids[0]), Some(Health::Up), "probation never readmitted the node");
 
+    // The detector timeline and final accounting print through the
+    // `Display` impls (`HealthTransition`, `TraceStats`) — the same
+    // renderings an operator gets from any log line or scrape consumer.
     println!("\ndetector timeline:");
     for tr in rt.health_transitions() {
-        println!(
-            "  t = {:>8} s  {}  {} → {}",
-            fmt_num(tr.at),
-            names[&tr.node],
-            tr.from.name(),
-            tr.to.name(),
-        );
+        println!("  {tr}");
     }
 
     let stats = driver.stats();
-    println!(
-        "\nfull run: {} submitted = {} completed + {} rejected + {} deferred + {} failed \
-         | {} retries | mean response {} s",
-        stats.submitted,
-        stats.jobs,
-        stats.rejected,
-        stats.deferred,
-        stats.failed,
-        stats.retried,
-        fmt_num(stats.mean_response)
-    );
+    println!("\nfull run:\n{stats}");
     assert!(stats.is_conserved(), "job conservation violated");
     println!("job conservation holds: every submitted job accounted for exactly once. ✓");
 }

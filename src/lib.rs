@@ -25,7 +25,11 @@
 //!   through per-core shards behind admission control and a bounded
 //!   ingest queue, with deterministic fault injection, an accrual
 //!   failure detector, and retry/timeout dispatch hardening the loop
-//!   against node churn.
+//!   against node churn;
+//! * [`telemetry`] — lock-free sharded counters/gauges, log-linear
+//!   latency histograms, and a bounded structured event ring; the
+//!   runtime records into them behind an observation-only facade that
+//!   consumes no RNG and never perturbs a deterministic trace.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use gtlb_numerics as numerics;
 pub use gtlb_queueing as queueing;
 pub use gtlb_runtime as runtime;
 pub use gtlb_sim as sim;
+pub use gtlb_telemetry as telemetry;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -74,6 +79,8 @@ pub mod prelude {
     pub use gtlb_runtime::{
         AdmissionConfig, AdmissionStats, AdmissionVerdict, DetectorConfig, FaultPlan, Health,
         HealthTransition, IngestQueue, NodeId, RetryConfig, RetryPolicy, Runtime, RuntimeBuilder,
-        RuntimeError, SchemeKind, ShardedDispatcher, Submission, TraceConfig, TraceDriver,
+        RuntimeError, RuntimeEvent, SchemeKind, ShardedDispatcher, Submission, Telemetry,
+        TelemetryHandle, TraceConfig, TraceDriver,
     };
+    pub use gtlb_telemetry::{Histogram, HistogramSnapshot, Snapshot, TaggedEvent};
 }
