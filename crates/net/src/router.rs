@@ -1,0 +1,418 @@
+//! Request routing: maps parsed HTTP requests onto control-plane
+//! operations and renders responses.
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus text exposition (503 when telemetry is off) |
+//! | `GET /metrics.json` | the same snapshot as JSON |
+//! | `GET /nodes` | lifecycle table merged with registry/detector state |
+//! | `POST /v1/register` | `{"name", "rate", "heartbeat_interval"?}` → Registering (or Approved under auto-approve) |
+//! | `POST /v1/nodes/{name}/approve` | admit a Registering node |
+//! | `POST /v1/heartbeat` | `{"name"}` → feed the accrual detector |
+//! | `POST /v1/metrics` | `{"name", "service_seconds": […], "rate"?}` → feed the estimator bank |
+//! | `POST /v1/drain` | `{"name"}` → drain |
+//! | `DELETE /v1/nodes/{name}` | deregister + tombstone |
+
+use std::sync::Mutex;
+
+use gtlb_runtime::ControlPlaneHooks;
+
+use crate::http::{Method, Request, Response};
+use crate::lifecycle::{Lifecycle, LifecycleError, NodeState};
+use crate::wire::{Json, ObjBuilder};
+
+/// Shared state behind every worker thread: the runtime port plus the
+/// lifecycle table.
+#[derive(Debug)]
+pub struct AppState {
+    hooks: ControlPlaneHooks,
+    lifecycle: Mutex<Lifecycle>,
+}
+
+impl AppState {
+    /// State over `hooks` with an empty lifecycle table.
+    #[must_use]
+    pub fn new(hooks: ControlPlaneHooks, lifecycle: Lifecycle) -> Self {
+        Self { hooks, lifecycle: Mutex::new(lifecycle) }
+    }
+
+    /// The runtime port.
+    #[must_use]
+    pub fn hooks(&self) -> &ControlPlaneHooks {
+        &self.hooks
+    }
+
+    /// Runs `f` under the lifecycle lock.
+    pub fn with_lifecycle<T>(&self, f: impl FnOnce(&mut Lifecycle) -> T) -> T {
+        let mut guard = self.lifecycle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+/// Routes one request against `state` and produces the response.
+#[must_use]
+pub fn route(state: &AppState, req: &Request) -> Response {
+    let path = req.path();
+    match (req.method, path) {
+        (Method::Get, "/healthz") => healthz(state),
+        (Method::Get, "/metrics") => metrics_text(state),
+        (Method::Get, "/metrics.json") => metrics_json(state),
+        (Method::Get, "/nodes") => nodes(state),
+        (Method::Post, "/v1/register") => register(state, req),
+        (Method::Post, "/v1/heartbeat") => named_op(state, req, Lifecycle::heartbeat_op),
+        (Method::Post, "/v1/metrics") => metrics_update(state, req),
+        (Method::Post, "/v1/drain") => named_op(state, req, Lifecycle::drain_op),
+        (method, path) => match path.strip_prefix("/v1/nodes/") {
+            Some(rest) => node_resource(state, method, rest),
+            None if known_path(path) => Response::text(405, "method not allowed\n"),
+            None => Response::text(404, "not found\n"),
+        },
+    }
+}
+
+/// Whether `path` exists under some method (404 vs 405).
+fn known_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/healthz"
+            | "/metrics"
+            | "/metrics.json"
+            | "/nodes"
+            | "/v1/register"
+            | "/v1/heartbeat"
+            | "/v1/metrics"
+            | "/v1/drain"
+    )
+}
+
+/// `/v1/nodes/{name}` (DELETE) and `/v1/nodes/{name}/approve` (POST).
+fn node_resource(state: &AppState, method: Method, rest: &str) -> Response {
+    if let Some(name) = rest.strip_suffix("/approve") {
+        if name.is_empty() || name.contains('/') {
+            return Response::text(404, "not found\n");
+        }
+        if method != Method::Post {
+            return Response::text(405, "method not allowed\n");
+        }
+        return match state.with_lifecycle(|lc| lc.approve(state.hooks(), name)) {
+            Ok(id) => {
+                let mut b = ObjBuilder::new();
+                b.str("name", name).str("state", NodeState::Approved.as_str());
+                b.int("node", id.raw());
+                Response::json(200, b.finish())
+            }
+            Err(e) => lifecycle_error(&e),
+        };
+    }
+    if rest.is_empty() || rest.contains('/') {
+        return Response::text(404, "not found\n");
+    }
+    if method != Method::Delete {
+        return Response::text(405, "method not allowed\n");
+    }
+    match state.with_lifecycle(|lc| lc.remove(state.hooks(), rest)) {
+        Ok(()) => {
+            let mut b = ObjBuilder::new();
+            b.str("name", rest).str("state", NodeState::Removed.as_str());
+            Response::json(200, b.finish())
+        }
+        Err(e) => lifecycle_error(&e),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let mut b = ObjBuilder::new();
+    b.str("status", "ok").num("uptime_seconds", state.hooks().now());
+    b.bool("telemetry", state.hooks().telemetry_enabled());
+    Response::json(200, b.finish())
+}
+
+fn metrics_text(state: &AppState) -> Response {
+    match state.hooks().prometheus() {
+        Some(text) => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: text.into_bytes(),
+            close: false,
+        },
+        None => Response::text(503, "telemetry is disabled on this runtime\n"),
+    }
+}
+
+fn metrics_json(state: &AppState) -> Response {
+    match state.hooks().telemetry_json() {
+        Some(json) => Response::json(200, json),
+        None => Response::text(503, "telemetry is disabled on this runtime\n"),
+    }
+}
+
+/// `GET /nodes`: every lifecycle row joined with live registry and
+/// detector state for admitted nodes.
+fn nodes(state: &AppState) -> Response {
+    let statuses = state.hooks().nodes();
+    let body = state.with_lifecycle(|lc| {
+        let mut rows = String::from("[");
+        for (i, entry) in lc.entries().iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let mut b = ObjBuilder::new();
+            b.str("name", &entry.name).str("state", entry.state.as_str());
+            b.num("rate", entry.rate).num("heartbeat_interval", entry.heartbeat_interval);
+            b.int("heartbeats", entry.heartbeats);
+            match entry.last_heartbeat {
+                Some(t) => b.num("last_heartbeat", t),
+                None => b.raw("last_heartbeat", "null"),
+            };
+            if let Some(id) = entry.node {
+                b.int("node", id.raw());
+                if let Some(status) = statuses.iter().find(|s| s.id == id) {
+                    b.str("health", &format!("{:?}", status.health).to_ascii_lowercase());
+                    b.num("phi", status.phi);
+                    match status.estimated_rate {
+                        Some(r) => b.num("estimated_rate", r),
+                        None => b.raw("estimated_rate", "null"),
+                    };
+                }
+            }
+            rows.push_str(&b.finish());
+        }
+        rows.push(']');
+        rows
+    });
+    let mut b = ObjBuilder::new();
+    b.num("now", state.hooks().now()).raw("nodes", &body);
+    Response::json(200, b.finish())
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    Json::parse(&req.body).map_err(|e| Response::text(400, &format!("{e}\n")))
+}
+
+fn body_name(doc: &Json) -> Result<&str, Response> {
+    doc.get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::text(400, "missing string field \"name\"\n"))
+}
+
+fn register(state: &AppState, req: &Request) -> Response {
+    let doc = match parse_body(req) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let name = match body_name(&doc) {
+        Ok(name) => name,
+        Err(resp) => return resp,
+    };
+    let Some(rate) = doc.get("rate").and_then(Json::as_f64) else {
+        return Response::text(400, "missing numeric field \"rate\"\n");
+    };
+    let interval = doc.get("heartbeat_interval").and_then(Json::as_f64);
+    match state.with_lifecycle(|lc| lc.register(state.hooks(), name, rate, interval)) {
+        Ok(new_state) => {
+            let mut b = ObjBuilder::new();
+            b.str("name", name).str("state", new_state.as_str());
+            Response::json(201, b.finish())
+        }
+        Err(e) => lifecycle_error(&e),
+    }
+}
+
+fn metrics_update(state: &AppState, req: &Request) -> Response {
+    let doc = match parse_body(req) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let name = match body_name(&doc) {
+        Ok(name) => name,
+        Err(resp) => return resp,
+    };
+    let samples: Vec<f64> = match doc.get("service_seconds") {
+        None => Vec::new(),
+        Some(v) => match v.as_array() {
+            Some(items) if items.iter().all(|i| i.as_f64().is_some()) => {
+                items.iter().filter_map(Json::as_f64).collect()
+            }
+            _ => return Response::text(400, "\"service_seconds\" must be an array of numbers\n"),
+        },
+    };
+    let rate = doc.get("rate").and_then(Json::as_f64);
+    match state.with_lifecycle(|lc| lc.record_metrics(state.hooks(), name, &samples, rate)) {
+        Ok(()) => {
+            let mut b = ObjBuilder::new();
+            b.str("name", name).int("samples", samples.len() as u64);
+            Response::json(200, b.finish())
+        }
+        Err(e) => lifecycle_error(&e),
+    }
+}
+
+/// Shared shape of `POST /v1/heartbeat` and `POST /v1/drain`: a JSON
+/// body naming the node, an op on the lifecycle, a JSON echo back.
+fn named_op(
+    state: &AppState,
+    req: &Request,
+    op: fn(&mut Lifecycle, &ControlPlaneHooks, &str) -> Result<NodeState, LifecycleError>,
+) -> Response {
+    let doc = match parse_body(req) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let name = match body_name(&doc) {
+        Ok(name) => name,
+        Err(resp) => return resp,
+    };
+    match state.with_lifecycle(|lc| op(lc, state.hooks(), name)) {
+        Ok(new_state) => {
+            let mut b = ObjBuilder::new();
+            b.str("name", name).str("state", new_state.as_str());
+            Response::json(200, b.finish())
+        }
+        Err(e) => lifecycle_error(&e),
+    }
+}
+
+impl Lifecycle {
+    /// [`Lifecycle::heartbeat`] with the uniform `named_op` signature.
+    fn heartbeat_op(
+        &mut self,
+        hooks: &ControlPlaneHooks,
+        name: &str,
+    ) -> Result<NodeState, LifecycleError> {
+        self.heartbeat(hooks, name)
+    }
+
+    /// [`Lifecycle::drain`] with the uniform `named_op` signature.
+    fn drain_op(
+        &mut self,
+        hooks: &ControlPlaneHooks,
+        name: &str,
+    ) -> Result<NodeState, LifecycleError> {
+        self.drain(hooks, name)?;
+        Ok(NodeState::Draining)
+    }
+}
+
+fn lifecycle_error(e: &LifecycleError) -> Response {
+    let mut b = ObjBuilder::new();
+    b.str("error", &e.to_string());
+    Response::json(e.status(), b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::LifecycleConfig;
+    use gtlb_runtime::{Runtime, SchemeKind};
+    use std::sync::Arc;
+
+    fn app(auto_approve: bool) -> AppState {
+        let rt = Arc::new(
+            Runtime::builder().seed(5).scheme(SchemeKind::Coop).nominal_arrival_rate(0.5).build(),
+        );
+        let hooks = rt.attach_control_plane();
+        AppState::new(
+            hooks,
+            Lifecycle::new(LifecycleConfig { auto_approve, ..LifecycleConfig::default() }),
+        )
+    }
+
+    fn req(method: Method, target: &str, body: &str) -> Request {
+        Request::synthetic(method, target, body.as_bytes())
+    }
+
+    fn body_text(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn full_lifecycle_over_the_router() {
+        let app = app(false);
+        let resp = route(&app, &req(Method::Post, "/v1/register", r#"{"name":"a","rate":2.0}"#));
+        assert_eq!(resp.status, 201, "{}", body_text(&resp));
+        assert!(body_text(&resp).contains("\"registering\""));
+
+        let resp = route(&app, &req(Method::Post, "/v1/heartbeat", r#"{"name":"a"}"#));
+        assert_eq!(resp.status, 409, "heartbeat before approval");
+
+        let resp = route(&app, &req(Method::Post, "/v1/nodes/a/approve", ""));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+
+        let resp = route(&app, &req(Method::Post, "/v1/heartbeat", r#"{"name":"a"}"#));
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"online\""));
+
+        let resp = route(
+            &app,
+            &req(Method::Post, "/v1/metrics", r#"{"name":"a","service_seconds":[0.5,0.25]}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+
+        let resp = route(&app, &req(Method::Get, "/nodes", ""));
+        let text = body_text(&resp);
+        assert_eq!(resp.status, 200);
+        assert!(text.contains("\"name\":\"a\"") && text.contains("\"health\":\"up\""), "{text}");
+
+        let resp = route(&app, &req(Method::Post, "/v1/drain", r#"{"name":"a"}"#));
+        assert_eq!(resp.status, 200);
+        let resp = route(&app, &req(Method::Delete, "/v1/nodes/a", ""));
+        assert_eq!(resp.status, 200);
+        let resp = route(&app, &req(Method::Delete, "/v1/nodes/a", ""));
+        assert_eq!(resp.status, 410, "double delete is gone");
+    }
+
+    #[test]
+    fn routing_errors_are_typed() {
+        let app = app(true);
+        assert_eq!(route(&app, &req(Method::Get, "/no/such", "")).status, 404);
+        assert_eq!(route(&app, &req(Method::Post, "/healthz", "")).status, 405);
+        assert_eq!(route(&app, &req(Method::Delete, "/v1/register", "")).status, 405);
+        assert_eq!(route(&app, &req(Method::Get, "/v1/nodes/a/approve", "")).status, 405);
+        assert_eq!(route(&app, &req(Method::Post, "/v1/register", "{broken")).status, 400);
+        assert_eq!(route(&app, &req(Method::Post, "/v1/register", "{}")).status, 400);
+        assert_eq!(
+            route(&app, &req(Method::Post, "/v1/register", r#"{"name":"a"}"#)).status,
+            400,
+            "rate is required"
+        );
+        assert_eq!(
+            route(&app, &req(Method::Post, "/v1/heartbeat", r#"{"name":"ghost"}"#)).status,
+            404
+        );
+        assert_eq!(route(&app, &req(Method::Delete, "/v1/nodes/", "")).status, 404);
+        assert_eq!(route(&app, &req(Method::Post, "/v1/nodes//approve", "")).status, 404);
+    }
+
+    #[test]
+    fn healthz_and_metrics_without_telemetry() {
+        let app = app(true);
+        let resp = route(&app, &req(Method::Get, "/healthz", ""));
+        assert_eq!(resp.status, 200);
+        assert!(body_text(&resp).contains("\"telemetry\":false"));
+        assert_eq!(route(&app, &req(Method::Get, "/metrics", "")).status, 503);
+        assert_eq!(route(&app, &req(Method::Get, "/metrics.json", "")).status, 503);
+    }
+
+    #[test]
+    fn metrics_serve_the_telemetry_exposition() {
+        let rt =
+            Arc::new(Runtime::builder().seed(5).nominal_arrival_rate(0.5).telemetry(true).build());
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        let app =
+            AppState::new(rt.attach_control_plane(), Lifecycle::new(LifecycleConfig::default()));
+        let resp = route(&app, &req(Method::Get, "/metrics", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(body_text(&resp), rt.telemetry_handle().prometheus().unwrap());
+        let resp = route(&app, &req(Method::Get, "/metrics.json", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(body_text(&resp), rt.telemetry_handle().json().unwrap());
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let app = app(true);
+        assert_eq!(route(&app, &req(Method::Get, "/healthz?verbose=1", "")).status, 200);
+    }
+}

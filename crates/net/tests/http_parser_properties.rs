@@ -1,0 +1,193 @@
+//! Property tests for the HTTP/1.1 request parser: arbitrary TCP
+//! segmentation, pipelining, truncation, hostile bytes, and oversized
+//! inputs must all produce typed results — never a panic, never a
+//! wrong reassembly.
+
+use std::io::Read;
+
+use gtlb_net::http::{HttpError, Limits, Method, Request, RequestReader};
+use proptest::prelude::*;
+
+/// A `Read` that serves a byte string in caller-chosen chunk sizes,
+/// simulating arbitrary TCP segment boundaries.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Self { data, pos: 0, chunks, next_chunk: 0 }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks[self.next_chunk % self.chunks.len()].max(1);
+        self.next_chunk += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// One generated request: method token, path, body.
+#[derive(Debug, Clone)]
+struct GenRequest {
+    method: &'static str,
+    path: String,
+    body: Vec<u8>,
+}
+
+impl GenRequest {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"x-probe: 1\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    fn expected_method(&self) -> Method {
+        match self.method {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "DELETE" => Method::Delete,
+            _ => Method::Other,
+        }
+    }
+}
+
+fn gen_request() -> impl Strategy<Value = GenRequest> {
+    let method = prop_oneof![Just("GET"), Just("POST"), Just("DELETE"), Just("PATCH")];
+    let path = prop::collection::vec(0u32..36, 1..12).prop_map(|digits| {
+        let mut path = String::from("/");
+        for d in digits {
+            path.push(char::from_digit(d, 36).unwrap());
+        }
+        path
+    });
+    let body = prop::collection::vec(0u32..256, 0..48)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect::<Vec<u8>>());
+    (method, path, body).prop_map(|(method, path, body)| GenRequest { method, path, body })
+}
+
+fn parse_all(data: Vec<u8>, chunks: Vec<usize>) -> Result<Vec<Request>, HttpError> {
+    let mut reader = RequestReader::new(ChunkedReader::new(data, chunks), Limits::default());
+    let mut out = Vec::new();
+    while let Some(req) = reader.next_request()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A pipeline of requests split at arbitrary segment boundaries
+    /// reassembles into exactly the same request sequence as a single
+    /// contiguous read.
+    #[test]
+    fn segmentation_never_changes_the_parse(
+        reqs in prop::collection::vec(gen_request(), 1..5),
+        chunks in prop::collection::vec(1usize..17, 1..8),
+    ) {
+        let wire: Vec<u8> = reqs.iter().flat_map(GenRequest::serialize).collect();
+        let whole = parse_all(wire.clone(), vec![wire.len().max(1)]).unwrap();
+        let split = parse_all(wire, chunks).unwrap();
+        prop_assert_eq!(&whole, &split);
+        prop_assert_eq!(whole.len(), reqs.len());
+        for (parsed, wanted) in whole.iter().zip(&reqs) {
+            prop_assert_eq!(parsed.method, wanted.expected_method());
+            prop_assert_eq!(parsed.path(), wanted.path.as_str());
+            prop_assert_eq!(&parsed.body, &wanted.body);
+            prop_assert_eq!(parsed.header("x-probe"), Some("1"));
+        }
+    }
+
+    /// Any strict prefix of a single request is either a clean empty
+    /// stream (cut at zero) or a typed 400 — never a panic, never a
+    /// phantom request.
+    #[test]
+    fn truncation_is_a_typed_error(
+        req in gen_request(),
+        cut_fraction in 0.0f64..1.0,
+        chunks in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let wire = req.serialize();
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < wire.len());
+        let result = parse_all(wire[..cut].to_vec(), chunks);
+        if cut == 0 {
+            prop_assert_eq!(result.unwrap(), Vec::new());
+        } else {
+            prop_assert!(
+                matches!(result, Err(HttpError::BadRequest(_))),
+                "prefix of len {} gave {:?}", cut, result
+            );
+        }
+    }
+
+    /// Arbitrary byte soup never panics: every outcome is a parsed
+    /// request list or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u32..256, 0..256),
+        chunks in prop::collection::vec(1usize..33, 1..5),
+    ) {
+        let data: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = parse_all(data, chunks);
+    }
+
+    /// Request lines longer than the cap are 431 regardless of where
+    /// the segments fall.
+    #[test]
+    fn oversized_request_line_is_431(
+        extra in 1usize..4096,
+        chunks in prop::collection::vec(1usize..65, 1..5),
+    ) {
+        let limits = Limits::default();
+        let mut wire = b"GET /".to_vec();
+        wire.resize(wire.len() + limits.max_request_line + extra, b'a');
+        wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let mut reader = RequestReader::new(ChunkedReader::new(wire, chunks), limits);
+        prop_assert!(matches!(reader.next_request(), Err(HttpError::HeadersTooLarge)));
+    }
+
+    /// Header blocks past the byte or count cap are 431.
+    #[test]
+    fn oversized_headers_are_431(
+        header_count in 65usize..256,
+        value_len in 1usize..64,
+    ) {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..header_count {
+            wire.extend_from_slice(format!("x-h{i}: {}\r\n", "v".repeat(value_len)).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        let result = parse_all(wire, vec![4096]);
+        prop_assert!(matches!(result, Err(HttpError::HeadersTooLarge)), "got {:?}", result);
+    }
+
+    /// Declared bodies past the cap are 413 before any body byte is
+    /// buffered.
+    #[test]
+    fn oversized_body_is_413(excess in 1u64..1_000_000) {
+        let limit = Limits::default().max_body as u64;
+        let wire = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", limit + excess);
+        let result = parse_all(wire.into_bytes(), vec![512]);
+        prop_assert!(matches!(result, Err(HttpError::BodyTooLarge)), "got {:?}", result);
+    }
+}

@@ -1,0 +1,395 @@
+//! The runtime's control-plane port: everything an external control
+//! plane (the `gtlb-net` HTTP listener, or any other transport) needs
+//! to drive node lifecycle from *real messages* instead of the trace
+//! driver.
+//!
+//! The runtime's detector, estimator bank, and registry all speak
+//! **virtual time** — the trace driver owns that clock and stamps every
+//! observation with it. An external node agent has no virtual clock; it
+//! has wall time. [`ClockAdapter`] bridges the two: it pins an origin at
+//! attach time and maps every subsequent wall-clock instant to seconds
+//! since that origin, producing a monotone `f64` timeline with the same
+//! shape the detector already consumes. The two timelines never mix *per
+//! node*: a node is either driven by the trace driver (virtual stamps)
+//! or by the control plane (wall stamps), and the detector keeps one
+//! independent track per node, so cross-node timeline skew is
+//! irrelevant.
+//!
+//! Determinism: [`ControlPlaneHooks`] owns **no RNG stream** and draws
+//! nothing. Every method either reads runtime state or forwards an
+//! observation through APIs the deterministic path already exposes
+//! (`observe_success`, `record_service`, …). Attaching hooks to a
+//! runtime and leaving them idle is therefore invisible to every
+//! determinism fingerprint — CI's `control-plane-smoke` job diffs them.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::detector::HealthTransition;
+use crate::error::RuntimeError;
+use crate::registry::{Health, Node, NodeId};
+use crate::Runtime;
+
+/// Maps wall-clock instants onto the `f64` seconds timeline the
+/// detector and estimators consume: `now()` is seconds since the
+/// adapter's origin (attach time), monotone and starting near zero —
+/// exactly the shape of the trace driver's virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockAdapter {
+    origin: Instant,
+}
+
+impl ClockAdapter {
+    /// An adapter whose timeline starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+
+    /// Seconds elapsed since the adapter's origin.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for ClockAdapter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One row of the control plane's node table: registry + detector +
+/// estimator state for a single node, snapshotted at query time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStatus {
+    /// The node's id.
+    pub id: NodeId,
+    /// Declared capacity `μ` (jobs/second).
+    pub nominal_rate: f64,
+    /// Measured capacity `μ̂`, once the estimator is warm.
+    pub estimated_rate: Option<f64>,
+    /// Current health.
+    pub health: Health,
+    /// The detector's suspicion level φ at the hooks' current time.
+    pub phi: f64,
+}
+
+/// The control-plane port of a [`Runtime`]: a shareable handle bundling
+/// the wall→virtual [`ClockAdapter`] with the lifecycle, observation,
+/// and scrape methods an external control plane drives. Obtained from
+/// [`Runtime::attach_control_plane`]; cloning shares the runtime and
+/// the clock origin.
+#[derive(Clone)]
+pub struct ControlPlaneHooks {
+    runtime: Arc<Runtime>,
+    clock: ClockAdapter,
+}
+
+impl std::fmt::Debug for ControlPlaneHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlaneHooks")
+            .field("clock", &self.clock)
+            .field("telemetry_enabled", &self.telemetry_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlPlaneHooks {
+    pub(crate) fn new(runtime: Arc<Runtime>) -> Self {
+        Self { runtime, clock: ClockAdapter::new() }
+    }
+
+    /// The current time on the hooks' timeline (seconds since attach).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The underlying runtime.
+    #[must_use]
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    // ---- lifecycle -----------------------------------------------------
+
+    /// Registers a node with declared capacity `rate`; it joins the
+    /// routing table at the next resolve.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Core`] for a nonpositive or non-finite rate.
+    pub fn register_node(&self, rate: f64) -> Result<NodeId, RuntimeError> {
+        self.runtime.register_node(rate)
+    }
+
+    /// Updates a node's declared capacity (a control-plane
+    /// `metrics-update` can carry a revised self-reported rate).
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] / [`RuntimeError::Core`] as
+    /// [`Runtime::set_node_rate`].
+    pub fn set_node_rate(&self, id: NodeId, rate: f64) -> Result<(), RuntimeError> {
+        self.runtime.set_node_rate(id, rate)
+    }
+
+    /// Starts draining a node (finishes queued work, receives no new
+    /// jobs). Returns the previous health.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn drain(&self, id: NodeId) -> Result<Health, RuntimeError> {
+        self.runtime.drain_node(id)
+    }
+
+    /// Deregisters a node entirely.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids.
+    pub fn deregister(&self, id: NodeId) -> Result<(), RuntimeError> {
+        self.runtime.deregister_node(id)
+    }
+
+    // ---- observations ---------------------------------------------------
+
+    /// Feeds one received heartbeat into the accrual detector, stamped
+    /// with the hooks' clock — the external twin of the trace driver's
+    /// heartbeat path. Returns the health transition it drove, if any.
+    ///
+    /// # Errors
+    /// As [`Runtime::observe_success`].
+    pub fn heartbeat(&self, id: NodeId) -> Result<Option<HealthTransition>, RuntimeError> {
+        self.runtime.observe_success(id, self.now())
+    }
+
+    /// Feeds one *missed* heartbeat (deadline passed with no message)
+    /// into the accrual detector. Returns the demotion it drove, if
+    /// any — repeated misses walk a node Up→Suspect→Down through the
+    /// same machinery the trace driver exercises.
+    ///
+    /// # Errors
+    /// As [`Runtime::observe_failure`].
+    pub fn heartbeat_miss(&self, id: NodeId) -> Result<Option<HealthTransition>, RuntimeError> {
+        self.runtime.observe_failure(id, self.now())
+    }
+
+    /// Feeds one observed service completion (seconds) into the
+    /// estimator bank — the external `metrics-update` path.
+    pub fn record_service(&self, id: NodeId, seconds: f64) {
+        self.runtime.record_service(id, seconds);
+    }
+
+    // ---- state & scrape -------------------------------------------------
+
+    /// A node's current health, if registered.
+    #[must_use]
+    pub fn node_health(&self, id: NodeId) -> Option<Health> {
+        self.runtime.node_health(id)
+    }
+
+    /// The detector's suspicion level φ for `id` at the hooks' current
+    /// time (zero for unobserved nodes).
+    #[must_use]
+    pub fn suspicion(&self, id: NodeId) -> f64 {
+        self.runtime.suspicion(id, self.now())
+    }
+
+    /// Status rows for every registered node, in registration order.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeStatus> {
+        let now = self.now();
+        let rows: Vec<(NodeId, f64, Health)> = {
+            let nodes = self.runtime.node_ids();
+            nodes
+                .into_iter()
+                .filter_map(|id| {
+                    let rate = self.runtime.node_rate(id)?;
+                    let health = self.runtime.node_health(id)?;
+                    Some((id, rate, health))
+                })
+                .collect()
+        };
+        rows.into_iter()
+            .map(|(id, nominal_rate, health)| NodeStatus {
+                id,
+                nominal_rate,
+                estimated_rate: self.runtime.estimated_service_rate(id),
+                health,
+                phi: self.runtime.suspicion(id, now),
+            })
+            .collect()
+    }
+
+    /// Whether the runtime records telemetry.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.runtime.telemetry().is_enabled()
+    }
+
+    /// The telemetry snapshot rendered as Prometheus text exposition
+    /// (`None` when telemetry is disabled). Byte-identical to
+    /// [`TelemetryHandle::prometheus`](crate::TelemetryHandle::prometheus)
+    /// at the same instant — the `/metrics` endpoint serves exactly
+    /// this.
+    #[must_use]
+    pub fn prometheus(&self) -> Option<String> {
+        self.runtime.telemetry_snapshot().map(|s| s.to_prometheus())
+    }
+
+    /// The telemetry snapshot rendered as JSON (`None` when telemetry
+    /// is disabled).
+    #[must_use]
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.runtime.telemetry_snapshot().map(|s| s.to_json())
+    }
+}
+
+impl Runtime {
+    /// Attaches a control plane to this runtime: returns the
+    /// [`ControlPlaneHooks`] port an external transport (e.g. the
+    /// `gtlb-net` HTTP listener) drives. The hooks' clock origin is
+    /// pinned at attach time; multiple attachments get independent
+    /// origins, which is fine — the detector tracks are per node, and a
+    /// node should be driven by exactly one control plane.
+    #[must_use]
+    pub fn attach_control_plane(self: &Arc<Self>) -> ControlPlaneHooks {
+        ControlPlaneHooks::new(Arc::clone(self))
+    }
+
+    /// Updates a node's declared capacity `μ` (e.g. a control-plane
+    /// metrics update carrying a revised self-reported rate). Takes
+    /// effect at the next resolve; the measured estimate still wins
+    /// once warm.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownNode`] for unregistered ids,
+    /// [`RuntimeError::Core`] for a nonpositive or non-finite rate.
+    pub fn set_node_rate(&self, id: NodeId, rate: f64) -> Result<(), RuntimeError> {
+        self.state().registry.set_nominal_rate(id, rate)
+    }
+
+    /// Ids, declared rates, and health of all registered nodes, in
+    /// registration order (one locked pass, unlike per-field queries).
+    #[must_use]
+    pub fn node_table(&self) -> Vec<(NodeId, f64, Health)> {
+        self.state()
+            .registry
+            .nodes()
+            .iter()
+            .map(|n: &Node| (n.id(), n.nominal_rate(), n.health()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemeKind;
+
+    fn arc_runtime() -> Arc<Runtime> {
+        Arc::new(
+            Runtime::builder().seed(11).scheme(SchemeKind::Coop).nominal_arrival_rate(0.5).build(),
+        )
+    }
+
+    #[test]
+    fn clock_adapter_is_monotone_from_zero() {
+        let clock = ClockAdapter::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn hooks_register_heartbeat_and_report() {
+        let rt = arc_runtime();
+        let hooks = rt.attach_control_plane();
+        let id = hooks.register_node(2.0).unwrap();
+        assert_eq!(hooks.node_health(id), Some(Health::Up));
+        assert_eq!(hooks.heartbeat(id).unwrap(), None, "healthy heartbeat, no transition");
+        let rows = hooks.nodes();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, id);
+        assert_eq!(rows[0].nominal_rate, 2.0);
+        assert_eq!(rows[0].health, Health::Up);
+        assert!(rows[0].estimated_rate.is_none(), "cold estimator");
+    }
+
+    #[test]
+    fn repeated_misses_drive_down_through_the_detector() {
+        let rt = arc_runtime();
+        let hooks = rt.attach_control_plane();
+        let id = hooks.register_node(1.0).unwrap();
+        hooks.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        // Two beats stay under the detector's min_samples, so the
+        // wall-clock silence term is withheld and suspicion is exactly
+        // the deterministic boost term (2 per consecutive miss;
+        // machine-speed beats would otherwise make the interval EWMA —
+        // and thus this test — timing-dependent).
+        for _ in 0..2 {
+            hooks.heartbeat(id).unwrap();
+        }
+        // Default detector: boost 2 per miss, suspect at 2, down at 6.
+        let tr = hooks.heartbeat_miss(id).unwrap().expect("Up→Suspect");
+        assert_eq!((tr.from, tr.to), (Health::Up, Health::Suspect));
+        hooks.heartbeat_miss(id).unwrap();
+        let tr = hooks.heartbeat_miss(id).unwrap().expect("Suspect→Down");
+        assert_eq!(tr.to, Health::Down);
+        assert_eq!(hooks.node_health(id), Some(Health::Down));
+        assert!(hooks.suspicion(id) > 0.0);
+    }
+
+    #[test]
+    fn service_observations_feed_the_estimator() {
+        let rt =
+            Arc::new(Runtime::builder().nominal_arrival_rate(0.4).min_observations(8, 4).build());
+        let hooks = rt.attach_control_plane();
+        let id = hooks.register_node(1.0).unwrap();
+        for _ in 0..8 {
+            hooks.record_service(id, 0.25);
+        }
+        assert_eq!(hooks.nodes()[0].estimated_rate, Some(4.0));
+    }
+
+    #[test]
+    fn set_node_rate_validates_and_applies() {
+        let rt = arc_runtime();
+        let id = rt.register_node(1.0).unwrap();
+        rt.set_node_rate(id, 3.0).unwrap();
+        assert_eq!(rt.node_rate(id), Some(3.0));
+        assert!(rt.set_node_rate(id, 0.0).is_err());
+        assert!(rt.set_node_rate(NodeId::from_raw(99), 1.0).is_err());
+        assert_eq!(rt.node_table(), vec![(id, 3.0, Health::Up)]);
+    }
+
+    #[test]
+    fn scrapes_match_telemetry_handle() {
+        let rt =
+            Arc::new(Runtime::builder().seed(2).nominal_arrival_rate(0.5).telemetry(true).build());
+        let hooks = rt.attach_control_plane();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        for _ in 0..64 {
+            rt.dispatch().unwrap();
+        }
+        assert!(hooks.telemetry_enabled());
+        let handle = rt.telemetry_handle();
+        assert_eq!(hooks.prometheus(), handle.prometheus());
+        assert_eq!(hooks.telemetry_json(), handle.json());
+        // Swap stats surface in the scrape, not only via swap_stats().
+        let text = hooks.prometheus().unwrap();
+        assert!(text.contains("gtlb_table_publishes_total 1"), "swap stats missing:\n{text}");
+        assert!(text.contains("gtlb_swap_drain_spin_total"), "drain tiers missing:\n{text}");
+    }
+
+    #[test]
+    fn disabled_telemetry_scrapes_nothing() {
+        let rt = arc_runtime();
+        let hooks = rt.attach_control_plane();
+        assert!(!hooks.telemetry_enabled());
+        assert_eq!(hooks.prometheus(), None);
+        assert_eq!(hooks.telemetry_json(), None);
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod admission;
 pub mod alias;
+pub mod control;
 pub mod detector;
 pub mod dispatcher;
 pub mod driver;
@@ -69,6 +70,7 @@ pub use admission::{
     AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmissionStats, AdmissionVerdict,
 };
 pub use alias::{AliasTable, MAX_BELOW_ONE};
+pub use control::{ClockAdapter, ControlPlaneHooks, NodeStatus};
 pub use detector::{AccrualDetector, DetectorConfig, HealthTransition};
 pub use dispatcher::{Decision, Dispatcher};
 pub use driver::{TraceConfig, TraceDriver, TraceStats};

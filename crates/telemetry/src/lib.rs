@@ -27,11 +27,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod escape;
 mod histogram;
 mod metrics;
 mod registry;
 mod ring;
 
+pub use escape::{json_escape, json_escape_into};
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
     BUCKET_COUNT, MAX_TRACKED, MIN_TRACKED, OVERFLOW_BUCKET, SUB_BUCKET_BITS, UNDERFLOW_BUCKET,

@@ -192,7 +192,10 @@ impl Snapshot {
     /// Renders the snapshot as a small JSON document with `counters`,
     /// `gauges`, and `histograms` objects (histograms carry count,
     /// sum, mean, max, and the three standard percentiles).
-    /// Non-finite gauge values render as `null`.
+    /// Non-finite gauge values render as `null`; instrument names pass
+    /// through [`json_escape`](crate::json_escape), so a quote or
+    /// control character in a registered name cannot corrupt the
+    /// document.
     #[must_use]
     pub fn to_json(&self) -> String {
         fn num(v: f64) -> String {
@@ -202,27 +205,29 @@ impl Snapshot {
                 "null".to_string()
             }
         }
-        let mut out = String::from("{\"counters\":{");
-        for (i, (n, v)) in self.counters.iter().enumerate() {
+        fn key(out: &mut String, i: usize, name: &str) {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\"{n}\":{v}"));
+            out.push('"');
+            crate::json_escape_into(out, name);
+            out.push_str("\":");
+        }
+        let mut out = String::from("{\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            key(&mut out, i, n);
+            out.push_str(&v.to_string());
         }
         out.push_str("},\"gauges\":{");
         for (i, (n, v)) in self.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{n}\":{}", num(*v)));
+            key(&mut out, i, n);
+            out.push_str(&num(*v));
         }
         out.push_str("},\"histograms\":{");
         for (i, (n, h)) in self.histograms.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
+            key(&mut out, i, n);
             out.push_str(&format!(
-                "\"{n}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                 h.count(),
                 num(h.sum()),
                 num(h.mean()),
@@ -300,6 +305,16 @@ mod tests {
         assert!(text.contains("# TYPE gtlb_response_seconds summary"));
         assert!(text.contains("gtlb_response_seconds{quantile=\"0.99\"}"));
         assert!(text.contains("gtlb_response_seconds_count 3"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_instrument_names() {
+        let r = Registry::new();
+        r.counter("evil\"name\nwith\\stuff", 1).add(0, 3);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"evil\\\"name\\nwith\\\\stuff\":3"), "got {json}");
+        assert!(!json.contains('\n'), "raw newline leaked into {json:?}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -21,15 +21,28 @@
 //! no RNG and never feeds a deterministic output. CI diffs the enabled
 //! and disabled outputs (the `telemetry-invariance` job).
 //!
+//! A fourth contract mirrors it for the network layer: the control
+//! plane is ingestion-only and owns no RNG stream. With
+//! `GTLB_CONTROL_PLANE=1` every runtime-backed fingerprint here runs
+//! with a live `gtlb-net` listener attached (bound to a loopback port,
+//! scraped once, otherwise idle), and every fingerprint must still be
+//! bit-identical. CI diffs the attached and detached outputs (the
+//! `control-plane-smoke` job).
+//!
 //! ```text
 //! RAYON_NUM_THREADS=2 cargo run --release --example determinism_fingerprint
 //! GTLB_TELEMETRY=1 cargo run --release --example determinism_fingerprint
+//! GTLB_CONTROL_PLANE=1 cargo run --release --example determinism_fingerprint
 //! ```
+
+use std::io::{Read, Write};
+use std::sync::Arc;
 
 use gtlb::balancing::model::Cluster;
 use gtlb::balancing::schemes::{Coop, SingleClassScheme};
 use gtlb::desim::par::{par_map, thread_count};
 use gtlb::desim::replication::ReplicatedResult;
+use gtlb::net::ControlPlane;
 use gtlb::prelude::*;
 use gtlb::sim::runner::{replicate_parallel, single_class_spec, ArrivalLaw, SimBudget};
 
@@ -48,6 +61,35 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 /// CI checks.
 fn telemetry_on() -> bool {
     std::env::var("GTLB_TELEMETRY").is_ok_and(|v| v == "1")
+}
+
+/// Whether this run attaches a live control plane to every
+/// runtime-backed fingerprint (`GTLB_CONTROL_PLANE=1`). The listener is
+/// bound, scraped once, and left idle — and the printed fingerprints
+/// must be identical either way.
+fn control_plane_on() -> bool {
+    std::env::var("GTLB_CONTROL_PLANE").is_ok_and(|v| v == "1")
+}
+
+/// Attaches an idle loopback control plane to `rt` when
+/// `GTLB_CONTROL_PLANE=1`, probing `/healthz` once so the listener is
+/// demonstrably live, not just bound. The returned guard keeps it
+/// serving until the fingerprint is folded.
+fn attach_idle_control_plane(rt: &Arc<Runtime>) -> Option<ControlPlane> {
+    if !control_plane_on() {
+        return None;
+    }
+    let cp = ControlPlane::builder(Arc::clone(rt))
+        .bind("127.0.0.1:0")
+        .workers(1)
+        .start()
+        .expect("attach control plane");
+    let mut conn = std::net::TcpStream::connect(cp.local_addr()).expect("connect");
+    conn.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").expect("probe");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("probe response");
+    assert!(resp.starts_with("HTTP/1.1 200 "), "control plane probe failed: {resp}");
+    Some(cp)
 }
 
 /// Every f64 a downstream consumer can observe from a replicated run,
@@ -80,14 +122,17 @@ fn replication_fingerprint(res: &ReplicatedResult) -> u64 {
 /// families, so this trace is a pure function of (seed, plan, shard
 /// count) — CI diffs it across the thread matrix with faults *enabled*.
 fn chaos_trace_fingerprint(shards: usize) -> u64 {
-    let rt = Runtime::builder()
-        .seed(0xF1A6)
-        .scheme(SchemeKind::Coop)
-        .nominal_arrival_rate(2.1)
-        .shards(shards)
-        .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
-        .telemetry(telemetry_on())
-        .build();
+    let rt = Arc::new(
+        Runtime::builder()
+            .seed(0xF1A6)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(2.1)
+            .shards(shards)
+            .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
+            .telemetry(telemetry_on())
+            .build(),
+    );
+    let _cp = attach_idle_control_plane(&rt);
     let ids: Vec<NodeId> =
         [4.0, 2.0, 1.0].iter().map(|&rate| rt.register_node(rate).unwrap()).collect();
     rt.resolve_now().unwrap();
@@ -131,13 +176,16 @@ fn chaos_trace_fingerprint(shards: usize) -> u64 {
 fn sharded_dispatch_fingerprint() -> u64 {
     const SHARDS: usize = 4;
     const JOBS: usize = 8_192;
-    let rt = Runtime::builder()
-        .seed(0xF1A6)
-        .scheme(SchemeKind::Coop)
-        .nominal_arrival_rate(4.2)
-        .shards(SHARDS)
-        .telemetry(telemetry_on())
-        .build();
+    let rt = Arc::new(
+        Runtime::builder()
+            .seed(0xF1A6)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(4.2)
+            .shards(SHARDS)
+            .telemetry(telemetry_on())
+            .build(),
+    );
+    let _cp = attach_idle_control_plane(&rt);
     for &rate in &[4.0, 2.0, 1.0] {
         rt.register_node(rate).unwrap();
     }
@@ -171,13 +219,15 @@ fn batch_dispatch_fingerprint() -> u64 {
     const SHARDS: usize = 4;
     const JOBS: usize = 8_192;
     let make = || {
-        let rt = Runtime::builder()
-            .seed(0xF1A6)
-            .scheme(SchemeKind::Coop)
-            .nominal_arrival_rate(4.2)
-            .shards(SHARDS)
-            .telemetry(telemetry_on())
-            .build();
+        let rt = Arc::new(
+            Runtime::builder()
+                .seed(0xF1A6)
+                .scheme(SchemeKind::Coop)
+                .nominal_arrival_rate(4.2)
+                .shards(SHARDS)
+                .telemetry(telemetry_on())
+                .build(),
+        );
         for &rate in &[4.0, 2.0, 1.0] {
             rt.register_node(rate).unwrap();
         }
@@ -185,6 +235,7 @@ fn batch_dispatch_fingerprint() -> u64 {
         rt
     };
     let rt = make();
+    let _cp = attach_idle_control_plane(&rt);
     let sharded = rt.sharded_dispatcher();
     let per_shard: Vec<Vec<(u64, u64)>> = par_map((0..SHARDS).collect(), |k| {
         let mut guard = sharded.shard(k);

@@ -1,0 +1,122 @@
+//! A minimal external node agent for the networked control plane.
+//!
+//! ```text
+//! cargo run --release --example node_agent -- [ADDR] [NAME] [RATE]
+//! ```
+//!
+//! Defaults: `127.0.0.1:7070 worker-1 4.0`. The agent registers with
+//! the control plane, waits for approval (retrying its heartbeat until
+//! the operator admits it, or immediately under auto-approve), then
+//! heartbeats every 2 seconds and reports a synthetic service-time
+//! sample batch every third beat. On stdin end-of-file (Ctrl-D, the
+//! closest dependency-free stand-in for a termination signal) it
+//! drains itself and deregisters before exiting.
+//!
+//! Everything here is plain `TcpStream` HTTP/1.1 — an agent needs no
+//! part of the gtlb workspace beyond the wire protocol.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One HTTP request over a fresh connection; returns `(status, body)`.
+fn http(addr: &str, method: &str, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: agent\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed response"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args.first().cloned().unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let name = args.get(1).cloned().unwrap_or_else(|| "worker-1".to_string());
+    let rate: f64 = args.get(2).and_then(|r| r.parse().ok()).unwrap_or(4.0);
+    let heartbeat_every = Duration::from_secs(2);
+
+    let register = format!(r#"{{"name":"{name}","rate":{rate},"heartbeat_interval":2.0}}"#);
+    let (status, body) =
+        http(&addr, "POST", "/v1/register", &register).expect("control plane unreachable");
+    match status {
+        201 => println!("registered as {name}: {body}"),
+        409 => println!("already registered ({body}); continuing"),
+        _ => panic!("registration failed ({status}): {body}"),
+    }
+
+    // Watch stdin from a side thread: EOF flips the drain flag, the
+    // dependency-free equivalent of catching a termination signal.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop.store(true, Ordering::SeqCst);
+        });
+    }
+
+    let heartbeat = format!(r#"{{"name":"{name}"}}"#);
+    let mut beats: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match http(&addr, "POST", "/v1/heartbeat", &heartbeat) {
+            Ok((200, body)) => {
+                beats += 1;
+                println!("heartbeat {beats}: {body}");
+                // Every third beat, report a synthetic service-time
+                // batch around the declared rate (mean 1/rate seconds).
+                if beats % 3 == 0 {
+                    let s = 1.0 / rate;
+                    let metrics = format!(
+                        r#"{{"name":"{name}","service_seconds":[{},{},{}]}}"#,
+                        0.8 * s,
+                        s,
+                        1.2 * s
+                    );
+                    match http(&addr, "POST", "/v1/metrics", &metrics) {
+                        Ok((200, _)) => println!("reported 3 service samples"),
+                        Ok((status, body)) => println!("metrics rejected ({status}): {body}"),
+                        Err(e) => println!("metrics send failed: {e}"),
+                    }
+                }
+            }
+            Ok((409, _)) => println!("awaiting operator approval (POST /v1/nodes/{name}/approve)"),
+            Ok((status, body)) => println!("heartbeat rejected ({status}): {body}"),
+            Err(e) => println!("heartbeat failed: {e}"),
+        }
+        // Sleep in short slices so EOF turns into a drain promptly.
+        let mut slept = Duration::ZERO;
+        while slept < heartbeat_every && !stop.load(Ordering::SeqCst) {
+            let slice = Duration::from_millis(100);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+
+    println!("stdin closed; draining {name}");
+    match http(&addr, "POST", "/v1/drain", &heartbeat) {
+        Ok((200, _)) => println!("drained"),
+        Ok((status, body)) => println!("drain rejected ({status}): {body}"),
+        Err(e) => println!("drain failed: {e}"),
+    }
+    match http(&addr, "DELETE", &format!("/v1/nodes/{name}"), "") {
+        Ok((200, _)) => println!("deregistered"),
+        Ok((status, body)) => println!("deregister rejected ({status}): {body}"),
+        Err(e) => println!("deregister failed: {e}"),
+    }
+}

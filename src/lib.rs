@@ -29,7 +29,11 @@
 //! * [`telemetry`] — lock-free sharded counters/gauges, log-linear
 //!   latency histograms, and a bounded structured event ring; the
 //!   runtime records into them behind an observation-only facade that
-//!   consumes no RNG and never perturbs a deterministic trace.
+//!   consumes no RNG and never perturbs a deterministic trace;
+//! * [`net`] — the networked control plane: a dependency-free blocking
+//!   HTTP/1.1 listener through which external node agents register,
+//!   heartbeat, and report metrics into the runtime's detector and
+//!   estimator bank, and operators scrape `/metrics` and `/nodes`.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use gtlb_core as balancing;
 pub use gtlb_desim as desim;
 pub use gtlb_dynamic as dynamic;
 pub use gtlb_mechanism as mechanism;
+pub use gtlb_net as net;
 pub use gtlb_numerics as numerics;
 pub use gtlb_queueing as queueing;
 pub use gtlb_runtime as runtime;
