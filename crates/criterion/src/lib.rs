@@ -24,9 +24,14 @@
 //! * `GTLB_BENCH_QUICK=1` — quick mode: smaller calibration targets and
 //!   at most [`QUICK_SAMPLE_SIZE`] samples per benchmark, trading
 //!   precision for wall-clock time (the bench-smoke job's setting);
-//! * `GTLB_BENCH_JSON=<path>` — after all groups run, write every
-//!   measurement as a JSON array (`name`, `mean_ns`, `min_ns`,
-//!   `elements`) to `<path>`, machine-readable for perf gates.
+//! * `GTLB_BENCH_JSON=<path>` — after all groups run, write a JSON
+//!   report to `<path>`: a [`meta_json`] provenance block (git SHA,
+//!   thread count, quick-mode flag) plus a `results` array of
+//!   measurements (`name`, `mean_ns`, `min_ns`, `elements`),
+//!   machine-readable for perf gates. Nothing is written when no
+//!   measurement ran (`cargo test` executes bench binaries in smoke
+//!   mode; an ambient `GTLB_BENCH_JSON` must not clobber a real
+//!   artifact with an empty report).
 
 #![forbid(unsafe_code)]
 
@@ -84,10 +89,44 @@ struct SampleStats {
 /// Samples per benchmark in quick mode (`GTLB_BENCH_QUICK=1`).
 pub const QUICK_SAMPLE_SIZE: usize = 10;
 
-/// Whether quick mode is on (read once; see the module docs).
-fn quick_mode() -> bool {
+/// Whether quick mode (`GTLB_BENCH_QUICK=1`) is on — read once per
+/// process. Public so experiment binaries can scale their scenario
+/// sizes the same way the bench targets do.
+pub fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
     *QUICK.get_or_init(|| std::env::var("GTLB_BENCH_QUICK").is_ok_and(|v| v == "1"))
+}
+
+/// The self-describing provenance block of the JSON report, as one JSON
+/// object: `{"git_sha": …, "threads": …, "quick": …}`. The SHA comes
+/// from `GITHUB_SHA` (CI) or `git rev-parse HEAD` (local), `"unknown"`
+/// when neither resolves; the thread count from `RAYON_NUM_THREADS` or
+/// the machine's available parallelism. Public so experiment binaries
+/// can stamp their own `BENCH_*.json` artifacts identically.
+#[must_use]
+pub fn meta_json() -> String {
+    let sha = std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    // SHAs are hex; strip anything else so the value needs no escaping.
+    let sha: String = sha.chars().filter(char::is_ascii_alphanumeric).collect();
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    format!("{{\"git_sha\": \"{sha}\", \"threads\": {threads}, \"quick\": {}}}", quick_mode())
 }
 
 impl Bencher {
@@ -286,10 +325,13 @@ fn run_one<F>(
     }
 }
 
-/// Serializes `recs` as a JSON array (no external serializer: names are
-/// escaped by hand, numbers printed with full precision).
+/// Serializes `recs` as the report object — a [`meta_json`] block plus
+/// the `results` array (no external serializer: names are escaped by
+/// hand, numbers printed with full precision).
 fn render_json(recs: &[Record]) -> String {
-    let mut out = String::from("[\n");
+    let mut out = String::from("{\n\"meta\": ");
+    out.push_str(&meta_json());
+    out.push_str(",\n\"results\": [\n");
     for (i, r) in recs.iter().enumerate() {
         let mut name = String::with_capacity(r.name.len());
         for ch in r.name.chars() {
@@ -308,8 +350,7 @@ fn render_json(recs: &[Record]) -> String {
             if i + 1 < recs.len() { "," } else { "" },
         ));
     }
-    out.push(']');
-    out.push('\n');
+    out.push_str("]\n}\n");
     out
 }
 
@@ -323,6 +364,11 @@ pub fn write_json_report() {
         return;
     }
     let recs = records().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if recs.is_empty() {
+        // Smoke-test runs (`cargo test` on a harness-less bench binary)
+        // measure nothing; don't clobber a real artifact.
+        return;
+    }
     if let Err(e) = std::fs::write(&path, render_json(&recs)) {
         eprintln!("criterion shim: failed to write {path}: {e}");
     } else {
@@ -399,13 +445,38 @@ mod tests {
             Record { name: "quo\"te\\p".into(), mean_ns: 3.0, min_ns: 2.0, elements: 40_000 },
         ];
         let json = render_json(&recs);
-        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.starts_with("{\n\"meta\": {\"git_sha\": \""), "{json}");
+        assert!(json.ends_with("]\n}\n"), "{json}");
+        assert!(json.contains("\"threads\": ") && json.contains("\"quick\": "), "{json}");
+        assert!(json.contains(",\n\"results\": [\n"), "{json}");
         assert!(json.contains(r#""name": "g/a", "mean_ns": 12.5, "min_ns": 11, "elements": 1"#));
         assert!(json.contains(r#""quo\"te\\p""#), "quotes and backslashes escape: {json}");
-        assert_eq!(json.matches('{').count(), 2);
-        // Exactly one separating comma between objects, none trailing.
-        assert!(json.contains("},\n") && !json.contains("},\n]"));
-        assert_eq!(render_json(&[]), "[\n]\n");
+        // Outer object + meta + two result objects; one separating
+        // comma between results, none trailing.
+        assert_eq!(json.matches('{').count(), 4);
+        assert!(json.contains("},\n  {") && !json.contains("},\n]"));
+        assert!(render_json(&[]).contains("\"results\": [\n]\n}"), "meta survives empty results");
+    }
+
+    #[test]
+    fn meta_json_is_one_flat_object() {
+        let meta = meta_json();
+        assert!(meta.starts_with("{\"git_sha\": \"") && meta.ends_with('}'), "{meta}");
+        assert!(meta.contains("\"threads\": ") && meta.contains("\"quick\": "), "{meta}");
+        assert_eq!(meta.matches('{').count(), 1, "{meta}");
+        assert!(!meta.contains('\\'), "sha needs no escaping: {meta}");
+    }
+
+    #[test]
+    fn empty_report_is_not_written() {
+        // Nothing records in test mode; an ambient GTLB_BENCH_JSON (e.g.
+        // exported in a developer shell) must not produce a file.
+        let path =
+            std::env::temp_dir().join(format!("gtlb_shim_empty_{}.json", std::process::id()));
+        std::env::set_var("GTLB_BENCH_JSON", &path);
+        write_json_report();
+        std::env::remove_var("GTLB_BENCH_JSON");
+        assert!(!path.exists(), "empty report must not be written");
     }
 
     #[test]

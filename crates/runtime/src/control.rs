@@ -220,6 +220,19 @@ impl ControlPlaneHooks {
             .collect()
     }
 
+    /// The solver mode currently in effect.
+    #[must_use]
+    pub fn solver_mode(&self) -> crate::SolverMode {
+        self.runtime.solver_mode()
+    }
+
+    /// Stats of the most recent best-reply solve (`None` until one
+    /// ran) — surfaced on the `/nodes` endpoint.
+    #[must_use]
+    pub fn last_convergence(&self) -> Option<crate::ConvergenceStats> {
+        self.runtime.last_convergence()
+    }
+
     /// Whether the runtime records telemetry.
     #[must_use]
     pub fn telemetry_enabled(&self) -> bool {

@@ -50,6 +50,7 @@ pub mod control;
 pub mod detector;
 pub mod dispatcher;
 pub mod driver;
+pub mod dynamics;
 pub mod error;
 pub mod estimator;
 pub mod fault;
@@ -66,6 +67,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+
 pub use admission::{
     AdmissionConfig, AdmissionControl, AdmissionPolicy, AdmissionStats, AdmissionVerdict,
 };
@@ -74,6 +77,9 @@ pub use control::{ClockAdapter, ControlPlaneHooks, NodeStatus};
 pub use detector::{AccrualDetector, DetectorConfig, HealthTransition};
 pub use dispatcher::{Decision, Dispatcher};
 pub use driver::{TraceConfig, TraceDriver, TraceStats};
+pub use dynamics::{
+    BestReplyConfig, BestReplyOutcome, ConvergenceStats, SolverMode, DYNAMICS_STREAM,
+};
 pub use error::RuntimeError;
 pub use estimator::EstimatorBank;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FAULT_STREAM};
@@ -119,6 +125,10 @@ pub struct RuntimeConfig {
     /// Off by default. Telemetry consumes no RNG draws and leaves every
     /// decision sequence bit-identical; it only adds instruments.
     pub telemetry: bool,
+    /// How the resolve path computes allocations: the centralized
+    /// closed-form scheme (the default) or decentralized best-reply
+    /// iteration. Switchable live via [`Runtime::set_solver_mode`].
+    pub solver: SolverMode,
 }
 
 impl Default for RuntimeConfig {
@@ -135,6 +145,7 @@ impl Default for RuntimeConfig {
             admission: None,
             detector: DetectorConfig::default(),
             telemetry: false,
+            solver: SolverMode::Coop,
         }
     }
 }
@@ -224,6 +235,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the solver mode: centralized [`SolverMode::Coop`] (the
+    /// default) or decentralized [`SolverMode::BestReply`]. Invalid
+    /// best-reply tunables fail at the first solve, not here.
+    #[must_use]
+    pub fn solver_mode(mut self, mode: SolverMode) -> Self {
+        self.cfg.solver = mode;
+        self
+    }
+
     /// Builds the runtime (no nodes, empty routing table).
     ///
     /// # Panics
@@ -244,6 +264,18 @@ struct State {
 struct DetectorState {
     detector: AccrualDetector,
     log: Vec<HealthTransition>,
+}
+
+struct SolverRuntime {
+    /// Mode currently in effect (starts at `cfg.solver`, switchable
+    /// live).
+    mode: SolverMode,
+    /// Tie-break stream of the best-reply solver ([`DYNAMICS_STREAM`]);
+    /// untouched by `Coop` solves, so leaving the mode at its default
+    /// keeps every pre-existing trace bit-identical.
+    rng: Xoshiro256PlusPlus,
+    /// Stats of the most recent best-reply solve.
+    last: Option<ConvergenceStats>,
 }
 
 /// What happened to one job offered through [`Runtime::submit`].
@@ -305,6 +337,10 @@ pub struct Runtime {
     // acquires them strictly in sequence), so detector bookkeeping can't
     // deadlock against the dispatch/telemetry paths.
     detector: Mutex<DetectorState>,
+    // Lock order: `state` before `solver` (resolve_now holds both),
+    // never the reverse; `solver` and `detector` are never held
+    // together.
+    solver: Mutex<SolverRuntime>,
     table: Arc<EpochSwap<RoutingTable>>,
     sharded: ShardedDispatcher,
     admission: Option<AdmissionControl>,
@@ -355,6 +391,11 @@ impl Runtime {
             detector: Mutex::new(DetectorState {
                 detector: AccrualDetector::new(cfg.detector),
                 log: Vec::new(),
+            }),
+            solver: Mutex::new(SolverRuntime {
+                mode: cfg.solver,
+                rng: Xoshiro256PlusPlus::stream(cfg.seed, DYNAMICS_STREAM),
+                last: None,
             }),
             table,
             sharded,
@@ -544,13 +585,15 @@ impl Runtime {
     // ---- solving & dispatching -----------------------------------------
 
     /// Runs a full solve now: snapshot the serving nodes, pick measured
-    /// rates where warm (nominal otherwise), allocate with the configured
-    /// scheme, and publish the resulting table at the next epoch.
+    /// rates where warm (nominal otherwise), allocate — with the
+    /// configured scheme in [`SolverMode::Coop`], by decentralized
+    /// iteration in [`SolverMode::BestReply`] — and publish the
+    /// resulting table at the next epoch.
     ///
     /// # Errors
     /// [`RuntimeError::NoServingNodes`] with nothing to solve over;
     /// [`RuntimeError::Core`] from the allocator (e.g. a nominal arrival
-    /// rate at or above capacity).
+    /// rate at or above capacity, or invalid best-reply tunables).
     pub fn resolve_now(&self) -> Result<ResolveOutcome, RuntimeError> {
         let state = self.state();
         let State { ref registry, ref bank } = *state;
@@ -570,9 +613,82 @@ impl Runtime {
             control.publish_offered_utilization(phi_offered / cluster.total_rate());
         }
         let epoch = self.next_epoch();
-        let (table, outcome) = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
+        let mode = self.solver_state().mode;
+        let (table, outcome) = match mode.best_reply_config() {
+            None => {
+                let solved = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
+                self.telemetry.record_solve(None);
+                solved
+            }
+            Some(br_cfg) => {
+                // Warm start from the live table: each serving node's
+                // current routing share (0 for nodes not yet in it).
+                // `best_reply` rescales the shares to Φ and falls back
+                // to proportional if the current rates make them
+                // infeasible.
+                let current = self.table.load();
+                let warm: Vec<f64> =
+                    ids.iter().map(|&id| current.prob_of(id).unwrap_or(0.0)).collect();
+                let warm = (warm.iter().sum::<f64>() > 0.0).then_some(&warm[..]);
+                let out = {
+                    // Lock order: `state` (held) then `solver`.
+                    let mut solver = self.solver_state();
+                    dynamics::best_reply(&cluster, phi, warm, &br_cfg, &mut solver.rng)?
+                };
+                let stats = ConvergenceStats {
+                    epoch,
+                    rounds: out.rounds,
+                    residual: out.residual,
+                    converged: out.converged,
+                };
+                self.solver_state().last = Some(stats);
+                self.telemetry.record_solve(Some(stats));
+                let table = RoutingTable::from_allocation(
+                    epoch,
+                    ids.clone(),
+                    &out.allocation,
+                    cluster.rates(),
+                )?;
+                let predicted_mean_response = out.allocation.mean_response_time(&cluster);
+                let outcome = ResolveOutcome {
+                    epoch,
+                    nodes: ids,
+                    rates: cluster.rates().to_vec(),
+                    phi,
+                    allocation: out.allocation,
+                    predicted_mean_response,
+                };
+                (table, outcome)
+            }
+        };
         self.publish_table(table);
         Ok(outcome)
+    }
+
+    /// The solver mode currently in effect.
+    #[must_use]
+    pub fn solver_mode(&self) -> SolverMode {
+        self.solver_state().mode
+    }
+
+    /// Switches the solver mode live; the next resolve uses it. Returns
+    /// the previous mode, and records a
+    /// [`RuntimeEvent::SolverSwitched`] ring event on actual change.
+    pub fn set_solver_mode(&self, mode: SolverMode) -> SolverMode {
+        let prev = {
+            let mut solver = self.solver_state();
+            std::mem::replace(&mut solver.mode, mode)
+        };
+        if prev != mode {
+            self.telemetry.record_solver_switch(mode);
+        }
+        prev
+    }
+
+    /// Stats of the most recent best-reply solve (`None` until one ran).
+    #[must_use]
+    pub fn last_convergence(&self) -> Option<ConvergenceStats> {
+        self.solver_state().last
     }
 
     /// Routes one job via the published table, on the next shard in
@@ -820,6 +936,10 @@ impl Runtime {
 
     fn detector_state(&self) -> MutexGuard<'_, DetectorState> {
         self.detector.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn solver_state(&self) -> MutexGuard<'_, SolverRuntime> {
+        self.solver.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Sets a node's health in the registry *and* forces the detector's
@@ -1387,6 +1507,65 @@ mod tests {
         assert_eq!(rt.node_ids(), vec![a, b]);
         rt.mark_down(a).unwrap();
         assert_eq!(rt.node_ids(), vec![a, b], "health does not affect membership");
+    }
+
+    #[test]
+    fn best_reply_mode_matches_the_coop_table() {
+        let make = |mode| {
+            let rt = Runtime::builder().seed(5).nominal_arrival_rate(1.8).solver_mode(mode).build();
+            rt.register_node(2.0).unwrap();
+            rt.register_node(1.0).unwrap();
+            rt.resolve_now().unwrap();
+            rt
+        };
+        let coop = make(SolverMode::Coop);
+        let br = make(SolverMode::best_reply());
+        let stats = br.last_convergence().expect("best-reply solve records stats");
+        assert!(stats.converged, "residual {} after {} rounds", stats.residual, stats.rounds);
+        assert!(stats.residual <= 1e-9);
+        assert!(coop.last_convergence().is_none(), "coop solves record no convergence");
+        for (a, b) in coop.current_table().probs().iter().zip(br.current_table().probs()) {
+            assert!((a - b).abs() < 1e-6, "best-reply table {b} vs coop {a}");
+        }
+    }
+
+    #[test]
+    fn solver_mode_switches_live() {
+        let rt = coop_runtime(0.9);
+        rt.register_node(2.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        assert_eq!(rt.solver_mode(), SolverMode::Coop);
+        assert_eq!(rt.set_solver_mode(SolverMode::best_reply()), SolverMode::Coop);
+        rt.resolve_now().unwrap();
+        let stats = rt.last_convergence().unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.epoch, rt.current_table().epoch());
+        // Back to coop: the stats of the last best-reply solve remain.
+        rt.set_solver_mode(SolverMode::Coop);
+        rt.resolve_now().unwrap();
+        assert_eq!(rt.last_convergence(), Some(stats));
+    }
+
+    #[test]
+    fn solver_events_and_metrics_are_recorded() {
+        let rt = Runtime::builder().seed(9).nominal_arrival_rate(0.8).telemetry(true).build();
+        rt.register_node(1.0).unwrap();
+        rt.register_node(1.0).unwrap();
+        rt.set_solver_mode(SolverMode::best_reply());
+        rt.set_solver_mode(SolverMode::best_reply()); // no-op: same mode
+        rt.resolve_now().unwrap();
+        let events = rt.telemetry().recent_events(16);
+        let switches = events
+            .iter()
+            .filter(|e| matches!(e.event, RuntimeEvent::SolverSwitched { .. }))
+            .count();
+        assert_eq!(switches, 1, "only the actual change emits an event");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, RuntimeEvent::SolverConverged { converged: true, .. })));
+        let snap = rt.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter(telemetry::names::SOLVER_RESOLVES), Some(1));
     }
 
     #[test]

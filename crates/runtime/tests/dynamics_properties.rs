@@ -1,0 +1,164 @@
+//! Property tests for the best-reply update rule (vendored proptest
+//! shim):
+//!
+//! 1. the Beckmann potential is monotone non-increasing across every
+//!    synchronous round, for any damping in (0, 1];
+//! 2. each round conserves total load and preserves per-node
+//!    feasibility (0 ≤ λᵢ < μᵢ) to float precision;
+//! 3. the converged fixed point is invariant under permutation of the
+//!    players — relabeling nodes permutes the allocation and nothing
+//!    else;
+//! 4. the epsilon-stop always triggers within the round budget for
+//!    feasible inputs (512 rounds is enough for ε = 1e-7 at any
+//!    utilization in [0.05, 0.97] with rates spanning 100:1).
+
+use gtlb_core::model::Cluster;
+use gtlb_desim::rng::Xoshiro256PlusPlus;
+use gtlb_runtime::dynamics::{self, best_reply, potential, BestReplyConfig, DYNAMICS_STREAM};
+use proptest::prelude::*;
+
+/// Service rates spanning two orders of magnitude, 1–11 players.
+fn arb_rates() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..10.0, 1..12)
+}
+
+fn arb_utilization() -> impl Strategy<Value = f64> {
+    0.05f64..0.97
+}
+
+/// A strictly feasible starting profile: proportional split, then a
+/// deterministic per-node perturbation bounded by half the local slack.
+fn perturbed_profile(cluster: &Cluster, phi: f64, wobble_seed: u64) -> Vec<f64> {
+    let total = cluster.total_rate();
+    let mut rng = Xoshiro256PlusPlus::stream(wobble_seed, 0x17);
+    let mut loads: Vec<f64> = cluster.rates().iter().map(|mu| phi * mu / total).collect();
+    // Move mass between random pairs; keeps the sum exact and every
+    // player strictly inside its capacity.
+    for _ in 0..loads.len() {
+        let n = loads.len() as u64;
+        let (i, j) = ((rng.next_u64() % n) as usize, (rng.next_u64() % n) as usize);
+        if i == j {
+            continue;
+        }
+        let headroom = (cluster.rates()[j] - loads[j]) * 0.25;
+        let delta = loads[i].min(headroom) * 0.5;
+        loads[i] -= delta;
+        loads[j] += delta;
+    }
+    loads
+}
+
+/// Fisher–Yates permutation of `0..n` driven by a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Xoshiro256PlusPlus::stream(seed, 0x23);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn potential_is_monotone_non_increasing(
+        rates in arb_rates(),
+        rho in arb_utilization(),
+        damping in 0.05f64..1.0,
+        wobble in 0u64..1_000,
+    ) {
+        let cluster = Cluster::new(rates).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let mut loads = perturbed_profile(&cluster, phi, wobble);
+        let mut prev = potential(&cluster, &loads);
+        prop_assert!(prev.is_finite(), "perturbed start must be feasible");
+        for round_ix in 0..64 {
+            dynamics::round(&cluster, &mut loads, damping);
+            let next = potential(&cluster, &loads);
+            // Allow float-level noise on top of exact descent.
+            prop_assert!(
+                next <= prev + 1e-9 * prev.abs().max(1.0),
+                "potential rose at round {round_ix}: {prev} -> {next}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn rounds_conserve_mass_and_feasibility(
+        rates in arb_rates(),
+        rho in arb_utilization(),
+        damping in 0.05f64..1.0,
+        wobble in 0u64..1_000,
+    ) {
+        let cluster = Cluster::new(rates).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let mut loads = perturbed_profile(&cluster, phi, wobble);
+        let before: f64 = loads.iter().sum();
+        for _ in 0..32 {
+            dynamics::round(&cluster, &mut loads, damping);
+            let after: f64 = loads.iter().sum();
+            prop_assert!(
+                (after - before).abs() <= 1e-9 * before.max(1.0),
+                "total load drifted: {before} -> {after}"
+            );
+            for (lambda, mu) in loads.iter().zip(cluster.rates()) {
+                prop_assert!(*lambda >= 0.0, "negative load {lambda}");
+                prop_assert!(lambda < mu, "player overloaded: {lambda} >= {mu}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_permutation_invariant(
+        rates in arb_rates(),
+        rho in arb_utilization(),
+        perm_seed in 0u64..1_000,
+    ) {
+        let cluster = Cluster::new(rates.clone()).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let cfg = BestReplyConfig { epsilon: 1e-10, max_rounds: 4_096, damping: 1.0 };
+
+        let mut rng = Xoshiro256PlusPlus::stream(7, DYNAMICS_STREAM);
+        let base = best_reply(&cluster, phi, None, &cfg, &mut rng).unwrap();
+        prop_assert!(base.converged);
+
+        let perm = permutation(rates.len(), perm_seed);
+        let shuffled: Vec<f64> = perm.iter().map(|&i| rates[i]).collect();
+        let shuffled_cluster = Cluster::new(shuffled).unwrap();
+        let mut rng2 = Xoshiro256PlusPlus::stream(7, DYNAMICS_STREAM);
+        let moved = best_reply(&shuffled_cluster, phi, None, &cfg, &mut rng2).unwrap();
+        prop_assert!(moved.converged);
+
+        // moved[k] is the load of original player perm[k].
+        for (k, &orig) in perm.iter().enumerate() {
+            let (a, b) = (base.allocation.loads()[orig], moved.allocation.loads()[k]);
+            prop_assert!(
+                (a - b).abs() < 1e-6,
+                "player {orig} changed load under relabeling: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_stop_triggers_within_budget(
+        rates in arb_rates(),
+        rho in arb_utilization(),
+    ) {
+        let cluster = Cluster::new(rates).unwrap();
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let cfg = BestReplyConfig { epsilon: 1e-7, max_rounds: 512, damping: 1.0 };
+        let mut rng = Xoshiro256PlusPlus::stream(11, DYNAMICS_STREAM);
+        let out = best_reply(&cluster, phi, None, &cfg, &mut rng).unwrap();
+        prop_assert!(
+            out.converged,
+            "no epsilon-stop in {} rounds (residual {})", out.rounds, out.residual
+        );
+        prop_assert!(out.rounds <= cfg.max_rounds);
+        prop_assert!(out.residual <= cfg.epsilon);
+        let total: f64 = out.allocation.loads().iter().sum();
+        prop_assert!((total - phi).abs() <= 1e-9 * phi.max(1.0), "fixed point lost mass");
+    }
+}

@@ -11,9 +11,23 @@ use gtlb_runtime::{
     SchemeKind, TraceConfig, TraceDriver, TraceStats,
 };
 
+/// Clears the harness/observability knobs once per process: these
+/// tests choose telemetry on/off explicitly per run, and an ambient
+/// `GTLB_TELEMETRY`/`GTLB_CONTROL_PLANE`/`GTLB_BENCH_*` from the
+/// caller's shell (or a CI invariance job) must not leak in.
+fn pin_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        for var in ["GTLB_TELEMETRY", "GTLB_CONTROL_PLANE", "GTLB_BENCH_QUICK", "GTLB_BENCH_JSON"] {
+            std::env::remove_var(var);
+        }
+    });
+}
+
 /// One chaos trace: crash-recover + flaky faults, retries, heartbeats,
 /// admission pressure, across 2 shards.
 fn chaos_run(telemetry: bool) -> (Arc<Runtime>, TraceStats, f64) {
+    pin_env();
     let rt = Arc::new(
         Runtime::builder()
             .seed(0x0B5E)

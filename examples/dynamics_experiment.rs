@@ -1,0 +1,212 @@
+//! COOP vs decentralized best-reply dynamics on the paper's Table
+//! 3.1-style scenarios: expected response time, fairness index, price
+//! of anarchy (vs the OPTIM social optimum), and convergence rounds —
+//! offline across a utilization sweep, then online under churn and
+//! `FaultPlan` injection through a `SolverMode::BestReply` runtime.
+//!
+//! ```text
+//! cargo run --release --example dynamics_experiment
+//! ```
+//!
+//! Honors the bench harness's environment: `GTLB_BENCH_QUICK=1` shrinks
+//! the sweep and the churn horizon, and `GTLB_BENCH_JSON=<path>` writes
+//! the machine-readable report (`meta` provenance block + `results`
+//! rows) — CI uploads it as `BENCH_dynamics.json`.
+
+use gtlb::desim::rng::Xoshiro256PlusPlus;
+use gtlb::prelude::*;
+use gtlb::runtime::dynamics::{best_reply, equilibrium_residual};
+use gtlb::runtime::DYNAMICS_STREAM;
+
+/// One row of the report: either a sweep point or the churn summary.
+struct Row {
+    scenario: String,
+    fields: Vec<(&'static str, String)>,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        let mut out = format!("  {{\"scenario\": \"{}\"", self.scenario);
+        for (k, v) in &self.fields {
+            out.push_str(&format!(", \"{k}\": {v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let mut rows: Vec<Row> = Vec::new();
+
+    sweep(quick, &mut rows);
+    churn(quick, &mut rows);
+
+    if let Ok(path) = std::env::var("GTLB_BENCH_JSON") {
+        if !path.is_empty() {
+            let body: Vec<String> = rows.iter().map(Row::json).collect();
+            let report = format!(
+                "{{\n\"meta\": {},\n\"results\": [\n{}\n]\n}}\n",
+                criterion::meta_json(),
+                body.join(",\n")
+            );
+            std::fs::write(&path, report).expect("write GTLB_BENCH_JSON");
+            println!("\nwrote {} result rows to {path}", rows.len());
+        }
+    }
+}
+
+/// Offline sweep over the paper's heterogeneous 16-node cluster
+/// (Table 3.1 rates): COOP vs best-reply vs OPTIM at each utilization.
+fn sweep(quick: bool, rows: &mut Vec<Row>) {
+    let cluster = Cluster::from_groups(&[(2, 0.13), (3, 0.065), (5, 0.026), (6, 0.013)]).unwrap();
+    let utils: &[f64] = if quick { &[0.3, 0.6, 0.9] } else { &[0.1, 0.3, 0.5, 0.7, 0.8, 0.9] };
+    // Light load is the slow case: waterfilling parks the six slowest
+    // node classes at zero and their loads drain geometrically, so give
+    // the sweep more headroom than the runtime default (128 rounds).
+    let cfg = BestReplyConfig { max_rounds: 512, ..BestReplyConfig::default() };
+
+    println!("offline sweep — {} nodes, Σμ = {:.3} jobs/s", cluster.n(), cluster.total_rate());
+    println!(
+        "{:>4}  {:>10} {:>10} {:>10}  {:>8} {:>8}  {:>6} {:>6}  {:>9}",
+        "ρ", "T_coop", "T_br", "T_optim", "F_coop", "F_br", "PoA", "rounds", "residual"
+    );
+    for &rho in utils {
+        let phi = cluster.arrival_rate_for_utilization(rho);
+        let coop = Coop.allocate(&cluster, phi).unwrap();
+        let optim = Optim.allocate(&cluster, phi).unwrap();
+        let mut rng = Xoshiro256PlusPlus::stream(0xD15C, DYNAMICS_STREAM);
+        let br = best_reply(&cluster, phi, None, &cfg, &mut rng).unwrap();
+        assert!(br.converged, "best-reply must converge at ρ = {rho}");
+        let gap = coop
+            .loads()
+            .iter()
+            .zip(br.allocation.loads())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(gap < 1e-6, "best-reply drifted {gap} from COOP at ρ = {rho}");
+
+        let (t_coop, t_br, t_opt) = (
+            coop.mean_response_time(&cluster),
+            br.allocation.mean_response_time(&cluster),
+            optim.mean_response_time(&cluster),
+        );
+        // Price of anarchy: equilibrium cost over social optimum.
+        let poa = t_br / t_opt;
+        assert!(poa >= 1.0 - 1e-9, "the optimum cannot lose to the equilibrium");
+        let (f_coop, f_br) =
+            (coop.fairness_index(&cluster), br.allocation.fairness_index(&cluster));
+        println!(
+            "{rho:>4.1}  {t_coop:>10.4} {t_br:>10.4} {t_opt:>10.4}  {f_coop:>8.4} {f_br:>8.4}  \
+             {poa:>6.3} {:>6}  {:>9.2e}",
+            br.rounds, br.residual
+        );
+        rows.push(Row {
+            scenario: "sweep".into(),
+            fields: vec![
+                ("utilization", num(rho)),
+                ("coop_response", num(t_coop)),
+                ("best_reply_response", num(t_br)),
+                ("optim_response", num(t_opt)),
+                ("coop_fairness", num(f_coop)),
+                ("best_reply_fairness", num(f_br)),
+                ("price_of_anarchy", num(poa)),
+                ("rounds", br.rounds.to_string()),
+                ("residual", num(br.residual)),
+                ("converged", br.converged.to_string()),
+                ("coop_gap", num(gap)),
+            ],
+        });
+    }
+}
+
+/// Online churn: a `SolverMode::BestReply` runtime rides a scripted
+/// crash-and-recover under a live closed-loop job stream, re-solving by
+/// iteration at every detector-driven transition and periodic tick.
+fn churn(quick: bool, rows: &mut Vec<Row>) {
+    let rates = [6.0, 4.0, 4.0, 4.0];
+    let phi = 0.55 * rates.iter().sum::<f64>();
+    let (crash_at, down_for, tail) = if quick { (120.0, 80.0, 40.0) } else { (300.0, 200.0, 60.0) };
+
+    let rt = Runtime::builder()
+        .seed(2027)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(phi)
+        .solver_mode(SolverMode::best_reply())
+        .build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+    let cold = rt.last_convergence().expect("first best-reply solve");
+    assert!(cold.converged);
+
+    let plan = FaultPlan::new(0xFA11).crash_recover(ids[0], crash_at, down_for);
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 41, batch_size: 1_000 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+
+    // Interleave job chunks with periodic re-solves, the way the
+    // background resolver loop would; detector transitions (crash,
+    // probation readmit) trigger their own renormalize/re-solve inside
+    // the runtime. Track the worst-case convergence effort.
+    let mut resolves = 0u64;
+    let mut max_rounds = 0u32;
+    let mut post_crash_rounds: Option<u32> = None;
+    let mut crashed = false;
+    while driver.clock() < crash_at + down_for + tail {
+        driver.run_jobs(&rt, 2_000).unwrap();
+        if rt.resolve_now().is_ok() {
+            resolves += 1;
+            if let Some(s) = rt.last_convergence() {
+                assert!(s.converged, "churn re-solve failed to converge: {s:?}");
+                max_rounds = max_rounds.max(s.rounds);
+                let down_now = rt.node_health(ids[0]) == Some(Health::Down);
+                if down_now && !crashed {
+                    crashed = true;
+                    post_crash_rounds = Some(s.rounds);
+                }
+            }
+        }
+    }
+    assert!(crashed, "the scripted crash was never detected");
+    assert_eq!(rt.node_health(ids[0]), Some(Health::Up), "probation never readmitted");
+
+    let stats = driver.stats();
+    assert!(stats.is_conserved(), "job conservation violated under churn");
+    let residual_now = rt.last_convergence().map_or(f64::NAN, |s| s.residual).min(f64::MAX);
+    println!(
+        "\nonline churn — crash at t={crash_at}, down {down_for}s, best-reply re-solves: \
+         {resolves} (max {max_rounds} rounds, post-crash {} rounds)",
+        post_crash_rounds.unwrap_or(0)
+    );
+    println!("{stats}");
+    rows.push(Row {
+        scenario: "churn".into(),
+        fields: vec![
+            ("resolves", resolves.to_string()),
+            ("cold_start_rounds", cold.rounds.to_string()),
+            ("max_rounds", max_rounds.to_string()),
+            ("post_crash_rounds", post_crash_rounds.unwrap_or(0).to_string()),
+            ("final_residual", num(residual_now)),
+            ("observed_mean_response", num(stats.mean_response)),
+            ("jobs", stats.jobs.to_string()),
+            ("retries", stats.retried.to_string()),
+            ("conserved", stats.is_conserved().to_string()),
+        ],
+    });
+
+    // Sanity link back to the offline view: with everyone healthy again
+    // the converged table must carry zero equilibrium residual.
+    let outcome = rt.resolve_now().unwrap();
+    let cluster = Cluster::new(outcome.rates.clone()).unwrap();
+    let resid = equilibrium_residual(&cluster, outcome.allocation.loads());
+    assert!(resid <= BestReplyConfig::default().epsilon, "steady state not at equilibrium");
+}

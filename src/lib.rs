@@ -82,10 +82,11 @@ pub mod prelude {
     pub use gtlb_mechanism::verification::VerifiedMechanism;
     pub use gtlb_queueing::Mm1;
     pub use gtlb_runtime::{
-        AdmissionConfig, AdmissionStats, AdmissionVerdict, DetectorConfig, FaultPlan, Health,
-        HealthTransition, IngestQueue, NodeId, RetryConfig, RetryPolicy, Runtime, RuntimeBuilder,
-        RuntimeError, RuntimeEvent, SchemeKind, ShardedDispatcher, Submission, Telemetry,
-        TelemetryHandle, TraceConfig, TraceDriver,
+        AdmissionConfig, AdmissionStats, AdmissionVerdict, BestReplyConfig, ConvergenceStats,
+        DetectorConfig, FaultPlan, Health, HealthTransition, IngestQueue, NodeId, RetryConfig,
+        RetryPolicy, Runtime, RuntimeBuilder, RuntimeError, RuntimeEvent, SchemeKind,
+        ShardedDispatcher, SolverMode, Submission, Telemetry, TelemetryHandle, TraceConfig,
+        TraceDriver,
     };
     pub use gtlb_telemetry::{Histogram, HistogramSnapshot, Snapshot, TaggedEvent};
 }

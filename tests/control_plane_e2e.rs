@@ -11,6 +11,19 @@ use std::time::{Duration, Instant};
 use gtlb::net::ControlPlane;
 use gtlb::runtime::{Runtime, SchemeKind};
 
+/// Clears the harness/observability knobs once per process: this test
+/// wires its control plane and telemetry explicitly, and an ambient
+/// `GTLB_TELEMETRY`/`GTLB_CONTROL_PLANE`/`GTLB_BENCH_*` from the
+/// caller's shell must not leak into the runtimes it builds.
+fn pin_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        for var in ["GTLB_TELEMETRY", "GTLB_CONTROL_PLANE", "GTLB_BENCH_QUICK", "GTLB_BENCH_JSON"] {
+            std::env::remove_var(var);
+        }
+    });
+}
+
 /// Sends one HTTP/1.1 request and returns `(status, body)`.
 fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
     let mut conn = TcpStream::connect(addr).expect("connect to control plane");
@@ -57,6 +70,7 @@ fn wait_for_nodes(addr: SocketAddr, deadline: Duration, pred: impl Fn(&str) -> b
 
 #[test]
 fn control_plane_drives_the_full_node_lifecycle() {
+    pin_env();
     let runtime = Arc::new(
         Runtime::builder()
             .seed(41)
@@ -167,6 +181,7 @@ fn control_plane_drives_the_full_node_lifecycle() {
 
 #[test]
 fn malformed_and_oversized_requests_get_typed_errors() {
+    pin_env();
     let runtime = Arc::new(Runtime::builder().seed(42).nominal_arrival_rate(0.5).build());
     let cp = ControlPlane::builder(runtime).bind("127.0.0.1:0").start().unwrap();
     let addr = cp.local_addr();

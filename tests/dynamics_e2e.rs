@@ -1,0 +1,175 @@
+//! End-to-end tests for `SolverMode::BestReply`: the three canonical
+//! convergence scenarios the CI `dynamics-convergence` job gates on
+//! (homogeneous, 10:1 heterogeneous, post-crash renormalize), a chaos
+//! run through a scripted crash with the same conservation invariant as
+//! COOP, and the telemetry trail of a live solver switch.
+//!
+//! The fixed point of the best-reply iteration is the COOP (Nash
+//! bargaining) allocation — Theorem 3.8's equal-response-time
+//! characterization makes the NBS a Wardrop equilibrium — so every
+//! scenario also cross-checks the converged table against a twin COOP
+//! runtime.
+
+use gtlb::prelude::*;
+use gtlb::runtime::dynamics;
+
+/// Round budget the CI job asserts against; generous relative to the
+/// observed worst case (~40 rounds on these clusters) but fixed, so a
+/// convergence regression fails loudly instead of drifting.
+const ROUND_BOUND: u32 = 64;
+const EPSILON: f64 = 1e-9;
+
+fn pin_env() {
+    // `cargo test` must not inherit bench/telemetry knobs from the
+    // caller's shell: quick-mode or a JSON sink would silently reshape
+    // assertions below.
+    std::env::remove_var("GTLB_BENCH_QUICK");
+    std::env::remove_var("GTLB_BENCH_JSON");
+    std::env::remove_var("GTLB_TELEMETRY");
+    std::env::remove_var("GTLB_CONTROL_PLANE");
+}
+
+/// Build a pair of runtimes over the same cluster — one per solver
+/// mode — resolve both, and return them with their node ids.
+fn twin_runtimes(rates: &[f64], rho: f64) -> (Runtime, Runtime, Vec<NodeId>, Vec<NodeId>) {
+    let phi = rho * rates.iter().sum::<f64>();
+    let coop = Runtime::builder().seed(404).nominal_arrival_rate(phi).build();
+    let br = Runtime::builder()
+        .seed(404)
+        .nominal_arrival_rate(phi)
+        .solver_mode(SolverMode::best_reply())
+        .build();
+    let coop_ids: Vec<NodeId> = rates.iter().map(|&r| coop.register_node(r).unwrap()).collect();
+    let br_ids: Vec<NodeId> = rates.iter().map(|&r| br.register_node(r).unwrap()).collect();
+    coop.resolve_now().unwrap();
+    br.resolve_now().unwrap();
+    (coop, br, coop_ids, br_ids)
+}
+
+fn assert_converged_to_coop(
+    coop: &Runtime,
+    br: &Runtime,
+    coop_ids: &[NodeId],
+    br_ids: &[NodeId],
+    label: &str,
+) {
+    let stats = br.last_convergence().unwrap_or_else(|| panic!("{label}: no convergence stats"));
+    assert!(stats.converged, "{label}: hit the round budget");
+    assert!(stats.rounds <= ROUND_BOUND, "{label}: {} rounds > {ROUND_BOUND}", stats.rounds);
+    assert!(stats.residual <= EPSILON, "{label}: residual {}", stats.residual);
+
+    let (ct, bt) = (coop.current_table(), br.current_table());
+    for (c_id, b_id) in coop_ids.iter().zip(br_ids) {
+        let (c, b) = (ct.prob_of(*c_id).unwrap_or(0.0), bt.prob_of(*b_id).unwrap_or(0.0));
+        assert!((c - b).abs() < 1e-6, "{label}: table split differs, {c} vs {b}");
+    }
+}
+
+#[test]
+fn converges_on_homogeneous_cluster() {
+    pin_env();
+    let (coop, br, coop_ids, br_ids) = twin_runtimes(&[1.0, 1.0, 1.0, 1.0], 0.6);
+    assert_converged_to_coop(&coop, &br, &coop_ids, &br_ids, "homogeneous");
+    // Symmetric players must share equally.
+    let table = br.current_table();
+    for id in &br_ids {
+        assert!((table.prob_of(*id).unwrap() - 0.25).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn converges_on_ten_to_one_heterogeneous_cluster() {
+    pin_env();
+    let (coop, br, coop_ids, br_ids) = twin_runtimes(&[10.0, 1.0, 1.0, 1.0], 0.6);
+    assert_converged_to_coop(&coop, &br, &coop_ids, &br_ids, "10:1 heterogeneous");
+    // Waterfilling at 60% utilization keeps every slow node nearly idle
+    // while the fast node carries the bulk.
+    let table = br.current_table();
+    assert!(table.prob_of(br_ids[0]).unwrap() > 0.8, "fast node must dominate");
+}
+
+#[test]
+fn converges_after_crash_renormalize() {
+    pin_env();
+    let (coop, br, coop_ids, br_ids) = twin_runtimes(&[6.0, 4.0, 4.0, 4.0], 0.55);
+    // Down the fast node on both runtimes; the immediate renormalize
+    // drops it from the table, then the re-solve iterates over the
+    // survivors only.
+    coop.mark_down(coop_ids[0]).unwrap();
+    br.mark_down(br_ids[0]).unwrap();
+    coop.resolve_now().unwrap();
+    br.resolve_now().unwrap();
+    assert_converged_to_coop(&coop, &br, &coop_ids[1..], &br_ids[1..], "post-crash");
+    assert_eq!(br.current_table().prob_of(br_ids[0]), None, "victim must leave the table");
+}
+
+#[test]
+fn chaos_crash_recover_conserves_jobs_and_converges() {
+    pin_env();
+    let rates = [6.0, 4.0, 4.0, 4.0];
+    let phi = 0.55 * rates.iter().sum::<f64>();
+    let (crash_at, down_for) = (120.0, 80.0);
+    let rt = Runtime::builder()
+        .seed(2027)
+        .nominal_arrival_rate(phi)
+        .solver_mode(SolverMode::best_reply())
+        .build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+
+    let plan = FaultPlan::new(0xFA11).crash_recover(ids[0], crash_at, down_for);
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 41, batch_size: 1_000 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+
+    // Ride through crash, outage, and recovery, re-solving as we go —
+    // every detector-driven re-solve must converge.
+    while driver.clock() < crash_at + down_for + 60.0 {
+        driver.run_jobs(&rt, 2_000).unwrap();
+        rt.resolve_now().unwrap();
+        let stats = rt.last_convergence().expect("best-reply mode always records stats");
+        assert!(stats.converged, "re-solve under churn did not converge: {stats:?}");
+        assert!(stats.rounds <= ROUND_BOUND);
+    }
+    assert_eq!(rt.node_health(ids[0]), Some(Health::Up), "victim never healed");
+    let stats = driver.stats();
+    assert!(stats.is_conserved(), "job conservation violated under best-reply churn");
+    assert!(stats.jobs > 0 && stats.failed < stats.submitted / 10);
+}
+
+#[test]
+fn live_solver_switch_is_observable() {
+    pin_env();
+    let phi = 1.2;
+    let rt = Runtime::builder().seed(7).nominal_arrival_rate(phi).telemetry(true).build();
+    for _ in 0..3 {
+        rt.register_node(1.0).unwrap();
+    }
+    rt.resolve_now().unwrap();
+    assert_eq!(rt.solver_mode(), SolverMode::Coop);
+    assert!(rt.last_convergence().is_none(), "coop records no iteration stats");
+
+    let prev = rt.set_solver_mode(SolverMode::best_reply());
+    assert_eq!(prev, SolverMode::Coop);
+    let outcome = rt.resolve_now().unwrap();
+    let stats = rt.last_convergence().unwrap();
+    assert!(stats.converged);
+    assert_eq!(stats.epoch, outcome.epoch);
+
+    // The converged iterate sits at the equilibrium of the *live*
+    // cluster the solver saw.
+    let cluster = gtlb::balancing::model::Cluster::new(outcome.rates.clone()).unwrap();
+    let resid = dynamics::equilibrium_residual(&cluster, outcome.allocation.loads());
+    assert!(resid <= EPSILON);
+
+    let events = rt.telemetry().recent_events(32);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, RuntimeEvent::SolverSwitched { mode } if mode == SolverMode::best_reply())));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, RuntimeEvent::SolverConverged { converged: true, .. })));
+    let snap = rt.telemetry_snapshot().unwrap();
+    assert!(snap.counter(gtlb::runtime::telemetry::names::SOLVER_RESOLVES) >= Some(2));
+}
