@@ -170,6 +170,8 @@ fn nodes(state: &AppState) -> Response {
                 if let Some(status) = statuses.iter().find(|s| s.id == id) {
                     b.str("health", &format!("{:?}", status.health).to_ascii_lowercase());
                     b.num("phi", status.phi);
+                    b.num("suspect_phi", status.effective_suspect_phi);
+                    b.num("down_phi", status.effective_down_phi);
                     match status.estimated_rate {
                         Some(r) => b.num("estimated_rate", r),
                         None => b.raw("estimated_rate", "null"),

@@ -73,6 +73,12 @@ pub struct NodeStatus {
     pub health: Health,
     /// The detector's suspicion level φ at the hooks' current time.
     pub phi: f64,
+    /// The Suspect threshold in force for this node (self-tuned when
+    /// the detector runs in self-tuning mode, configured otherwise) —
+    /// with `phi`, how close the node is to demotion.
+    pub effective_suspect_phi: f64,
+    /// The Down threshold in force for this node.
+    pub effective_down_phi: f64,
 }
 
 /// The control-plane port of a [`Runtime`]: a shareable handle bundling
@@ -210,12 +216,18 @@ impl ControlPlaneHooks {
                 .collect()
         };
         rows.into_iter()
-            .map(|(id, nominal_rate, health)| NodeStatus {
-                id,
-                nominal_rate,
-                estimated_rate: self.runtime.estimated_service_rate(id),
-                health,
-                phi: self.runtime.suspicion(id, now),
+            .map(|(id, nominal_rate, health)| {
+                let (effective_suspect_phi, effective_down_phi) =
+                    self.runtime.effective_thresholds(id);
+                NodeStatus {
+                    id,
+                    nominal_rate,
+                    estimated_rate: self.runtime.estimated_service_rate(id),
+                    health,
+                    phi: self.runtime.suspicion(id, now),
+                    effective_suspect_phi,
+                    effective_down_phi,
+                }
             })
             .collect()
     }
@@ -327,6 +339,11 @@ mod tests {
         assert_eq!(rows[0].nominal_rate, 2.0);
         assert_eq!(rows[0].health, Health::Up);
         assert!(rows[0].estimated_rate.is_none(), "cold estimator");
+        assert_eq!(
+            (rows[0].effective_suspect_phi, rows[0].effective_down_phi),
+            (2.0, 6.0),
+            "fixed-config thresholds surface as configured"
+        );
     }
 
     #[test]

@@ -21,6 +21,24 @@
 //! does not oscillate), and Down→Up additionally needs
 //! `probation_successes` consecutive successes (the probation window).
 //!
+//! ## Self-tuning thresholds
+//!
+//! Fixed `suspect_phi`/`down_phi` assume a clean, steady heartbeat
+//! cadence; under gray failures and partial partitions the observed
+//! cadence is jittery and a hand-set threshold either flaps or sleeps.
+//! [`DetectorConfig::self_tuning`] opts a detector into true φ-accrual:
+//! each track keeps a sliding window of the last `window` heartbeat
+//! interarrival gaps and scales both thresholds by `1 + CV`, where `CV =
+//! σ/μ` is the window's coefficient of variation. A steady cadence (`CV
+//! → 0`) recovers the configured baselines exactly; a jittery cadence
+//! raises the bar in proportion to its own noise, so the thresholds are
+//! monotone in the observed variance and never invert (`down > suspect`
+//! is preserved by the common scale). The silence term uses the windowed
+//! mean instead of the EWMA. Hysteresis and probation semantics are
+//! untouched — recovery compares against the *effective* suspect
+//! threshold. With `self_tuning_window == 0` (the default) every code
+//! path is bit-identical to the fixed-threshold detector.
+//!
 //! The detector is pure bookkeeping — it owns no clock and no RNG, and
 //! never touches the registry itself. It *returns* the transition it
 //! wants ([`HealthTransition`]); the runtime applies it (and its routing
@@ -28,7 +46,7 @@
 
 use crate::registry::{Health, NodeId};
 use gtlb_desim::stats::Ewma;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Tunables of the accrual detector. Defaults are deliberately snappy
 /// for simulation timescales; production deployments would scale them
@@ -55,6 +73,12 @@ pub struct DetectorConfig {
     /// Consecutive successes a Down node must string together before it
     /// is promoted back to Up (the probation window).
     pub probation_successes: u32,
+    /// Size of the per-node interarrival history window the self-tuning
+    /// mode derives effective thresholds from. `0` (the default)
+    /// disables self-tuning: the detector is bit-identical to the
+    /// fixed-threshold detector. Nonzero values must be ≥ 2 (variance
+    /// needs two samples); see [`DetectorConfig::self_tuning`].
+    pub self_tuning_window: usize,
 }
 
 impl Default for DetectorConfig {
@@ -68,11 +92,26 @@ impl Default for DetectorConfig {
             min_samples: 3,
             interval_alpha: 0.2,
             probation_successes: 3,
+            self_tuning_window: 0,
         }
     }
 }
 
 impl DetectorConfig {
+    /// The self-tuning preset: defaults everywhere, plus a sliding
+    /// window of the last `window` interarrival gaps per node from which
+    /// the *effective* `suspect_phi`/`down_phi` are derived (`threshold
+    /// × (1 + σ/μ)` over the window). No hand-set thresholds needed —
+    /// the configured values act as the steady-cadence baseline.
+    ///
+    /// # Panics
+    /// If `window < 2`.
+    #[must_use]
+    pub fn self_tuning(window: usize) -> Self {
+        assert!(window >= 2, "detector: self-tuning window must be at least 2");
+        Self { self_tuning_window: window, ..Self::default() }
+    }
+
     fn validate(&self) {
         assert!(
             self.suspect_phi.is_finite() && self.suspect_phi > 0.0,
@@ -95,6 +134,10 @@ impl DetectorConfig {
             "detector: success_decay must lie in [0, 1)"
         );
         assert!(self.probation_successes >= 1, "detector: probation window must be at least 1");
+        assert!(
+            self.self_tuning_window == 0 || self.self_tuning_window >= 2,
+            "detector: self-tuning window must be at least 2 (or 0 to disable)"
+        );
     }
 }
 
@@ -121,10 +164,43 @@ impl std::fmt::Display for HealthTransition {
 #[derive(Debug)]
 struct Track {
     intervals: Ewma,
+    /// Sliding window of the last `self_tuning_window` interarrival
+    /// gaps; empty (and never pushed) in fixed-threshold mode.
+    gaps: VecDeque<f64>,
     last_seen: Option<f64>,
     boost: f64,
     consecutive_successes: u32,
     view: Health,
+}
+
+/// `1 + σ/μ` over the track's gap window — the common factor both
+/// effective thresholds scale by. `1.0` in fixed mode or before two
+/// gaps have landed, so fixed-mode arithmetic is untouched.
+fn tuning_scale(cfg: &DetectorConfig, track: &Track) -> f64 {
+    if cfg.self_tuning_window == 0 || track.gaps.len() < 2 {
+        return 1.0;
+    }
+    let n = track.gaps.len() as f64;
+    let mean = track.gaps.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    let var = track.gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / (n - 1.0);
+    1.0 + var.sqrt() / mean
+}
+
+/// The cadence estimate backing the silence term: the windowed mean in
+/// self-tuning mode (gated on `min(min_samples, window)` gaps), the
+/// interval EWMA in fixed mode (gated on `min_samples`, exactly as
+/// before).
+fn mean_interval(cfg: &DetectorConfig, track: &Track) -> Option<f64> {
+    if cfg.self_tuning_window > 0 {
+        let need = cfg.min_samples.min(cfg.self_tuning_window as u64) as usize;
+        let n = track.gaps.len();
+        (n >= need && n > 0).then(|| track.gaps.iter().sum::<f64>() / n as f64)
+    } else {
+        track.intervals.value().filter(|_| track.intervals.count() >= cfg.min_samples)
+    }
 }
 
 /// The accrual failure detector: per-node suspicion tracks feeding
@@ -157,6 +233,7 @@ impl AccrualDetector {
         let alpha = self.cfg.interval_alpha;
         self.tracks.entry(node.raw()).or_insert_with(|| Track {
             intervals: Ewma::new(alpha),
+            gaps: VecDeque::new(),
             last_seen: None,
             boost: 0.0,
             consecutive_successes: 0,
@@ -169,15 +246,25 @@ impl AccrualDetector {
     #[must_use]
     pub fn phi(&self, node: NodeId, now: f64) -> f64 {
         let Some(track) = self.tracks.get(&node.raw()) else { return 0.0 };
-        let silence = match (track.last_seen, track.intervals.value()) {
-            (Some(last), Some(mean))
-                if track.intervals.count() >= self.cfg.min_samples && mean > 0.0 =>
-            {
+        let silence = match (track.last_seen, mean_interval(&self.cfg, track)) {
+            (Some(last), Some(mean)) if mean > 0.0 => {
                 ((now - last).max(0.0)) / (mean * std::f64::consts::LN_10)
             }
             _ => 0.0,
         };
         track.boost + silence
+    }
+
+    /// The thresholds in force for `node` right now: the configured
+    /// `(suspect_phi, down_phi)` in fixed mode (and for unknown nodes),
+    /// both scaled by `1 + σ/μ` of the node's observed interarrival
+    /// window in self-tuning mode. Monotone in the observed variance;
+    /// `down > suspect` always.
+    #[must_use]
+    pub fn effective_thresholds(&self, node: NodeId) -> (f64, f64) {
+        let scale =
+            self.tracks.get(&node.raw()).map_or(1.0, |track| tuning_scale(&self.cfg, track));
+        (self.cfg.suspect_phi * scale, self.cfg.down_phi * scale)
     }
 
     /// The detector's current view of `node`'s health (its own state
@@ -213,24 +300,36 @@ impl AccrualDetector {
             let gap = (t - last).max(0.0);
             if gap > 0.0 {
                 track.intervals.observe(gap);
+                if cfg.self_tuning_window > 0 {
+                    track.gaps.push_back(gap);
+                    if track.gaps.len() > cfg.self_tuning_window {
+                        track.gaps.pop_front();
+                    }
+                }
             }
         }
         track.last_seen = Some(t);
         track.boost *= cfg.success_decay;
         track.consecutive_successes += 1;
         let from = track.view;
+        let boost = track.boost;
+        let successes = track.consecutive_successes;
+        // Effective suspect threshold after this observation landed (the
+        // identity in fixed mode).
+        let (eff_suspect, _) = self.effective_thresholds(node);
+        let track = self.tracks.get_mut(&node.raw()).expect("track just created");
         match from {
-            Health::Down if track.consecutive_successes >= cfg.probation_successes => {
+            Health::Down if successes >= cfg.probation_successes => {
                 track.view = Health::Up;
             }
             // Re-read φ with the refreshed boost/last_seen; the silence
             // term is zero at the observation instant.
-            Health::Suspect if track.boost < cfg.recovery_factor * cfg.suspect_phi => {
+            Health::Suspect if boost < cfg.recovery_factor * eff_suspect => {
                 track.view = Health::Up;
             }
             _ => {}
         }
-        let to = self.tracks.get(&node.raw()).map_or(Health::Up, |t2| t2.view);
+        let to = track.view;
         (from != to).then_some(HealthTransition { node, from, to, at: t })
     }
 
@@ -243,10 +342,11 @@ impl AccrualDetector {
         track.consecutive_successes = 0;
         let from = track.view;
         let phi = self.phi(node, t);
+        let (eff_suspect, eff_down) = self.effective_thresholds(node);
         let track = self.tracks.get_mut(&node.raw()).expect("track just created");
         match from {
-            Health::Up | Health::Suspect if phi >= cfg.down_phi => track.view = Health::Down,
-            Health::Up if phi >= cfg.suspect_phi => track.view = Health::Suspect,
+            Health::Up | Health::Suspect if phi >= eff_down => track.view = Health::Down,
+            Health::Up if phi >= eff_suspect => track.view = Health::Suspect,
             _ => {}
         }
         let to = track.view;
@@ -340,6 +440,49 @@ mod tests {
         assert_eq!(det.phi(node(7), 100.0), 0.0);
         assert_eq!(det.view(node(7)), Health::Up);
         det.forget(node(7)); // no-op
+    }
+
+    #[test]
+    fn self_tuning_on_a_steady_cadence_matches_the_fixed_thresholds() {
+        let mut det = AccrualDetector::new(DetectorConfig::self_tuning(8));
+        let n = node(0);
+        warm(&mut det, n, 10.0); // perfectly steady 1s cadence: CV = 0
+        let (s, d) = det.effective_thresholds(n);
+        assert!((s - 2.0).abs() < 1e-12 && (d - 6.0).abs() < 1e-12, "CV 0 recovers baselines");
+        // Same demotion walk as the fixed detector.
+        let t1 = det.observe_failure(n, 10.0).expect("boost 2 crosses effective suspect 2");
+        assert_eq!((t1.from, t1.to), (Health::Up, Health::Suspect));
+    }
+
+    #[test]
+    fn self_tuning_raises_thresholds_under_jitter() {
+        let mut det = AccrualDetector::new(DetectorConfig::self_tuning(8));
+        let n = node(0);
+        // Jittery cadence: gaps alternate 0.2s / 1.8s (mean 1, high CV).
+        let mut t = 0.0;
+        for k in 0..12 {
+            t += if k % 2 == 0 { 0.2 } else { 1.8 };
+            det.observe_success(n, t);
+        }
+        let (s, d) = det.effective_thresholds(n);
+        assert!(s > 2.0 && d > 6.0, "jitter must raise both thresholds, got ({s}, {d})");
+        assert!(d > s, "ordering preserved");
+        // One failure (boost 2) no longer demotes: the bar moved with
+        // the observed noise.
+        assert!(det.observe_failure(n, t).is_none(), "eff suspect {s} > boost 2");
+        assert_eq!(det.view(n), Health::Up);
+    }
+
+    #[test]
+    fn effective_thresholds_default_to_the_config() {
+        let det = AccrualDetector::new(DetectorConfig::default());
+        assert_eq!(det.effective_thresholds(node(9)), (2.0, 6.0), "unknown node");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-tuning window")]
+    fn config_rejects_tiny_tuning_window() {
+        let _ = DetectorConfig::self_tuning(1);
     }
 
     #[test]

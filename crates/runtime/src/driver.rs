@@ -80,6 +80,11 @@ pub struct TraceStats {
     /// Redispatch attempts made (count of backoff waits, not jobs; one
     /// job can contribute up to `max_attempts − 1`).
     pub retried: u64,
+    /// Dispatch attempts that dropped against a crashed, flaky,
+    /// partitioned, or gray node (attempt count, not jobs). The
+    /// mis-routing measure: each one is a job the routing table sent at
+    /// a node dispatch could not reach. Zero without fault injection.
+    pub dropped: u64,
     /// Mean observed response time (arrival → completion, retry delays
     /// included).
     pub mean_response: f64,
@@ -174,6 +179,7 @@ pub struct TraceDriver {
     deferred: u64,
     failed: u64,
     retried: u64,
+    dropped: u64,
     attempts: Vec<u64>,
     faults: Option<FaultInjector>,
     retry: Option<(RetryPolicy, Xoshiro256PlusPlus)>,
@@ -205,6 +211,7 @@ impl TraceDriver {
             deferred: 0,
             failed: 0,
             retried: 0,
+            dropped: 0,
             attempts: Vec::new(),
             faults: None,
             retry: None,
@@ -289,6 +296,13 @@ impl TraceDriver {
             let arrived = self.clock;
             // Publish the virtual clock so telemetry events carry it.
             runtime.telemetry().set_clock(arrived);
+            // Surface due partition/domain milestones before the
+            // detector observations they explain.
+            if let Some(f) = self.faults.as_mut() {
+                for marker in f.drain_markers(arrived) {
+                    runtime.telemetry().record_fault_marker(&marker);
+                }
+            }
             self.run_heartbeats(runtime, arrived)?;
             runtime.record_arrival(arrived);
 
@@ -308,7 +322,7 @@ impl TraceDriver {
             let t = hb.next;
             hb.next += hb.interval;
             for node in runtime.node_ids() {
-                let dropped = self.faults.as_mut().is_some_and(|f| f.attempt_drops(node, t));
+                let dropped = self.faults.as_mut().is_some_and(|f| f.heartbeat_drops(node, t));
                 if dropped {
                     runtime.observe_failure(node, t)?;
                 } else {
@@ -390,9 +404,10 @@ impl TraceDriver {
             let node = decision.node;
             let mu = runtime.node_rate(node).ok_or(RuntimeError::UnknownNode(node))?;
 
-            if self.faults.as_mut().is_some_and(|f| f.attempt_drops(node, t_attempt)) {
+            if self.faults.as_mut().is_some_and(|f| f.dispatch_drops(node, t_attempt)) {
                 // The attempt times out against the sick node; the
                 // detector hears about it at the deadline.
+                self.dropped += 1;
                 runtime.telemetry().record_fault_drop(0, node, t_attempt);
                 runtime.observe_failure(node, t_attempt + timeout)?;
                 t_attempt += timeout;
@@ -483,6 +498,7 @@ impl TraceDriver {
         self.deferred = 0;
         self.failed = 0;
         self.retried = 0;
+        self.dropped = 0;
         self.attempts.clear();
     }
 
@@ -500,6 +516,7 @@ impl TraceDriver {
             deferred: self.deferred,
             failed: self.failed,
             retried: self.retried,
+            dropped: self.dropped,
             mean_response: self.responses.mean(),
             ci: (self.batches.batches() >= 2).then(|| self.batches.confidence_interval()),
             per_node,

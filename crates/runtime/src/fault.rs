@@ -3,27 +3,61 @@
 //!
 //! A [`FaultPlan`] is a seeded script of per-node fault events on the
 //! driver's virtual clock — crash, crash-and-recover, slow-node (degraded
-//! `μ`), and flaky (intermittent drops). A [`FaultInjector`] evaluates
-//! the plan: "is this node crashed at time `t`?", "by what factor is its
-//! service rate degraded?", "does this particular attempt drop?".
+//! `μ`), flaky (intermittent drops), asymmetric link partitions, and gray
+//! failures — plus rack/zone *failure domains* whose events strike a
+//! whole node group atomically. A [`FaultInjector`] evaluates the plan:
+//! "is this node crashed at time `t`?", "by what factor is its service
+//! rate degraded?", "does this particular dispatch (or heartbeat) drop?".
+//!
+//! ## The adversarial network model
+//!
+//! The original fault kinds assume a perfect star network: a node is
+//! either reachable by everyone or by no one. Three kinds break that
+//! symmetry:
+//!
+//! * **Asymmetric partitions** ([`FaultKind::Partition`]) cut exactly
+//!   one direction of the link. With
+//!   [`PartitionDirection::DropDispatch`] the node keeps heartbeating —
+//!   the detector sees it Up — while every job dispatched to it drops;
+//!   with [`PartitionDirection::DropHeartbeats`] dispatch works but the
+//!   detector watches the node go silent. Detector and retry path are
+//!   forced to disagree.
+//! * **Failure domains**: [`FaultPlan::assign_domain`] labels nodes with
+//!   a rack/zone, and `domain_*` events apply one fault to every member
+//!   atomically — the correlated-failure regime where independence
+//!   assumptions in the detector break.
+//! * **Gray failures** ([`FaultKind::Gray`]) inflate service times and
+//!   drop a fraction of attempts while staying *below* the crash
+//!   threshold — the degraded-but-Up state a fixed-threshold detector
+//!   tuned for clean crashes misses.
 //!
 //! ## Determinism contract
 //!
-//! The crash/recover/slow schedule is pure data — a function of the plan
-//! alone, identical for every shard count and thread count. The only
-//! randomness is the flaky drop draw, taken from the **fault stream
-//! family** ([`FAULT_STREAM`]`+ node id`), disjoint from dispatch
-//! (`0x0400`), admission (`0x0700`), the driver's arrival/service streams
-//! (`0x0500`/`0x0600`), and retry backoff (`0x0900`). Consequences:
+//! The crash/recover/slow/partition/domain schedule is pure data — a
+//! function of the plan alone, identical for every shard count and
+//! thread count. Randomness is confined to two disjoint stream
+//! families of the plan seed:
 //!
-//! * enabling a fault plan never perturbs the routing or admission
-//!   decision sequence of the jobs that don't hit a fault — toggling
-//!   faults off reproduces the fault-free trace bit for bit;
-//! * per-node drop draws are consumed in attempt order, which the
-//!   single-threaded trace driver fixes, so a chaos trace is a pure
-//!   function of `(seed, plan, shard count)`.
+//! * flaky drop draws on [`FAULT_STREAM`]` + node id` (`0x0800`), the
+//!   legacy family — its draw sequence is byte-identical to the
+//!   pre-adversarial injector for any plan that schedules no gray
+//!   faults;
+//! * gray loss draws on [`ADVERSARIAL_STREAM`]` + node id` (`0x0B00`),
+//!   a new family no other subsystem touches, so scheduling gray faults
+//!   never perturbs dispatch (`0x0400`), admission (`0x0700`), the
+//!   driver's arrival/service streams (`0x0500`/`0x0600`), retry
+//!   backoff (`0x0900`), dynamics tie-breaks (`0x0A00`), or the legacy
+//!   flaky draws.
+//!
+//! Consequences: enabling a fault plan never perturbs the routing or
+//! admission decision sequence of the jobs that don't hit a fault —
+//! toggling faults off reproduces the fault-free trace bit for bit; and
+//! per-node drop draws are consumed in attempt order, which the
+//! single-threaded trace driver fixes, so a chaos trace is a pure
+//! function of `(seed, plan, shard count)`.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use gtlb_desim::rng::Xoshiro256PlusPlus;
 
@@ -34,6 +68,43 @@ use crate::registry::NodeId;
 /// every routing/admission/driver/retry family, so chaos is
 /// routing-invariant.
 pub const FAULT_STREAM: u64 = 0x0800;
+
+/// Base RNG stream id of the adversarial family: node `i`'s gray-loss
+/// draws come from stream `ADVERSARIAL_STREAM + i` of the plan seed.
+/// Disjoint from the legacy [`FAULT_STREAM`] family, so scheduling gray
+/// faults never shifts a flaky draw sequence (and vice versa), and
+/// legacy plans reproduce their traces bit for bit.
+pub const ADVERSARIAL_STREAM: u64 = 0x0B00;
+
+/// Which direction of a node's link an asymmetric partition cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionDirection {
+    /// Dispatch to the node drops; heartbeats still get through. The
+    /// detector keeps seeing the node Up while every job sent to it
+    /// fails — the retry path, not the detector, must notice.
+    DropDispatch,
+    /// Heartbeats from the node drop; dispatch still works. The
+    /// detector watches a perfectly healthy node go silent — a false
+    /// demotion the probation path must recover from after heal.
+    DropHeartbeats,
+}
+
+impl PartitionDirection {
+    /// Stable label for logs and fingerprints.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::DropDispatch => "drop-dispatch",
+            Self::DropHeartbeats => "drop-heartbeats",
+        }
+    }
+}
+
+impl fmt::Display for PartitionDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One kind of injected fault. Durations are in the driver's virtual
 /// seconds.
@@ -66,6 +137,29 @@ pub enum FaultKind {
         /// Window length.
         lasts: f64,
     },
+    /// Asymmetric link partition: for `lasts` seconds exactly one
+    /// direction of the node's link is cut (see [`PartitionDirection`]).
+    /// Pure data — partitions consume no randomness.
+    Partition {
+        /// Which direction drops.
+        direction: PartitionDirection,
+        /// Window length.
+        lasts: f64,
+    },
+    /// Gray failure: for `lasts` seconds the node's service times are
+    /// inflated by `inflation` (≥ 1) and each attempt independently
+    /// drops with probability `loss_probability` (< 1, below the crash
+    /// threshold). Loss draws come from the node's
+    /// [`ADVERSARIAL_STREAM`] stream.
+    Gray {
+        /// Service-time multiplier (≥ 1); the service *rate* is scaled
+        /// by its reciprocal.
+        inflation: f64,
+        /// Per-attempt loss probability in `[0, 1)`.
+        loss_probability: f64,
+        /// Window length.
+        lasts: f64,
+    },
 }
 
 /// One scheduled fault: `kind` strikes `node` at virtual time `at`.
@@ -79,6 +173,53 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// One scheduled domain fault: `kind` strikes every node assigned to
+/// `domain` at virtual time `at`, atomically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainEvent {
+    /// The rack/zone label (see [`FaultPlan::assign_domain`]).
+    pub domain: String,
+    /// Virtual time the fault begins.
+    pub at: f64,
+    /// What happens to every member.
+    pub kind: FaultKind,
+}
+
+/// A fault-schedule milestone the injector surfaces for telemetry: the
+/// moments partitions open and heal, and the moments domain faults
+/// strike. Pure data, derived from the plan at injector construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMarker {
+    /// Virtual time of the milestone.
+    pub at: f64,
+    /// What happened.
+    pub kind: FaultMarkerKind,
+}
+
+/// What a [`FaultMarker`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultMarkerKind {
+    /// An asymmetric partition opened on `node`.
+    PartitionOpened {
+        /// The partitioned node.
+        node: NodeId,
+        /// Which direction dropped.
+        direction: PartitionDirection,
+    },
+    /// The partition on `node` healed.
+    PartitionHealed {
+        /// The healed node.
+        node: NodeId,
+        /// Which direction had dropped.
+        direction: PartitionDirection,
+    },
+    /// A domain-scoped fault struck every member of `domain`.
+    DomainFault {
+        /// The rack/zone label.
+        domain: String,
+    },
+}
+
 /// A seeded, scripted schedule of fault events. Build with the chaining
 /// constructors; hand to [`FaultInjector::new`] (or
 /// `TraceDriver::with_faults`) to enact.
@@ -86,18 +227,122 @@ pub struct FaultEvent {
 pub struct FaultPlan {
     seed: u64,
     events: Vec<FaultEvent>,
+    domains: Vec<(NodeId, String)>,
+    domain_events: Vec<DomainEvent>,
 }
 
 fn assert_time(at: f64, what: &str) {
     assert!(at.is_finite() && at >= 0.0, "fault plan: {what} must be finite and nonnegative");
 }
 
+fn assert_window(lasts: f64, what: &str) {
+    assert!(lasts.is_finite() && lasts > 0.0, "fault plan: {what} window must be positive");
+}
+
+fn checked_slow(factor: f64, lasts: f64) -> FaultKind {
+    assert_window(lasts, "slow");
+    assert!(
+        factor.is_finite() && factor > 0.0 && factor <= 1.0,
+        "fault plan: slow factor must lie in (0, 1], got {factor}"
+    );
+    FaultKind::Slow { factor, lasts }
+}
+
+fn checked_flaky(drop_probability: f64, lasts: f64) -> FaultKind {
+    assert_window(lasts, "flaky");
+    assert!(
+        drop_probability.is_finite() && drop_probability > 0.0 && drop_probability <= 1.0,
+        "fault plan: drop probability must lie in (0, 1], got {drop_probability}"
+    );
+    FaultKind::Flaky { drop_probability, lasts }
+}
+
+fn checked_partition(direction: PartitionDirection, lasts: f64) -> FaultKind {
+    assert_window(lasts, "partition");
+    FaultKind::Partition { direction, lasts }
+}
+
+fn checked_gray(inflation: f64, loss_probability: f64, lasts: f64) -> FaultKind {
+    assert_window(lasts, "gray");
+    assert!(
+        inflation.is_finite() && inflation >= 1.0,
+        "fault plan: gray inflation must be ≥ 1, got {inflation}"
+    );
+    assert!(
+        loss_probability.is_finite() && (0.0..1.0).contains(&loss_probability),
+        "fault plan: gray loss probability must lie in [0, 1), got {loss_probability}"
+    );
+    assert!(
+        inflation > 1.0 || loss_probability > 0.0,
+        "fault plan: a gray fault must inflate service times or lose attempts"
+    );
+    FaultKind::Gray { inflation, loss_probability, lasts }
+}
+
+fn checked_crash_recover(down_for: f64) -> FaultKind {
+    assert!(down_for.is_finite() && down_for > 0.0, "fault plan: down_for must be positive");
+    FaultKind::CrashRecover { down_for }
+}
+
+fn fnv_fold(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_fold_bytes(h: &mut u64, bytes: &[u8]) {
+    fnv_fold(h, bytes.len() as u64);
+    for &byte in bytes {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fold_kind(h: &mut u64, kind: &FaultKind) {
+    match *kind {
+        FaultKind::Crash => fnv_fold(h, 1),
+        FaultKind::CrashRecover { down_for } => {
+            fnv_fold(h, 2);
+            fnv_fold(h, down_for.to_bits());
+        }
+        FaultKind::Slow { factor, lasts } => {
+            fnv_fold(h, 3);
+            fnv_fold(h, factor.to_bits());
+            fnv_fold(h, lasts.to_bits());
+        }
+        FaultKind::Flaky { drop_probability, lasts } => {
+            fnv_fold(h, 4);
+            fnv_fold(h, drop_probability.to_bits());
+            fnv_fold(h, lasts.to_bits());
+        }
+        FaultKind::Partition { direction, lasts } => {
+            fnv_fold(h, 5);
+            fnv_fold(
+                h,
+                match direction {
+                    PartitionDirection::DropDispatch => 0,
+                    PartitionDirection::DropHeartbeats => 1,
+                },
+            );
+            fnv_fold(h, lasts.to_bits());
+        }
+        FaultKind::Gray { inflation, loss_probability, lasts } => {
+            fnv_fold(h, 6);
+            fnv_fold(h, inflation.to_bits());
+            fnv_fold(h, loss_probability.to_bits());
+            fnv_fold(h, lasts.to_bits());
+        }
+    }
+}
+
 impl FaultPlan {
-    /// An empty plan whose flaky draws (if any are scheduled later) come
-    /// from the [`FAULT_STREAM`] family of `seed`.
+    /// An empty plan whose flaky and gray draws (if any are scheduled
+    /// later) come from the [`FAULT_STREAM`] / [`ADVERSARIAL_STREAM`]
+    /// families of `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { seed, events: Vec::new() }
+        Self { seed, events: Vec::new(), domains: Vec::new(), domain_events: Vec::new() }
     }
 
     /// Schedules a permanent crash of `node` at time `at`.
@@ -119,8 +364,8 @@ impl FaultPlan {
     #[must_use]
     pub fn crash_recover(mut self, node: NodeId, at: f64, down_for: f64) -> Self {
         assert_time(at, "crash time");
-        assert!(down_for.is_finite() && down_for > 0.0, "fault plan: down_for must be positive");
-        self.events.push(FaultEvent { node, at, kind: FaultKind::CrashRecover { down_for } });
+        let kind = checked_crash_recover(down_for);
+        self.events.push(FaultEvent { node, at, kind });
         self
     }
 
@@ -132,12 +377,8 @@ impl FaultPlan {
     #[must_use]
     pub fn slow(mut self, node: NodeId, at: f64, lasts: f64, factor: f64) -> Self {
         assert_time(at, "slow-window start");
-        assert!(lasts.is_finite() && lasts > 0.0, "fault plan: slow window must be positive");
-        assert!(
-            factor.is_finite() && factor > 0.0 && factor <= 1.0,
-            "fault plan: slow factor must lie in (0, 1], got {factor}"
-        );
-        self.events.push(FaultEvent { node, at, kind: FaultKind::Slow { factor, lasts } });
+        let kind = checked_slow(factor, lasts);
+        self.events.push(FaultEvent { node, at, kind });
         self
     }
 
@@ -149,90 +390,292 @@ impl FaultPlan {
     #[must_use]
     pub fn flaky(mut self, node: NodeId, at: f64, lasts: f64, drop_probability: f64) -> Self {
         assert_time(at, "flaky-window start");
-        assert!(lasts.is_finite() && lasts > 0.0, "fault plan: flaky window must be positive");
-        assert!(
-            drop_probability.is_finite() && drop_probability > 0.0 && drop_probability <= 1.0,
-            "fault plan: drop probability must lie in (0, 1], got {drop_probability}"
-        );
-        self.events.push(FaultEvent {
-            node,
+        let kind = checked_flaky(drop_probability, lasts);
+        self.events.push(FaultEvent { node, at, kind });
+        self
+    }
+
+    /// Schedules an asymmetric partition of `node` on `[at, at + lasts)`:
+    /// exactly one link direction drops (see [`PartitionDirection`]).
+    ///
+    /// # Panics
+    /// If a time is invalid.
+    #[must_use]
+    pub fn partition(
+        mut self,
+        node: NodeId,
+        at: f64,
+        lasts: f64,
+        direction: PartitionDirection,
+    ) -> Self {
+        assert_time(at, "partition start");
+        let kind = checked_partition(direction, lasts);
+        self.events.push(FaultEvent { node, at, kind });
+        self
+    }
+
+    /// Schedules a gray failure of `node` on `[at, at + lasts)`: service
+    /// times inflate by `inflation` (≥ 1) and attempts drop with
+    /// probability `loss_probability` (< 1).
+    ///
+    /// # Panics
+    /// If `inflation < 1`, `loss_probability` is outside `[0, 1)`, both
+    /// are no-ops, or a time is invalid.
+    #[must_use]
+    pub fn gray(
+        mut self,
+        node: NodeId,
+        at: f64,
+        lasts: f64,
+        inflation: f64,
+        loss_probability: f64,
+    ) -> Self {
+        assert_time(at, "gray-window start");
+        let kind = checked_gray(inflation, loss_probability, lasts);
+        self.events.push(FaultEvent { node, at, kind });
+        self
+    }
+
+    /// Assigns `node` to failure domain `label` (a rack/zone). A node
+    /// belongs to at most one domain; re-assigning replaces the label.
+    /// Domain membership is pure data and may be declared before or
+    /// after the domain's events — evaluation is lazy.
+    #[must_use]
+    pub fn assign_domain(mut self, node: NodeId, label: &str) -> Self {
+        if let Some(slot) = self.domains.iter_mut().find(|(n, _)| *n == node) {
+            slot.1 = label.to_string();
+        } else {
+            self.domains.push((node, label.to_string()));
+        }
+        self
+    }
+
+    /// Schedules a permanent crash of every member of `label` at `at`.
+    ///
+    /// # Panics
+    /// If `at` is invalid.
+    #[must_use]
+    pub fn domain_crash(mut self, label: &str, at: f64) -> Self {
+        assert_time(at, "domain crash time");
+        self.domain_events.push(DomainEvent {
+            domain: label.to_string(),
             at,
-            kind: FaultKind::Flaky { drop_probability, lasts },
+            kind: FaultKind::Crash,
         });
         self
     }
 
-    /// The plan seed (flaky draws use its [`FAULT_STREAM`] family).
+    /// Schedules a crash of every member of `label` at `at`, healing
+    /// `down_for` seconds later — the whole rack power-cycles together.
+    ///
+    /// # Panics
+    /// If `at` or `down_for` is invalid.
+    #[must_use]
+    pub fn domain_crash_recover(mut self, label: &str, at: f64, down_for: f64) -> Self {
+        assert_time(at, "domain crash time");
+        let kind = checked_crash_recover(down_for);
+        self.domain_events.push(DomainEvent { domain: label.to_string(), at, kind });
+        self
+    }
+
+    /// Schedules a slow window on every member of `label`.
+    ///
+    /// # Panics
+    /// If `factor` is outside `(0, 1]` or a time is invalid.
+    #[must_use]
+    pub fn domain_slow(mut self, label: &str, at: f64, lasts: f64, factor: f64) -> Self {
+        assert_time(at, "domain slow-window start");
+        let kind = checked_slow(factor, lasts);
+        self.domain_events.push(DomainEvent { domain: label.to_string(), at, kind });
+        self
+    }
+
+    /// Schedules an asymmetric partition of every member of `label` —
+    /// the top-of-rack switch loses one direction for the whole group.
+    ///
+    /// # Panics
+    /// If a time is invalid.
+    #[must_use]
+    pub fn domain_partition(
+        mut self,
+        label: &str,
+        at: f64,
+        lasts: f64,
+        direction: PartitionDirection,
+    ) -> Self {
+        assert_time(at, "domain partition start");
+        let kind = checked_partition(direction, lasts);
+        self.domain_events.push(DomainEvent { domain: label.to_string(), at, kind });
+        self
+    }
+
+    /// Schedules a gray failure of every member of `label`.
+    ///
+    /// # Panics
+    /// As [`FaultPlan::gray`].
+    #[must_use]
+    pub fn domain_gray(
+        mut self,
+        label: &str,
+        at: f64,
+        lasts: f64,
+        inflation: f64,
+        loss_probability: f64,
+    ) -> Self {
+        assert_time(at, "domain gray-window start");
+        let kind = checked_gray(inflation, loss_probability, lasts);
+        self.domain_events.push(DomainEvent { domain: label.to_string(), at, kind });
+        self
+    }
+
+    /// The plan seed (flaky draws use its [`FAULT_STREAM`] family, gray
+    /// loss draws its [`ADVERSARIAL_STREAM`] family).
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
-    /// The scheduled events, in insertion order.
+    /// The scheduled per-node events, in insertion order.
     #[must_use]
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// Whether the plan schedules nothing.
+    /// The scheduled domain events, in insertion order.
     #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    pub fn domain_events(&self) -> &[DomainEvent] {
+        &self.domain_events
     }
 
-    /// FNV-1a fingerprint of the schedule (seed + every event). Because
-    /// the crash/slow/flaky schedule is pure data, this fingerprint is
-    /// invariant across shard counts and thread counts — the chaos CI
+    /// The domain assignments, in insertion order.
+    #[must_use]
+    pub fn domains(&self) -> &[(NodeId, String)] {
+        &self.domains
+    }
+
+    /// The failure domain `node` belongs to, if any.
+    #[must_use]
+    pub fn domain_of(&self, node: NodeId) -> Option<&str> {
+        self.domains.iter().find(|(n, _)| *n == node).map(|(_, label)| label.as_str())
+    }
+
+    /// Whether the plan schedules nothing (domain assignments without
+    /// events are inert and don't count).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.domain_events.is_empty()
+    }
+
+    /// Every `(at, kind)` pair that applies to `node`: its own events
+    /// plus its domain's events, lazily joined.
+    fn events_on(&self, node: NodeId) -> impl Iterator<Item = (f64, FaultKind)> + '_ {
+        let domain = self.domain_of(node);
+        self.events.iter().filter(move |e| e.node == node).map(|e| (e.at, e.kind)).chain(
+            self.domain_events
+                .iter()
+                .filter(move |e| domain == Some(e.domain.as_str()))
+                .map(|e| (e.at, e.kind)),
+        )
+    }
+
+    /// FNV-1a fingerprint of the schedule (seed + every event, domain
+    /// assignment, and domain event, payloads included — two plans
+    /// differing only in a partition direction or a domain label hash
+    /// differently). Because the schedule is pure data, this fingerprint
+    /// is invariant across shard counts and thread counts — the chaos CI
     /// job diffs it alongside the decision-stream fingerprints.
     #[must_use]
     pub fn schedule_fingerprint(&self) -> u64 {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-        let mut fold = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        fold(self.seed);
+        fnv_fold(&mut h, self.seed);
         for e in &self.events {
-            fold(e.node.raw());
-            fold(e.at.to_bits());
-            match e.kind {
-                FaultKind::Crash => fold(1),
-                FaultKind::CrashRecover { down_for } => {
-                    fold(2);
-                    fold(down_for.to_bits());
-                }
-                FaultKind::Slow { factor, lasts } => {
-                    fold(3);
-                    fold(factor.to_bits());
-                    fold(lasts.to_bits());
-                }
-                FaultKind::Flaky { drop_probability, lasts } => {
-                    fold(4);
-                    fold(drop_probability.to_bits());
-                    fold(lasts.to_bits());
+            fnv_fold(&mut h, e.node.raw());
+            fnv_fold(&mut h, e.at.to_bits());
+            fold_kind(&mut h, &e.kind);
+        }
+        for (node, label) in &self.domains {
+            fnv_fold(&mut h, 7);
+            fnv_fold(&mut h, node.raw());
+            fnv_fold_bytes(&mut h, label.as_bytes());
+        }
+        for e in &self.domain_events {
+            fnv_fold(&mut h, 8);
+            fnv_fold_bytes(&mut h, e.domain.as_bytes());
+            fnv_fold(&mut h, e.at.to_bits());
+            fold_kind(&mut h, &e.kind);
+        }
+        h
+    }
+
+    /// The telemetry milestones the plan implies, sorted by time:
+    /// partition open/heal edges (per node, domain partitions expanded
+    /// per member) and domain-fault strikes.
+    fn markers(&self) -> Vec<FaultMarker> {
+        let mut out = Vec::new();
+        fn push_partition(
+            out: &mut Vec<FaultMarker>,
+            node: NodeId,
+            at: f64,
+            lasts: f64,
+            d: PartitionDirection,
+        ) {
+            out.push(FaultMarker {
+                at,
+                kind: FaultMarkerKind::PartitionOpened { node, direction: d },
+            });
+            out.push(FaultMarker {
+                at: at + lasts,
+                kind: FaultMarkerKind::PartitionHealed { node, direction: d },
+            });
+        }
+        for e in &self.events {
+            if let FaultKind::Partition { direction, lasts } = e.kind {
+                push_partition(&mut out, e.node, e.at, lasts, direction);
+            }
+        }
+        for e in &self.domain_events {
+            out.push(FaultMarker {
+                at: e.at,
+                kind: FaultMarkerKind::DomainFault { domain: e.domain.clone() },
+            });
+            if let FaultKind::Partition { direction, lasts } = e.kind {
+                for (node, label) in &self.domains {
+                    if *label == e.domain {
+                        push_partition(&mut out, *node, e.at, lasts, direction);
+                    }
                 }
             }
         }
-        h
+        out.sort_by(|a, b| a.at.total_cmp(&b.at));
+        out
     }
 }
 
 /// Evaluates a [`FaultPlan`] against the virtual clock. Stateless for
-/// crash/slow queries; flaky drop draws advance the per-node fault
-/// streams (hence `&mut` on [`FaultInjector::attempt_drops`]).
+/// crash/slow/partition queries; flaky and gray drop draws advance the
+/// per-node fault streams (hence `&mut` on
+/// [`FaultInjector::dispatch_drops`] / [`FaultInjector::heartbeat_drops`]).
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
     flaky_rng: HashMap<u64, Xoshiro256PlusPlus>,
+    gray_rng: HashMap<u64, Xoshiro256PlusPlus>,
+    markers: Vec<FaultMarker>,
+    marker_cursor: usize,
 }
 
 impl FaultInjector {
     /// An injector enacting `plan`.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan, flaky_rng: HashMap::new() }
+        let markers = plan.markers();
+        Self {
+            plan,
+            flaky_rng: HashMap::new(),
+            gray_rng: HashMap::new(),
+            markers,
+            marker_cursor: 0,
+        }
     }
 
     /// The plan being enacted.
@@ -242,51 +685,60 @@ impl FaultInjector {
     }
 
     /// Whether `node` is dead at time `t` (inside a crash, or a
-    /// crash-recover window that has not healed yet).
+    /// crash-recover window that has not healed yet), its own events and
+    /// its domain's counted alike.
     #[must_use]
     pub fn crashed(&self, node: NodeId, t: f64) -> bool {
-        self.plan.events.iter().any(|e| {
-            e.node == node
-                && match e.kind {
-                    FaultKind::Crash => t >= e.at,
-                    FaultKind::CrashRecover { down_for } => t >= e.at && t < e.at + down_for,
-                    _ => false,
-                }
+        self.plan.events_on(node).any(|(at, kind)| match kind {
+            FaultKind::Crash => t >= at,
+            FaultKind::CrashRecover { down_for } => t >= at && t < at + down_for,
+            _ => false,
+        })
+    }
+
+    /// Whether an asymmetric partition cutting `direction` is active on
+    /// `node` at `t`. Pure data — consumes no randomness.
+    #[must_use]
+    pub fn partitioned(&self, node: NodeId, t: f64, direction: PartitionDirection) -> bool {
+        self.plan.events_on(node).any(|(at, kind)| match kind {
+            FaultKind::Partition { direction: d, lasts } => {
+                d == direction && t >= at && t < at + lasts
+            }
+            _ => false,
         })
     }
 
     /// The service-rate multiplier active on `node` at `t`: the product
-    /// of all overlapping slow windows, `1.0` when none.
+    /// of all overlapping slow windows and gray inflations (each gray
+    /// window contributes `1 / inflation`), `1.0` when none.
     #[must_use]
     pub fn service_factor(&self, node: NodeId, t: f64) -> f64 {
         self.plan
-            .events
-            .iter()
-            .filter_map(|e| match e.kind {
-                FaultKind::Slow { factor, lasts }
-                    if e.node == node && t >= e.at && t < e.at + lasts =>
-                {
-                    Some(factor)
+            .events_on(node)
+            .filter_map(|(at, kind)| match kind {
+                FaultKind::Slow { factor, lasts } if t >= at && t < at + lasts => Some(factor),
+                FaultKind::Gray { inflation, lasts, .. } if t >= at && t < at + lasts => {
+                    Some(1.0 / inflation)
                 }
                 _ => None,
             })
             .product()
     }
 
-    /// The per-attempt drop probability active on `node` at `t` (the
-    /// maximum over overlapping flaky windows; `1.0` while crashed).
+    /// The per-attempt drop probability active on `node` at `t` from the
+    /// legacy kinds (the maximum over overlapping flaky windows; `1.0`
+    /// while crashed). Gray loss is reported separately by
+    /// [`FaultInjector::gray_loss_probability`] because it draws from a
+    /// different stream.
     #[must_use]
     pub fn drop_probability(&self, node: NodeId, t: f64) -> f64 {
         if self.crashed(node, t) {
             return 1.0;
         }
         self.plan
-            .events
-            .iter()
-            .filter_map(|e| match e.kind {
-                FaultKind::Flaky { drop_probability, lasts }
-                    if e.node == node && t >= e.at && t < e.at + lasts =>
-                {
+            .events_on(node)
+            .filter_map(|(at, kind)| match kind {
+                FaultKind::Flaky { drop_probability, lasts } if t >= at && t < at + lasts => {
                     Some(drop_probability)
                 }
                 _ => None,
@@ -294,15 +746,80 @@ impl FaultInjector {
             .fold(0.0, f64::max)
     }
 
-    /// Decides one attempt (job dispatch or heartbeat) against `node` at
-    /// time `t`: `true` means the attempt drops. Crashed nodes drop
-    /// everything without consuming randomness; flaky windows draw from
-    /// the node's [`FAULT_STREAM`] stream, so the draw sequence is
-    /// per-node and independent of every other stream family.
-    pub fn attempt_drops(&mut self, node: NodeId, t: f64) -> bool {
+    /// The per-attempt gray loss probability active on `node` at `t`
+    /// (the maximum over overlapping gray windows).
+    #[must_use]
+    pub fn gray_loss_probability(&self, node: NodeId, t: f64) -> f64 {
+        self.plan
+            .events_on(node)
+            .filter_map(|(at, kind)| match kind {
+                FaultKind::Gray { loss_probability, lasts, .. } if t >= at && t < at + lasts => {
+                    Some(loss_probability)
+                }
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Decides one dispatch attempt against `node` at time `t`: `true`
+    /// means the attempt drops. Deterministic draw-order contract, per
+    /// attempt: (1) crashed nodes drop everything without consuming
+    /// randomness; (2) an active dispatch-cutting partition drops
+    /// everything, also without randomness; (3) an active flaky window
+    /// draws from the node's [`FAULT_STREAM`] stream — byte-identical to
+    /// the legacy injector; (4) an active gray window draws from the
+    /// node's [`ADVERSARIAL_STREAM`] stream. A step that fires
+    /// short-circuits the later ones.
+    pub fn dispatch_drops(&mut self, node: NodeId, t: f64) -> bool {
         if self.crashed(node, t) {
             return true;
         }
+        if self.partitioned(node, t, PartitionDirection::DropDispatch) {
+            return true;
+        }
+        if self.flaky_draw(node, t) {
+            return true;
+        }
+        self.gray_draw(node, t)
+    }
+
+    /// Decides one heartbeat attempt against `node` at time `t`: same
+    /// contract as [`FaultInjector::dispatch_drops`] — sharing the flaky
+    /// and gray streams with dispatch, in attempt order — except step
+    /// (2) tests for a *heartbeat*-cutting partition.
+    pub fn heartbeat_drops(&mut self, node: NodeId, t: f64) -> bool {
+        if self.crashed(node, t) {
+            return true;
+        }
+        if self.partitioned(node, t, PartitionDirection::DropHeartbeats) {
+            return true;
+        }
+        if self.flaky_draw(node, t) {
+            return true;
+        }
+        self.gray_draw(node, t)
+    }
+
+    /// Legacy alias for [`FaultInjector::dispatch_drops`] — the
+    /// symmetric-network entry point from before partitions existed.
+    pub fn attempt_drops(&mut self, node: NodeId, t: f64) -> bool {
+        self.dispatch_drops(node, t)
+    }
+
+    /// Drains the fault markers scheduled at or before `upto`, in time
+    /// order, each at most once. O(1) when no adversarial faults are
+    /// scheduled.
+    pub fn drain_markers(&mut self, upto: f64) -> Vec<FaultMarker> {
+        let start = self.marker_cursor;
+        let mut end = start;
+        while end < self.markers.len() && self.markers[end].at <= upto {
+            end += 1;
+        }
+        self.marker_cursor = end;
+        self.markers[start..end].to_vec()
+    }
+
+    fn flaky_draw(&mut self, node: NodeId, t: f64) -> bool {
         let p = self.drop_probability(node, t);
         if p <= 0.0 {
             return false;
@@ -312,6 +829,19 @@ impl FaultInjector {
             .flaky_rng
             .entry(node.raw())
             .or_insert_with(|| Xoshiro256PlusPlus::stream(seed, FAULT_STREAM + node.raw()));
+        rng.next_open01() < p
+    }
+
+    fn gray_draw(&mut self, node: NodeId, t: f64) -> bool {
+        let p = self.gray_loss_probability(node, t);
+        if p <= 0.0 {
+            return false;
+        }
+        let seed = self.plan.seed;
+        let rng = self
+            .gray_rng
+            .entry(node.raw())
+            .or_insert_with(|| Xoshiro256PlusPlus::stream(seed, ADVERSARIAL_STREAM + node.raw()));
         rng.next_open01() < p
     }
 }
@@ -394,6 +924,113 @@ mod tests {
     }
 
     #[test]
+    fn partition_cuts_exactly_one_direction() {
+        let plan = FaultPlan::new(5)
+            .partition(node(0), 10.0, 5.0, PartitionDirection::DropDispatch)
+            .partition(node(1), 10.0, 5.0, PartitionDirection::DropHeartbeats);
+        let mut inj = FaultInjector::new(plan);
+        // Dispatch-cut: jobs drop, heartbeats pass.
+        assert!(inj.dispatch_drops(node(0), 12.0));
+        assert!(!inj.heartbeat_drops(node(0), 12.0));
+        // Heartbeat-cut: the mirror.
+        assert!(!inj.dispatch_drops(node(1), 12.0));
+        assert!(inj.heartbeat_drops(node(1), 12.0));
+        // Outside the window nothing drops; partitions are pure data.
+        assert!(!inj.dispatch_drops(node(0), 9.9));
+        assert!(!inj.dispatch_drops(node(0), 15.0));
+        assert!(inj.flaky_rng.is_empty() && inj.gray_rng.is_empty(), "no draws consumed");
+        assert!(!inj.crashed(node(0), 12.0), "partitioned is not crashed");
+    }
+
+    #[test]
+    fn gray_inflates_service_and_loses_attempts() {
+        let plan = FaultPlan::new(6).gray(node(0), 0.0, 1e6, 2.0, 0.25);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.service_factor(node(0), 1.0), 0.5, "inflation 2 halves the rate");
+        assert_eq!(inj.gray_loss_probability(node(0), 1.0), 0.25);
+        assert_eq!(inj.drop_probability(node(0), 1.0), 0.0, "gray is not flaky");
+        let drops = (0..10_000).filter(|_| inj.dispatch_drops(node(0), 1.0)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "loss rate {rate} vs p 0.25");
+        assert!(inj.flaky_rng.is_empty(), "gray draws never touch the legacy stream");
+    }
+
+    #[test]
+    fn gray_draws_leave_the_flaky_stream_untouched() {
+        let run = |with_gray: bool| {
+            let mut plan = FaultPlan::new(11).flaky(node(0), 0.0, 100.0, 0.5);
+            if with_gray {
+                plan = plan.gray(node(1), 0.0, 100.0, 1.5, 0.5);
+            }
+            let mut inj = FaultInjector::new(plan);
+            (0..64)
+                .map(|k| {
+                    if with_gray {
+                        let _ = inj.dispatch_drops(node(1), k as f64);
+                    }
+                    inj.dispatch_drops(node(0), k as f64)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "0x0B00 draws never perturb 0x0800");
+    }
+
+    #[test]
+    fn domain_events_strike_members_atomically() {
+        let plan = FaultPlan::new(12)
+            .assign_domain(node(0), "rack-a")
+            .domain_crash_recover("rack-a", 10.0, 5.0)
+            // Assignment after the event must work: evaluation is lazy.
+            .assign_domain(node(1), "rack-a")
+            .assign_domain(node(2), "rack-b");
+        let inj = FaultInjector::new(plan);
+        assert!(inj.crashed(node(0), 12.0) && inj.crashed(node(1), 12.0), "whole rack down");
+        assert!(!inj.crashed(node(2), 12.0), "other rack untouched");
+        assert!(!inj.crashed(node(0), 15.0) && !inj.crashed(node(1), 15.0), "heals together");
+        assert_eq!(inj.plan().domain_of(node(1)), Some("rack-a"));
+        assert_eq!(inj.plan().domain_of(node(3)), None);
+        assert!(!inj.plan().is_empty());
+        assert!(FaultPlan::new(0).assign_domain(node(0), "rack-a").is_empty(), "inert labels");
+    }
+
+    #[test]
+    fn domain_partition_and_gray_cover_the_group() {
+        let plan = FaultPlan::new(13)
+            .assign_domain(node(0), "zone-1")
+            .assign_domain(node(1), "zone-1")
+            .domain_partition("zone-1", 5.0, 5.0, PartitionDirection::DropDispatch)
+            .domain_gray("zone-1", 20.0, 5.0, 4.0, 0.0);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.partitioned(node(0), 7.0, PartitionDirection::DropDispatch));
+        assert!(inj.partitioned(node(1), 7.0, PartitionDirection::DropDispatch));
+        assert!(!inj.partitioned(node(1), 7.0, PartitionDirection::DropHeartbeats));
+        assert_eq!(inj.service_factor(node(0), 22.0), 0.25);
+        assert_eq!(inj.service_factor(node(1), 22.0), 0.25);
+    }
+
+    #[test]
+    fn markers_drain_in_time_order_once() {
+        let plan = FaultPlan::new(14)
+            .assign_domain(node(1), "rack-a")
+            .partition(node(0), 10.0, 5.0, PartitionDirection::DropDispatch)
+            .domain_crash("rack-a", 12.0);
+        let mut inj = FaultInjector::new(plan);
+        let early = inj.drain_markers(11.0);
+        assert_eq!(early.len(), 1);
+        assert!(matches!(
+            early[0].kind,
+            FaultMarkerKind::PartitionOpened { direction: PartitionDirection::DropDispatch, .. }
+        ));
+        let late = inj.drain_markers(100.0);
+        assert_eq!(late.len(), 2, "domain strike then heal, each once");
+        assert!(
+            matches!(&late[0].kind, FaultMarkerKind::DomainFault { domain } if domain == "rack-a")
+        );
+        assert!(matches!(late[1].kind, FaultMarkerKind::PartitionHealed { .. }));
+        assert!(inj.drain_markers(1e9).is_empty(), "cursor never rewinds");
+    }
+
+    #[test]
     fn schedule_fingerprint_is_stable_and_sensitive() {
         let a = FaultPlan::new(7).crash(node(0), 10.0).slow(node(1), 2.0, 3.0, 0.5);
         let b = FaultPlan::new(7).crash(node(0), 10.0).slow(node(1), 2.0, 3.0, 0.5);
@@ -408,6 +1045,29 @@ mod tests {
     }
 
     #[test]
+    fn schedule_fingerprint_folds_adversarial_payloads() {
+        let mk = |d: PartitionDirection| FaultPlan::new(7).partition(node(0), 10.0, 5.0, d);
+        assert_ne!(
+            mk(PartitionDirection::DropDispatch).schedule_fingerprint(),
+            mk(PartitionDirection::DropHeartbeats).schedule_fingerprint(),
+            "direction is folded"
+        );
+        let label = |l: &str| FaultPlan::new(7).assign_domain(node(0), l).domain_crash(l, 5.0);
+        assert_ne!(
+            label("rack-a").schedule_fingerprint(),
+            label("rack-b").schedule_fingerprint(),
+            "domain labels are folded"
+        );
+        let gray = |inflation: f64| FaultPlan::new(7).gray(node(0), 1.0, 2.0, inflation, 0.1);
+        assert_ne!(gray(1.5).schedule_fingerprint(), gray(2.5).schedule_fingerprint());
+        // Same node-level schedule, one expressed via a domain: must not
+        // collide.
+        let direct = FaultPlan::new(7).crash(node(0), 5.0);
+        let via_domain = FaultPlan::new(7).assign_domain(node(0), "r").domain_crash("r", 5.0);
+        assert_ne!(direct.schedule_fingerprint(), via_domain.schedule_fingerprint());
+    }
+
+    #[test]
     #[should_panic(expected = "drop probability")]
     fn flaky_rejects_bad_probability() {
         let _ = FaultPlan::new(0).flaky(node(0), 0.0, 1.0, 1.5);
@@ -417,5 +1077,17 @@ mod tests {
     #[should_panic(expected = "slow factor")]
     fn slow_rejects_bad_factor() {
         let _ = FaultPlan::new(0).slow(node(0), 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gray inflation")]
+    fn gray_rejects_deflation() {
+        let _ = FaultPlan::new(0).gray(node(0), 0.0, 1.0, 0.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inflate service times or lose attempts")]
+    fn gray_rejects_the_noop() {
+        let _ = FaultPlan::new(0).gray(node(0), 0.0, 1.0, 1.0, 0.0);
     }
 }

@@ -82,7 +82,10 @@ pub use dynamics::{
 };
 pub use error::RuntimeError;
 pub use estimator::EstimatorBank;
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FAULT_STREAM};
+pub use fault::{
+    DomainEvent, FaultEvent, FaultInjector, FaultKind, FaultMarker, FaultMarkerKind, FaultPlan,
+    PartitionDirection, ADVERSARIAL_STREAM, FAULT_STREAM,
+};
 pub use ingest::{IngestError, IngestQueue};
 pub use registry::{Health, Node, NodeId, Registry};
 pub use resolver::{ResolveOutcome, SchemeKind};
@@ -557,6 +560,15 @@ impl Runtime {
         self.detector_state().detector.phi(node, now)
     }
 
+    /// The detector thresholds in force for `node` right now:
+    /// `(suspect_phi, down_phi)` — the configured values in fixed mode,
+    /// the variance-scaled effective values in self-tuning mode (see
+    /// [`DetectorConfig::self_tuning`]).
+    #[must_use]
+    pub fn effective_thresholds(&self, node: NodeId) -> (f64, f64) {
+        self.detector_state().detector.effective_thresholds(node)
+    }
+
     // ---- telemetry ------------------------------------------------------
 
     /// Records a job arrival at time `t` (drives `Φ̂`).
@@ -861,8 +873,10 @@ impl Runtime {
 
     /// Scrapes every telemetry instrument into one snapshot, after
     /// syncing the derived totals (merged dispatch counter, epoch-swap
-    /// publish stats, admission counters, offered ρ, ring drops).
-    /// `None` when telemetry is disabled.
+    /// publish stats, admission counters, offered ρ, ring drops) and the
+    /// per-node suspicion gauges (live φ at the telemetry clock plus the
+    /// effective detector thresholds). `None` when telemetry is
+    /// disabled.
     #[must_use]
     pub fn telemetry_snapshot(&self) -> Option<gtlb_telemetry::Snapshot> {
         let inner = self.telemetry.inner()?;
@@ -871,6 +885,20 @@ impl Runtime {
             self.table.stats(),
             self.admission.as_ref().map(|c| (c.stats(), c.offered_utilization())),
         );
+        let now = self.telemetry.clock();
+        // Collect node ids before touching the detector lock (the
+        // detector mutex is never held together with `state`).
+        let ids = self.node_ids();
+        let suspicion: Vec<(NodeId, f64, f64, f64)> = {
+            let guard = self.detector_state();
+            ids.into_iter()
+                .map(|id| {
+                    let (suspect, down) = guard.detector.effective_thresholds(id);
+                    (id, guard.detector.phi(id, now), suspect, down)
+                })
+                .collect()
+        };
+        inner.sync_node_suspicion(&suspicion);
         Some(inner.snapshot())
     }
 

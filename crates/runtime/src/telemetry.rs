@@ -47,7 +47,9 @@ use crate::admission::{AdmissionStats, AdmissionVerdict};
 use crate::detector::HealthTransition;
 use crate::dispatcher::DISPATCH_STREAM;
 use crate::dynamics::{ConvergenceStats, SolverMode, DYNAMICS_STREAM};
-use crate::fault::FAULT_STREAM;
+use crate::fault::{
+    FaultMarker, FaultMarkerKind, PartitionDirection, ADVERSARIAL_STREAM, FAULT_STREAM,
+};
 use crate::registry::{Health, NodeId};
 use crate::shard::ADMISSION_STREAM;
 use crate::swap::SwapStats;
@@ -116,11 +118,30 @@ pub mod names {
     pub const SOLVER_ROUNDS: &str = "gtlb_solver_rounds";
     /// Final equilibrium residual of the last best-reply solve.
     pub const SOLVER_RESIDUAL: &str = "gtlb_solver_residual";
+
+    /// Per-node suspicion gauge: node `raw`'s live accrual φ at the
+    /// telemetry clock (synced on snapshot).
+    #[must_use]
+    pub fn node_phi(raw: u64) -> String {
+        format!("gtlb_node_phi_{raw}")
+    }
+    /// Per-node effective Suspect threshold gauge (self-tuned when the
+    /// detector runs in self-tuning mode, the configured value
+    /// otherwise).
+    #[must_use]
+    pub fn node_suspect_phi(raw: u64) -> String {
+        format!("gtlb_node_suspect_phi_{raw}")
+    }
+    /// Per-node effective Down threshold gauge.
+    #[must_use]
+    pub fn node_down_phi(raw: u64) -> String {
+        format!("gtlb_node_down_phi_{raw}")
+    }
 }
 
 /// A structured happening recorded in the event ring, tagged (by
 /// [`TaggedEvent`]) with virtual time, shard, and seed-stream family.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeEvent {
     /// A sampled routing decision (every [`ROUTE_SAMPLE_EVERY`]-th
     /// dispatch per shard).
@@ -169,6 +190,27 @@ pub enum RuntimeEvent {
         /// Whether the residual reached epsilon.
         converged: bool,
     },
+    /// An asymmetric partition opened on a node (scheduled by the fault
+    /// plan; surfaced by the driver at the plan's virtual time).
+    PartitionOpened {
+        /// The partitioned node.
+        node: NodeId,
+        /// Which link direction dropped.
+        direction: PartitionDirection,
+    },
+    /// The asymmetric partition on a node healed.
+    PartitionHealed {
+        /// The healed node.
+        node: NodeId,
+        /// Which link direction had dropped.
+        direction: PartitionDirection,
+    },
+    /// A domain-scoped fault struck every member of a failure domain
+    /// atomically.
+    DomainFault {
+        /// The rack/zone label.
+        domain: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeEvent {
@@ -187,6 +229,13 @@ impl std::fmt::Display for RuntimeEvent {
             Self::SolverConverged { epoch, rounds, converged: false } => {
                 write!(f, "solver hit the round budget ({rounds}) for epoch {epoch}")
             }
+            Self::PartitionOpened { node, direction } => {
+                write!(f, "partition opened on {node} ({direction})")
+            }
+            Self::PartitionHealed { node, direction } => {
+                write!(f, "partition healed on {node} ({direction})")
+            }
+            Self::DomainFault { domain } => write!(f, "domain fault struck {domain}"),
         }
     }
 }
@@ -297,6 +346,18 @@ impl TelemetryInner {
         self.virtual_clock.set(self.clock());
     }
 
+    /// Mirrors per-node suspicion state (live φ and the effective
+    /// thresholds) into named gauges; called by
+    /// [`Runtime::telemetry_snapshot`]. Gauges are get-or-create by
+    /// name, so nodes appear in the snapshot on first sync.
+    pub(crate) fn sync_node_suspicion(&self, rows: &[(NodeId, f64, f64, f64)]) {
+        for &(node, phi, suspect, down) in rows {
+            self.registry.gauge(&names::node_phi(node.raw()), 1).set(phi);
+            self.registry.gauge(&names::node_suspect_phi(node.raw()), 1).set(suspect);
+            self.registry.gauge(&names::node_down_phi(node.raw()), 1).set(down);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> Snapshot {
         self.registry.snapshot()
     }
@@ -404,6 +465,27 @@ impl Telemetry {
         if let Some(inner) = self.inner() {
             inner.fault_drops.incr(shard);
             inner.push_at(t, shard, FAULT_STREAM, RuntimeEvent::FaultDropped { node });
+        }
+    }
+
+    /// Records a fault-schedule milestone (partition opened/healed,
+    /// domain fault struck) at the marker's own virtual time, on the
+    /// adversarial stream family.
+    #[inline]
+    pub(crate) fn record_fault_marker(&self, marker: &FaultMarker) {
+        if let Some(inner) = self.inner() {
+            let event = match &marker.kind {
+                FaultMarkerKind::PartitionOpened { node, direction } => {
+                    RuntimeEvent::PartitionOpened { node: *node, direction: *direction }
+                }
+                FaultMarkerKind::PartitionHealed { node, direction } => {
+                    RuntimeEvent::PartitionHealed { node: *node, direction: *direction }
+                }
+                FaultMarkerKind::DomainFault { domain } => {
+                    RuntimeEvent::DomainFault { domain: domain.clone() }
+                }
+            };
+            inner.push_at(marker.at, 0, ADVERSARIAL_STREAM, event);
         }
     }
 

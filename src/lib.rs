@@ -83,10 +83,10 @@ pub mod prelude {
     pub use gtlb_queueing::Mm1;
     pub use gtlb_runtime::{
         AdmissionConfig, AdmissionStats, AdmissionVerdict, BestReplyConfig, ConvergenceStats,
-        DetectorConfig, FaultPlan, Health, HealthTransition, IngestQueue, NodeId, RetryConfig,
-        RetryPolicy, Runtime, RuntimeBuilder, RuntimeError, RuntimeEvent, SchemeKind,
-        ShardedDispatcher, SolverMode, Submission, Telemetry, TelemetryHandle, TraceConfig,
-        TraceDriver,
+        DetectorConfig, FaultPlan, Health, HealthTransition, IngestQueue, NodeId,
+        PartitionDirection, RetryConfig, RetryPolicy, Runtime, RuntimeBuilder, RuntimeError,
+        RuntimeEvent, SchemeKind, ShardedDispatcher, SolverMode, Submission, Telemetry,
+        TelemetryHandle, TraceConfig, TraceDriver,
     };
     pub use gtlb_telemetry::{Histogram, HistogramSnapshot, Snapshot, TaggedEvent};
 }

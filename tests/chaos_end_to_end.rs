@@ -282,3 +282,206 @@ fn idle_fault_plan_reproduces_the_fault_free_closed_loop() {
     };
     assert_eq!(run(false), run(true), "idle chaos machinery perturbed the trace");
 }
+
+#[test]
+fn asymmetric_partition_routes_around_and_readmits() {
+    use gtlb::runtime::DetectorConfig;
+    // 1-fast/3-slow at 50% design utilization. At t = 5000 the fast
+    // node's dispatch link is cut while its heartbeats keep flowing —
+    // the asymmetric regime where the detector's evidence (healthy
+    // probes) and the retry path's evidence (every attempt times out)
+    // disagree. The self-tuning detector must down the node on dispatch
+    // failures alone, the table must renormalize away from it, and the
+    // degraded loop must match the survivors-only M/M/1 analytic value.
+    // Probation is long (20 beats) because the node's control plane
+    // looks healthy: every readmission probe costs real traffic.
+    let rates = [6.0, 4.0, 4.0, 4.0];
+    let phi = 0.5 * rates.iter().sum::<f64>();
+    let open = 5_000.0;
+    let lasts = 1_500.0;
+    let rt = Runtime::builder()
+        .seed(41)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(phi)
+        .telemetry(true)
+        .detector(DetectorConfig { probation_successes: 20, ..DetectorConfig::self_tuning(8) })
+        .service_window(4096)
+        .ewma_alpha(0.005)
+        .build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+    let victim = ids[0];
+    let plan =
+        FaultPlan::new(0xA51).partition(victim, open, lasts, PartitionDirection::DropDispatch);
+    // A short dispatch timeout: failure evidence reaches the detector
+    // quickly, so readmission probes are cheap.
+    let retry = RetryConfig { timeout: 0.3, ..RetryConfig::default() };
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 23, batch_size: 1_000 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(retry).unwrap())
+        .with_heartbeats(1.0);
+
+    // Healthy phase: the partition is armed but not yet open.
+    driver.run_jobs(&rt, 10_000).unwrap();
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 30_000).unwrap();
+    let healthy = driver.stats();
+    assert_conserved(&healthy, "healthy");
+    assert_eq!(healthy.dropped, 0, "no drops before the partition opens");
+    let true_rates: Vec<(NodeId, f64)> = ids.iter().copied().zip(rates).collect();
+    let analytic_full = closed_loop_analytic(&rt.current_table(), &true_rates, phi);
+    assert_matches_analytic(&healthy, analytic_full, "healthy");
+    assert!(driver.clock() < open, "healthy phase overran the partition");
+
+    // Ride into the partition: the detector must stop routing to the
+    // dispatch-unreachable node within the detection-latency bound.
+    driver.reset_measurements();
+    while driver.clock() < open + 60.0 {
+        driver.run_jobs(&rt, 500).unwrap();
+    }
+    let down_at = rt
+        .health_transitions()
+        .iter()
+        .find(|tr| tr.node == victim && tr.to == Health::Down && tr.at >= open)
+        .expect("dispatch failures alone must down the victim")
+        .at;
+    assert!(down_at - open < 5.0, "detection latency {} too slow", down_at - open);
+    let events = rt.telemetry().recent_events(1024);
+    assert!(
+        events.iter().any(|e| e.event
+            == RuntimeEvent::PartitionOpened {
+                node: victim,
+                direction: PartitionDirection::DropDispatch
+            }),
+        "PartitionOpened missing from the event ring"
+    );
+
+    // Mid-partition: the victim serves nothing, retries save every job,
+    // and the loop matches the survivors-only analytic response.
+    driver.reset_measurements();
+    while driver.clock() < open + lasts - 150.0 {
+        driver.run_jobs(&rt, 500).unwrap();
+    }
+    let mid = driver.stats();
+    assert_conserved(&mid, "mid-partition");
+    assert_eq!(rt.node_health(victim), Some(Health::Down), "victim held Down");
+    assert_eq!(rt.current_table().prob_of(victim), None, "victim renormalized out");
+    let victim_jobs = mid.per_node.iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+    assert_eq!(victim_jobs, 0, "dispatch-unreachable node completed jobs");
+    assert!(mid.dropped > 0, "readmission probes must have hit the dead link");
+    assert!(mid.failure_rate() < 0.01, "retries should save nearly every job: {mid:?}");
+    let analytic_survivors = closed_loop_analytic(&rt.current_table(), &true_rates, phi);
+    assert!(analytic_survivors > analytic_full, "losing the fast node must hurt");
+    assert_matches_analytic(&mid, analytic_survivors, "mid-partition");
+
+    // Heal: heartbeats were never the problem, so once dispatch drops
+    // stop the probation streak completes and the victim is readmitted.
+    while driver.clock() < open + lasts + 100.0 {
+        driver.run_jobs(&rt, 500).unwrap();
+    }
+    assert_eq!(rt.node_health(victim), Some(Health::Up), "probation readmitted the victim");
+    assert!(rt.current_table().prob_of(victim).is_some(), "recovery re-solve restored mass");
+    let timeline = rt.health_transitions();
+    let readmit = timeline
+        .iter()
+        .find(|tr| {
+            tr.node == victim
+                && tr.from == Health::Down
+                && tr.to == Health::Up
+                && tr.at >= open + lasts
+        })
+        .expect("missing the post-heal readmission");
+    assert!(readmit.at - (open + lasts) < 30.0, "readmission at {} too slow", readmit.at);
+    let events = rt.telemetry().recent_events(1024);
+    assert!(
+        events.iter().any(|e| e.event
+            == RuntimeEvent::PartitionHealed {
+                node: victim,
+                direction: PartitionDirection::DropDispatch
+            }),
+        "PartitionHealed missing from the event ring"
+    );
+
+    // Post-heal: the full cluster matches the full-table analytic value
+    // again — the partition left no residue.
+    rt.resolve_now().unwrap();
+    driver.run_jobs(&rt, 8_000).unwrap();
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 30_000).unwrap();
+    let post = driver.stats();
+    assert_conserved(&post, "post-heal");
+    assert_eq!(post.failed + post.dropped, 0, "healed cluster drops nothing");
+    let analytic_post = closed_loop_analytic(&rt.current_table(), &true_rates, phi);
+    assert_matches_analytic(&post, analytic_post, "post-heal");
+    let victim_jobs = post.per_node.iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+    assert!(victim_jobs > 0, "readmitted node never served again");
+}
+
+#[test]
+fn gray_failure_demotes_without_a_crash() {
+    use gtlb::runtime::DetectorConfig;
+    // A gray node: service times inflate 3× and half the attempts are
+    // lost, but it never crashes — the degraded-but-Up state a fixed
+    // threshold either sleeps through or flaps on. The self-tuning
+    // detector (no hand-set suspect_phi/down_phi) must demote it on the
+    // accumulated loss evidence alone, with zero crash events scheduled.
+    let rates = [4.0, 2.0, 2.0];
+    let phi = 0.55 * rates.iter().sum::<f64>();
+    let gray_at = 200.0;
+    let gray_lasts = 400.0;
+    let rt = Runtime::builder()
+        .seed(77)
+        .scheme(SchemeKind::Coop)
+        .nominal_arrival_rate(phi)
+        .detector(DetectorConfig::self_tuning(8))
+        .build();
+    let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
+    rt.resolve_now().unwrap();
+    let victim = ids[0];
+    let plan = FaultPlan::new(0x6AE).gray(victim, gray_at, gray_lasts, 3.0, 0.5);
+    let mut driver = TraceDriver::new(phi, TraceConfig { seed: 31, batch_size: 500 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(0.5);
+
+    while driver.clock() < gray_at + gray_lasts {
+        driver.run_jobs(&rt, 1_000).unwrap();
+    }
+    let stats = driver.stats();
+    assert_conserved(&stats, "gray window");
+    let down = rt
+        .health_transitions()
+        .iter()
+        .find(|tr| tr.node == victim && tr.to == Health::Down && tr.at >= gray_at)
+        .expect("gray loss must demote the victim without any crash event")
+        .at;
+    assert!(down - gray_at < 15.0, "gray detection latency {} too slow", down - gray_at);
+    assert!(stats.dropped > 0, "gray loss must surface as dropped attempts");
+    assert!(stats.failure_rate() < 0.01, "retries absorb the gray loss: {stats:?}");
+    // Degraded-but-Up: between demotions the node kept completing jobs
+    // (at inflated service times) — a crash would have served nothing.
+    let victim_jobs = stats.per_node.iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+    assert!(victim_jobs > 0, "a gray node still serves what it doesn't lose");
+    // The jittery gray cadence must have raised the self-tuned bar above
+    // the configured baselines, by a common scale (the ratio is fixed).
+    let (eff_suspect, eff_down) = rt.effective_thresholds(victim);
+    assert!(
+        eff_suspect > 2.0 && eff_down > 6.0,
+        "self-tuning left the baselines untouched: {eff_suspect} / {eff_down}"
+    );
+    assert!((eff_down / eff_suspect - 3.0).abs() < 1e-9, "tuning must not skew the ratio");
+
+    // Past the window the node is clean again: probation readmits it and
+    // it serves with no further loss.
+    while driver.clock() < gray_at + gray_lasts + 200.0 {
+        driver.run_jobs(&rt, 1_000).unwrap();
+    }
+    assert_eq!(rt.node_health(victim), Some(Health::Up), "recovered from gray");
+    driver.reset_measurements();
+    driver.run_jobs(&rt, 3_000).unwrap();
+    let clean = driver.stats();
+    assert_conserved(&clean, "post-gray");
+    assert_eq!(clean.dropped, 0, "no loss after the gray window");
+    let victim_jobs = clean.per_node.iter().find(|&&(id, _)| id == victim).map_or(0, |&(_, c)| c);
+    assert!(victim_jobs > 0, "recovered node carries load again");
+}
