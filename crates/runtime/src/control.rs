@@ -282,15 +282,34 @@ impl Runtime {
     }
 
     /// Updates a node's declared capacity `μ` (e.g. a control-plane
-    /// metrics update carrying a revised self-reported rate). Takes
-    /// effect at the next resolve; the measured estimate still wins
-    /// once warm.
+    /// metrics update carrying a revised self-reported rate), then
+    /// best-effort republishes the live table with the node's routing
+    /// weight scaled by `new/old` — the k = 1 incremental publish path
+    /// ([`Runtime::reweight_node`]), so a rate change takes effect in
+    /// routing immediately instead of waiting out the resolve interval.
+    /// The next resolve still recomputes the proper allocation, and the
+    /// measured estimate still wins once warm; the reweight is skipped
+    /// (not an error) when the node has no routing mass yet or the
+    /// scaled table would be unroutable.
     ///
     /// # Errors
     /// [`RuntimeError::UnknownNode`] for unregistered ids,
     /// [`RuntimeError::Core`] for a nonpositive or non-finite rate.
     pub fn set_node_rate(&self, id: NodeId, rate: f64) -> Result<(), RuntimeError> {
-        self.state().registry.set_nominal_rate(id, rate)
+        let old = {
+            let mut state = self.state();
+            let old = state.registry.node(id).map(Node::nominal_rate);
+            state.registry.set_nominal_rate(id, rate)?;
+            // set_nominal_rate validated `id`, so `old` is present.
+            old.unwrap_or(rate)
+        };
+        if old > 0.0 && old.is_finite() {
+            // Best-effort: a factor-1 change still republishes (cheap —
+            // incremental alias repair), and a failure here must not
+            // fail the registry update that already happened.
+            let _ = self.reweight_node(id, rate / old);
+        }
+        Ok(())
     }
 
     /// Ids, declared rates, and health of all registered nodes, in

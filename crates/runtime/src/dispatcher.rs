@@ -78,7 +78,10 @@ impl Dispatcher {
     /// [`RuntimeError::NoServingNodes`] while the published table is
     /// empty (nothing registered yet, or everything down).
     pub fn dispatch(&mut self) -> Result<Decision, RuntimeError> {
-        let table = self.table.load();
+        // A pinned borrow, not an `Arc` clone: no refcount traffic on
+        // the per-job path. Dropped before returning, so the writer's
+        // drain sees at most a method-body-long lease.
+        let table = self.table.pin();
         if table.is_empty() {
             return Err(RuntimeError::NoServingNodes);
         }

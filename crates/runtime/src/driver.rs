@@ -158,6 +158,10 @@ impl fmt::Display for TraceStats {
 struct Heartbeat {
     interval: f64,
     next: f64,
+    /// Reused probe-target buffer, refilled from the registry each
+    /// tick via [`Runtime::node_ids_into`] — heartbeats allocate
+    /// nothing in steady state.
+    ids: Vec<NodeId>,
 }
 
 /// Replays a synthetic arrival stream against a runtime.
@@ -254,7 +258,7 @@ impl TraceDriver {
             interval.is_finite() && interval > 0.0,
             "heartbeat interval must be positive and finite"
         );
-        self.heartbeat = Some(Heartbeat { interval, next: self.clock + interval });
+        self.heartbeat = Some(Heartbeat { interval, next: self.clock + interval, ids: Vec::new() });
         self
     }
 
@@ -321,7 +325,8 @@ impl TraceDriver {
         while hb.next <= upto {
             let t = hb.next;
             hb.next += hb.interval;
-            for node in runtime.node_ids() {
+            runtime.node_ids_into(&mut hb.ids);
+            for &node in &hb.ids {
                 let dropped = self.faults.as_mut().is_some_and(|f| f.heartbeat_drops(node, t));
                 if dropped {
                     runtime.observe_failure(node, t)?;

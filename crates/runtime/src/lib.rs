@@ -91,8 +91,8 @@ pub use registry::{Health, Node, NodeId, Registry};
 pub use resolver::{ResolveOutcome, SchemeKind};
 pub use retry::{RetryConfig, RetryPolicy, RETRY_STREAM};
 pub use shard::{ShardGuard, ShardedDispatcher};
-pub use swap::{EpochSwap, SwapStats};
-pub use table::RoutingTable;
+pub use swap::{EpochSwap, Lease, SwapStats};
+pub use table::{RoutingTable, TableBuilder};
 pub use telemetry::{RuntimeEvent, Telemetry, TelemetryHandle};
 
 /// Tunables of a [`Runtime`]; built through [`RuntimeBuilder`].
@@ -344,6 +344,11 @@ pub struct Runtime {
     // never the reverse; `solver` and `detector` are never held
     // together.
     solver: Mutex<SolverRuntime>,
+    // Reusable table-construction scratch (alias stacks + repair
+    // traces). Lock order: acquired last and released before any other
+    // lock is taken — no method holds `builder` while acquiring
+    // `state`, `solver`, or `detector`.
+    builder: Mutex<TableBuilder>,
     table: Arc<EpochSwap<RoutingTable>>,
     sharded: ShardedDispatcher,
     admission: Option<AdmissionControl>,
@@ -400,6 +405,7 @@ impl Runtime {
                 rng: Xoshiro256PlusPlus::stream(cfg.seed, DYNAMICS_STREAM),
                 last: None,
             }),
+            builder: Mutex::new(TableBuilder::new()),
             table,
             sharded,
             admission,
@@ -506,6 +512,14 @@ impl Runtime {
     #[must_use]
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.state().registry.nodes().iter().map(Node::id).collect()
+    }
+
+    /// As [`Runtime::node_ids`], refilling a caller-owned buffer —
+    /// periodic pollers (heartbeat loops and the like) reuse one `Vec`
+    /// instead of allocating per tick. `out` is cleared first.
+    pub fn node_ids_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.state().registry.nodes().iter().map(Node::id));
     }
 
     // ---- failure detection ---------------------------------------------
@@ -628,7 +642,12 @@ impl Runtime {
         let mode = self.solver_state().mode;
         let (table, outcome) = match mode.best_reply_config() {
             None => {
-                let solved = resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi)?;
+                // Lock order: `state` (held) then `builder`, released
+                // when the solve returns.
+                let solved = {
+                    let mut builder = self.table_builder();
+                    resolver::solve_table(self.cfg.scheme, epoch, ids, &cluster, phi, &mut builder)?
+                };
                 self.telemetry.record_solve(None);
                 solved
             }
@@ -655,7 +674,8 @@ impl Runtime {
                 };
                 self.solver_state().last = Some(stats);
                 self.telemetry.record_solve(Some(stats));
-                let table = RoutingTable::from_allocation(
+                // Lock order: `state` (held) then `builder`.
+                let table = self.table_builder().from_allocation(
                     epoch,
                     ids.clone(),
                     &out.allocation,
@@ -675,6 +695,53 @@ impl Runtime {
         };
         self.publish_table(table);
         Ok(outcome)
+    }
+
+    /// Immediately republishes the live table with node `id`'s routing
+    /// weight scaled by `factor` — the k = 1 single-node publish path
+    /// (e.g. a control-plane rate update). Goes through
+    /// [`TableBuilder::update_weights`]: on its repair fast path the
+    /// node's probability scales by exactly `factor` and the heaviest
+    /// node absorbs the imbalance (O(affected) instead of O(n)); on the
+    /// fallback the patched vector renormalizes across all nodes.
+    /// Either way the published table is deterministic and exact (a
+    /// fixed point of, or identical to, a full rebuild). This is a
+    /// stopgap between solves: the next resolve replaces it with a
+    /// proper allocation.
+    ///
+    /// Returns `Ok(None)` when the node is not in the live table
+    /// (nothing to reweight — the next resolve picks the change up),
+    /// `Ok(Some(epoch))` with the published epoch otherwise. A factor
+    /// of exactly 1.0 still republishes (at a fresh epoch).
+    ///
+    /// # Errors
+    /// [`RuntimeError::Core`] when `factor` is nonpositive or
+    /// non-finite, or when the reweighted table would have no routable
+    /// mass left.
+    pub fn reweight_node(&self, id: NodeId, factor: f64) -> Result<Option<u64>, RuntimeError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(RuntimeError::Core(gtlb_core::error::CoreError::BadInput(format!(
+                "reweight factor must be positive and finite, got {factor}"
+            ))));
+        }
+        let current = self.table.load();
+        let Some(idx) = current.nodes().iter().position(|&n| n == id) else {
+            return Ok(None);
+        };
+        let epoch = self.next_epoch();
+        let weight = current.probs()[idx] * factor;
+        let table = self.table_builder().update_weights(&current, epoch, &[(idx, weight)])?;
+        self.publish_table(table);
+        Ok(Some(epoch))
+    }
+
+    /// Incremental-repair vs full-rebuild publish counts of this
+    /// runtime's [`TableBuilder`] since construction, as
+    /// `(repairs, rebuilds)`.
+    #[must_use]
+    pub fn table_build_stats(&self) -> (u64, u64) {
+        let builder = self.table_builder();
+        (builder.repairs(), builder.rebuilds())
     }
 
     /// The solver mode currently in effect.
@@ -799,30 +866,57 @@ impl Runtime {
         shard: usize,
         count: usize,
     ) -> Result<BatchSubmission, RuntimeError> {
-        let mut guard = self.sharded.shard(shard);
         let mut batch =
             BatchSubmission { decisions: Vec::with_capacity(count), deferred: 0, rejected: 0 };
+        self.submit_batch_into(shard, count, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// As [`Runtime::submit_batch_on`], writing into a caller-owned
+    /// [`BatchSubmission`] instead of allocating one — the
+    /// zero-allocation batch path. `out` is cleared first; a caller that
+    /// reuses one `BatchSubmission` across batches amortizes the
+    /// decisions buffer to nothing (the only remaining allocation is
+    /// its one-time growth).
+    ///
+    /// # Errors
+    /// As [`Runtime::submit_batch_on`]. On error `out` holds only what
+    /// this call produced before failing (never stale decisions from a
+    /// previous batch).
+    ///
+    /// # Panics
+    /// If `shard >= shard_count()`.
+    pub fn submit_batch_into(
+        &self,
+        shard: usize,
+        count: usize,
+        out: &mut BatchSubmission,
+    ) -> Result<(), RuntimeError> {
+        out.decisions.clear();
+        out.deferred = 0;
+        out.rejected = 0;
+        let mut guard = self.sharded.shard(shard);
         match &self.admission {
-            None => guard.route_batch(count, &mut batch.decisions)?,
+            None => guard.route_batch(count, &mut out.decisions)?,
             Some(control) => {
                 for _ in 0..count {
                     let u = guard.next_admission_draw();
                     let verdict = control.decide(u);
                     match verdict {
-                        AdmissionVerdict::Accept => batch.decisions.push(guard.dispatch()?),
+                        AdmissionVerdict::Accept => out.decisions.push(guard.dispatch()?),
                         AdmissionVerdict::Defer => {
-                            batch.deferred += 1;
+                            out.deferred += 1;
                             self.telemetry.record_admission_shed(shard, verdict);
                         }
                         AdmissionVerdict::Reject => {
-                            batch.rejected += 1;
+                            out.rejected += 1;
                             self.telemetry.record_admission_shed(shard, verdict);
                         }
                     }
                 }
             }
         }
-        Ok(batch)
+        Ok(())
     }
 
     /// Number of dispatch shards.
@@ -970,6 +1064,10 @@ impl Runtime {
         self.solver.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    fn table_builder(&self) -> MutexGuard<'_, TableBuilder> {
+        self.builder.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Sets a node's health in the registry *and* forces the detector's
     /// view to match, so a manual mark and the detector never fight
     /// (without the sync, a manually-downed node would stay down forever:
@@ -1088,15 +1186,26 @@ impl Runtime {
             return;
         }
         let epoch = self.next_epoch();
-        let fallback = |epoch: u64| -> RoutingTable {
-            let state = self.state();
-            match state.registry.serving_cluster(|n| n.nominal_rate()) {
-                Ok((ids, cluster)) => RoutingTable::new(epoch, ids, cluster.rates())
+        // The builder lock is released before the fallback path takes
+        // `state` (and re-taken after it drops) — `builder` is never
+        // held while acquiring another lock.
+        let renormalized = self.table_builder().without_node(&current, id, epoch);
+        let table = renormalized.unwrap_or_else(|_| {
+            let serving = {
+                let state = self.state();
+                state
+                    .registry
+                    .serving_cluster(|n| n.nominal_rate())
+                    .map(|(ids, cluster)| (ids, cluster.rates().to_vec()))
+            };
+            match serving {
+                Ok((ids, rates)) => self
+                    .table_builder()
+                    .build(epoch, ids, &rates)
                     .unwrap_or_else(|_| RoutingTable::empty(epoch)),
                 Err(_) => RoutingTable::empty(epoch),
             }
-        };
-        let table = current.without_node(id, epoch).unwrap_or_else(|_| fallback(epoch));
+        });
         self.publish_table(table);
     }
 

@@ -44,7 +44,7 @@ use gtlb_desim::rng::Xoshiro256PlusPlus;
 use crate::dispatcher::{Decision, DISPATCH_STREAM};
 use crate::error::RuntimeError;
 use crate::registry::NodeId;
-use crate::swap::EpochSwap;
+use crate::swap::{EpochSwap, Lease};
 use crate::table::RoutingTable;
 use crate::telemetry::{Telemetry, ROUTE_SAMPLE_EVERY};
 
@@ -63,6 +63,11 @@ struct ShardCore {
     admission_rng: Xoshiro256PlusPlus,
     dispatched: u64,
     hits: Vec<u64>,
+    /// Dense per-batch hit scratch indexed by table position, reused
+    /// across [`ShardGuard::route_batch`] calls so a batch allocates
+    /// nothing. Contents are only meaningful within one batch; the
+    /// merged counts land in `hits`.
+    batch_hits: Vec<u64>,
 }
 
 impl ShardCore {
@@ -122,6 +127,7 @@ impl ShardedDispatcher {
                     admission_rng: Xoshiro256PlusPlus::stream(base_seed ^ k, ADMISSION_STREAM),
                     dispatched: 0,
                     hits: Vec::new(),
+                    batch_hits: Vec::new(),
                 })
             })
             .collect();
@@ -138,18 +144,22 @@ impl ShardedDispatcher {
     /// uncontended when each worker owns one shard; holding the guard
     /// across a batch amortizes it to nothing.
     ///
-    /// The guard pins the routing-table snapshot current at acquisition:
+    /// The guard pins the routing-table snapshot current at acquisition
+    /// as a borrowed [`Lease`] — no `Arc` clone, no refcount traffic:
     /// every dispatch through it routes on that one table (a consistent
     /// epoch per batch). Re-acquire the guard to observe a newer publish
     /// — per-job paths like [`dispatch_on`](Self::dispatch_on) do so
-    /// implicitly.
+    /// implicitly. Per the pin contract (`swap.rs`), a held guard lets
+    /// **one** publish complete unhindered and blocks only the second;
+    /// guards are batch-scoped, so drop them promptly and never publish
+    /// twice on this slot from the thread holding one.
     ///
     /// # Panics
     /// If `shard >= shard_count()`.
     #[must_use]
     pub fn shard(&self, shard: usize) -> ShardGuard<'_> {
         let core = self.shards[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        ShardGuard { table: self.table.load(), core, telemetry: &self.telemetry, shard }
+        ShardGuard { table: self.table.pin(), core, telemetry: &self.telemetry, shard }
     }
 
     /// Routes one job on shard `shard`.
@@ -226,10 +236,11 @@ impl ShardedDispatcher {
 
 /// Exclusive access to one shard, for batched dispatch. Routes on the
 /// table snapshot taken when the guard was acquired (see
-/// [`ShardedDispatcher::shard`]).
+/// [`ShardedDispatcher::shard`]) — a pinned borrow of the live epoch
+/// cell, not an `Arc` clone.
 #[derive(Debug)]
 pub struct ShardGuard<'a> {
-    table: Arc<RoutingTable>,
+    table: Lease<'a, RoutingTable>,
     core: MutexGuard<'a, ShardCore>,
     telemetry: &'a Telemetry,
     shard: usize,
@@ -264,9 +275,11 @@ impl ShardGuard<'_> {
     /// appending one [`Decision`] per job to `out`.
     ///
     /// Per job this is one RNG draw and one alias lookup; the per-node
-    /// hit counts accumulate in a dense scratch vector indexed by table
-    /// position and merge into the shard's counters once at the end, so
-    /// the loop body touches no growable state. The draws come from the
+    /// hit counts accumulate in a dense shard-local scratch vector
+    /// indexed by table position (reused across batches — a batch
+    /// allocates nothing beyond `out`'s own growth) and merge into the
+    /// shard's counters once at the end, so the loop body touches no
+    /// growable state. The draws come from the
     /// same stream in the same order as `count` successive
     /// [`dispatch`](Self::dispatch) calls — the decision sequence is
     /// identical, batching only amortizes the bookkeeping.
@@ -285,21 +298,26 @@ impl ShardGuard<'_> {
         if self.table.is_empty() {
             return Err(RuntimeError::NoServingNodes);
         }
-        let epoch = self.table.epoch();
-        let nodes = self.table.nodes();
-        let mut local = vec![0u64; nodes.len()];
+        let table = &*self.table;
+        let epoch = table.epoch();
+        let nodes = table.nodes();
+        // Split borrows: the shard scratch mutates while the pinned
+        // table is read — disjoint fields of the guard.
+        let core = &mut *self.core;
+        core.batch_hits.clear();
+        core.batch_hits.resize(nodes.len(), 0);
         out.reserve(count);
         for _ in 0..count {
-            let u = self.core.rng.next_open01();
-            let idx = self.table.route_index(u);
-            local[idx] += 1;
+            let u = core.rng.next_open01();
+            let idx = table.route_index(u);
+            core.batch_hits[idx] += 1;
             out.push(Decision { node: nodes[idx], epoch });
         }
-        self.core.dispatched += count as u64;
+        core.dispatched += count as u64;
         // Batch equivalent of the per-dispatch sample: if this batch
         // crossed a sample boundary, record its last decision.
         if self.telemetry.is_enabled() {
-            let after = self.core.dispatched;
+            let after = core.dispatched;
             let before = after - count as u64;
             if before / ROUTE_SAMPLE_EVERY != after / ROUTE_SAMPLE_EVERY {
                 if let Some(last) = out.last() {
@@ -307,13 +325,13 @@ impl ShardGuard<'_> {
                 }
             }
         }
-        for (idx, &c) in local.iter().enumerate() {
+        for (idx, &c) in core.batch_hits.iter().enumerate() {
             if c > 0 {
                 let raw = nodes[idx].raw() as usize;
-                if raw >= self.core.hits.len() {
-                    self.core.hits.resize(raw + 1, 0);
+                if raw >= core.hits.len() {
+                    core.hits.resize(raw + 1, 0);
                 }
-                self.core.hits[raw] += c;
+                core.hits[raw] += c;
             }
         }
         Ok(())
@@ -497,6 +515,40 @@ mod tests {
         assert_eq!(decisions.len(), 512);
         assert_eq!(batched.dispatched(), 512);
         assert_eq!(batched.hit_counts(), single.hit_counts());
+    }
+
+    #[test]
+    fn route_batch_scratch_survives_table_resizes() {
+        // The per-batch hit scratch is shard-local and reused across
+        // batches; growing and shrinking the table between batches must
+        // not leak stale counts into later merges — decisions and
+        // merged counters stay identical to per-job dispatch through
+        // the same publish sequence.
+        let phases: [(&[f64], usize); 3] =
+            [(&[0.5, 0.3, 0.2], 100), (&[0.1, 0.2, 0.3, 0.25, 0.15], 128), (&[0.9, 0.1], 77)];
+        let run = |batch: bool| {
+            let slot = swap(phases[0].0);
+            let sharded = ShardedDispatcher::new(Arc::clone(&slot), 13, 1);
+            let mut decisions = Vec::new();
+            for (i, &(probs, count)) in phases.iter().enumerate() {
+                if i > 0 {
+                    slot.publish(table(i as u64 + 1, probs));
+                }
+                if batch {
+                    sharded.shard(0).route_batch(count, &mut decisions).unwrap();
+                } else {
+                    let mut guard = sharded.shard(0);
+                    for _ in 0..count {
+                        decisions.push(guard.dispatch().unwrap());
+                    }
+                }
+            }
+            (decisions, sharded.hit_counts())
+        };
+        let (batched, batched_counts) = run(true);
+        let (single, single_counts) = run(false);
+        assert_eq!(batched, single);
+        assert_eq!(batched_counts, single_counts);
     }
 
     #[test]

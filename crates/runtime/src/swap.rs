@@ -33,6 +33,31 @@
 //!   retired table is freed when the last one drops; the slot itself
 //!   keeps the previous value alive for exactly one more publish (the
 //!   recycling lag of a double buffer).
+//! * **Pin** (`pin`): identical validation to `load`, but instead of
+//!   cloning the `Arc` and releasing the lease, the lease is *held* for
+//!   the lifetime of the returned [`Lease`] guard, which derefs to `&T`
+//!   borrowed straight out of the pinned buffer — no `Arc` clone, no
+//!   refcount traffic, for as many reads as the batch window needs.
+//!   See the bounded-staleness contract below.
+//!
+//! ## Pinned leases and bounded staleness
+//!
+//! A held [`Lease`] keeps its buffer's lease counter nonzero, which has
+//! exactly one consequence for writers: the *next* publish targets the
+//! other buffer and completes without waiting, but the publish after
+//! that must recycle the pinned buffer and therefore drains — i.e. a
+//! held pin lets the slot run **at most one generation ahead** of the
+//! pinned snapshot. That is the bounded-staleness contract, and it cuts
+//! both ways:
+//!
+//! * a pinned reader is never more than one publish stale, and
+//!   [`Lease::is_current`] / [`Lease::refresh`] let it re-validate at
+//!   window boundaries (a batch of dispatches, not per job);
+//! * writers drain in bounded time **iff** pin windows are bounded —
+//!   callers must drop or `refresh` a pin at every batch boundary, and
+//!   must never publish on the same slot from a thread holding a pin
+//!   (the second publish would wait for a lease that thread will never
+//!   release).
 //!
 //! ## Memory-ordering argument
 //!
@@ -59,6 +84,19 @@
 //!    stale zero on a weakly-ordered target and replace the `Arc` under
 //!    a live lease. (x86 compiles both the same way; only the `SeqCst`
 //!    poll is correct on ARM and under Miri.)
+//! 4. A pinned lease ([`pin`](EpochSwap::pin)) extends point 1 from "a
+//!    handful of instructions" to the guard's whole lifetime without new
+//!    orderings: the validated `fetch_add` is the *same* operation the
+//!    drain polls, so every dereference of the borrowed `&T` sits
+//!    between the increment (validated current by the `SeqCst` re-read)
+//!    and the `Release` decrement in [`Lease`]'s `Drop` — and point 3
+//!    sequences that decrement before any replacement of the buffer.
+//!    The writer never mutates a cell whose lease count is nonzero, so
+//!    the borrow can never witness (or tear across) a replacement; the
+//!    reads themselves race nothing, because the pinned cell is only
+//!    written after the pin is released. All four points are exercised
+//!    under Miri in CI (`miri-swap` runs this module's tests and
+//!    `swap_stress.rs`, both of which pin across racing publishes).
 //!
 //! The unsafe core is the pair of `UnsafeCell` accesses guarded by this
 //! protocol (one clone under a validated lease, one replace under the
@@ -185,6 +223,37 @@ impl<T> EpochSwap<T> {
         }
     }
 
+    /// Pins the current value for a batch window: the returned guard
+    /// holds the validated lease open and derefs to `&T` borrowed from
+    /// the live buffer — no `Arc` clone, no refcount traffic, however
+    /// many reads the window performs.
+    ///
+    /// A held pin lets at most **one** publish complete (the slot runs
+    /// at most one generation ahead of the snapshot); the publish after
+    /// that waits for the pin to drop. Callers therefore must keep pin
+    /// windows bounded — drop or [`refresh`](Lease::refresh) at every
+    /// batch boundary — and must never publish on this slot from a
+    /// thread that holds a pin on it. See the module docs for the
+    /// bounded-staleness contract and ordering point 4.
+    pub fn pin(&self) -> Lease<'_, T> {
+        loop {
+            let gen = self.gen.load(Ordering::Acquire);
+            let buffer = &self.buffers[(gen & 1) as usize];
+            buffer.leases.fetch_add(1, Ordering::SeqCst);
+            if self.gen.load(Ordering::SeqCst) == gen {
+                // Safety: the lease is validated exactly as in `load`
+                // and stays held until the guard drops, so the cell's
+                // `Arc` — and the `T` it points to — cannot be replaced
+                // while the guard lives (ordering points 1 and 4). The
+                // raw pointer into the `Arc`'s heap allocation therefore
+                // outlives every dereference the guard performs.
+                let value = unsafe { Arc::as_ptr(&*buffer.value.get()) };
+                return Lease { swap: self, gen, value };
+            }
+            buffer.leases.fetch_sub(1, Ordering::Release);
+        }
+    }
+
     /// Publishes a new value, returning the previous one.
     pub fn publish(&self, value: T) -> Arc<T> {
         self.publish_arc(Arc::new(value))
@@ -262,6 +331,92 @@ impl<T: std::fmt::Debug> std::fmt::Debug for EpochSwap<T> {
     }
 }
 
+/// A pinned, borrowed snapshot: holds the validated reader lease taken
+/// by [`EpochSwap::pin`] open for its lifetime and derefs to `&T`
+/// straight out of the pinned buffer. While it lives, the slot can run
+/// at most one generation ahead (bounded staleness); dropping it (or
+/// [`refresh`](Self::refresh)-ing at a batch boundary) releases the
+/// lease so writers drain. Like the `&T` it stands for, a lease can be
+/// sent or shared across threads when `T: Sync` (dropping it elsewhere
+/// only releases the atomic lease counter).
+pub struct Lease<'a, T> {
+    swap: &'a EpochSwap<T>,
+    /// Generation validated at acquisition; `gen & 1` is the pinned
+    /// buffer, and comparing against the slot's live counter answers
+    /// [`is_current`](Self::is_current).
+    gen: u64,
+    /// Borrow of the pinned buffer's `Arc` payload, valid for the
+    /// guard's lifetime per ordering point 4 in the module docs.
+    value: *const T,
+}
+
+// Safety: a `Lease` is a borrow of the pinned `T` plus a handle on the
+// slot's atomics. Dereferencing from another thread is sharing `&T`
+// (needs `T: Sync`); dropping from another thread only decrements an
+// atomic counter. It never drops or moves the `T` itself, so `T: Send`
+// is not required.
+unsafe impl<T: Sync> Send for Lease<'_, T> {}
+unsafe impl<T: Sync> Sync for Lease<'_, T> {}
+
+impl<T> Lease<'_, T> {
+    /// Whether the pinned snapshot is still the slot's newest value.
+    /// Under the bounded-staleness contract a stale pin is exactly one
+    /// publish behind.
+    #[must_use]
+    pub fn is_current(&self) -> bool {
+        self.swap.gen.load(Ordering::Acquire) == self.gen
+    }
+
+    /// Generation counter validated at acquisition (monotone across
+    /// publishes; not the application-level epoch).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Re-pins onto the newest value if a publish has landed since
+    /// acquisition, releasing the old lease. Returns `true` when the
+    /// snapshot moved. Call at batch-window boundaries: this is what
+    /// keeps pin windows bounded and writers draining.
+    pub fn refresh(&mut self) -> bool {
+        if self.is_current() {
+            return false;
+        }
+        // Acquire the new pin first, then drop the old lease via the
+        // assignment — order is irrelevant for correctness (the two
+        // leases sit on different buffers or are idempotent on one).
+        *self = self.swap.pin();
+        true
+    }
+}
+
+impl<T> std::ops::Deref for Lease<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the lease held since acquisition keeps the pinned
+        // cell's `Arc` (and its payload) alive and unreplaced until
+        // `Drop` releases it — ordering point 4 in the module docs.
+        unsafe { &*self.value }
+    }
+}
+
+impl<T> Drop for Lease<'_, T> {
+    fn drop(&mut self) {
+        self.swap.buffers[(self.gen & 1) as usize].leases.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Lease<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("gen", &self.gen)
+            .field("current", &self.is_current())
+            .field("value", &**self)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +467,84 @@ mod tests {
                         let v = *swap.load();
                         assert!(v >= last, "published values are monotone");
                         last = v;
+                    }
+                });
+            }
+            let writer = Arc::clone(&swap);
+            s.spawn(move || {
+                for v in 1..=PUBLISHES {
+                    writer.publish(v);
+                }
+            });
+        });
+        assert_eq!(*swap.load(), PUBLISHES);
+    }
+
+    #[test]
+    fn pin_borrows_without_cloning_the_arc() {
+        let swap = EpochSwap::new(vec![1, 2, 3]);
+        let before = Arc::strong_count(&swap.load());
+        let pin = swap.pin();
+        assert_eq!(*pin, vec![1, 2, 3]);
+        assert_eq!(Arc::strong_count(&swap.load()), before, "pin adds no refcount");
+        assert!(pin.is_current());
+    }
+
+    #[test]
+    fn pin_survives_exactly_one_publish() {
+        let swap = EpochSwap::new(10u32);
+        let mut pin = swap.pin();
+        // One publish proceeds without draining the held pin: it
+        // recycles the *other* buffer.
+        swap.publish(11);
+        assert_eq!(*pin, 10, "pinned snapshot is immutable across the publish");
+        assert!(!pin.is_current());
+        assert!(pin.refresh(), "refresh observes the publish");
+        assert_eq!(*pin, 11);
+        assert!(pin.is_current());
+        assert!(!pin.refresh(), "refresh is a no-op while current");
+    }
+
+    #[test]
+    fn dropping_a_pin_unblocks_the_second_publish() {
+        // A held pin admits one publish; the second targets the pinned
+        // buffer and must wait. Drop the pin from another thread while
+        // the writer drains.
+        let swap = EpochSwap::new(0u32);
+        let pin = swap.pin();
+        assert_eq!(pin.generation(), 0);
+        swap.publish(1); // recycles the non-pinned buffer: no wait
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Give the writer a moment to enter its drain loop.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                drop(pin);
+            });
+            swap.publish(2); // drains the pinned buffer
+        });
+        assert_eq!(*swap.load(), 2);
+        assert_eq!(swap.stats().publishes, 2);
+    }
+
+    #[test]
+    fn concurrent_pinned_readers_and_writer() {
+        // Readers pin across bounded windows with refresh at the
+        // boundary; values stay monotone and never tear, and the writer
+        // finishes because every pin window is bounded.
+        let swap = Arc::new(EpochSwap::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let swap = Arc::clone(&swap);
+                s.spawn(move || {
+                    let mut last = 0;
+                    let mut pin = swap.pin();
+                    for i in 0..READS {
+                        let v = *pin;
+                        assert!(v >= last, "pinned snapshots are monotone across refresh");
+                        last = v;
+                        if i % 16 == 15 {
+                            pin.refresh();
+                        }
                     }
                 });
             }

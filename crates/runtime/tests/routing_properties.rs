@@ -7,10 +7,20 @@
 //! 2. neither path ever returns a zero-probability node, for weight
 //!    vectors with zeros injected at random positions;
 //! 3. batch routing replays the per-job decision sequence draw for draw,
-//!    for random weights, seeds, and batch splits.
+//!    for random weights, seeds, and batch splits;
+//! 4. incremental alias repair ([`TableBuilder::update_weights`]) is
+//!    draw-for-draw identical to a full rebuild across random sequences
+//!    of k-node weight deltas, including zero-probability transitions
+//!    (parking and reviving nodes) and the `MAX_BELOW_ONE` boundary
+//!    draw — on the repair path the published vector must be a fixed
+//!    point of the full pipeline (requested weights verbatim, at most
+//!    two absorber buckets moved); on the fallback it must be exactly
+//!    the renormalized patched vector.
 
 use gtlb_desim::rng::Xoshiro256PlusPlus;
-use gtlb_runtime::{EpochSwap, NodeId, RoutingTable, ShardedDispatcher};
+use gtlb_runtime::{
+    EpochSwap, NodeId, RoutingTable, ShardedDispatcher, TableBuilder, MAX_BELOW_ONE,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -142,5 +152,92 @@ proptest! {
         prop_assert_eq!(decisions.len(), first + second);
         prop_assert_eq!(batched.hit_counts(), reference.hit_counts());
         prop_assert_eq!(batched.dispatched(), (first + second) as u64);
+    }
+
+    #[test]
+    fn incremental_repair_matches_full_rebuild(
+        base in arb_weights_with_zeros(),
+        steps in prop::collection::vec(
+            prop::collection::vec(
+                (0usize..12, prop_oneof![Just(0.0), 0.01f64..2.0]),
+                1..4,
+            ),
+            1..6,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let ids: Vec<NodeId> = (0..base.len() as u64).map(NodeId::from_raw).collect();
+        let mut builder = TableBuilder::new();
+        let mut current = builder.build(1, ids.clone(), &base).unwrap();
+        for (step_no, step) in steps.iter().enumerate() {
+            let updates: Vec<(usize, f64)> =
+                step.iter().map(|&(i, w)| (i % current.len(), w)).collect();
+            // The reference: patch the live normalized probabilities the
+            // same way `update_weights` does, then build from scratch.
+            let mut patched = current.probs().to_vec();
+            for &(i, w) in &updates {
+                patched[i] = w;
+            }
+            let epoch = step_no as u64 + 2;
+            if patched.iter().all(|&w| w == 0.0) {
+                // Unroutable delta: both paths must refuse it.
+                prop_assert!(builder.update_weights(&current, epoch, &updates).is_err());
+                prop_assert!(RoutingTable::new(epoch, ids.clone(), &patched).is_err());
+                continue;
+            }
+            let repairs_before = builder.repairs();
+            let incremental = builder.update_weights(&current, epoch, &updates).unwrap();
+            let fresh = if builder.repairs() > repairs_before {
+                // Repair path: the requested probabilities land
+                // verbatim, at most two absorber buckets move beyond
+                // them, the serial sum is exactly one, and the vector
+                // is a fixed point of the full pipeline.
+                for &(i, _) in &updates {
+                    prop_assert_eq!(
+                        incremental.probs()[i].to_bits(),
+                        patched[i].to_bits(),
+                        "update at {} not published verbatim (step {})", i, step_no
+                    );
+                }
+                let mut distinct: Vec<usize> = updates.iter().map(|&(i, _)| i).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let moved = incremental
+                    .probs()
+                    .iter()
+                    .zip(current.probs())
+                    .filter(|(a, b)| a.to_bits() != b.to_bits())
+                    .count();
+                prop_assert!(
+                    moved <= distinct.len() + 2,
+                    "repair moved {} probs for {} updates (step {})", moved, distinct.len(), step_no
+                );
+                prop_assert_eq!(incremental.probs().iter().sum::<f64>(), 1.0);
+                RoutingTable::new(epoch, ids.clone(), incremental.probs()).unwrap()
+            } else {
+                // Fallback: exactly the renormalized patched vector.
+                RoutingTable::new(epoch, ids.clone(), &patched).unwrap()
+            };
+            // Bit-identical published state (repair or fallback alike)...
+            prop_assert_eq!(incremental.epoch(), fresh.epoch());
+            prop_assert_eq!(incremental.nodes(), fresh.nodes());
+            for (a, b) in incremental.probs().iter().zip(fresh.probs()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "probs diverge at step {}", step_no);
+            }
+            // ...and draw-for-draw identical routing, on random draws
+            // and on the alias knife-edges (0, the largest f64 below
+            // 1.0, and the out-of-contract 1.0 the table still accepts).
+            let mut rng = Xoshiro256PlusPlus::stream(seed ^ step_no as u64, 0x0400);
+            for _ in 0..512 {
+                let u = rng.next_open01();
+                prop_assert_eq!(incremental.route_index(u), fresh.route_index(u));
+            }
+            for u in [0.0, 0.25, 0.5, MAX_BELOW_ONE, 1.0] {
+                prop_assert_eq!(incremental.route_index(u), fresh.route_index(u));
+            }
+            current = incremental;
+        }
+        // The builder took one of the two paths on every accepted step.
+        prop_assert!(builder.repairs() + builder.rebuilds() >= 1);
     }
 }
