@@ -6,6 +6,9 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /metrics` | Prometheus text exposition (503 when telemetry is off) |
 //! | `GET /metrics.json` | the same snapshot as JSON |
+//! | `GET /traces` | flight-recorder contents as JSON (503 when tracing is off) |
+//! | `GET /traces/{id}` | one trace by hex id |
+//! | `GET /traces.chrome` | the same traces as Chrome `trace_event` JSON |
 //! | `GET /nodes` | lifecycle table merged with registry/detector state |
 //! | `POST /v1/register` | `{"name", "rate", "heartbeat_interval"?}` → Registering (or Approved under auto-approve) |
 //! | `POST /v1/nodes/{name}/approve` | admit a Registering node |
@@ -16,7 +19,7 @@
 
 use std::sync::Mutex;
 
-use gtlb_runtime::ControlPlaneHooks;
+use gtlb_runtime::{ControlPlaneHooks, SpanKind, Trace, TraceId};
 
 use crate::http::{Method, Request, Response};
 use crate::lifecycle::{Lifecycle, LifecycleError, NodeState};
@@ -58,15 +61,19 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         (Method::Get, "/healthz") => healthz(state),
         (Method::Get, "/metrics") => metrics_text(state),
         (Method::Get, "/metrics.json") => metrics_json(state),
+        (Method::Get, "/traces") => traces(state),
+        (Method::Get, "/traces.chrome") => traces_chrome(state),
         (Method::Get, "/nodes") => nodes(state),
         (Method::Post, "/v1/register") => register(state, req),
         (Method::Post, "/v1/heartbeat") => named_op(state, req, Lifecycle::heartbeat_op),
         (Method::Post, "/v1/metrics") => metrics_update(state, req),
         (Method::Post, "/v1/drain") => named_op(state, req, Lifecycle::drain_op),
-        (method, path) => match path.strip_prefix("/v1/nodes/") {
-            Some(rest) => node_resource(state, method, rest),
-            None if known_path(path) => Response::text(405, "method not allowed\n"),
-            None => Response::text(404, "not found\n"),
+        (method, path) => match (path.strip_prefix("/traces/"), path.strip_prefix("/v1/nodes/")) {
+            (Some(rest), _) if method == Method::Get => trace_by_id(state, rest),
+            (Some(_), _) => Response::text(405, "method not allowed\n"),
+            (None, Some(rest)) => node_resource(state, method, rest),
+            (None, None) if known_path(path) => Response::text(405, "method not allowed\n"),
+            (None, None) => Response::text(404, "not found\n"),
         },
     }
 }
@@ -78,6 +85,8 @@ fn known_path(path: &str) -> bool {
         "/healthz"
             | "/metrics"
             | "/metrics.json"
+            | "/traces"
+            | "/traces.chrome"
             | "/nodes"
             | "/v1/register"
             | "/v1/heartbeat"
@@ -144,6 +153,92 @@ fn metrics_json(state: &AppState) -> Response {
     match state.hooks().telemetry_json() {
         Some(json) => Response::json(200, json),
         None => Response::text(503, "telemetry is disabled on this runtime\n"),
+    }
+}
+
+/// One trace rendered as a JSON object: identity, shape summary, and
+/// the causally-ordered spans with their kind-specific fields.
+fn trace_json(t: &Trace) -> String {
+    let mut spans = String::from("[");
+    for (i, s) in t.spans.iter().enumerate() {
+        if i > 0 {
+            spans.push(',');
+        }
+        let mut b = ObjBuilder::new();
+        b.str("name", s.kind.name()).num("start", s.start).num("end", s.end);
+        match s.kind {
+            SpanKind::Queued { depth } => {
+                b.int("depth", depth);
+            }
+            SpanKind::Routed { node, epoch, shard } => {
+                b.int("node", node).int("epoch", epoch).int("shard", u64::from(shard));
+            }
+            SpanKind::Attempt { n, outcome, backoff } => {
+                b.int("n", u64::from(n)).str("outcome", outcome.as_str()).num("backoff", backoff);
+            }
+            _ => {}
+        }
+        spans.push_str(&b.finish());
+    }
+    spans.push(']');
+    let mut b = ObjBuilder::new();
+    b.str("id", &t.id.to_hex()).int("sequence", t.sequence);
+    b.num("start", t.started_at()).num("end", t.ended_at()).num("duration", t.duration());
+    match t.terminal() {
+        Some(k) => b.str("terminal", k.name()),
+        None => b.raw("terminal", "null"),
+    };
+    b.int("attempts", u64::from(t.attempts()));
+    b.raw("spans", &spans);
+    b.finish()
+}
+
+fn tracing_disabled() -> Response {
+    Response::text(503, "tracing is disabled on this runtime\n")
+}
+
+/// `GET /traces`: every trace the flight recorder currently holds,
+/// with the recorder's exact accounting alongside.
+fn traces(state: &AppState) -> Response {
+    if !state.hooks().tracing_enabled() {
+        return tracing_disabled();
+    }
+    let all = state.hooks().traces();
+    let (recorded, dropped) = state.hooks().trace_counters();
+    let mut rows = String::from("[");
+    for (i, t) in all.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&trace_json(t));
+    }
+    rows.push(']');
+    let mut b = ObjBuilder::new();
+    b.int("count", all.len() as u64).int("recorded", recorded).int("dropped", dropped);
+    b.raw("traces", &rows);
+    Response::json(200, b.finish())
+}
+
+/// `GET /traces.chrome`: the recorder's contents as Chrome
+/// `trace_event` JSON, loadable in `about:tracing` / Perfetto.
+fn traces_chrome(state: &AppState) -> Response {
+    match state.hooks().traces_chrome() {
+        Some(json) => Response::json(200, json),
+        None => tracing_disabled(),
+    }
+}
+
+/// `GET /traces/{id}`: one recorded trace by its hex id.
+fn trace_by_id(state: &AppState, rest: &str) -> Response {
+    if !state.hooks().tracing_enabled() {
+        return tracing_disabled();
+    }
+    let Some(id) = TraceId::from_hex(rest) else {
+        return Response::text(400, "trace ids are 1-16 hex digits\n");
+    };
+    match state.hooks().trace(id) {
+        Some(t) => Response::json(200, trace_json(&t)),
+        None => Response::text(404, "no such trace\n"),
     }
 }
 
@@ -453,6 +548,58 @@ mod tests {
         let text = body_text(&route(&app, &req(Method::Get, "/nodes", "")));
         assert!(text.contains("\"converged\":true"), "{text}");
         assert!(text.contains("\"residual\":"), "{text}");
+    }
+
+    #[test]
+    fn traces_endpoints_503_when_tracing_is_off() {
+        let app = app(true);
+        assert_eq!(route(&app, &req(Method::Get, "/traces", "")).status, 503);
+        assert_eq!(route(&app, &req(Method::Get, "/traces.chrome", "")).status, 503);
+        assert_eq!(route(&app, &req(Method::Get, "/traces/0badc0de", "")).status, 503);
+        assert_eq!(route(&app, &req(Method::Post, "/traces", "")).status, 405);
+        assert_eq!(route(&app, &req(Method::Delete, "/traces/0badc0de", "")).status, 405);
+    }
+
+    #[test]
+    fn traces_serve_the_flight_recorder() {
+        use gtlb_runtime::driver::{TraceConfig, TraceDriver};
+        use gtlb_runtime::TracingConfig;
+        let rt = Arc::new(
+            Runtime::builder()
+                .seed(5)
+                .nominal_arrival_rate(0.5)
+                .tracing_config(TracingConfig::sample_all())
+                .build(),
+        );
+        rt.register_node(1.0).unwrap();
+        rt.resolve_now().unwrap();
+        let mut driver = TraceDriver::new(0.5, TraceConfig { seed: 3, batch_size: 100 });
+        driver.run_jobs(&rt, 50).unwrap();
+        let app =
+            AppState::new(rt.attach_control_plane(), Lifecycle::new(LifecycleConfig::default()));
+
+        let resp = route(&app, &req(Method::Get, "/traces", ""));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert!(doc.get("count").and_then(Json::as_f64).unwrap() > 0.0);
+        let first = doc.get("traces").and_then(|t| t.as_array()).unwrap()[0].clone();
+        let id = first.get("id").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(first.get("terminal").and_then(Json::as_str), Some("completed"));
+
+        let resp = route(&app, &req(Method::Get, &format!("/traces/{id}"), ""));
+        assert_eq!(resp.status, 200);
+        let one = Json::parse(&resp.body).unwrap();
+        assert_eq!(one.get("id").and_then(Json::as_str), Some(id.as_str()));
+        let spans = one.get("spans").and_then(|s| s.as_array()).unwrap();
+        assert!(spans.len() >= 4, "admitted/queued/routed/attempt/completed");
+
+        assert_eq!(route(&app, &req(Method::Get, "/traces/zz", "")).status, 400);
+        assert_eq!(route(&app, &req(Method::Get, "/traces/ffffffffffffffff", "")).status, 404);
+
+        let resp = route(&app, &req(Method::Get, "/traces.chrome", ""));
+        assert_eq!(resp.status, 200);
+        let chrome = Json::parse(&resp.body).unwrap();
+        assert!(!chrome.get("traceEvents").and_then(|e| e.as_array()).unwrap().is_empty());
     }
 
     #[test]

@@ -267,6 +267,41 @@ impl ControlPlaneHooks {
     pub fn telemetry_json(&self) -> Option<String> {
         self.runtime.telemetry_snapshot().map(|s| s.to_json())
     }
+
+    /// Whether the runtime records per-job traces.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.runtime.tracer().is_enabled()
+    }
+
+    /// Every trace currently held in the flight recorder, in start-time
+    /// order (empty when tracing is disabled) — the `/traces` endpoint
+    /// serves exactly this.
+    #[must_use]
+    pub fn traces(&self) -> Vec<crate::Trace> {
+        self.runtime.tracer().traces()
+    }
+
+    /// One recorded trace looked up by id across every recorder lane.
+    #[must_use]
+    pub fn trace(&self, id: crate::TraceId) -> Option<crate::Trace> {
+        self.runtime.tracer().trace(id)
+    }
+
+    /// The flight recorder's contents rendered as Chrome `trace_event`
+    /// JSON (`None` when tracing is disabled) — the `/traces.chrome`
+    /// endpoint serves exactly this.
+    #[must_use]
+    pub fn traces_chrome(&self) -> Option<String> {
+        self.tracing_enabled().then(|| crate::to_chrome_json(&self.runtime.tracer().traces()))
+    }
+
+    /// Flight-recorder accounting as `(recorded, dropped)` whole-trace
+    /// counts, both zero when tracing is disabled.
+    #[must_use]
+    pub fn trace_counters(&self) -> (u64, u64) {
+        (self.runtime.tracer().recorded(), self.runtime.tracer().dropped())
+    }
 }
 
 impl Runtime {

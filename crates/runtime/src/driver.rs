@@ -25,10 +25,10 @@ use gtlb_desim::rng::Xoshiro256PlusPlus;
 use gtlb_desim::stats::{BatchMeans, ConfidenceInterval, Welford};
 
 use crate::error::RuntimeError;
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{DropCause, FaultInjector, FaultPlan};
 use crate::registry::NodeId;
 use crate::retry::{RetryPolicy, RETRY_STREAM};
-use crate::{Runtime, Submission};
+use crate::{AttemptOutcome, Runtime, SpanKind, Submission, Trace};
 
 /// RNG stream id of the driver's arrival process.
 pub const DRIVER_ARRIVAL_STREAM: u64 = 0x0500;
@@ -311,7 +311,22 @@ impl TraceDriver {
             runtime.record_arrival(arrived);
 
             self.submitted += 1;
-            self.offer_job(runtime, arrived)?;
+            // Tracing is draw-free: begin() is a hash plus a mask test,
+            // so the sampled/unsampled decision cannot perturb the run.
+            let mut trace = runtime.tracer().begin(self.submitted);
+            let outcome = self.offer_job(runtime, arrived, &mut trace);
+            if let Some(t) = trace.take() {
+                let shard = t
+                    .spans
+                    .iter()
+                    .find_map(|s| match s.kind {
+                        SpanKind::Routed { shard, .. } => Some(shard as usize),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                runtime.tracer().finish(shard, t);
+            }
+            outcome?;
         }
         Ok(())
     }
@@ -342,19 +357,44 @@ impl TraceDriver {
     /// the retry loop. Exactly one terminal counter is bumped per call
     /// (`accepted`, `rejected`, `deferred`, or `failed`) — the
     /// conservation invariant [`TraceStats::is_conserved`] checks.
-    fn offer_job(&mut self, runtime: &Runtime, arrived: f64) -> Result<(), RuntimeError> {
+    ///
+    /// When the job is sampled (`trace` is `Some`), every decision the
+    /// loop already makes is mirrored into a span — admission verdict,
+    /// routing choice, each attempt's outcome, and the terminal — all
+    /// stamped with the virtual times the loop computed anyway, so
+    /// tracing adds no draws and no clock reads.
+    fn offer_job(
+        &mut self,
+        runtime: &Runtime,
+        arrived: f64,
+        trace: &mut Option<Trace>,
+    ) -> Result<(), RuntimeError> {
         let budget = self.retry.as_ref().map_or(1, |(p, _)| p.max_attempts());
         let timeout = self.retry.as_ref().map_or(0.0, |(p, _)| p.timeout());
         let chaos = self.faults.is_some();
         let mut t_attempt = arrived;
         let mut prev_backoff = 0.0;
         for attempt in 1..=budget {
-            let submission = match runtime.submit() {
+            // Claim the round-robin shard explicitly so the trace can
+            // name it; `submit()` is exactly `submit_on(next_shard())`,
+            // so the decision stream is untouched.
+            let shard = runtime.sharded_dispatcher().next_shard();
+            let submission = match runtime.submit_on(shard) {
                 Ok(s) => s,
                 // With faults on, an empty table is transient (the last
                 // serving node just went Down; recovery or probation will
                 // repopulate it) — retryable, not fatal.
                 Err(RuntimeError::NoServingNodes) if chaos => {
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(
+                            SpanKind::Attempt {
+                                n: attempt,
+                                outcome: AttemptOutcome::Timeout,
+                                backoff: prev_backoff,
+                            },
+                            t_attempt,
+                        );
+                    }
                     if self.schedule_retry(
                         runtime,
                         attempt,
@@ -363,6 +403,9 @@ impl TraceDriver {
                         &mut prev_backoff,
                     ) {
                         continue;
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(SpanKind::Failed, t_attempt);
                     }
                     return Ok(());
                 }
@@ -372,11 +415,24 @@ impl TraceDriver {
                 Submission::Dispatched(d) => d,
                 Submission::Rejected => {
                     if attempt == 1 {
+                        if let Some(t) = trace.as_mut() {
+                            t.instant(SpanKind::Rejected, arrived);
+                        }
                         self.rejected += 1;
                         self.note_terminal(1);
                         return Ok(());
                     }
                     // Shed mid-retry: consumes budget like a drop.
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(
+                            SpanKind::Attempt {
+                                n: attempt,
+                                outcome: AttemptOutcome::Timeout,
+                                backoff: prev_backoff,
+                            },
+                            t_attempt,
+                        );
+                    }
                     if self.schedule_retry(
                         runtime,
                         attempt,
@@ -385,14 +441,30 @@ impl TraceDriver {
                         &mut prev_backoff,
                     ) {
                         continue;
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(SpanKind::Failed, t_attempt);
                     }
                     return Ok(());
                 }
                 Submission::Deferred => {
                     if attempt == 1 {
+                        if let Some(t) = trace.as_mut() {
+                            t.instant(SpanKind::Deferred, arrived);
+                        }
                         self.deferred += 1;
                         self.note_terminal(1);
                         return Ok(());
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(
+                            SpanKind::Attempt {
+                                n: attempt,
+                                outcome: AttemptOutcome::Timeout,
+                                backoff: prev_backoff,
+                            },
+                            t_attempt,
+                        );
                     }
                     if self.schedule_retry(
                         runtime,
@@ -402,23 +474,59 @@ impl TraceDriver {
                         &mut prev_backoff,
                     ) {
                         continue;
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        t.instant(SpanKind::Failed, t_attempt);
                     }
                     return Ok(());
                 }
             };
             let node = decision.node;
             let mu = runtime.node_rate(node).ok_or(RuntimeError::UnknownNode(node))?;
+            if let Some(t) = trace.as_mut() {
+                // Head spans once, on the first attempt that dispatched.
+                if t.spans.is_empty() {
+                    t.instant(SpanKind::Admitted, arrived);
+                    let depth = runtime.telemetry().ingest_depth().max(0.0) as u64;
+                    t.instant(SpanKind::Queued { depth }, arrived);
+                }
+                t.instant(
+                    SpanKind::Routed {
+                        node: node.raw(),
+                        epoch: decision.epoch,
+                        shard: shard as u32,
+                    },
+                    t_attempt,
+                );
+            }
 
-            if self.faults.as_mut().is_some_and(|f| f.dispatch_drops(node, t_attempt)) {
+            let cause = self.faults.as_mut().and_then(|f| f.dispatch_drop_cause(node, t_attempt));
+            if let Some(cause) = cause {
                 // The attempt times out against the sick node; the
                 // detector hears about it at the deadline.
                 self.dropped += 1;
                 runtime.telemetry().record_fault_drop(0, node, t_attempt);
                 runtime.observe_failure(node, t_attempt + timeout)?;
+                if let Some(t) = trace.as_mut() {
+                    let outcome = match cause {
+                        DropCause::Partition => AttemptOutcome::PartitionDrop,
+                        DropCause::Crash | DropCause::Flaky | DropCause::Gray => {
+                            AttemptOutcome::FaultDrop
+                        }
+                    };
+                    t.interval(
+                        SpanKind::Attempt { n: attempt, outcome, backoff: prev_backoff },
+                        t_attempt,
+                        t_attempt + timeout,
+                    );
+                }
                 t_attempt += timeout;
                 if self.schedule_retry(runtime, attempt, budget, &mut t_attempt, &mut prev_backoff)
                 {
                     continue;
+                }
+                if let Some(t) = trace.as_mut() {
+                    t.instant(SpanKind::Failed, t_attempt);
                 }
                 return Ok(());
             }
@@ -445,8 +553,22 @@ impl TraceDriver {
             self.accepted += 1;
             self.note_terminal(attempt);
             let response = done - arrived;
+            if let Some(t) = trace.as_mut() {
+                t.interval(
+                    SpanKind::Attempt {
+                        n: attempt,
+                        outcome: AttemptOutcome::Ok,
+                        backoff: prev_backoff,
+                    },
+                    t_attempt,
+                    done,
+                );
+                t.instant(SpanKind::Completed, done);
+            }
             runtime.telemetry().record_queue_wait(start - t_attempt);
-            runtime.telemetry().record_response(response);
+            runtime
+                .telemetry()
+                .record_response_traced(response, trace.as_ref().map(|t| t.id.raw()));
             self.responses.add(response);
             self.batches.add(response);
             *self.per_node.entry(node).or_insert(0) += 1;
@@ -705,6 +827,46 @@ mod tests {
             (s.mean_response.to_bits(), s.failed, s.retried, driver.clock().to_bits())
         };
         assert_eq!(run(), run(), "same seed and plan ⇒ bit-identical chaos trace");
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_records_causal_traces() {
+        let run = |traced: bool| {
+            let mut b =
+                RuntimeBuilder::new().seed(11).scheme(SchemeKind::Coop).nominal_arrival_rate(0.6);
+            if traced {
+                b = b.tracing_config(crate::TracingConfig::sample_all());
+            }
+            let rt = b.build();
+            let ids: Vec<NodeId> =
+                [1.0, 0.5].iter().map(|&r| rt.register_node(r).unwrap()).collect();
+            rt.resolve_now().unwrap();
+            let plan =
+                FaultPlan::new(3).crash_recover(ids[0], 40.0, 30.0).flaky(ids[1], 10.0, 20.0, 0.4);
+            let mut driver = TraceDriver::new(0.6, TraceConfig { seed: 9, batch_size: 100 })
+                .with_faults(plan)
+                .with_retry(RetryPolicy::new(crate::RetryConfig::default()).unwrap())
+                .with_heartbeats(1.0);
+            driver.run_jobs(&rt, 2_000).unwrap();
+            (driver.stats().mean_response.to_bits(), driver.clock().to_bits(), rt.tracer().traces())
+        };
+        let (a, ta, none) = run(false);
+        let (b, tb, traces) = run(true);
+        assert_eq!(a, b, "tracing must not perturb the trace");
+        assert_eq!(ta, tb);
+        assert!(none.is_empty(), "disabled tracer records nothing");
+        assert!(!traces.is_empty(), "sample-all chaos run must record traces");
+        for t in &traces {
+            t.terminal().expect("every trace ends in a terminal span");
+            assert_eq!(
+                t.spans.iter().filter(|s| s.kind.is_terminal()).count(),
+                1,
+                "exactly one terminal: {t:?}"
+            );
+            for w in t.spans.windows(2) {
+                assert!(w[1].start >= w[0].start, "spans out of causal order: {t:?}");
+            }
+        }
     }
 
     #[test]

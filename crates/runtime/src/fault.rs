@@ -651,6 +651,20 @@ impl FaultPlan {
     }
 }
 
+/// Which step of the dispatch-drop decision procedure dropped an
+/// attempt (see [`FaultInjector::dispatch_drop_cause`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The node is crashed (own event or its domain's).
+    Crash,
+    /// An active dispatch-cutting asymmetric partition.
+    Partition,
+    /// A flaky-window draw on the node's [`FAULT_STREAM`] stream.
+    Flaky,
+    /// A gray-loss draw on the node's [`ADVERSARIAL_STREAM`] stream.
+    Gray,
+}
+
 /// Evaluates a [`FaultPlan`] against the virtual clock. Stateless for
 /// crash/slow/partition queries; flaky and gray drop draws advance the
 /// per-node fault streams (hence `&mut` on
@@ -771,16 +785,25 @@ impl FaultInjector {
     /// node's [`ADVERSARIAL_STREAM`] stream. A step that fires
     /// short-circuits the later ones.
     pub fn dispatch_drops(&mut self, node: NodeId, t: f64) -> bool {
+        self.dispatch_drop_cause(node, t).is_some()
+    }
+
+    /// As [`FaultInjector::dispatch_drops`], but reports *which* step
+    /// dropped the attempt. The draw-order contract is identical —
+    /// this is the same decision procedure, not a second one — so the
+    /// tracing layer can label attempt outcomes without perturbing a
+    /// single RNG draw.
+    pub fn dispatch_drop_cause(&mut self, node: NodeId, t: f64) -> Option<DropCause> {
         if self.crashed(node, t) {
-            return true;
+            return Some(DropCause::Crash);
         }
         if self.partitioned(node, t, PartitionDirection::DropDispatch) {
-            return true;
+            return Some(DropCause::Partition);
         }
         if self.flaky_draw(node, t) {
-            return true;
+            return Some(DropCause::Flaky);
         }
-        self.gray_draw(node, t)
+        self.gray_draw(node, t).then_some(DropCause::Gray)
     }
 
     /// Decides one heartbeat attempt against `node` at time `t`: same

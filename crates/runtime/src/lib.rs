@@ -62,6 +62,7 @@ pub mod shard;
 pub mod swap;
 pub mod table;
 pub mod telemetry;
+pub mod tracing;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -83,8 +84,8 @@ pub use dynamics::{
 pub use error::RuntimeError;
 pub use estimator::EstimatorBank;
 pub use fault::{
-    DomainEvent, FaultEvent, FaultInjector, FaultKind, FaultMarker, FaultMarkerKind, FaultPlan,
-    PartitionDirection, ADVERSARIAL_STREAM, FAULT_STREAM,
+    DomainEvent, DropCause, FaultEvent, FaultInjector, FaultKind, FaultMarker, FaultMarkerKind,
+    FaultPlan, PartitionDirection, ADVERSARIAL_STREAM, FAULT_STREAM,
 };
 pub use ingest::{IngestError, IngestQueue};
 pub use registry::{Health, Node, NodeId, Registry};
@@ -94,6 +95,11 @@ pub use shard::{ShardGuard, ShardedDispatcher};
 pub use swap::{EpochSwap, Lease, SwapStats};
 pub use table::{RoutingTable, TableBuilder};
 pub use telemetry::{RuntimeEvent, Telemetry, TelemetryHandle};
+pub use tracing::Tracer;
+// Trace primitives, re-exported so downstream crates name one source.
+pub use gtlb_telemetry::trace::{
+    to_chrome_json, AttemptOutcome, Span, SpanKind, Trace, TraceId, TracingConfig,
+};
 
 /// Tunables of a [`Runtime`]; built through [`RuntimeBuilder`].
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +134,11 @@ pub struct RuntimeConfig {
     /// Off by default. Telemetry consumes no RNG draws and leaves every
     /// decision sequence bit-identical; it only adds instruments.
     pub telemetry: bool,
+    /// Per-job tracing (spans + flight recorder); `None` (the default)
+    /// disables it. Tracing owns no RNG stream and no clock — trace
+    /// ids hash from `seed` and the job sequence — so enabling it
+    /// leaves every decision sequence and fingerprint bit-identical.
+    pub tracing: Option<TracingConfig>,
     /// How the resolve path computes allocations: the centralized
     /// closed-form scheme (the default) or decentralized best-reply
     /// iteration. Switchable live via [`Runtime::set_solver_mode`].
@@ -148,6 +159,7 @@ impl Default for RuntimeConfig {
             admission: None,
             detector: DetectorConfig::default(),
             telemetry: false,
+            tracing: None,
             solver: SolverMode::Coop,
         }
     }
@@ -235,6 +247,25 @@ impl RuntimeBuilder {
     #[must_use]
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.cfg.telemetry = enabled;
+        self
+    }
+
+    /// Enables or disables per-job tracing with the default
+    /// [`TracingConfig`] (1-in-16 head sampling). Disabled by default;
+    /// enabling it never perturbs a decision sequence — trace identity
+    /// and sampling are pure hash functions of the seed and job
+    /// sequence number.
+    #[must_use]
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.cfg.tracing = enabled.then(TracingConfig::default);
+        self
+    }
+
+    /// Enables per-job tracing with an explicit configuration
+    /// (sampling mask, recorder capacity, slow-trace threshold).
+    #[must_use]
+    pub fn tracing_config(mut self, cfg: TracingConfig) -> Self {
+        self.cfg.tracing = Some(cfg);
         self
     }
 
@@ -354,6 +385,7 @@ pub struct Runtime {
     admission: Option<AdmissionControl>,
     epoch: AtomicU64,
     telemetry: Telemetry,
+    tracer: Tracer,
 }
 
 impl Runtime {
@@ -376,6 +408,9 @@ impl Runtime {
         } else {
             Telemetry::disabled()
         };
+        let tracer = cfg
+            .tracing
+            .map_or_else(Tracer::disabled, |tc| Tracer::enabled(cfg.seed, cfg.shards.max(1), tc));
         let sharded = ShardedDispatcher::with_telemetry(
             Arc::clone(&table),
             cfg.seed,
@@ -411,6 +446,7 @@ impl Runtime {
             admission,
             epoch: AtomicU64::new(0),
             telemetry,
+            tracer,
         }
     }
 
@@ -916,6 +952,8 @@ impl Runtime {
                 }
             }
         }
+        drop(guard);
+        self.telemetry.record_batch(count as u64);
         Ok(())
     }
 
@@ -963,6 +1001,14 @@ impl Runtime {
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The tracing facade (disabled unless [`RuntimeBuilder::tracing`]
+    /// turned it on). Drivers use it to begin sampled per-job traces
+    /// and land them in the flight recorder.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Scrapes every telemetry instrument into one snapshot, after

@@ -101,6 +101,11 @@ pub mod names {
     pub const VIRTUAL_CLOCK: &str = "gtlb_virtual_clock_seconds";
     /// Jobs currently queued in the ingest queue.
     pub const INGEST_DEPTH: &str = "gtlb_ingest_depth";
+    /// Jobs dispatched whose completion has not been recorded yet
+    /// (derived at scrape: dispatches − responses − fault drops).
+    pub const JOBS_INFLIGHT: &str = "gtlb_jobs_inflight";
+    /// Batch sizes offered through the `submit_batch` family.
+    pub const BATCH_SIZE: &str = "gtlb_batch_size";
     /// High-water mark of the ingest queue depth.
     pub const INGEST_PEAK_DEPTH: &str = "gtlb_ingest_peak_depth";
     /// Response time, arrival → completion (virtual seconds).
@@ -264,8 +269,10 @@ pub(crate) struct TelemetryInner {
     offered_utilization: Arc<Gauge>,
     virtual_clock: Arc<Gauge>,
     ingest_depth: Arc<Gauge>,
+    jobs_inflight: Arc<Gauge>,
     ingest_peak: Arc<Watermark>,
     response: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
     queue_wait: Arc<Histogram>,
     backoff: Arc<Histogram>,
     publish_wait: Arc<Histogram>,
@@ -298,8 +305,10 @@ impl TelemetryInner {
             offered_utilization: registry.gauge(names::OFFERED_UTILIZATION, 1),
             virtual_clock: registry.gauge(names::VIRTUAL_CLOCK, 1),
             ingest_depth: registry.gauge(names::INGEST_DEPTH, shards),
+            jobs_inflight: registry.gauge(names::JOBS_INFLIGHT, 1),
             ingest_peak: registry.watermark(names::INGEST_PEAK_DEPTH, shards),
             response: registry.histogram(names::RESPONSE_SECONDS),
+            batch_size: registry.histogram(names::BATCH_SIZE),
             queue_wait: registry.histogram(names::QUEUE_WAIT_SECONDS),
             backoff: registry.histogram(names::RETRY_BACKOFF_SECONDS),
             publish_wait: registry.histogram(names::PUBLISH_WAIT_SECONDS),
@@ -344,6 +353,13 @@ impl TelemetryInner {
         }
         self.events_dropped.set_total(self.ring.dropped());
         self.virtual_clock.set(self.clock());
+        // Jobs routed whose completion was never recorded: dispatched
+        // minus responses minus fault-dropped attempts, floored at 0
+        // (drivers that don't record responses leave this at the raw
+        // dispatch count, which is still the honest upper bound).
+        let completed = self.response.snapshot().count();
+        let drops = self.fault_drops.value();
+        self.jobs_inflight.set(dispatched.saturating_sub(completed + drops) as f64);
     }
 
     /// Mirrors per-node suspicion state (live φ and the effective
@@ -439,6 +455,34 @@ impl Telemetry {
         if let Some(inner) = self.inner() {
             inner.response.record(seconds);
         }
+    }
+
+    /// Records a completed job's response time together with its trace
+    /// id as the bucket exemplar (when the job was sampled), so
+    /// `gtlb_response_seconds` percentiles link to a concrete trace.
+    #[inline]
+    pub fn record_response_traced(&self, seconds: f64, exemplar: Option<u64>) {
+        if let Some(inner) = self.inner() {
+            match exemplar {
+                Some(id) => inner.response.record_with_exemplar(seconds, id),
+                None => inner.response.record(seconds),
+            }
+        }
+    }
+
+    /// Records one batch offered through the `submit_batch` family.
+    #[inline]
+    pub(crate) fn record_batch(&self, size: u64) {
+        if let Some(inner) = self.inner() {
+            inner.batch_size.record(size as f64);
+        }
+    }
+
+    /// The current ingest-queue depth gauge (0 when disabled or when no
+    /// ingest queue feeds this runtime).
+    #[must_use]
+    pub fn ingest_depth(&self) -> f64 {
+        self.inner().map_or(0.0, |inner| inner.ingest_depth.value())
     }
 
     /// Records a completed job's queue wait (virtual seconds).
@@ -632,6 +676,35 @@ impl TelemetryHandle {
     #[must_use]
     pub fn recent_events(&self, n: usize) -> Vec<TaggedEvent<RuntimeEvent>> {
         self.runtime.telemetry().recent_events(n)
+    }
+
+    /// Whether the underlying runtime records per-job traces.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.runtime.tracer().is_enabled()
+    }
+
+    /// Every trace currently held in the flight recorder, in start-time
+    /// order (empty when tracing is disabled).
+    #[must_use]
+    pub fn traces(&self) -> Vec<gtlb_telemetry::trace::Trace> {
+        self.runtime.tracer().traces()
+    }
+
+    /// One recorded trace by id.
+    #[must_use]
+    pub fn trace(
+        &self,
+        id: gtlb_telemetry::trace::TraceId,
+    ) -> Option<gtlb_telemetry::trace::Trace> {
+        self.runtime.tracer().trace(id)
+    }
+
+    /// The flight recorder's contents rendered as Chrome `trace_event`
+    /// JSON (`None` when tracing is disabled).
+    #[must_use]
+    pub fn traces_chrome(&self) -> Option<String> {
+        self.tracing_enabled().then(|| gtlb_telemetry::trace::to_chrome_json(&self.traces()))
     }
 }
 

@@ -104,6 +104,9 @@ pub fn bucket_upper_bound(index: usize) -> f64 {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
+    /// Per-bucket exemplar cells: `trace_id + 1` of the last traced
+    /// observation that landed in the bucket (`0` = none yet).
+    exemplars: Vec<AtomicU64>,
     /// `f64::to_bits` image of the running sum of recorded values.
     sum_bits: AtomicU64,
     /// `f64::to_bits` image of the maximum recorded value (bit order
@@ -123,6 +126,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             max_bits: AtomicU64::new(0f64.to_bits()),
         }
@@ -152,10 +156,26 @@ impl Histogram {
         self.max_bits.fetch_max(clamped.to_bits(), Ordering::Relaxed);
     }
 
+    /// Records one observation of `value` and remembers `trace_id` as
+    /// the bucket's exemplar, so a quantile computed from the snapshot
+    /// links back to a concrete trace.
+    ///
+    /// The cell stores `trace_id + 1` (`0` = empty), so an id of
+    /// `u64::MAX` cannot be stored and is recorded without an
+    /// exemplar — an acceptable loss for a hash-derived id space.
+    pub fn record_with_exemplar(&self, value: f64, trace_id: u64) {
+        self.record(value);
+        let cell = trace_id.wrapping_add(1);
+        if cell != 0 {
+            self.exemplars[bucket_index(value)].store(cell, Ordering::Relaxed);
+        }
+    }
+
     /// Takes an immutable snapshot of the current bucket contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            exemplars: self.exemplars.iter().map(|e| e.load(Ordering::Relaxed)).collect(),
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
             max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
         }
@@ -169,6 +189,8 @@ impl Histogram {
 #[must_use = "a histogram snapshot carries the data; query or merge it"]
 pub struct HistogramSnapshot {
     buckets: Vec<u64>,
+    /// Exemplar cells as stored (`trace_id + 1`, `0` = none).
+    exemplars: Vec<u64>,
     sum: f64,
     max: f64,
 }
@@ -182,7 +204,12 @@ impl Default for HistogramSnapshot {
 impl HistogramSnapshot {
     /// An empty snapshot (all buckets zero).
     pub fn empty() -> Self {
-        Self { buckets: vec![0; BUCKET_COUNT], sum: 0.0, max: 0.0 }
+        Self {
+            buckets: vec![0; BUCKET_COUNT],
+            exemplars: vec![0; BUCKET_COUNT],
+            sum: 0.0,
+            max: 0.0,
+        }
     }
 
     /// Builds a snapshot directly from sample values; convenient in
@@ -228,6 +255,43 @@ impl HistogramSnapshot {
     #[must_use]
     pub fn bucket(&self, index: usize) -> u64 {
         self.buckets[index]
+    }
+
+    /// Trace id of the last traced observation in bucket `index`, if
+    /// any observation carried an exemplar.
+    #[must_use]
+    pub fn exemplar(&self, index: usize) -> Option<u64> {
+        match self.exemplars[index] {
+            0 => None,
+            cell => Some(cell - 1),
+        }
+    }
+
+    /// Trace id exemplifying quantile `q`: the exemplar of the bucket
+    /// holding the q-th observation, falling back to the nearest
+    /// populated exemplar at or below it. `None` for an empty snapshot
+    /// or when no observation carried an exemplar.
+    #[must_use]
+    pub fn quantile_exemplar(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        let mut best = None;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if c > 0 {
+                if let Some(id) = self.exemplar(i) {
+                    best = Some(id);
+                }
+            }
+            if cum >= target {
+                break;
+            }
+        }
+        best
     }
 
     /// Value at quantile `q` in `[0, 1]`, quantized to the upper bound
@@ -277,10 +341,18 @@ impl HistogramSnapshot {
     }
 
     /// Merges two snapshots bucket-by-bucket. Merging is associative
-    /// and commutative up to floating-point addition order in `sum`.
+    /// and commutative up to floating-point addition order in `sum`;
+    /// exemplars prefer `other`'s cell when both are populated (the
+    /// merged-in snapshot is treated as newer).
     pub fn merge(&self, other: &Self) -> Self {
         Self {
             buckets: self.buckets.iter().zip(&other.buckets).map(|(a, b)| a + b).collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .zip(&other.exemplars)
+                .map(|(&a, &b)| if b != 0 { b } else { a })
+                .collect(),
             sum: self.sum + other.sum,
             max: self.max.max(other.max),
         }
@@ -297,6 +369,7 @@ impl HistogramSnapshot {
                 .zip(&prev.buckets)
                 .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
+            exemplars: self.exemplars.clone(),
             sum: (self.sum - prev.sum).max(0.0),
             max: self.max,
         }
@@ -368,6 +441,36 @@ mod tests {
         assert!((s.p99() - 0.99).abs() / 0.99 < 0.10, "p99 {}", s.p99());
         assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
         assert!(s.p99() <= s.max());
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_trace_ids() {
+        let h = Histogram::new();
+        h.record(0.1); // untraced observation: no exemplar
+        h.record_with_exemplar(0.1, 0xAB);
+        h.record_with_exemplar(0.1, 0xCD); // last writer wins
+        h.record_with_exemplar(100.0, 0xEF);
+        let s = h.snapshot();
+        assert_eq!(s.exemplar(bucket_index(0.1)), Some(0xCD));
+        assert_eq!(s.exemplar(bucket_index(100.0)), Some(0xEF));
+        assert_eq!(s.exemplar(bucket_index(7.0)), None);
+        // p99 lands in the 100.0 bucket; its exemplar resolves.
+        assert_eq!(s.quantile_exemplar(0.99), Some(0xEF));
+        assert_eq!(s.quantile_exemplar(0.25), Some(0xCD));
+        assert_eq!(HistogramSnapshot::empty().quantile_exemplar(0.5), None);
+    }
+
+    #[test]
+    fn exemplar_merge_prefers_the_newer_snapshot() {
+        let a = Histogram::new();
+        a.record_with_exemplar(0.1, 1);
+        let b = Histogram::new();
+        b.record_with_exemplar(0.1, 2);
+        b.record_with_exemplar(0.4, 3);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.exemplar(bucket_index(0.1)), Some(2));
+        assert_eq!(m.exemplar(bucket_index(0.4)), Some(3));
+        assert_eq!(m.count(), 3);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * [`Registry`] + [`Snapshot`] — a scrape surface that merges every
 //!   registered instrument into an immutable snapshot, supports
 //!   snapshot deltas, and renders Prometheus text or JSON exposition.
+//! * [`trace`] — deterministic per-job tracing: [`Trace`]s of
+//!   causally-ordered [`Span`]s with hash-derived [`TraceId`]s and a
+//!   bounded [`FlightRecorder`] ring, plus Chrome `trace_event`
+//!   export. Identity and sampling are pure functions of the seed and
+//!   job sequence, so tracing draws no randomness and no clock.
 //!
 //! The crate is deliberately free of clocks and randomness: every
 //! timestamp is supplied by the caller (the runtime tags events with
@@ -32,6 +37,7 @@ mod histogram;
 mod metrics;
 mod registry;
 mod ring;
+pub mod trace;
 
 pub use escape::{json_escape, json_escape_into};
 pub use histogram::{
@@ -41,3 +47,7 @@ pub use histogram::{
 pub use metrics::{CachePadded, Counter, Gauge, Watermark};
 pub use registry::{Registry, Snapshot};
 pub use ring::{EventRing, TaggedEvent};
+pub use trace::{
+    to_chrome_json, trace_id, AttemptOutcome, FlightRecorder, Span, SpanKind, Trace, TraceId,
+    TracingConfig,
+};

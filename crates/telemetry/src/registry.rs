@@ -191,13 +191,18 @@ impl Snapshot {
 
     /// Renders the snapshot as a small JSON document with `counters`,
     /// `gauges`, and `histograms` objects (histograms carry count,
-    /// sum, mean, max, and the three standard percentiles).
-    /// Non-finite gauge values render as `null`; instrument names pass
-    /// through [`json_escape`](crate::json_escape), so a quote or
-    /// control character in a registered name cannot corrupt the
-    /// document.
+    /// sum, mean, max, the three standard percentiles, and a sparse
+    /// `buckets` array). Each populated bucket reports its index, its
+    /// exact `[lo, hi)` boundaries, its count, and — when a traced
+    /// observation landed there — the hex trace id of its exemplar, so
+    /// a client can resolve an exemplar's bucket without knowing the
+    /// layout constants. Non-finite gauge values render as `null`;
+    /// instrument names pass through [`json_escape`](crate::json_escape),
+    /// so a quote or control character in a registered name cannot
+    /// corrupt the document.
     #[must_use]
     pub fn to_json(&self) -> String {
+        use crate::histogram::{bucket_lower_bound, bucket_upper_bound, OVERFLOW_BUCKET};
         fn num(v: f64) -> String {
             if v.is_finite() {
                 format!("{v}")
@@ -227,7 +232,7 @@ impl Snapshot {
         for (i, (n, h)) in self.histograms.iter().enumerate() {
             key(&mut out, i, n);
             out.push_str(&format!(
-                "{{\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
                 h.count(),
                 num(h.sum()),
                 num(h.mean()),
@@ -236,6 +241,28 @@ impl Snapshot {
                 num(h.p90()),
                 num(h.p99()),
             ));
+            let mut any = false;
+            for b in 0..=OVERFLOW_BUCKET {
+                let count = h.bucket(b);
+                if count == 0 {
+                    continue;
+                }
+                if any {
+                    out.push(',');
+                }
+                any = true;
+                out.push_str(&format!(
+                    "{{\"index\":{b},\"lo\":{},\"hi\":{},\"count\":{count},\"exemplar\":",
+                    num(bucket_lower_bound(b)),
+                    num(bucket_upper_bound(b)),
+                ));
+                match h.exemplar(b) {
+                    Some(id) => out.push_str(&format!("\"{id:016x}\"")),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
         }
         out.push_str("}}");
         out
@@ -315,6 +342,28 @@ mod tests {
         assert!(json.contains("\"evil\\\"name\\nwith\\\\stuff\":3"), "got {json}");
         assert!(!json.contains('\n'), "raw newline leaked into {json:?}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_exposes_bucket_boundaries_and_exemplars() {
+        use crate::histogram::bucket_index;
+        let r = Registry::new();
+        let h = r.histogram("gtlb_response_seconds");
+        h.record(0.1);
+        h.record_with_exemplar(0.4, 0xAB);
+        let json = r.snapshot().to_json();
+        let b = bucket_index(0.4);
+        assert!(json.contains("\"buckets\":["), "{json}");
+        assert!(json.contains(&format!("\"index\":{b}")), "{json}");
+        assert!(
+            json.contains(&format!("\"lo\":{}", crate::bucket_lower_bound(b))),
+            "boundaries present: {json}"
+        );
+        assert!(json.contains("\"exemplar\":\"00000000000000ab\""), "{json}");
+        assert!(json.contains("\"exemplar\":null"), "untraced bucket: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Prometheus text is unchanged by the bucket exposition.
+        assert!(!r.snapshot().to_prometheus().contains("bucket"));
     }
 
     #[test]

@@ -37,10 +37,22 @@
 //! the `best_reply_dispatch` line pins both (the `dynamics-convergence`
 //! job diffs it across the matrix).
 //!
+//! A sixth contract covers tracing: per-job traces are identity-hashed
+//! and head-sampled with **no RNG stream and no clock** of their own.
+//! With `GTLB_TRACING=1` every runtime here records sampled traces into
+//! its flight recorder, and every fingerprint must still be
+//! bit-identical (the `tracing-invariance` job diffs them). The
+//! `traced_chaos` line complements it from the other side: it forces
+//! tracing on regardless of the knob and folds the recorded trace set
+//! itself, so the *traces* are pinned as a pure function of (seed,
+//! plan) too — identical across the thread matrix and across every
+//! other knob.
+//!
 //! ```text
 //! RAYON_NUM_THREADS=2 cargo run --release --example determinism_fingerprint
 //! GTLB_TELEMETRY=1 cargo run --release --example determinism_fingerprint
 //! GTLB_CONTROL_PLANE=1 cargo run --release --example determinism_fingerprint
+//! GTLB_TRACING=1 cargo run --release --example determinism_fingerprint
 //! ```
 
 use std::io::{Read, Write};
@@ -84,6 +96,15 @@ fn control_plane_on() -> bool {
     *PINNED.get_or_init(|| std::env::var("GTLB_CONTROL_PLANE").is_ok_and(|v| v == "1"))
 }
 
+/// Whether this run records per-job traces (`GTLB_TRACING=1`, default
+/// sampling). Tracing owns no RNG stream and no clock, so the printed
+/// fingerprints must be identical either way. Pinned at first read,
+/// like [`telemetry_on`].
+fn tracing_on() -> bool {
+    static PINNED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PINNED.get_or_init(|| std::env::var("GTLB_TRACING").is_ok_and(|v| v == "1"))
+}
+
 /// Pin the process environment before any fingerprint runs: the two
 /// invariance knobs are captured once (and echoed to stderr so a CI log
 /// shows which configuration produced the output), and the bench
@@ -92,7 +113,12 @@ fn control_plane_on() -> bool {
 fn pin_environment() {
     std::env::remove_var("GTLB_BENCH_QUICK");
     std::env::remove_var("GTLB_BENCH_JSON");
-    eprintln!("telemetry: {}, control plane: {}", telemetry_on(), control_plane_on());
+    eprintln!(
+        "telemetry: {}, control plane: {}, tracing: {}",
+        telemetry_on(),
+        control_plane_on(),
+        tracing_on()
+    );
 }
 
 /// Attaches an idle loopback control plane to `rt` when
@@ -154,6 +180,7 @@ fn chaos_trace_fingerprint(shards: usize) -> u64 {
             .shards(shards)
             .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
             .telemetry(telemetry_on())
+            .tracing(tracing_on())
             .build(),
     );
     let _cp = attach_idle_control_plane(&rt);
@@ -194,6 +221,76 @@ fn chaos_trace_fingerprint(shards: usize) -> u64 {
     h
 }
 
+/// Encodes a span kind as four stable words for fingerprint folding.
+fn span_words(kind: SpanKind) -> (u64, u64, u64, u64) {
+    match kind {
+        SpanKind::Admitted => (0, 0, 0, 0),
+        SpanKind::Deferred => (1, 0, 0, 0),
+        SpanKind::Rejected => (2, 0, 0, 0),
+        SpanKind::Queued { depth } => (3, depth, 0, 0),
+        SpanKind::Routed { node, epoch, shard } => (4, node, epoch, u64::from(shard)),
+        SpanKind::Attempt { n, outcome, backoff } => {
+            (5, u64::from(n), outcome.code(), backoff.to_bits())
+        }
+        SpanKind::Completed => (6, 0, 0, 0),
+        SpanKind::Failed => (7, 0, 0, 0),
+    }
+}
+
+/// The chaos run of [`chaos_trace_fingerprint`] with tracing forced on
+/// (default 1-in-16 sampling) and the **trace set itself** folded: every
+/// recorded trace's id, sequence, spans (kind, fields, and virtual-time
+/// stamps), plus the flight recorder's exact accounting. Tracing draws
+/// nothing, so this line is a pure function of (seed, plan) — identical
+/// across the thread matrix and under every invariance knob, including
+/// `GTLB_TRACING` itself (the forced config wins over the knob).
+fn traced_chaos_fingerprint() -> u64 {
+    let rt = Arc::new(
+        Runtime::builder()
+            .seed(0xF1A6)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(2.1)
+            .admission(AdmissionConfig { target_utilization: 0.95, defer_band: 0.0 })
+            .telemetry(telemetry_on())
+            .tracing_config(TracingConfig::default())
+            .build(),
+    );
+    let _cp = attach_idle_control_plane(&rt);
+    let ids: Vec<NodeId> =
+        [4.0, 2.0, 1.0].iter().map(|&rate| rt.register_node(rate).unwrap()).collect();
+    rt.resolve_now().unwrap();
+
+    let plan = FaultPlan::new(0xC4A05)
+        .crash_recover(ids[0], 40.0, 60.0)
+        .flaky(ids[2], 100.0, 50.0, 0.35)
+        .slow(ids[1], 160.0, 40.0, 0.5);
+    let mut driver = TraceDriver::new(2.1, TraceConfig { seed: 0xBEEF, batch_size: 500 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+    driver.run_jobs(&rt, 6_000).unwrap();
+
+    let traces = rt.tracer().traces();
+    assert!(!traces.is_empty(), "forced tracing must record traces");
+    let mut h = FNV_OFFSET;
+    for t in &traces {
+        fold(&mut h, t.id.raw());
+        fold(&mut h, t.sequence);
+        for s in &t.spans {
+            let (code, a, b, c) = span_words(s.kind);
+            fold(&mut h, code);
+            fold(&mut h, a);
+            fold(&mut h, b);
+            fold(&mut h, c);
+            fold(&mut h, s.start.to_bits());
+            fold(&mut h, s.end.to_bits());
+        }
+    }
+    fold(&mut h, rt.tracer().recorded());
+    fold(&mut h, rt.tracer().dropped());
+    h
+}
+
 /// The merged sharded-dispatch decision sequence (node id and epoch of
 /// every decision), executed by however many workers the environment
 /// grants, folded to one word.
@@ -207,6 +304,7 @@ fn sharded_dispatch_fingerprint() -> u64 {
             .nominal_arrival_rate(4.2)
             .shards(SHARDS)
             .telemetry(telemetry_on())
+            .tracing(tracing_on())
             .build(),
     );
     let _cp = attach_idle_control_plane(&rt);
@@ -250,6 +348,7 @@ fn batch_dispatch_fingerprint() -> u64 {
                 .nominal_arrival_rate(4.2)
                 .shards(SHARDS)
                 .telemetry(telemetry_on())
+                .tracing(tracing_on())
                 .build(),
         );
         for &rate in &[4.0, 2.0, 1.0] {
@@ -303,6 +402,7 @@ fn best_reply_dispatch_fingerprint() -> u64 {
                 .shards(SHARDS)
                 .solver_mode(mode)
                 .telemetry(telemetry_on())
+                .tracing(tracing_on())
                 .build(),
         );
         for &rate in &[4.0, 2.0, 1.0] {
@@ -362,4 +462,5 @@ fn main() {
     println!("chaos_trace_fingerprint {:016x}", chaos_trace_fingerprint(1));
     println!("chaos_trace_sharded_fingerprint {:016x}", chaos_trace_fingerprint(4));
     println!("best_reply_dispatch_fingerprint {:016x}", best_reply_dispatch_fingerprint());
+    println!("traced_chaos_fingerprint {:016x}", traced_chaos_fingerprint());
 }

@@ -6,14 +6,18 @@
 //!
 //! Each frame shows per-node routing share bars with detector states,
 //! the latency histogram percentiles (response, queue wait, retry
-//! backoff), the counter deltas since the previous frame, and the tail
-//! of the structured event ring. The trace itself is the chaos
+//! backoff) with the exemplar trace id behind each response
+//! percentile, the counter deltas since the previous frame, and the
+//! tail of the structured event ring. The trace itself is the chaos
 //! scenario: a crash-recover on the fast node plus a flaky window on
-//! the slowest one, survived by retry/backoff and the accrual detector.
+//! the slowest one, survived by retry/backoff and the accrual
+//! detector. The closing summary renders a span waterfall of the
+//! slowest trace the flight recorder holds — admission to terminal,
+//! every retry attempt on the way.
 //!
-//! Telemetry is observation-only: run this with `GTLB_TELEMETRY` unset
-//! or `=0` and the job stream is bit-identical — only the dashboard
-//! goes dark.
+//! Telemetry and tracing are observation-only: run this with
+//! `GTLB_TELEMETRY` unset or `=0` and the job stream is bit-identical
+//! — only the dashboard goes dark.
 //!
 //! ```text
 //! cargo run --release --example telemetry_dashboard
@@ -41,6 +45,57 @@ fn histogram_line(snap: &Snapshot, name: &str, label: &str) {
         fmt_num(h.max()),
         h.count(),
     );
+}
+
+/// The exemplar trace id behind each percentile of `name`, joined off
+/// the histogram's per-bucket exemplar cells — the operator's bridge
+/// from "p99 is high" to one concrete `/traces/{id}` lookup.
+fn exemplar_line(snap: &Snapshot, name: &str) {
+    let Some(h) = snap.histogram(name) else { return };
+    let hex =
+        |q: f64| h.quantile_exemplar(q).map_or_else(|| "-".repeat(16), |id| TraceId(id).to_hex());
+    if [0.5, 0.9, 0.99].iter().any(|&q| h.quantile_exemplar(q).is_some()) {
+        println!("    ↳ trace     p50 {}  p90 {}  p99 {}", hex(0.5), hex(0.9), hex(0.99));
+    }
+}
+
+/// A span waterfall of the slowest trace the flight recorder holds:
+/// one row per span, offset and sized on the trace's own timeline.
+fn render_waterfall(handle: &TelemetryHandle) {
+    let traces = handle.traces();
+    let Some(t) = traces.iter().max_by(|a, b| a.duration().total_cmp(&b.duration())) else {
+        return;
+    };
+    let t0 = t.started_at();
+    let total = t.duration().max(1e-9);
+    println!(
+        "\nslowest recorded trace {} (job #{}, {:.3} s, {} attempts, {} traces held):",
+        t.id.to_hex(),
+        t.sequence,
+        t.duration(),
+        t.attempts(),
+        traces.len(),
+    );
+    const WIDTH: f64 = 40.0;
+    for s in &t.spans {
+        let label = match s.kind {
+            SpanKind::Queued { depth } => format!("queued (depth {depth})"),
+            SpanKind::Routed { node, shard, .. } => format!("routed → node {node} / shard {shard}"),
+            SpanKind::Attempt { n, outcome, backoff } if backoff > 0.0 => {
+                format!("attempt {n} [{}] +{backoff:.2}s", outcome.as_str())
+            }
+            SpanKind::Attempt { n, outcome, .. } => format!("attempt {n} [{}]", outcome.as_str()),
+            kind => kind.name().to_string(),
+        };
+        let off = ((s.start - t0) / total * WIDTH).round() as usize;
+        let lane = if s.end > s.start {
+            let len = (((s.end - s.start) / total * WIDTH).round() as usize).max(1);
+            format!("{}{}", " ".repeat(off), "█".repeat(len))
+        } else {
+            format!("{}◆", " ".repeat(off))
+        };
+        println!("  {label:<28} t+{:>7.3}  |{lane:<41}|", s.start - t0);
+    }
 }
 
 /// A counter's delta between two frames, skipping zero lines.
@@ -76,6 +131,7 @@ fn render_frame(
     }
 
     histogram_line(&snap, names::RESPONSE_SECONDS, "response");
+    exemplar_line(&snap, names::RESPONSE_SECONDS);
     histogram_line(&snap, names::QUEUE_WAIT_SECONDS, "queue wait");
     histogram_line(&snap, names::RETRY_BACKOFF_SECONDS, "retry backoff");
 
@@ -114,6 +170,10 @@ fn main() {
             .nominal_arrival_rate(phi)
             .shards(2)
             .telemetry(true)
+            // 1-in-16 head sampling: dense enough that a ~1k-job demo
+            // lands exemplars on every percentile and a slow trace in
+            // the recorder's tail lane.
+            .tracing_config(TracingConfig { sample_mask: 0xF, ..TracingConfig::default() })
             .build(),
     );
     let ids: Vec<NodeId> = rates.iter().map(|&r| rt.register_node(r).unwrap()).collect();
@@ -159,4 +219,6 @@ fn main() {
     for line in expo.lines().filter(|l| l.starts_with("gtlb_response_seconds")).take(6) {
         println!("  {line}");
     }
+
+    render_waterfall(&handle);
 }

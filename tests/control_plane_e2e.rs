@@ -8,8 +8,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gtlb::net::wire::Json;
 use gtlb::net::ControlPlane;
-use gtlb::runtime::{Runtime, SchemeKind};
+use gtlb::runtime::{
+    FaultPlan, RetryConfig, RetryPolicy, Runtime, SchemeKind, TraceConfig, TraceDriver,
+    TracingConfig,
+};
 
 /// Clears the harness/observability knobs once per process: this test
 /// wires its control plane and telemetry explicitly, and an ambient
@@ -217,4 +221,101 @@ fn malformed_and_oversized_requests_get_typed_errors() {
     // And the server is still alive afterwards.
     let (status, _) = get(addr, "/healthz");
     assert_eq!(status, 200);
+}
+
+#[test]
+fn traces_of_a_chaos_run_are_served_causally_ordered_over_http() {
+    pin_env();
+    // A traced chaos run first: crash/recover plus a flaky window so
+    // the recorder holds retried and failed traces, not just happy
+    // paths.
+    let runtime = Arc::new(
+        Runtime::builder()
+            .seed(0xC4A0)
+            .scheme(SchemeKind::Coop)
+            .nominal_arrival_rate(1.2)
+            .tracing_config(TracingConfig {
+                sample_mask: 0,
+                recorder_capacity: 4096,
+                ..TracingConfig::default()
+            })
+            .build(),
+    );
+    let ids: Vec<_> = [2.0, 1.0, 0.5].iter().map(|&r| runtime.register_node(r).unwrap()).collect();
+    runtime.resolve_now().unwrap();
+    let plan =
+        FaultPlan::new(0xC4A05).crash_recover(ids[0], 40.0, 60.0).flaky(ids[2], 100.0, 50.0, 0.35);
+    let mut driver = TraceDriver::new(1.2, TraceConfig { seed: 0xBEEF, batch_size: 200 })
+        .with_faults(plan)
+        .with_retry(RetryPolicy::new(RetryConfig::default()).unwrap())
+        .with_heartbeats(1.0);
+    driver.run_jobs(&runtime, 2_000).unwrap();
+
+    let cp = ControlPlane::builder(Arc::clone(&runtime)).bind("127.0.0.1:0").start().unwrap();
+    let addr = cp.local_addr();
+
+    // The flight-recorder listing: a non-empty envelope whose counters
+    // agree with the in-process tracer.
+    let (status, body) = get(addr, "/traces");
+    assert_eq!(status, 200, "{body}");
+    let listing = Json::parse(body.as_bytes()).expect("listing parses");
+    let count = listing.get("count").and_then(Json::as_f64).unwrap() as usize;
+    let traces = listing.get("traces").and_then(Json::as_array).unwrap();
+    assert!(count > 0 && traces.len() == count, "{body}");
+    let recorded = listing.get("recorded").and_then(Json::as_f64).unwrap() as u64;
+    assert!(recorded >= count as u64, "recorded covers at least what is held");
+
+    // Every served trace is well-formed; each one round-trips through
+    // the by-id endpoint as a causally ordered span list with exactly
+    // one terminal.
+    let mut saw_retry = false;
+    for t in traces {
+        let id = t.get("id").and_then(Json::as_str).unwrap();
+        let (status, body) = get(addr, &format!("/traces/{id}"));
+        assert_eq!(status, 200, "{body}");
+        let full = Json::parse(body.as_bytes()).expect("trace parses");
+        assert_eq!(full.get("id").and_then(Json::as_str).unwrap(), id);
+        let spans = full.get("spans").and_then(Json::as_array).unwrap();
+        assert!(spans.len() >= 2, "at least a head and a terminal: {body}");
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("admitted"), "{body}");
+        let mut last_start = f64::NEG_INFINITY;
+        for s in spans {
+            let start = s.get("start").and_then(Json::as_f64).unwrap();
+            let end = s.get("end").and_then(Json::as_f64).unwrap();
+            assert!(start >= last_start, "spans out of causal order: {body}");
+            assert!(end >= start, "span ends before it starts: {body}");
+            last_start = start;
+        }
+        let terminal = full.get("terminal").and_then(Json::as_str).expect("one terminal span");
+        assert!(matches!(terminal, "completed" | "failed"), "{terminal}");
+        let attempts = full.get("attempts").and_then(Json::as_f64).unwrap() as u32;
+        assert!(attempts <= RetryConfig::default().max_attempts, "{body}");
+        saw_retry |= attempts >= 2;
+    }
+    assert!(saw_retry, "the chaos windows must force at least one retried trace");
+
+    // The Chrome export is structurally valid trace_event JSON: every
+    // event carries name/phase/ts/pid/tid, complete spans carry a
+    // duration, and at least one complete span exists.
+    let (status, body) = get(addr, "/traces.chrome");
+    assert_eq!(status, 200, "{body}");
+    let chrome = Json::parse(body.as_bytes()).expect("chrome export parses");
+    let events = chrome.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(!events.is_empty(), "{body}");
+    let mut complete_spans = 0;
+    for e in events {
+        assert!(e.get("name").and_then(Json::as_str).is_some(), "{body}");
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        assert!(matches!(ph, "X" | "i"), "unexpected phase {ph}");
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("pid").and_then(Json::as_f64).is_some());
+        assert!(e.get("tid").and_then(Json::as_f64).is_some());
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Json::as_f64).unwrap() > 0.0);
+            complete_spans += 1;
+        }
+    }
+    assert!(complete_spans > 0, "attempt/service spans must export as complete events");
+
+    drop(cp);
 }
